@@ -1,0 +1,210 @@
+package sz_test
+
+// One benchmark per table and figure of the paper's evaluation, wrapping
+// the drivers in internal/experiments, plus compression-throughput
+// micro-benchmarks (Table VI's real content). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benches print their report once (first iteration) so a
+// bench run doubles as a compact reproduction log; cmd/szexp produces the
+// full reports.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	sz "repro"
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/grid"
+)
+
+// benchCfg keeps per-iteration work modest: ATM 112×225, APS 160×160,
+// Hurricane 8×31×31.
+func benchCfg() experiments.Config {
+	return experiments.Config{Scale: 16, Seed: 20170529}
+}
+
+var reportOnce sync.Map
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(name, benchCfg())
+		if err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		if _, done := reportOnce.LoadOrStore(name, true); !done {
+			b.Logf("\n%s", res)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig4a(b *testing.B)  { benchExperiment(b, "fig4a") }
+func BenchmarkFig4b(b *testing.B)  { benchExperiment(b, "fig4b") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, "table6") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkTables78(b *testing.B) {
+	// The scaling study runs multi-worker measurements internally; a single
+	// iteration is already a complete study.
+	benchExperiment(b, "tables7-8")
+}
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// --- throughput micro-benchmarks (Table VI's substance) ----------------------
+
+func benchData(set string) *sz.Array {
+	switch set {
+	case "ATM":
+		return datagen.ATM(225, 450, 1)
+	case "APS":
+		return datagen.APS(320, 320, 2)
+	default:
+		return datagen.Hurricane(12, 62, 62, 3)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	for _, set := range []string{"ATM", "APS", "Hurricane"} {
+		for _, rel := range []float64{1e-3, 1e-4, 1e-5, 1e-6} {
+			a := benchData(set)
+			p := sz.Params{Mode: sz.BoundRel, RelBound: rel, OutputType: grid.Float32}
+			b.Run(fmt.Sprintf("%s/eb=%.0e", set, rel), func(b *testing.B) {
+				b.SetBytes(int64(a.Len() * 4))
+				for i := 0; i < b.N; i++ {
+					if _, _, err := sz.Compress(a, p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	for _, set := range []string{"ATM", "APS", "Hurricane"} {
+		for _, rel := range []float64{1e-3, 1e-4, 1e-5, 1e-6} {
+			a := benchData(set)
+			stream, _, err := sz.Compress(a, sz.Params{Mode: sz.BoundRel, RelBound: rel, OutputType: grid.Float32})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/eb=%.0e", set, rel), func(b *testing.B) {
+				b.SetBytes(int64(a.Len() * 4))
+				for i := 0; i < b.N; i++ {
+					if _, _, err := sz.Decompress(stream); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkLayersAblation measures the cost/benefit of the layer count
+// (the design choice Table II analyzes): throughput and CF per n.
+func BenchmarkLayersAblation(b *testing.B) {
+	a := datagen.ATM(225, 450, 4)
+	for n := 1; n <= 4; n++ {
+		p := sz.Params{Mode: sz.BoundRel, RelBound: 1e-4, Layers: n, OutputType: grid.Float32}
+		b.Run(fmt.Sprintf("layers=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(a.Len() * 4))
+			var cf float64
+			for i := 0; i < b.N; i++ {
+				_, st, err := sz.Compress(a, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cf = st.CompressionFactor
+			}
+			b.ReportMetric(cf, "CF")
+		})
+	}
+}
+
+// BenchmarkIntervalAblation measures the adaptive-interval design choice
+// (Section IV-B): CF as a function of m at a fixed bound.
+func BenchmarkIntervalAblation(b *testing.B) {
+	a := datagen.ATM(225, 450, 5)
+	for _, m := range []int{4, 6, 8, 10, 12, 16} {
+		p := sz.Params{Mode: sz.BoundRel, RelBound: 1e-5, IntervalBits: m, OutputType: grid.Float32}
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			b.SetBytes(int64(a.Len() * 4))
+			var cf, hit float64
+			for i := 0; i < b.N; i++ {
+				_, st, err := sz.Compress(a, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cf, hit = st.CompressionFactor, st.HitRate
+			}
+			b.ReportMetric(cf, "CF")
+			b.ReportMetric(hit*100, "hit%")
+		})
+	}
+}
+
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablations") }
+
+// BenchmarkPointwiseRel measures the pointwise-relative extension against
+// the plain range-relative mode on huge-dynamic-range data.
+func BenchmarkPointwiseRel(b *testing.B) {
+	a := datagen.ATMVariant("CDNUMC", 225, 450, 6)
+	b.Run("pwrel", func(b *testing.B) {
+		b.SetBytes(int64(a.Len() * 8))
+		var cf float64
+		for i := 0; i < b.N; i++ {
+			_, st, err := sz.CompressPointwiseRel(a, sz.PointwiseParams{RelBound: 1e-3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cf = st.CompressionFactor
+		}
+		b.ReportMetric(cf, "CF")
+	})
+	b.Run("rangerel", func(b *testing.B) {
+		b.SetBytes(int64(a.Len() * 8))
+		var cf float64
+		for i := 0; i < b.N; i++ {
+			_, st, err := sz.Compress(a, sz.Params{Mode: sz.BoundRel, RelBound: 1e-3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cf = st.CompressionFactor
+		}
+		b.ReportMetric(cf, "CF")
+	})
+}
+
+// BenchmarkBlocked measures the blocked container against single-stream
+// compression (parallelism/random access vs compression-factor penalty).
+func BenchmarkBlocked(b *testing.B) {
+	a := datagen.ATM(225, 450, 7)
+	cp := sz.Params{Mode: sz.BoundRel, RelBound: 1e-4, OutputType: grid.Float32}
+	b.Run("single", func(b *testing.B) {
+		b.SetBytes(int64(a.Len() * 4))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sz.Compress(a, cp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("blocked", func(b *testing.B) {
+		b.SetBytes(int64(a.Len() * 4))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sz.CompressBlocked(a, sz.BlockedParams{Core: cp, SlabRows: 32}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,175 @@
+// Command szc compresses and decompresses raw binary floating-point arrays
+// with the SZ-1.4 algorithm.
+//
+// Compress a 1800×3600 float32 field with a value-range-relative bound:
+//
+//	szc -z -i data.f32 -o data.sz -dims 1800x3600 -dtype float32 -rel 1e-4
+//
+// Decompress:
+//
+//	szc -x -i data.sz -o restored.f32
+//
+// Inspect a stream header:
+//
+//	szc -info -i data.sz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	sz "repro"
+	"repro/internal/grid"
+)
+
+func main() {
+	var (
+		doComp   = flag.Bool("z", false, "compress")
+		doDecomp = flag.Bool("x", false, "decompress")
+		doInfo   = flag.Bool("info", false, "print stream header and exit")
+		in       = flag.String("i", "", "input file")
+		out      = flag.String("o", "", "output file")
+		dimsStr  = flag.String("dims", "", "dimensions, slowest first, e.g. 1800x3600")
+		dtype    = flag.String("dtype", "float32", "element type of raw data: float32|float64")
+		absB     = flag.Float64("abs", 0, "absolute error bound")
+		relB     = flag.Float64("rel", 0, "value-range-relative error bound")
+		layers   = flag.Int("layers", sz.DefaultLayers, "prediction layers n (1-8)")
+		mbits    = flag.Int("m", sz.DefaultIntervalBits, "quantization code bits m (2-16); 2^m-1 intervals")
+	)
+	flag.Parse()
+	if err := run(*doComp, *doDecomp, *doInfo, *in, *out, *dimsStr, *dtype, *absB, *relB, *layers, *mbits); err != nil {
+		fmt.Fprintln(os.Stderr, "szc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(doComp, doDecomp, doInfo bool, in, out, dimsStr, dtype string, absB, relB float64, layers, mbits int) error {
+	if in == "" {
+		return fmt.Errorf("missing -i input file")
+	}
+	switch {
+	case doInfo:
+		return info(in)
+	case doComp:
+		return compress(in, out, dimsStr, dtype, absB, relB, layers, mbits)
+	case doDecomp:
+		return decompress(in, out)
+	}
+	return fmt.Errorf("choose one of -z, -x, -info")
+}
+
+func parseDims(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -dims")
+	}
+	parts := strings.Split(s, "x")
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad dimension %q", p)
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}
+
+func parseDType(s string) (grid.DType, error) {
+	switch s {
+	case "float32":
+		return grid.Float32, nil
+	case "float64":
+		return grid.Float64, nil
+	}
+	return 0, fmt.Errorf("bad -dtype %q (float32|float64)", s)
+}
+
+func compress(in, out, dimsStr, dtype string, absB, relB float64, layers, mbits int) error {
+	if out == "" {
+		return fmt.Errorf("missing -o output file")
+	}
+	dims, err := parseDims(dimsStr)
+	if err != nil {
+		return err
+	}
+	dt, err := parseDType(dtype)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	a, err := grid.ReadRaw(f, dt, dims...)
+	if err != nil {
+		return err
+	}
+	p := sz.Params{Layers: layers, IntervalBits: mbits, OutputType: dt}
+	switch {
+	case absB > 0 && relB > 0:
+		p.Mode, p.AbsBound, p.RelBound = sz.BoundAbsAndRel, absB, relB
+	case absB > 0:
+		p.Mode, p.AbsBound = sz.BoundAbs, absB
+	case relB > 0:
+		p.Mode, p.RelBound = sz.BoundRel, relB
+	default:
+		return fmt.Errorf("set -abs and/or -rel error bound")
+	}
+	stream, st, err := sz.Compress(a, p)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, stream, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("compressed %d values: %d -> %d bytes (CF %.2f, %.2f bits/value, hit rate %.1f%%)\n",
+		st.N, st.OriginalBytes, st.CompressedBytes, st.CompressionFactor, st.BitRate, st.HitRate*100)
+	if st.Advice != 0 {
+		fmt.Printf("adaptive hint: %s the interval count (-m)\n", st.Advice)
+	}
+	return nil
+}
+
+func decompress(in, out string) error {
+	if out == "" {
+		return fmt.Errorf("missing -o output file")
+	}
+	stream, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	a, h, err := sz.Decompress(stream)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := a.WriteRaw(f, h.DType); err != nil {
+		return err
+	}
+	fmt.Printf("decompressed %d values (dims %v, %v, bound %g)\n", a.Len(), h.Dims, h.DType, h.AbsBound)
+	return nil
+}
+
+func info(in string) error {
+	stream, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	h, err := sz.Inspect(stream)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("SZ-Go stream v%d\n  dims: %v (%d values, %v)\n  abs bound: %g\n  layers: %d\n  intervals: %d (m=%d)\n  outliers: %d (%.2f%%)\n",
+		h.Version, h.Dims, h.N(), h.DType, h.AbsBound, h.Layers,
+		(1<<h.IntervalBits)-1, h.IntervalBits, h.NumOutliers,
+		float64(h.NumOutliers)/float64(h.N())*100)
+	return nil
+}

@@ -1,0 +1,58 @@
+// Command szexp regenerates the tables and figures of the SZ-1.4 paper's
+// evaluation on synthetic stand-in data sets.
+//
+//	szexp -exp all                # every experiment
+//	szexp -exp fig6,table5        # a subset
+//	szexp -list                   # show experiment ids
+//	szexp -scale 4                # larger data (1/4 of paper dims)
+//
+// Each report prints the measured values next to the paper's published
+// ones; see EXPERIMENTS.md for the recorded comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expList = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale   = flag.Int("scale", 8, "divide paper data-set dims by this factor")
+		seed    = flag.Int64("seed", 20170529, "data generator seed")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, n := range experiments.Names {
+			fmt.Println(n)
+		}
+		return
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	names := experiments.Names
+	if *expList != "all" {
+		names = strings.Split(*expList, ",")
+	}
+	failed := false
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		start := time.Now()
+		res, err := experiments.Run(name, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "szexp: %s: %v\n", name, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("================ %s (%.1fs) ================\n%s\n",
+			name, time.Since(start).Seconds(), res)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

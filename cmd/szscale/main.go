@@ -1,0 +1,32 @@
+// Command szscale runs the Section VI parallel study: strong scalability
+// of compression/decompression (Tables VII and VIII) and the I/O-time
+// comparison (Fig. 10).
+//
+//	szscale              # measured up to NumCPU workers, modeled to 1024
+//	szscale -scale 4     # larger per-file arrays
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		scale = flag.Int("scale", 8, "divide paper data-set dims by this factor")
+		seed  = flag.Int64("seed", 20170529, "data generator seed")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	for _, name := range []string{"tables7-8", "fig10"} {
+		res, err := experiments.Run(name, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "szscale: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+	}
+}

@@ -1,0 +1,55 @@
+// Climate2d: an ATM-like multi-variable workload. Each variable has its
+// own character (dense, sparse, huge-range); the example compresses each
+// at several bounds and uses the adaptive interval scheme (Section IV-B)
+// to tune the quantization width per variable.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sz "repro"
+	"repro/internal/datagen"
+	"repro/internal/quant"
+)
+
+func main() {
+	rows, cols := 225, 450
+	variables := []string{"GENERIC", "FREQSH", "SNOWHLND", "CDNUMC"}
+
+	fmt.Println("variable   eb_rel   m   intervals  CF      hit%    advice")
+	fmt.Println("--------   ------   --  ---------  -----   -----   ------")
+	for _, name := range variables {
+		a := datagen.ATMVariant(name, rows, cols, 7)
+		for _, rel := range []float64{1e-3, 1e-5} {
+			// Start from the default m=8 and follow the adaptive advice
+			// until the scheme settles (the paper's tuning loop).
+			m := sz.DefaultIntervalBits
+			for iter := 0; iter < 6; iter++ {
+				_, stats, err := sz.Compress(a, sz.Params{
+					Mode:         sz.BoundRel,
+					RelBound:     rel,
+					IntervalBits: m,
+					OutputType:   sz.Float32,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("%-10s %.0e  %-3d %-10d %-7.2f %-7.1f %s\n",
+					name, rel, m, (1<<m)-1, stats.CompressionFactor,
+					stats.HitRate*100, stats.Advice)
+				if stats.Advice == quant.Increase && m < quant.MaxBits {
+					m += 2
+					continue
+				}
+				if stats.Advice == quant.Decrease && m > quant.MinBits {
+					m--
+					continue
+				}
+				break
+			}
+		}
+	}
+	fmt.Println("\nNote CDNUMC (range ~1e-3..1e11): SZ respects the bound exactly even")
+	fmt.Println("here — the case where ZFP's exponent alignment violates it (paper §V-A).")
+}

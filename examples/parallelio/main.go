@@ -1,0 +1,63 @@
+// Parallelio: off-line parallel compression of many files (Section VI).
+// A worker pool compresses a batch of ATM-like arrays, reports strong
+// scaling on this machine, and evaluates the Fig. 10 I/O model: when does
+// compress-then-write beat writing raw data on a shared file system?
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	sz "repro"
+	"repro/internal/datagen"
+	"repro/internal/grid"
+	"repro/internal/parallel"
+)
+
+func main() {
+	// A batch of "files" (the paper's ATM archive has 11400 of them).
+	const nFiles = 24
+	arrays := make([]*sz.Array, nFiles)
+	var totalBytes int
+	for i := range arrays {
+		arrays[i] = datagen.ATM(112, 225, int64(i))
+		totalBytes += arrays[i].Len() * 4
+	}
+	p := sz.Params{Mode: sz.BoundRel, RelBound: 1e-4, OutputType: grid.Float32}
+
+	fmt.Printf("workers  comp GB/s  speedup  efficiency\n")
+	var base float64
+	var cf float64
+	for w := 1; w <= runtime.NumCPU(); w *= 2 {
+		streams, dur, err := parallel.CompressAll(arrays, p, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gbs := float64(totalBytes) / dur.Seconds() / 1e9
+		if base == 0 {
+			base = gbs
+			var compBytes int
+			for _, s := range streams {
+				compBytes += len(s)
+			}
+			cf = float64(totalBytes) / float64(compBytes)
+		}
+		fmt.Printf("%-8d %-10.3f %-8.2f %.1f%%\n", w, gbs, gbs/base, gbs/base/float64(w)*100)
+	}
+
+	// Fig. 10: share of time per phase for a 2.5 TB archive on a cluster
+	// file system, using the measured single-worker rate and CF.
+	fmt.Printf("\nFig.10 model: CF=%.1f, per-process %.3f GB/s\n", cf, base)
+	fmt.Println("procs  compress  write-compressed  write-initial")
+	rows := parallel.Fig10(2.5e12, cf, base, parallel.BluesIOModel(),
+		[]int{1, 4, 16, 32, 64, 256, 1024})
+	for _, r := range rows {
+		marker := ""
+		if r.WriteInitialShare > 0.5 {
+			marker = "  <- compression wins"
+		}
+		fmt.Printf("%-6d %-9.1f%% %-17.1f%% %.1f%%%s\n", r.Processes,
+			r.CompressShare*100, r.WriteCompShare*100, r.WriteInitialShare*100, marker)
+	}
+}

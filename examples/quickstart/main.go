@@ -1,0 +1,56 @@
+// Quickstart: compress a 2D scientific field with a value-range-relative
+// error bound, verify the bound pointwise, and print the paper's quality
+// metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	sz "repro"
+	"repro/internal/datagen"
+)
+
+func main() {
+	// A 225×450 climate-like field (1/8 of the paper's ATM dims).
+	a := datagen.ATM(225, 450, 42)
+
+	// Compress with the paper's reference setting: value-range-relative
+	// error bound 1e-4, Lorenzo prediction (1 layer), 255 intervals.
+	stream, stats, err := sz.Compress(a, sz.Params{
+		Mode:       sz.BoundRel,
+		RelBound:   1e-4,
+		OutputType: sz.Float32, // source data is single-precision
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compressed %d values: %d -> %d bytes\n",
+		stats.N, stats.OriginalBytes, stats.CompressedBytes)
+	fmt.Printf("compression factor: %.2f (%.2f bits/value)\n",
+		stats.CompressionFactor, stats.BitRate)
+	fmt.Printf("prediction hit rate: %.2f%%\n", stats.HitRate*100)
+
+	// Decompress and verify the guarantee: |x - x̃| <= bound, every point.
+	restored, header, err := sz.Decompress(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst := 0.0
+	for i := range a.Data {
+		if e := math.Abs(a.Data[i] - restored.Data[i]); e > worst {
+			worst = e
+		}
+	}
+	fmt.Printf("error bound: %g, observed max error: %g (respected: %v)\n",
+		header.AbsBound, worst, worst <= header.AbsBound)
+
+	// The paper's quality metrics (Section II).
+	sum, err := sz.Evaluate(a, restored)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RMSE %.3g  NRMSE %.3g  PSNR %.1f dB  Pearson %.8f\n",
+		sum.RMSE, sum.NRMSE, sum.PSNR, sum.Pearson)
+}

@@ -1,0 +1,63 @@
+// Subdomain: blocked compression with random access. A 3D hurricane field
+// is stored as a blocked container; the analysis then extracts only the
+// few altitude slabs containing the vortex core without decompressing the
+// rest — the post-analysis access pattern that motivates in-situ
+// compression at scale (paper Section VI).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sz "repro"
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+func main() {
+	a := datagen.Hurricane(50, 125, 125, 13)
+
+	stream, stats, err := sz.CompressBlocked(a, sz.BlockedParams{
+		Core: core.Params{
+			Mode:       sz.BoundRel,
+			RelBound:   1e-4,
+			OutputType: sz.Float32,
+		},
+		SlabRows: 5, // 10 altitude slabs
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("blocked container: %d slabs, CF %.2f, hit rate %.1f%%\n",
+		stats.Slabs, stats.CompressionFactor, stats.HitRate*100)
+
+	ix, err := sz.InspectBlocked(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Random access: pull only the lowest two altitude slabs (where the
+	// vortex is strongest) and report their wind extrema.
+	for i := 0; i < 2; i++ {
+		slab, err := sz.DecompressSlab(stream, i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lo, hi := ix.SlabBounds(i)
+		min, max, _ := slab.Range()
+		fmt.Printf("slab %d (levels %d-%d): u-wind in [%.1f, %.1f] m/s, %d values decompressed\n",
+			i, lo, hi-1, min, max, slab.Len())
+	}
+
+	// Sanity: full parallel decompression respects the bound everywhere.
+	full, err := sz.DecompressBlocked(stream, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, err := sz.Evaluate(a, full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full field: max error %.3g (bound %.3g), PSNR %.1f dB\n",
+		sum.MaxAbsErr, stats.EffAbsBound, sum.PSNR)
+}

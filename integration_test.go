@@ -1,0 +1,267 @@
+package sz_test
+
+// Integration tests crossing module boundaries: every lossy compressor
+// against every synthetic data set, corruption robustness sweeps, 4D
+// pipelines, and blocked-vs-core consistency.
+
+import (
+	"math"
+	"testing"
+
+	sz "repro"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/grid"
+	"repro/internal/isabela"
+	"repro/internal/metrics"
+	"repro/internal/sz11"
+	"repro/internal/zfp"
+)
+
+// integrationSets returns small instances of the three paper data sets.
+func integrationSets() []datagen.Set {
+	return datagen.StandardSets(datagen.Scale{Factor: 32, Seed: 99})
+}
+
+func TestAllLossyCompressorsRespectBounds(t *testing.T) {
+	for _, set := range integrationSets() {
+		a := set.Gen()
+		_, _, rng := a.Range()
+		for _, rel := range []float64{1e-2, 1e-4} {
+			eb := rel * rng
+			t.Run(set.Name, func(t *testing.T) {
+				// SZ-1.4
+				stream, _, err := core.Compress(a, core.Params{Mode: core.BoundAbs, AbsBound: eb, OutputType: set.DType})
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, _, err := core.Decompress(stream)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if e := metrics.MaxAbsError(a.Data, out.Data); e > eb {
+					t.Fatalf("SZ-1.4: max err %g > %g", e, eb)
+				}
+				// SZ-1.1
+				s11, _, err := sz11.Compress(a, sz11.Params{AbsBound: eb, OutputType: set.DType})
+				if err != nil {
+					t.Fatal(err)
+				}
+				out11, err := sz11.Decompress(s11)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if e := metrics.MaxAbsError(a.Data, out11.Data); e > eb {
+					t.Fatalf("SZ-1.1: max err %g > %g", e, eb)
+				}
+				// ZFP (normal-range data: the bound must hold)
+				zs, _, err := zfp.Compress(a, zfp.Params{Mode: zfp.FixedAccuracy, Tolerance: eb, DType: set.DType})
+				if err != nil {
+					t.Fatal(err)
+				}
+				zout, err := zfp.Decompress(zs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if e := metrics.MaxAbsError(a.Data, zout.Data); e > eb {
+					t.Fatalf("ZFP: max err %g > %g", e, eb)
+				}
+				// ISABELA (may legitimately refuse tight bounds)
+				is, _, err := isabela.Compress(a, isabela.Params{AbsBound: eb, OutputType: set.DType, Window: 256})
+				if err == nil {
+					iout, err := isabela.Decompress(is)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if e := metrics.MaxAbsError(a.Data, iout.Data); e > eb {
+						t.Fatalf("ISABELA: max err %g > %g", e, eb)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestSZBeatsSZ11OnPaperSets(t *testing.T) {
+	// The version-over-version claim: SZ-1.4's CF exceeds SZ-1.1's on all
+	// three data sets at the reference bound.
+	for _, set := range integrationSets() {
+		a := set.Gen()
+		_, _, rng := a.Range()
+		eb := 1e-4 * rng
+		s14, st14, err := core.Compress(a, core.Params{Mode: core.BoundAbs, AbsBound: eb, OutputType: set.DType})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st11, err := sz11.Compress(a, sz11.Params{AbsBound: eb, OutputType: set.DType})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st14.CompressionFactor <= st11.CompressionFactor {
+			t.Fatalf("%s: SZ-1.4 CF %.2f <= SZ-1.1 CF %.2f",
+				set.Name, st14.CompressionFactor, st11.CompressionFactor)
+		}
+		_ = s14
+	}
+}
+
+func TestTruncationNeverPanics(t *testing.T) {
+	a := datagen.ATM(40, 50, 5)
+	stream, _, err := core.Compress(a, core.Params{Mode: core.BoundRel, RelBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every possible truncation must return an error, not panic or
+	// silently succeed.
+	for k := 0; k < len(stream); k += 7 {
+		if _, _, err := core.Decompress(stream[:k]); err == nil {
+			t.Fatalf("truncation at %d accepted", k)
+		}
+	}
+}
+
+func TestBitFlipsDetected(t *testing.T) {
+	a := datagen.ATM(30, 30, 6)
+	stream, _, err := core.Compress(a, core.Params{Mode: core.BoundRel, RelBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(stream); pos += 11 {
+		bad := append([]byte(nil), stream...)
+		bad[pos] ^= 0x10
+		if _, _, err := core.Decompress(bad); err == nil {
+			t.Fatalf("bit flip at byte %d undetected", pos)
+		}
+	}
+}
+
+func Test4DPipeline(t *testing.T) {
+	// 4D (e.g. time × z × y × x) exercises the generic predictor path.
+	a := grid.New(5, 6, 7, 8)
+	for ti := 0; ti < 5; ti++ {
+		for z := 0; z < 6; z++ {
+			for y := 0; y < 7; y++ {
+				for x := 0; x < 8; x++ {
+					v := math.Sin(float64(ti)*0.5) + math.Cos(float64(z)*0.4) +
+						math.Sin(float64(y)*0.3)*math.Cos(float64(x)*0.2)
+					a.Set(v, ti, z, y, x)
+				}
+			}
+		}
+	}
+	for _, layers := range []int{1, 2} {
+		p := sz.Params{Mode: sz.BoundAbs, AbsBound: 1e-4, Layers: layers}
+		stream, st, err := sz.Compress(a, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, h, err := sz.Decompress(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := metrics.MaxAbsError(a.Data, out.Data); e > h.AbsBound {
+			t.Fatalf("4D layers=%d: max err %g > %g", layers, e, h.AbsBound)
+		}
+		if st.CompressionFactor < 2 {
+			t.Fatalf("4D smooth data CF %.2f too low", st.CompressionFactor)
+		}
+	}
+}
+
+func TestBlockedMatchesCoreBound(t *testing.T) {
+	a := datagen.APS(80, 80, 7)
+	p := sz.BlockedParams{
+		Core:     core.Params{Mode: core.BoundRel, RelBound: 1e-4, OutputType: grid.Float32},
+		SlabRows: 16,
+	}
+	stream, st, err := sz.CompressBlocked(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sz.DecompressBlocked(stream, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := metrics.MaxAbsError(a.Data, out.Data); e > st.EffAbsBound {
+		t.Fatalf("blocked: max err %g > %g", e, st.EffAbsBound)
+	}
+}
+
+func TestRecompressionStability(t *testing.T) {
+	// Repeated compress/decompress cycles with the same bound must
+	// converge: after the first cycle, values sit on interval centres, so
+	// subsequent cycles are nearly idempotent and errors do not accumulate
+	// beyond 2x the bound relative to the ORIGINAL data.
+	a := datagen.ATM(40, 60, 8)
+	_, _, rng := a.Range()
+	eb := 1e-3 * rng
+	cur := a
+	for cycle := 0; cycle < 4; cycle++ {
+		stream, _, err := core.Compress(cur, core.Params{Mode: core.BoundAbs, AbsBound: eb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _, err := core.Decompress(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = out
+	}
+	if e := metrics.MaxAbsError(a.Data, cur.Data); e > 2*eb {
+		t.Fatalf("4-cycle drift %g exceeds 2x bound %g", e, 2*eb)
+	}
+}
+
+func TestQualityMetricsAgreeAcrossPaths(t *testing.T) {
+	// sz.Evaluate must agree with direct metrics computation.
+	a := datagen.Hurricane(10, 20, 20, 9)
+	stream, _, err := sz.Compress(a, sz.Params{Mode: sz.BoundRel, RelBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := sz.Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := sz.Evaluate(a, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metrics.PSNR(a.Data, out.Data); math.Abs(got-sum.PSNR) > 1e-9 {
+		t.Fatalf("PSNR mismatch: %v vs %v", got, sum.PSNR)
+	}
+	if got := metrics.RMSE(a.Data, out.Data); math.Abs(got-sum.RMSE) > 1e-12 {
+		t.Fatalf("RMSE mismatch: %v vs %v", got, sum.RMSE)
+	}
+}
+
+func TestHACC1DWorkload(t *testing.T) {
+	// The intro's motivating workload: 1D particle coordinates. Quasi-sorted
+	// halo-clustered positions compress with an error bound while the
+	// reconstruction stays inside the simulation box modulo the bound.
+	a := datagen.HACC(1<<16, 11)
+	_, _, rng := a.Range()
+	// Particle positions are far rougher than mesh fields; cosmology
+	// deployments of SZ use correspondingly looser bounds (~1e-2 of the
+	// box is the scale HACC studies quote).
+	eb := 1e-2 * rng
+	stream, st, err := core.Compress(a, core.Params{Mode: core.BoundAbs, AbsBound: eb, OutputType: grid.Float32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := core.Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := metrics.MaxAbsError(a.Data, out.Data); e > eb {
+		t.Fatalf("HACC: max err %g > %g", e, eb)
+	}
+	if st.CompressionFactor < 1.2 {
+		t.Fatalf("HACC CF %.2f should beat raw storage", st.CompressionFactor)
+	}
+	for i, v := range out.Data {
+		if v < -eb || v >= 256+eb {
+			t.Fatalf("particle %d left the box: %v", i, v)
+		}
+	}
+}

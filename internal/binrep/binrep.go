@@ -1,0 +1,189 @@
+// Package binrep implements the binary-representation analysis that SZ
+// (both 1.1 and 1.4) applies to "unpredictable" data points.
+//
+// A data point whose real value falls outside every quantization interval
+// cannot be represented by a quantization code; SZ instead stores the IEEE
+// floating-point value itself, truncated to exactly the precision the error
+// bound requires (paper Section IV, line 14 of Algorithm 1, citing [9]).
+//
+// For a normal value v with unbiased exponent E, keeping the top k mantissa
+// bits gives a truncation error < 2^(E-k). Choosing k = E - floor(log2 eb)
+// therefore guarantees the absolute error bound eb, and re-centering the
+// dropped tail at its midpoint halves the worst case. Values no larger than
+// eb collapse to an explicit zero marker, and non-finite values or
+// pathological bounds fall back to the raw 64-bit representation.
+//
+// Wire format per value (MSB-first bits):
+//
+//	'0'                 truncated: sign(1) exponent(11) k(6) mantissa(k)
+//	'10'                zero: reconstructed as 0.0 (valid since |v| ≤ eb)
+//	'11'                raw: full 64-bit IEEE value (lossless escape)
+package binrep
+
+import (
+	"math"
+
+	"repro/internal/bitstream"
+)
+
+const (
+	tagTrunc = iota
+	tagZero
+	tagRaw
+)
+
+// Encoder writes error-bounded truncated floats to a bitstream.
+type Encoder struct {
+	W *bitstream.Writer
+	// ebExp caches floor(log2(eb)) for the current bound.
+	ebExp int
+	eb    float64
+}
+
+// NewEncoder returns an Encoder that guarantees |decode(v) − v| ≤ eb for
+// every encoded value. A non-positive or non-finite eb forces the lossless
+// raw escape for all values.
+func NewEncoder(w *bitstream.Writer, eb float64) *Encoder {
+	e := &Encoder{W: w, eb: eb}
+	if eb > 0 && !math.IsInf(eb, 0) {
+		e.ebExp = math.Ilogb(eb)
+	}
+	return e
+}
+
+// Encode appends one value and returns the exact value the Decoder will
+// reconstruct for it — the compressor feeds that back into its prediction
+// array so compressor and decompressor stay bit-for-bit in sync.
+func (e *Encoder) Encode(v float64) float64 {
+	if e.eb <= 0 || math.IsInf(e.eb, 0) || math.IsNaN(e.eb) ||
+		math.IsNaN(v) || math.IsInf(v, 0) {
+		e.writeRaw(v)
+		return v
+	}
+	if math.Abs(v) <= e.eb {
+		e.W.WriteBits(0b10, 2)
+		return 0
+	}
+	bits := math.Float64bits(v)
+	exp := int((bits >> 52) & 0x7FF)
+	if exp == 0 {
+		// Subnormal with |v| > eb: eb is below the subnormal threshold, so
+		// truncation bookkeeping gets awkward; the raw escape is rare and safe.
+		e.writeRaw(v)
+		return v
+	}
+	unbiased := exp - 1023
+	k := unbiased - e.ebExp
+	if k < 0 {
+		k = 0
+	}
+	if k > 52 {
+		k = 52
+	}
+	mant := bits & ((uint64(1) << 52) - 1)
+	e.W.WriteBits(0, 1) // tagTrunc
+	e.W.WriteBits(bits>>63, 1)
+	e.W.WriteBits(uint64(exp), 11)
+	e.W.WriteBits(uint64(k), 6)
+	if k > 0 {
+		e.W.WriteBits(mant>>(52-uint(k)), uint(k))
+	}
+	return reconstruct(bits>>63, uint64(exp), mant>>(52-uint(k))<<(52-uint(k)), uint(k))
+}
+
+// reconstruct mirrors Decoder.Decode's truncated-value path.
+func reconstruct(sign, exp, mant uint64, k uint) float64 {
+	if k < 52 {
+		mant |= uint64(1) << (52 - k - 1)
+	}
+	return math.Float64frombits(sign<<63 | exp<<52 | mant)
+}
+
+func (e *Encoder) writeRaw(v float64) {
+	e.W.WriteBits(0b11, 2)
+	e.W.WriteBits(math.Float64bits(v), 64)
+}
+
+// BitsFor returns the number of bits Encode will use for v, without
+// writing. Useful for cost models.
+func (e *Encoder) BitsFor(v float64) int {
+	if e.eb <= 0 || math.IsInf(e.eb, 0) || math.IsNaN(e.eb) ||
+		math.IsNaN(v) || math.IsInf(v, 0) {
+		return 66
+	}
+	if math.Abs(v) <= e.eb {
+		return 2
+	}
+	bits := math.Float64bits(v)
+	exp := int((bits >> 52) & 0x7FF)
+	if exp == 0 {
+		return 66
+	}
+	k := exp - 1023 - e.ebExp
+	if k < 0 {
+		k = 0
+	}
+	if k > 52 {
+		k = 52
+	}
+	return 1 + 1 + 11 + 6 + k
+}
+
+// Decoder reads values written by Encoder.
+type Decoder struct {
+	R *bitstream.Reader
+}
+
+// NewDecoder returns a Decoder over r.
+func NewDecoder(r *bitstream.Reader) *Decoder { return &Decoder{R: r} }
+
+// Decode reads one value.
+func (d *Decoder) Decode() (float64, error) {
+	t, err := d.R.ReadBits(1)
+	if err != nil {
+		return 0, err
+	}
+	if t == 0 { // truncated
+		sign, err := d.R.ReadBits(1)
+		if err != nil {
+			return 0, err
+		}
+		exp, err := d.R.ReadBits(11)
+		if err != nil {
+			return 0, err
+		}
+		k, err := d.R.ReadBits(6)
+		if err != nil {
+			return 0, err
+		}
+		if k > 52 {
+			k = 52
+		}
+		var mant uint64
+		if k > 0 {
+			top, err := d.R.ReadBits(uint(k))
+			if err != nil {
+				return 0, err
+			}
+			mant = top << (52 - uint(k))
+		}
+		if k < 52 {
+			// Midpoint of the dropped tail: halves the worst-case error.
+			mant |= uint64(1) << (52 - uint(k) - 1)
+		}
+		bits := sign<<63 | exp<<52 | mant
+		return math.Float64frombits(bits), nil
+	}
+	t2, err := d.R.ReadBits(1)
+	if err != nil {
+		return 0, err
+	}
+	if t2 == 0 { // zero
+		return 0, nil
+	}
+	raw, err := d.R.ReadBits(64)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(raw), nil
+}

@@ -1,0 +1,282 @@
+// Package bitstream implements MSB-first bit-level writers and readers.
+//
+// The compressors in this repository (Huffman coding, binary-representation
+// analysis, ZFP bit-plane coding, ISABELA index packing) all need to emit
+// and consume codes whose lengths are not byte multiples. Writer and Reader
+// provide that with an explicit, versionable wire format: bits are packed
+// most-significant-bit first into bytes, and multi-bit fields are written
+// big-endian within the stream so that a field written with WriteBits(v, n)
+// is read back by ReadBits(n) regardless of field alignment.
+package bitstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfBits is returned by Reader methods once the underlying buffer is
+// exhausted.
+var ErrOutOfBits = errors.New("bitstream: out of bits")
+
+// Writer accumulates bits MSB-first into an internal byte buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  uint64 // bit accumulator, top 'nacc' bits pending
+	nacc uint   // number of pending bits in cur (0..63)
+	n    uint64 // total bits written
+}
+
+// NewWriter returns a Writer with capacity preallocated for sizeHint bytes.
+func NewWriter(sizeHint int) *Writer {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// WriteBit appends a single bit (any nonzero b counts as 1).
+func (w *Writer) WriteBit(b uint) {
+	var v uint64
+	if b != 0 {
+		v = 1
+	}
+	w.WriteBits(v, 1)
+}
+
+// WriteBool appends a single bit, true = 1.
+func (w *Writer) WriteBool(b bool) {
+	if b {
+		w.WriteBits(1, 1)
+	} else {
+		w.WriteBits(0, 1)
+	}
+}
+
+// WriteBits appends the low 'width' bits of v, most significant first.
+// width must be in [0, 64]; width 0 is a no-op. Bits of v above 'width'
+// are ignored.
+func (w *Writer) WriteBits(v uint64, width uint) {
+	if width == 0 {
+		return
+	}
+	if width > 64 {
+		panic(fmt.Sprintf("bitstream: WriteBits width %d > 64", width))
+	}
+	if width < 64 {
+		v &= (1 << width) - 1
+	}
+	w.n += uint64(width)
+	// Fast path: fits in the accumulator.
+	if w.nacc+width <= 64 {
+		w.cur = (w.cur << width) | v
+		w.nacc += width
+		w.flushFullBytes()
+		return
+	}
+	// Split: emit the high part first.
+	hi := w.nacc + width - 64 // bits that do not fit
+	w.cur = (w.cur << (width - hi)) | (v >> hi)
+	w.nacc = 64
+	w.flushFullBytes()
+	w.cur = (w.cur << hi) | (v & ((1 << hi) - 1))
+	w.nacc += hi
+	w.flushFullBytes()
+}
+
+// flushFullBytes moves complete bytes from the accumulator to the buffer.
+func (w *Writer) flushFullBytes() {
+	for w.nacc >= 8 {
+		w.nacc -= 8
+		w.buf = append(w.buf, byte(w.cur>>w.nacc))
+	}
+}
+
+// WriteUnary appends v as a unary code: v one-bits followed by a zero bit.
+func (w *Writer) WriteUnary(v uint64) {
+	for v >= 32 {
+		w.WriteBits((1<<32)-1, 32)
+		v -= 32
+	}
+	// v ones then a zero, total v+1 bits.
+	w.WriteBits((1<<(v+1))-2, uint(v)+1)
+}
+
+// WriteEliasGamma appends v+1 using the Elias gamma code (v may be 0).
+// The code for x = v+1 is: floor(log2 x) zeros, then x in binary.
+func (w *Writer) WriteEliasGamma(v uint64) {
+	x := v + 1
+	nb := bitLen64(x)
+	w.WriteBits(0, nb-1)
+	w.WriteBits(x, nb)
+}
+
+// AppendStream appends the first nbits bits of buf (a buffer produced by
+// another Writer's Bytes) to this writer, preserving bit alignment.
+func (w *Writer) AppendStream(buf []byte, nbits uint64) {
+	r := NewReaderBits(buf, nbits)
+	for r.Remaining() >= 64 {
+		v, _ := r.ReadBits(64)
+		w.WriteBits(v, 64)
+	}
+	if rem := r.Remaining(); rem > 0 {
+		v, _ := r.ReadBits(uint(rem))
+		w.WriteBits(v, uint(rem))
+	}
+}
+
+// Len returns the total number of bits written so far.
+func (w *Writer) Len() uint64 { return w.n }
+
+// Bytes flushes any partial byte (padding with zero bits) and returns the
+// underlying buffer. The Writer may continue to be used afterwards, but a
+// subsequent Bytes call reflects writes made after the padding, so callers
+// normally call Bytes exactly once, at the end.
+func (w *Writer) Bytes() []byte {
+	if w.nacc > 0 {
+		pad := 8 - w.nacc%8
+		if pad != 8 {
+			w.cur <<= pad
+			w.nacc += pad
+		}
+		w.flushFullBytes()
+	}
+	return w.buf
+}
+
+// Reset truncates the writer to empty, retaining capacity.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur = 0
+	w.nacc = 0
+	w.n = 0
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos uint64 // bit cursor
+	end uint64 // total bits available
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf, end: uint64(len(buf)) * 8}
+}
+
+// NewReaderBits returns a Reader over buf limited to nbits bits.
+func NewReaderBits(buf []byte, nbits uint64) *Reader {
+	r := NewReader(buf)
+	if nbits < r.end {
+		r.end = nbits
+	}
+	return r
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() uint64 { return r.end - r.pos }
+
+// Pos returns the current bit offset from the start of the stream.
+func (r *Reader) Pos() uint64 { return r.pos }
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint, error) {
+	v, err := r.ReadBits(1)
+	return uint(v), err
+}
+
+// ReadBool reads a single bit as a bool.
+func (r *Reader) ReadBool() (bool, error) {
+	v, err := r.ReadBits(1)
+	return v != 0, err
+}
+
+// ReadBits reads 'width' bits (0..64) MSB-first and returns them in the low
+// bits of the result.
+func (r *Reader) ReadBits(width uint) (uint64, error) {
+	if width == 0 {
+		return 0, nil
+	}
+	if width > 64 {
+		panic(fmt.Sprintf("bitstream: ReadBits width %d > 64", width))
+	}
+	if r.pos+uint64(width) > r.end {
+		return 0, ErrOutOfBits
+	}
+	var v uint64
+	pos := r.pos
+	for width > 0 {
+		byteIdx := pos >> 3
+		bitOff := uint(pos & 7)
+		avail := 8 - bitOff
+		take := width
+		if take > avail {
+			take = avail
+		}
+		chunk := uint64(r.buf[byteIdx]>>(avail-take)) & ((1 << take) - 1)
+		v = (v << take) | chunk
+		pos += uint64(take)
+		width -= take
+	}
+	r.pos = pos
+	return v, nil
+}
+
+// ReadUnary reads a unary code written by WriteUnary.
+func (r *Reader) ReadUnary() (uint64, error) {
+	var v uint64
+	for {
+		b, err := r.ReadBits(1)
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			return v, nil
+		}
+		v++
+	}
+}
+
+// ReadEliasGamma reads a value written by WriteEliasGamma.
+func (r *Reader) ReadEliasGamma() (uint64, error) {
+	var zeros uint
+	for {
+		b, err := r.ReadBits(1)
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		zeros++
+		if zeros > 64 {
+			return 0, errors.New("bitstream: malformed Elias gamma code")
+		}
+	}
+	rest, err := r.ReadBits(zeros)
+	if err != nil {
+		return 0, err
+	}
+	x := (uint64(1) << zeros) | rest
+	return x - 1, nil
+}
+
+// Align advances the cursor to the next byte boundary.
+func (r *Reader) Align() {
+	if rem := r.pos & 7; rem != 0 {
+		r.pos += 8 - rem
+		if r.pos > r.end {
+			r.pos = r.end
+		}
+	}
+}
+
+// bitLen64 returns the number of bits needed to represent x (x > 0 → >= 1).
+func bitLen64(x uint64) uint {
+	var n uint
+	for x > 0 {
+		n++
+		x >>= 1
+	}
+	return n
+}

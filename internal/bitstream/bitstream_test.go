@@ -1,0 +1,320 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadSingleBits(t *testing.T) {
+	w := NewWriter(4)
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	if w.Len() != uint64(len(pattern)) {
+		t.Fatalf("Len = %d, want %d", w.Len(), len(pattern))
+	}
+	r := NewReaderBits(w.Bytes(), w.Len())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("ReadBit %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+	if _, err := r.ReadBit(); err != ErrOutOfBits {
+		t.Fatalf("expected ErrOutOfBits, got %v", err)
+	}
+}
+
+func TestWriteBitsAlignment(t *testing.T) {
+	// Write fields of every width 1..64 and read them back.
+	w := NewWriter(0)
+	vals := make([]uint64, 0, 64)
+	for width := uint(1); width <= 64; width++ {
+		v := uint64(0xDEADBEEFCAFEBABE)
+		if width < 64 {
+			v &= (1 << width) - 1
+		}
+		vals = append(vals, v)
+		w.WriteBits(v, width)
+	}
+	r := NewReaderBits(w.Bytes(), w.Len())
+	for width := uint(1); width <= 64; width++ {
+		got, err := r.ReadBits(width)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if got != vals[width-1] {
+			t.Fatalf("width %d: got %#x want %#x", width, got, vals[width-1])
+		}
+	}
+}
+
+func TestWriteBitsMasksHighBits(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0xFF, 4) // only low 4 bits should land
+	b := w.Bytes()
+	if b[0] != 0xF0 {
+		t.Fatalf("got %#x, want 0xF0", b[0])
+	}
+}
+
+func TestZeroWidth(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(123, 0)
+	if w.Len() != 0 {
+		t.Fatalf("zero-width write changed length: %d", w.Len())
+	}
+	r := NewReader(nil)
+	v, err := r.ReadBits(0)
+	if err != nil || v != 0 {
+		t.Fatalf("zero-width read: v=%d err=%v", v, err)
+	}
+}
+
+func TestUnary(t *testing.T) {
+	w := NewWriter(0)
+	vals := []uint64{0, 1, 2, 7, 31, 32, 33, 100, 257}
+	for _, v := range vals {
+		w.WriteUnary(v)
+	}
+	r := NewReaderBits(w.Bytes(), w.Len())
+	for _, want := range vals {
+		got, err := r.ReadUnary()
+		if err != nil {
+			t.Fatalf("ReadUnary(%d): %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("unary: got %d want %d", got, want)
+		}
+	}
+}
+
+func TestEliasGamma(t *testing.T) {
+	w := NewWriter(0)
+	vals := []uint64{0, 1, 2, 3, 4, 5, 100, 1 << 20, (1 << 40) - 1}
+	for _, v := range vals {
+		w.WriteEliasGamma(v)
+	}
+	r := NewReaderBits(w.Bytes(), w.Len())
+	for _, want := range vals {
+		got, err := r.ReadEliasGamma()
+		if err != nil {
+			t.Fatalf("ReadEliasGamma(%d): %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("gamma: got %d want %d", got, want)
+		}
+	}
+}
+
+func TestAlign(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xAB, 8) // crosses a byte boundary
+	buf := w.Bytes()
+	r := NewReader(buf)
+	if _, err := r.ReadBits(3); err != nil {
+		t.Fatal(err)
+	}
+	r.Align()
+	if r.Pos() != 8 {
+		t.Fatalf("Align: pos = %d, want 8", r.Pos())
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0xFFFF, 16)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("after Reset Len = %d", w.Len())
+	}
+	w.WriteBits(0x1, 1)
+	b := w.Bytes()
+	if len(b) != 1 || b[0] != 0x80 {
+		t.Fatalf("after Reset Bytes = %v", b)
+	}
+}
+
+// TestRoundTripQuick property-tests that any sequence of (value, width)
+// fields round-trips exactly.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%64) + 1
+		widths := make([]uint, count)
+		vals := make([]uint64, count)
+		w := NewWriter(0)
+		for i := 0; i < count; i++ {
+			widths[i] = uint(rng.Intn(64)) + 1
+			vals[i] = rng.Uint64()
+			if widths[i] < 64 {
+				vals[i] &= (1 << widths[i]) - 1
+			}
+			w.WriteBits(vals[i], widths[i])
+		}
+		r := NewReaderBits(w.Bytes(), w.Len())
+		for i := 0; i < count; i++ {
+			got, err := r.ReadBits(widths[i])
+			if err != nil || got != vals[i] {
+				return false
+			}
+		}
+		return r.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMixedCodesQuick interleaves unary, gamma, and fixed-width codes.
+func TestMixedCodesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		type field struct {
+			kind int
+			v    uint64
+			w    uint
+		}
+		n := rng.Intn(50) + 1
+		fields := make([]field, n)
+		w := NewWriter(0)
+		for i := range fields {
+			switch rng.Intn(3) {
+			case 0:
+				fields[i] = field{0, uint64(rng.Intn(200)), 0}
+				w.WriteUnary(fields[i].v)
+			case 1:
+				fields[i] = field{1, uint64(rng.Intn(1 << 30)), 0}
+				w.WriteEliasGamma(fields[i].v)
+			default:
+				width := uint(rng.Intn(64)) + 1
+				v := rng.Uint64()
+				if width < 64 {
+					v &= (1 << width) - 1
+				}
+				fields[i] = field{2, v, width}
+				w.WriteBits(v, width)
+			}
+		}
+		r := NewReaderBits(w.Bytes(), w.Len())
+		for _, f := range fields {
+			var got uint64
+			var err error
+			switch f.kind {
+			case 0:
+				got, err = r.ReadUnary()
+			case 1:
+				got, err = r.ReadEliasGamma()
+			default:
+				got, err = r.ReadBits(f.w)
+			}
+			if err != nil || got != f.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderBitsLimit(t *testing.T) {
+	r := NewReaderBits([]byte{0xFF}, 3)
+	if r.Remaining() != 3 {
+		t.Fatalf("Remaining = %d, want 3", r.Remaining())
+	}
+	if _, err := r.ReadBits(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBits(1); err != ErrOutOfBits {
+		t.Fatalf("want ErrOutOfBits, got %v", err)
+	}
+}
+
+func TestBytesPadding(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(1, 1) // single 1 bit
+	b := w.Bytes()
+	if len(b) != 1 || b[0] != 0x80 {
+		t.Fatalf("Bytes = %v, want [0x80]", b)
+	}
+}
+
+func BenchmarkWriteBits16(b *testing.B) {
+	w := NewWriter(1 << 20)
+	b.SetBytes(2)
+	for i := 0; i < b.N; i++ {
+		if w.Len() > 1<<23 {
+			w.Reset()
+		}
+		w.WriteBits(uint64(i), 16)
+	}
+}
+
+func BenchmarkReadBits16(b *testing.B) {
+	w := NewWriter(1 << 20)
+	for i := 0; i < 1<<18; i++ {
+		w.WriteBits(uint64(i), 16)
+	}
+	buf := w.Bytes()
+	b.SetBytes(2)
+	b.ResetTimer()
+	r := NewReader(buf)
+	for i := 0; i < b.N; i++ {
+		if r.Remaining() < 16 {
+			r = NewReader(buf)
+		}
+		if _, err := r.ReadBits(16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestAppendStream(t *testing.T) {
+	src := NewWriter(0)
+	src.WriteBits(0b10110, 5)
+	src.WriteBits(0xABCD, 16)
+	dst := NewWriter(0)
+	dst.WriteBits(0b11, 2) // misalign destination
+	dst.AppendStream(src.Bytes(), src.Len())
+	r := NewReaderBits(dst.Bytes(), dst.Len())
+	if v, _ := r.ReadBits(2); v != 0b11 {
+		t.Fatalf("prefix = %b", v)
+	}
+	if v, _ := r.ReadBits(5); v != 0b10110 {
+		t.Fatalf("appended field 1 = %b", v)
+	}
+	if v, _ := r.ReadBits(16); v != 0xABCD {
+		t.Fatalf("appended field 2 = %x", v)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestAppendStreamLong(t *testing.T) {
+	src := NewWriter(0)
+	for i := 0; i < 300; i++ {
+		src.WriteBits(uint64(i), 9)
+	}
+	dst := NewWriter(0)
+	dst.WriteBits(1, 3)
+	dst.AppendStream(src.Bytes(), src.Len())
+	r := NewReaderBits(dst.Bytes(), dst.Len())
+	if _, err := r.ReadBits(3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		v, err := r.ReadBits(9)
+		if err != nil || v != uint64(i) {
+			t.Fatalf("element %d: v=%d err=%v", i, v, err)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package blocked
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/grid"
+)
+
+func testParams(slabRows int) Params {
+	return Params{
+		Core:     core.Params{Mode: core.BoundRel, RelBound: 1e-4, OutputType: grid.Float32},
+		SlabRows: slabRows,
+		Workers:  2,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	a := datagen.ATM(90, 120, 1)
+	stream, st, err := Compress(a, testParams(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Slabs != (90+15)/16 {
+		t.Fatalf("slabs = %d", st.Slabs)
+	}
+	out, err := Decompress(stream, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := grid.SameShape(a, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-out.Data[i]) > st.EffAbsBound {
+			t.Fatalf("bound violated at %d", i)
+		}
+	}
+}
+
+func TestGlobalBoundResolution(t *testing.T) {
+	// The relative bound must resolve against the GLOBAL range, not the
+	// per-slab ranges: a field whose slabs have very different local
+	// ranges would otherwise get inconsistent bounds.
+	a := grid.New(40, 20)
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 20; j++ {
+			v := 0.001 * float64(j) // small range rows
+			if i >= 20 {
+				v = 100 + float64(j) // large range rows
+			}
+			a.Set(v, i, j)
+		}
+	}
+	_, _, rng := a.Range()
+	stream, st, err := Compress(a, testParams(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e-4 * rng
+	if math.Abs(st.EffAbsBound-want) > 1e-12*rng {
+		t.Fatalf("bound %v, want global %v", st.EffAbsBound, want)
+	}
+	out, err := Decompress(stream, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-out.Data[i]) > st.EffAbsBound {
+			t.Fatalf("bound violated at %d", i)
+		}
+	}
+}
+
+func TestRandomAccessSlab(t *testing.T) {
+	a := datagen.Hurricane(24, 30, 30, 2)
+	stream, _, err := Compress(a, testParams(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Inspect(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Decompress(stream, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ix.NumSlabs(); i++ {
+		slab, err := DecompressSlab(stream, i)
+		if err != nil {
+			t.Fatalf("slab %d: %v", i, err)
+		}
+		lo, hi := ix.SlabBounds(i)
+		ref, err := full.Slab(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slab.Equal(ref) {
+			t.Fatalf("slab %d differs from full decompression", i)
+		}
+	}
+	if _, err := DecompressSlab(stream, ix.NumSlabs()); err == nil {
+		t.Fatal("out-of-range slab accepted")
+	}
+	if _, err := DecompressSlab(stream, -1); err == nil {
+		t.Fatal("negative slab accepted")
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	a := datagen.ATM(64, 64, 3)
+	p1 := testParams(16)
+	p1.Workers = 1
+	s1, _, err := Compress(a, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4 := testParams(16)
+	p4.Workers = 4
+	s4, _, err := Compress(a, p4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(s1) != string(s4) {
+		t.Fatal("container depends on worker count")
+	}
+}
+
+func TestSlabRowsDefaults(t *testing.T) {
+	a := datagen.ATM(64, 64, 4)
+	p := testParams(0) // auto slab size
+	stream, st, err := Compress(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Slabs < 1 {
+		t.Fatalf("slabs = %d", st.Slabs)
+	}
+	if _, err := Decompress(stream, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Slab thickness larger than the array collapses to one slab.
+	p = testParams(1000)
+	_, st, err = Compress(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Slabs != 1 {
+		t.Fatalf("oversized slab rows should give 1 slab, got %d", st.Slabs)
+	}
+}
+
+func TestAbsBoundPassthrough(t *testing.T) {
+	a := datagen.ATM(32, 32, 5)
+	p := Params{Core: core.Params{Mode: core.BoundAbs, AbsBound: 0.5}, SlabRows: 8}
+	_, st, err := Compress(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EffAbsBound != 0.5 {
+		t.Fatalf("abs bound changed: %v", st.EffAbsBound)
+	}
+}
+
+func TestCorruption(t *testing.T) {
+	a := datagen.ATM(32, 32, 6)
+	stream, _, err := Compress(a, testParams(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), stream...)
+	bad[len(bad)/2] ^= 0x04
+	if _, err := Decompress(bad, 0); err == nil {
+		t.Fatal("corruption undetected")
+	}
+	if _, err := Inspect(stream[:8]); err == nil {
+		t.Fatal("truncation undetected")
+	}
+	bad = append([]byte(nil), stream...)
+	copy(bad, "XXXX")
+	if _, err := Inspect(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	a := datagen.ATM(16, 16, 7)
+	p := Params{Core: core.Params{Mode: core.BoundAbs, AbsBound: -1}}
+	if _, _, err := Compress(a, p); err == nil {
+		t.Fatal("invalid core params accepted")
+	}
+}
+
+func TestBlockedVsSingleStreamCF(t *testing.T) {
+	// Blocked compression pays a small CF penalty (no cross-slab
+	// prediction) but must stay in the same ballpark.
+	a := datagen.ATM(112, 225, 8)
+	cp := core.Params{Mode: core.BoundRel, RelBound: 1e-4, OutputType: grid.Float32}
+	_, single, err := core.Compress(a, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, blockedSt, err := Compress(a, Params{Core: cp, SlabRows: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blockedSt.CompressionFactor > single.CompressionFactor*1.01 {
+		t.Fatalf("blocked CF %v should not beat single-stream %v",
+			blockedSt.CompressionFactor, single.CompressionFactor)
+	}
+	if blockedSt.CompressionFactor < single.CompressionFactor*0.6 {
+		t.Fatalf("blocked CF %v too far below single-stream %v",
+			blockedSt.CompressionFactor, single.CompressionFactor)
+	}
+}

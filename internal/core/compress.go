@@ -1,0 +1,194 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/binrep"
+	"repro/internal/bitstream"
+	"repro/internal/grid"
+	"repro/internal/huffman"
+	"repro/internal/predictor"
+	"repro/internal/quant"
+)
+
+// Compress applies the SZ-1.4 pipeline (Algorithm 1 of the paper) to a and
+// returns the compressed stream plus per-run statistics.
+func Compress(a *grid.Array, p Params) ([]byte, *Stats, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	_, _, valueRange := a.Range()
+	eb := p.effectiveBound(valueRange)
+
+	q, err := quant.New(eb, p.IntervalBits)
+	if err != nil {
+		return nil, nil, err
+	}
+	pred, err := predictor.New(a.Dims, p.Layers)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	n := a.Len()
+	codes := make([]int, n)
+	recon := make([]float64, n)
+	hist := make([]uint64, q.NumCodes())
+
+	// Outlier values are discovered during the scan but serialized after
+	// the Huffman-coded symbols, so they collect in a side stream.
+	outW := bitstream.NewWriter(256)
+	outEnc := binrep.NewEncoder(outW, eb)
+	numOutliers := 0
+
+	coord := make([]int, a.NDims())
+	data := a.Data
+	for idx := 0; idx < n; idx++ {
+		x := data[idx]
+		pv := pred.Predict(recon, idx, coord)
+		code, rv, ok := q.Quantize(x, pv)
+		if ok {
+			rv = snap(rv, p.OutputType)
+			// The snap to the output precision may nudge the value across
+			// the bound for extreme magnitudes; re-check and escape if so.
+			if !(math.Abs(x-rv) <= eb) {
+				ok = false
+			}
+		}
+		if ok {
+			codes[idx] = code
+			recon[idx] = rv
+		} else {
+			codes[idx] = quant.UnpredictableCode
+			recon[idx] = encodeOutlier(outEnc, outW, x, eb, p.OutputType)
+			numOutliers++
+		}
+		hist[codes[idx]]++
+		advanceCoord(coord, a.Dims)
+	}
+
+	// Variable-length encoding of the quantization codes (Section IV-A).
+	freqs := hist
+	cb, err := huffman.New(freqs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: building codebook: %w", err)
+	}
+	payload := bitstream.NewWriter(n/2 + 64)
+	cb.Serialize(payload)
+	tableBits := payload.Len()
+	if err := cb.Encode(payload, codes); err != nil {
+		return nil, nil, fmt.Errorf("core: encoding codes: %w", err)
+	}
+	codeBits := payload.Len() - tableBits
+	payload.AppendStream(outW.Bytes(), outW.Len())
+
+	h := &Header{
+		Version:      Version,
+		DType:        p.OutputType,
+		Dims:         a.Dims,
+		AbsBound:     eb,
+		Layers:       p.Layers,
+		IntervalBits: p.IntervalBits,
+		NumOutliers:  numOutliers,
+		PayloadBits:  payload.Len(),
+	}
+	stream := appendHeader(nil, h)
+	stream = append(stream, payload.Bytes()...)
+	crc := crc32.ChecksumIEEE(stream)
+	stream = binary.LittleEndian.AppendUint32(stream, crc)
+
+	st := &Stats{
+		N:               n,
+		Predictable:     n - numOutliers,
+		HitRate:         float64(n-numOutliers) / float64(n),
+		EffAbsBound:     eb,
+		CompressedBytes: len(stream),
+		OriginalBytes:   n * p.OutputType.Size(),
+		Histogram:       hist,
+
+		TableBits:          tableBits,
+		CodeBits:           codeBits,
+		OutlierBits:        outW.Len(),
+		FixedWidthCodeBits: uint64(n) * uint64(p.IntervalBits),
+	}
+	st.CompressionFactor = float64(st.OriginalBytes) / float64(st.CompressedBytes)
+	st.BitRate = float64(st.CompressedBytes) * 8 / float64(n)
+	if advice, _, err := quant.Adapt(hist, p.IntervalBits, p.HitRateThreshold); err == nil {
+		st.Advice = advice
+	}
+	return stream, st, nil
+}
+
+// encodeOutlier stores an unpredictable value and returns the exact value
+// the decompressor will reconstruct for it.
+//
+// float64 sources use error-bounded IEEE truncation (binrep). float32
+// sources store the raw 32-bit pattern — lossless for genuinely
+// single-precision inputs — with a 64-bit escape for float64 inputs
+// mislabelled as float32 whose narrowing would exceed the bound.
+func encodeOutlier(enc *binrep.Encoder, w *bitstream.Writer, x, eb float64, t grid.DType) float64 {
+	if t != grid.Float32 {
+		return enc.Encode(x)
+	}
+	x32 := float64(float32(x))
+	if math.Abs(x32-x) <= eb || math.IsNaN(x) {
+		w.WriteBits(0, 1)
+		w.WriteBits(uint64(math.Float32bits(float32(x))), 32)
+		return x32
+	}
+	w.WriteBits(1, 1)
+	w.WriteBits(math.Float64bits(x), 64)
+	return x
+}
+
+// decodeOutlier mirrors encodeOutlier.
+func decodeOutlier(dec *binrep.Decoder, r *bitstream.Reader, t grid.DType) (float64, error) {
+	if t != grid.Float32 {
+		return dec.Decode()
+	}
+	esc, err := r.ReadBits(1)
+	if err != nil {
+		return 0, err
+	}
+	if esc == 0 {
+		bits, err := r.ReadBits(32)
+		if err != nil {
+			return 0, err
+		}
+		return float64(math.Float32frombits(uint32(bits))), nil
+	}
+	bits, err := r.ReadBits(64)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(bits), nil
+}
+
+// advanceCoord increments a row-major coordinate odometer (last dimension
+// fastest).
+func advanceCoord(coord, dims []int) {
+	for j := len(coord) - 1; j >= 0; j-- {
+		coord[j]++
+		if coord[j] < dims[j] {
+			return
+		}
+		coord[j] = 0
+	}
+}
+
+// appendHeader serializes h.
+func appendHeader(b []byte, h *Header) []byte {
+	b = append(b, Magic...)
+	b = append(b, h.Version, byte(h.DType), byte(len(h.Dims)))
+	for _, d := range h.Dims {
+		b = binary.AppendUvarint(b, uint64(d))
+	}
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(h.AbsBound))
+	b = append(b, byte(h.Layers), byte(h.IntervalBits))
+	b = binary.AppendUvarint(b, uint64(h.NumOutliers))
+	b = binary.AppendUvarint(b, h.PayloadBits)
+	return b
+}

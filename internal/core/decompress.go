@@ -1,0 +1,157 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/binrep"
+	"repro/internal/bitstream"
+	"repro/internal/grid"
+	"repro/internal/huffman"
+	"repro/internal/predictor"
+	"repro/internal/quant"
+)
+
+// Inspect parses and validates the header of a compressed stream without
+// decompressing the data.
+func Inspect(stream []byte) (*Header, error) {
+	h, _, err := parseHeader(stream)
+	return h, err
+}
+
+// Decompress reconstructs the array from a stream produced by Compress.
+// Every reconstructed value satisfies |x − x̃| ≤ Header.AbsBound.
+func Decompress(stream []byte) (*grid.Array, *Header, error) {
+	h, off, err := parseHeader(stream)
+	if err != nil {
+		return nil, nil, err
+	}
+	payloadBytes := int((h.PayloadBits + 7) / 8)
+	if len(stream) != off+payloadBytes+4 {
+		return nil, nil, fmt.Errorf("%w: length %d, want %d", ErrCorrupt, len(stream), off+payloadBytes+4)
+	}
+	wantCRC := binary.LittleEndian.Uint32(stream[len(stream)-4:])
+	if crc32.ChecksumIEEE(stream[:len(stream)-4]) != wantCRC {
+		return nil, nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	payload := stream[off : off+payloadBytes]
+
+	r := bitstream.NewReaderBits(payload, h.PayloadBits)
+	cb, err := huffman.Deserialize(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: codebook: %v", ErrCorrupt, err)
+	}
+	n := h.N()
+	codes := make([]int, n)
+	if err := cb.DecodeInto(r, codes); err != nil {
+		return nil, nil, fmt.Errorf("%w: codes: %v", ErrCorrupt, err)
+	}
+
+	q, err := quant.New(h.AbsBound, h.IntervalBits)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	pred, err := predictor.New(h.Dims, h.Layers)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+
+	out := grid.New(h.Dims...)
+	recon := out.Data
+	dec := binrep.NewDecoder(r)
+	coord := make([]int, len(h.Dims))
+	outliers := 0
+	for idx := 0; idx < n; idx++ {
+		code := codes[idx]
+		if code == quant.UnpredictableCode {
+			v, err := decodeOutlier(dec, r, h.DType)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: outlier %d: %v", ErrCorrupt, outliers, err)
+			}
+			recon[idx] = v
+			outliers++
+		} else {
+			pv := pred.Predict(recon, idx, coord)
+			v, err := q.Reconstruct(code, pv)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			recon[idx] = snap(v, h.DType)
+		}
+		advanceCoord(coord, h.Dims)
+	}
+	if outliers != h.NumOutliers {
+		return nil, nil, fmt.Errorf("%w: outlier count %d, header says %d", ErrCorrupt, outliers, h.NumOutliers)
+	}
+	return out, h, nil
+}
+
+// parseHeader reads the header and returns it plus the payload offset.
+func parseHeader(stream []byte) (*Header, int, error) {
+	if len(stream) < len(Magic)+3 {
+		return nil, 0, fmt.Errorf("%w: too short", ErrCorrupt)
+	}
+	if string(stream[:len(Magic)]) != Magic {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	off := len(Magic)
+	h := &Header{Version: stream[off]}
+	if h.Version != Version {
+		return nil, 0, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, h.Version)
+	}
+	h.DType = grid.DType(stream[off+1])
+	if h.DType != grid.Float32 && h.DType != grid.Float64 {
+		return nil, 0, fmt.Errorf("%w: bad dtype %d", ErrCorrupt, h.DType)
+	}
+	ndims := int(stream[off+2])
+	if ndims < 1 || ndims > grid.MaxDims {
+		return nil, 0, fmt.Errorf("%w: bad ndims %d", ErrCorrupt, ndims)
+	}
+	off += 3
+	h.Dims = make([]int, ndims)
+	total := 1
+	for i := 0; i < ndims; i++ {
+		v, k := binary.Uvarint(stream[off:])
+		if k <= 0 || v == 0 || v > 1<<40 {
+			return nil, 0, fmt.Errorf("%w: bad dim", ErrCorrupt)
+		}
+		h.Dims[i] = int(v)
+		if total > math.MaxInt/h.Dims[i] {
+			return nil, 0, fmt.Errorf("%w: dims overflow", ErrCorrupt)
+		}
+		total *= h.Dims[i]
+		off += k
+	}
+	if len(stream) < off+10 {
+		return nil, 0, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	h.AbsBound = math.Float64frombits(binary.LittleEndian.Uint64(stream[off:]))
+	off += 8
+	if !(h.AbsBound > 0) || math.IsInf(h.AbsBound, 0) {
+		return nil, 0, fmt.Errorf("%w: bad error bound %v", ErrCorrupt, h.AbsBound)
+	}
+	h.Layers = int(stream[off])
+	h.IntervalBits = int(stream[off+1])
+	off += 2
+	if h.Layers < 1 || h.Layers > predictor.MaxLayers {
+		return nil, 0, fmt.Errorf("%w: bad layers %d", ErrCorrupt, h.Layers)
+	}
+	if h.IntervalBits < quant.MinBits || h.IntervalBits > quant.MaxBits {
+		return nil, 0, fmt.Errorf("%w: bad interval bits %d", ErrCorrupt, h.IntervalBits)
+	}
+	v, k := binary.Uvarint(stream[off:])
+	if k <= 0 || v > uint64(total) {
+		return nil, 0, fmt.Errorf("%w: bad outlier count", ErrCorrupt)
+	}
+	h.NumOutliers = int(v)
+	off += k
+	v, k = binary.Uvarint(stream[off:])
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("%w: bad payload length", ErrCorrupt)
+	}
+	h.PayloadBits = v
+	off += k
+	return h, off, nil
+}

@@ -1,0 +1,223 @@
+package datagen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := ATM(50, 60, 42)
+	b := ATM(50, 60, 42)
+	if !a.Equal(b) {
+		t.Fatal("same seed must give identical data")
+	}
+	c := ATM(50, 60, 43)
+	if a.Equal(c) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestAllFloat32Representable(t *testing.T) {
+	arrays := []*grid.Array{
+		ATM(30, 40, 1),
+		ATMVariant("FREQSH", 30, 40, 1),
+		ATMVariant("SNOWHLND", 30, 40, 1),
+		ATMVariant("CDNUMC", 30, 40, 1),
+		APS(30, 40, 1),
+		Hurricane(10, 20, 20, 1),
+	}
+	for k, a := range arrays {
+		for i, v := range a.Data {
+			if v != float64(float32(v)) {
+				t.Fatalf("array %d value %d not float32: %v", k, i, v)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("array %d value %d non-finite", k, i)
+			}
+		}
+	}
+}
+
+func TestDims(t *testing.T) {
+	a := Hurricane(5, 7, 9, 1)
+	if a.Dims[0] != 5 || a.Dims[1] != 7 || a.Dims[2] != 9 {
+		t.Fatalf("dims %v", a.Dims)
+	}
+	b := APS(11, 13, 1)
+	if b.Dims[0] != 11 || b.Dims[1] != 13 {
+		t.Fatalf("dims %v", b.Dims)
+	}
+}
+
+func TestFreqshBounded01(t *testing.T) {
+	a := ATMVariant("FREQSH", 60, 60, 5)
+	min, max, _ := a.Range()
+	if min < 0 || max > 1 {
+		t.Fatalf("FREQSH range [%v,%v] outside [0,1]", min, max)
+	}
+}
+
+func TestSnowMostlyZero(t *testing.T) {
+	a := ATMVariant("SNOWHLND", 100, 100, 6)
+	zeros := 0
+	for _, v := range a.Data {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if frac := float64(zeros) / float64(a.Len()); frac < 0.5 {
+		t.Fatalf("SNOWHLND should be mostly zero, zero fraction %v", frac)
+	}
+}
+
+func TestCdnumcHugeRange(t *testing.T) {
+	a := ATMVariant("CDNUMC", 80, 80, 7)
+	min, max, _ := a.Range()
+	if min <= 0 {
+		t.Fatalf("CDNUMC must be positive, min %v", min)
+	}
+	if max/min < 1e10 {
+		t.Fatalf("CDNUMC dynamic range %v too small", max/min)
+	}
+}
+
+func TestUnknownVariantFallsBack(t *testing.T) {
+	a := ATMVariant("T850", 30, 30, 1)
+	b := ATMVariant("PSL", 30, 30, 1)
+	if a.Equal(b) {
+		t.Fatal("distinct unknown variants should decorrelate")
+	}
+}
+
+func TestAPSNonNegativeWithHotPixels(t *testing.T) {
+	a := APS(200, 200, 8)
+	min, max, _ := a.Range()
+	if min < 0 {
+		t.Fatalf("APS min %v < 0", min)
+	}
+	if max < 10000 {
+		t.Fatalf("APS should contain hot pixels, max %v", max)
+	}
+}
+
+func TestHurricaneVortexStructure(t *testing.T) {
+	// Lower levels should carry more kinetic energy than the top (vortex
+	// decays with altitude).
+	a := Hurricane(20, 60, 60, 9)
+	energy := func(z int) float64 {
+		var e float64
+		for y := 0; y < 60; y++ {
+			for x := 0; x < 60; x++ {
+				v := a.At(z, y, x)
+				e += v * v
+			}
+		}
+		return e
+	}
+	if energy(0) < energy(19) {
+		t.Fatalf("vortex should decay with altitude: E(0)=%v E(top)=%v", energy(0), energy(19))
+	}
+}
+
+func TestSmoothnessCharacter(t *testing.T) {
+	// The mean |horizontal gradient| must be small relative to the range:
+	// the fields are locally smooth (which is what makes prediction work).
+	a := ATM(100, 120, 10)
+	_, _, rng := a.Range()
+	var grad float64
+	n := 0
+	for i := 0; i < 100; i++ {
+		for j := 1; j < 120; j++ {
+			grad += math.Abs(a.At(i, j) - a.At(i, j-1))
+			n++
+		}
+	}
+	grad /= float64(n)
+	if grad > rng*0.05 {
+		t.Fatalf("field too rough: mean gradient %v vs range %v", grad, rng)
+	}
+}
+
+func TestStandardSets(t *testing.T) {
+	sets := StandardSets(Scale{Factor: 64, Seed: 1})
+	if len(sets) != 3 {
+		t.Fatalf("want 3 sets, got %d", len(sets))
+	}
+	names := map[string]bool{}
+	for _, s := range sets {
+		names[s.Name] = true
+		a := s.Gen()
+		if a.Len() == 0 {
+			t.Fatalf("%s: empty", s.Name)
+		}
+		if s.DType != grid.Float32 {
+			t.Fatalf("%s: dtype %v", s.Name, s.DType)
+		}
+	}
+	for _, want := range []string{"ATM", "APS", "Hurricane"} {
+		if !names[want] {
+			t.Fatalf("missing set %s", want)
+		}
+	}
+}
+
+func TestStandardSetsMinimumDims(t *testing.T) {
+	sets := StandardSets(Scale{Factor: 100000, Seed: 1})
+	for _, s := range sets {
+		a := s.Gen()
+		for _, d := range a.Dims {
+			if d < 8 {
+				t.Fatalf("%s: dim %d below floor", s.Name, d)
+			}
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	sets := StandardSets(Scale{Factor: 128, Seed: 1})
+	d := Describe(sets[0])
+	if !strings.Contains(d, "ATM") || !strings.Contains(d, "float32") {
+		t.Fatalf("Describe = %q", d)
+	}
+}
+
+func TestHACC(t *testing.T) {
+	a := HACC(10000, 3)
+	if a.NDims() != 1 || a.Len() != 10000 {
+		t.Fatalf("dims %v", a.Dims)
+	}
+	min, max, _ := a.Range()
+	if min < 0 || max >= 256 {
+		t.Fatalf("positions [%v,%v] outside box", min, max)
+	}
+	// Deterministic.
+	if !a.Equal(HACC(10000, 3)) {
+		t.Fatal("HACC not deterministic")
+	}
+	// Clustered: the position histogram must be far from uniform.
+	const bins = 64
+	hist := make([]int, bins)
+	for _, v := range a.Data {
+		hist[int(v/256*bins)]++
+	}
+	maxBin, minBin := 0, a.Len()
+	for _, h := range hist {
+		if h > maxBin {
+			maxBin = h
+		}
+		if h < minBin {
+			minBin = h
+		}
+	}
+	if float64(maxBin) < 3*float64(a.Len())/bins {
+		t.Fatalf("no halo clustering: max bin %d", maxBin)
+	}
+	for i, v := range a.Data {
+		if v != float64(float32(v)) {
+			t.Fatalf("value %d not float32", i)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package experiments regenerates every table and figure of the SZ-1.4
+// paper's evaluation (Sections V and VI) on the synthetic stand-in data
+// sets from internal/datagen.
+//
+// Each experiment has a driver function returning a typed result whose
+// String method renders a text table, including the paper's published
+// numbers where applicable so the reproduction can be eyeballed
+// side-by-side. cmd/szexp runs them from the command line; the root-level
+// benchmarks (bench_test.go) wrap them in testing.B.
+//
+// Because the inputs are synthetic (the production archives are not
+// shippable), absolute values differ from the paper; the comparisons to
+// check are the *shapes*: which compressor wins, by roughly what factor,
+// and where behaviour crosses over. EXPERIMENTS.md records both.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/grid"
+)
+
+// Config controls experiment scale and workloads.
+type Config struct {
+	// Scale divides the paper's data-set dimensions (1 = full size).
+	// The default 8 keeps a full run in the order of a minute.
+	Scale int
+	// Seed feeds the data generators.
+	Seed int64
+	// RelBounds is the value-range-relative error-bound sweep
+	// (default 1e-3, 1e-4, 1e-5, 1e-6 — the paper's Fig. 6 set).
+	RelBounds []float64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Scale < 1 {
+		c.Scale = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 20170529 // IPDPS 2017 conference date
+	}
+	if len(c.RelBounds) == 0 {
+		c.RelBounds = []float64{1e-3, 1e-4, 1e-5, 1e-6}
+	}
+	return c
+}
+
+// sets returns the three paper data sets at the configured scale.
+func (c Config) sets() []datagen.Set {
+	return datagen.StandardSets(datagen.Scale{Factor: c.Scale, Seed: c.Seed})
+}
+
+// setByName fetches one data set.
+func (c Config) setByName(name string) (datagen.Set, error) {
+	for _, s := range c.sets() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return datagen.Set{}, fmt.Errorf("experiments: unknown data set %q", name)
+}
+
+// --- formatting helpers ------------------------------------------------------
+
+// table renders rows of cells with aligned columns.
+func table(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for p := len(c); p < width[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func pct(v float64) string {
+	return fmt.Sprintf("%.1f%%", v*100)
+}
+func sci(v float64) string { return fmt.Sprintf("%.2e", v) }
+
+// sortedKeys returns map keys in sorted order for deterministic output.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// absBoundFor converts a relative bound to the absolute bound for a data
+// set, exactly as the paper's evaluation does ("we ran different
+// compressors using the absolute error bounds computed based on the above
+// listed ratios and the global data value range").
+func absBoundFor(a *grid.Array, rel float64) float64 {
+	_, _, rng := a.Range()
+	return rel * rng
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/datagen"
+)
+
+// Table3Result reproduces Table III: the data-set inventory.
+type Table3Result struct {
+	Lines []string
+	Scale int
+}
+
+// Table3 describes the generated data sets.
+func Table3(cfg Config) (*Table3Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Table3Result{Scale: cfg.Scale}
+	for _, s := range cfg.sets() {
+		res.Lines = append(res.Lines, datagen.Describe(s))
+	}
+	return res, nil
+}
+
+func (r *Table3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table III — data sets (synthetic stand-ins at 1/%d of paper dims)\n", r.Scale)
+	for _, l := range r.Lines {
+		b.WriteString("  " + l + "\n")
+	}
+	b.WriteString("paper: ATM 1800×3600 (2.6 TB), APS 2560×2560 (40 GB), Hurricane 100×500×500 (1.2 GB)\n")
+	return b.String()
+}
+
+// Fig6Result reproduces Fig. 6: compression factors of all six compressors
+// on the three data sets across the relative-bound sweep.
+type Fig6Result struct {
+	Bounds []float64
+	// CF[set][compressor][boundIdx]; NaN-like zero means the run failed
+	// (ISABELA at tight bounds, plotted "until it fails" in the paper).
+	CF map[string]map[string][]float64
+	// Failed[set][compressor][boundIdx] marks failed cells.
+	Failed map[string]map[string][]bool
+}
+
+// paperFig6AvgCF holds the paper's average CFs at eb_rel = 1e-4 for the
+// side-by-side printout.
+var paperFig6AvgCF = map[string]map[string]float64{
+	"ATM":       {SZ14: 6.3, ZFP: 3.0, SZ11: 3.8, ISABELA: 1.4, FPZIP: 1.9, GZIP: 1.3},
+	"APS":       {SZ14: 5.2, ZFP: 2.9, SZ11: 3.0, ISABELA: 1.2, FPZIP: 1.3, GZIP: 1.1},
+	"Hurricane": {SZ14: 21.3, ZFP: 8.0, SZ11: 8.9, ISABELA: 1.2, FPZIP: 2.4, GZIP: 1.3},
+}
+
+// Fig6 runs the full compressor × data set × bound sweep.
+func Fig6(cfg Config) (*Fig6Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Fig6Result{
+		Bounds: cfg.RelBounds,
+		CF:     map[string]map[string][]float64{},
+		Failed: map[string]map[string][]bool{},
+	}
+	for _, set := range cfg.sets() {
+		a := set.Gen()
+		res.CF[set.Name] = map[string][]float64{}
+		res.Failed[set.Name] = map[string][]bool{}
+		for _, comp := range AllCompressors {
+			cfs := make([]float64, len(cfg.RelBounds))
+			fails := make([]bool, len(cfg.RelBounds))
+			for bi, rel := range cfg.RelBounds {
+				rr := runCompressor(comp, a, absBoundFor(a, rel), set.DType)
+				if rr.Failed {
+					fails[bi] = true
+					continue
+				}
+				cfs[bi] = rr.CF
+			}
+			res.CF[set.Name][comp] = cfs
+			res.Failed[set.Name][comp] = fails
+		}
+	}
+	return res, nil
+}
+
+func (r *Fig6Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 6 — compression factor by compressor, data set, and error bound\n")
+	for _, set := range sortedKeys(r.CF) {
+		fmt.Fprintf(&b, "\n[%s]\n", set)
+		header := []string{"compressor"}
+		for _, eb := range r.Bounds {
+			header = append(header, fmt.Sprintf("eb=%.0e", eb))
+		}
+		header = append(header, "paper CF@1e-4")
+		var rows [][]string
+		for _, comp := range AllCompressors {
+			row := []string{comp}
+			for bi := range r.Bounds {
+				if r.Failed[set][comp][bi] {
+					row = append(row, "fail")
+				} else {
+					row = append(row, f2(r.CF[set][comp][bi]))
+				}
+			}
+			row = append(row, f1(paperFig6AvgCF[set][comp]))
+			rows = append(rows, row)
+		}
+		b.WriteString(table(header, rows))
+	}
+	b.WriteString("\npaper shape: SZ-1.4 best in class on every set and bound; ~2x the\n")
+	b.WriteString("second best (ZFP or SZ-1.1); ISABELA/GZIP/FPZIP below 2.5.\n")
+	return b.String()
+}
+
+// Winner returns the compressor with the highest CF for a set and bound
+// index, for assertions in tests.
+func (r *Fig6Result) Winner(set string, boundIdx int) string {
+	best, bestCF := "", 0.0
+	for comp, cfs := range r.CF[set] {
+		if r.Failed[set][comp][boundIdx] {
+			continue
+		}
+		if cfs[boundIdx] > bestCF {
+			best, bestCF = comp, cfs[boundIdx]
+		}
+	}
+	return best
+}

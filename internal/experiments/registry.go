@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+)
+
+// Names lists every runnable experiment in report order.
+var Names = []string{
+	"table2", "fig3", "fig4a", "fig4b", "table3", "fig6",
+	"table5", "fig7", "fig8", "table4", "table6", "fig9",
+	"tables7-8", "fig10", "ablations",
+}
+
+// Run executes the named experiment and returns its printable result.
+func Run(name string, cfg Config) (fmt.Stringer, error) {
+	switch name {
+	case "table2":
+		return Table2(cfg)
+	case "fig3":
+		return Fig3(cfg)
+	case "fig4a":
+		return Fig4(cfg, "ATM")
+	case "fig4b":
+		return Fig4(cfg, "Hurricane")
+	case "table3":
+		return Table3(cfg)
+	case "fig6":
+		return Fig6(cfg)
+	case "table5":
+		return Table5(cfg)
+	case "fig7":
+		return Fig7(cfg)
+	case "fig8":
+		return Fig8(cfg)
+	case "table4":
+		return Table4(cfg)
+	case "table6":
+		return Table6(cfg)
+	case "fig9":
+		return Fig9(cfg)
+	case "tables7-8":
+		return Tables78(cfg)
+	case "fig10":
+		return Fig10(cfg)
+	case "ablations":
+		return Ablations(cfg)
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, Names)
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// Table2Result reproduces Table II: prediction hitting rate by layer count,
+// predicting from original versus decompressed values, on the ATM set.
+type Table2Result struct {
+	RelBound float64
+	// Orig[n-1] / Decomp[n-1] are the rates for n layers.
+	Orig   []float64
+	Decomp []float64
+	// BestOrigLayer / BestDecompLayer are the argmax layer counts.
+	BestOrigLayer   int
+	BestDecompLayer int
+}
+
+// paperTable2 holds the published Table II values for side-by-side output.
+var paperTable2 = struct{ orig, decomp []float64 }{
+	orig:   []float64{0.215, 0.375, 0.258, 0.145},
+	decomp: []float64{0.192, 0.065, 0.098, 0.059},
+}
+
+// Table2 measures hitting rates for layers 1–4 on the ATM-like set. The
+// paper does not state the bound used; 1e-4 (its reference setting) is
+// applied here. The layer crossover is a resolution-dependent phenomenon
+// (it hinges on how per-cell curvature compares with the bound), so this
+// experiment clamps the scale factor to 16 — 112×225 cells — even when
+// the rest of the suite runs smaller.
+func Table2(cfg Config) (*Table2Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Scale > 16 {
+		cfg.Scale = 16
+	}
+	set, err := cfg.setByName("ATM")
+	if err != nil {
+		return nil, err
+	}
+	a := set.Gen()
+	res := &Table2Result{RelBound: 1e-4}
+	for n := 1; n <= 4; n++ {
+		hr, err := core.ProbeHitRates(a, core.Params{
+			Mode:       core.BoundRel,
+			RelBound:   res.RelBound,
+			Layers:     n,
+			OutputType: grid.Float32,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Orig = append(res.Orig, hr.Orig)
+		res.Decomp = append(res.Decomp, hr.Decomp)
+	}
+	res.BestOrigLayer = argmax(res.Orig) + 1
+	res.BestDecompLayer = argmax(res.Decomp) + 1
+	return res, nil
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func (r *Table2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II — prediction hitting rate by layer (ATM-like, eb_rel=%.0e)\n", r.RelBound)
+	rows := make([][]string, 4)
+	for n := 0; n < 4; n++ {
+		rows[n] = []string{
+			fmt.Sprintf("%d-Layer", n+1),
+			pct(r.Orig[n]), pct(r.Decomp[n]),
+			pct(paperTable2.orig[n]), pct(paperTable2.decomp[n]),
+		}
+	}
+	b.WriteString(table(
+		[]string{"", "R_PH^orig", "R_PH^decomp", "paper orig", "paper decomp"}, rows))
+	fmt.Fprintf(&b, "best layer: orig=%d decomp=%d (paper: orig=2, decomp=1)\n",
+		r.BestOrigLayer, r.BestDecompLayer)
+	return b.String()
+}

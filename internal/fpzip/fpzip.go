@@ -1,0 +1,245 @@
+// Package fpzip reimplements the predictive lossless floating-point
+// compression scheme of Lindstrom & Isenburg's FPZIP (TVCG 2006), the
+// lossless baseline of the paper's evaluation.
+//
+// Like FPZIP, the coder predicts each value with the Lorenzo predictor,
+// maps prediction and actual value to sign-magnitude-ordered integers so
+// that numerically close floats have close integer images, and entropy-
+// codes the residuals. FPZIP uses a range coder over residual "bucket"
+// symbols followed by raw mantissa bits; this implementation uses a
+// canonical Huffman code over the residual bit-length bucket (an
+// equivalent-style two-part code) to stay within the Go standard library.
+// Compression is exactly lossless: Decompress reproduces the input
+// bit-for-bit.
+package fpzip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/bitstream"
+	"repro/internal/grid"
+	"repro/internal/huffman"
+	"repro/internal/predictor"
+)
+
+const magic = "FPZG"
+
+// ErrCorrupt is returned for malformed streams.
+var ErrCorrupt = errors.New("fpzip: corrupt stream")
+
+// orderedFromFloat maps a float64 to a uint64 such that the integer order
+// matches the total order of the floats (sign-magnitude to biased).
+func orderedFromFloat(v float64) uint64 {
+	b := math.Float64bits(v)
+	if b>>63 != 0 {
+		return ^b
+	}
+	return b | (1 << 63)
+}
+
+// floatFromOrdered inverts orderedFromFloat.
+func floatFromOrdered(u uint64) float64 {
+	if u>>63 != 0 {
+		return math.Float64frombits(u &^ (1 << 63))
+	}
+	return math.Float64frombits(^u)
+}
+
+// orderedFromFloat32 / float32FromOrdered are the 32-bit variants used when
+// the source data is single precision: residuals then span ≤ 33 bits, which
+// is what gives FPZIP its edge on float32 data.
+func orderedFromFloat32(v float32) uint32 {
+	b := math.Float32bits(v)
+	if b>>31 != 0 {
+		return ^b
+	}
+	return b | (1 << 31)
+}
+
+func float32FromOrdered(u uint32) float32 {
+	if u>>31 != 0 {
+		return math.Float32frombits(u &^ (1 << 31))
+	}
+	return math.Float32frombits(^u)
+}
+
+// Compress losslessly encodes a. When t is grid.Float32 the data must be
+// float32-representable (e.g. loaded via grid.FromFloat32s); each value is
+// then coded in the 32-bit integer domain.
+func Compress(a *grid.Array, t grid.DType) ([]byte, error) {
+	if t != grid.Float32 && t != grid.Float64 {
+		return nil, fmt.Errorf("fpzip: unsupported dtype %v", t)
+	}
+	pred, err := predictor.New(a.Dims, 1) // Lorenzo, as in FPZIP
+	if err != nil {
+		return nil, err
+	}
+	n := a.Len()
+
+	// Pass 1: compute residual buckets for the Huffman table. The residual
+	// is the zig-zag of (ordered(actual) − ordered(predicted)); its bucket
+	// is its bit length (0..64), giving a 65-symbol alphabet.
+	residuals := make([]uint64, n)
+	buckets := make([]int, n)
+	coord := make([]int, a.NDims())
+	for idx := 0; idx < n; idx++ {
+		pv := pred.Predict(a.Data, idx, coord)
+		var r uint64
+		if t == grid.Float32 {
+			av := orderedFromFloat32(float32(a.Data[idx]))
+			p32 := orderedFromFloat32(float32(pv))
+			r = zigzag64(int64(int32(av - p32)))
+		} else {
+			av := orderedFromFloat(a.Data[idx])
+			p64 := orderedFromFloat(pv)
+			r = zigzag64(int64(av - p64))
+		}
+		residuals[idx] = r
+		buckets[idx] = bitLen(r)
+		advanceCoord(coord, a.Dims)
+	}
+	freqs, err := huffman.CountFrequencies(buckets, 65)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := huffman.New(freqs)
+	if err != nil {
+		return nil, err
+	}
+
+	w := bitstream.NewWriter(n * 2)
+	cb.Serialize(w)
+	for idx := 0; idx < n; idx++ {
+		b := buckets[idx]
+		if err := cb.EncodeSymbol(w, b); err != nil {
+			return nil, err
+		}
+		if b > 1 {
+			// The top bit of a b-bit value is implicitly 1; store b−1 bits.
+			w.WriteBits(residuals[idx], uint(b-1))
+		}
+	}
+
+	head := make([]byte, 0, 32)
+	head = append(head, magic...)
+	head = append(head, byte(t), byte(len(a.Dims)))
+	for _, d := range a.Dims {
+		head = binary.AppendUvarint(head, uint64(d))
+	}
+	payload := w.Bytes()
+	head = binary.AppendUvarint(head, w.Len())
+	out := append(head, payload...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+	return out, nil
+}
+
+// Decompress inverts Compress.
+func Decompress(data []byte) (*grid.Array, grid.DType, error) {
+	if len(data) < len(magic)+2+4 {
+		return nil, 0, fmt.Errorf("%w: too short", ErrCorrupt)
+	}
+	if string(data[:4]) != magic {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if crc32.ChecksumIEEE(data[:len(data)-4]) != binary.LittleEndian.Uint32(data[len(data)-4:]) {
+		return nil, 0, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	t := grid.DType(data[4])
+	if t != grid.Float32 && t != grid.Float64 {
+		return nil, 0, fmt.Errorf("%w: bad dtype", ErrCorrupt)
+	}
+	nd := int(data[5])
+	if nd < 1 || nd > grid.MaxDims {
+		return nil, 0, fmt.Errorf("%w: bad ndims", ErrCorrupt)
+	}
+	off := 6
+	dims := make([]int, nd)
+	for i := range dims {
+		v, k := binary.Uvarint(data[off:])
+		if k <= 0 || v == 0 || v > 1<<40 {
+			return nil, 0, fmt.Errorf("%w: bad dim", ErrCorrupt)
+		}
+		dims[i] = int(v)
+		off += k
+	}
+	nbits, k := binary.Uvarint(data[off:])
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("%w: bad payload length", ErrCorrupt)
+	}
+	off += k
+	payload := data[off : len(data)-4]
+
+	r := bitstream.NewReaderBits(payload, nbits)
+	cb, err := huffman.Deserialize(r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: codebook: %v", ErrCorrupt, err)
+	}
+	a := grid.New(dims...)
+	pred, err := predictor.New(dims, 1)
+	if err != nil {
+		return nil, 0, err
+	}
+	coord := make([]int, nd)
+	for idx := 0; idx < a.Len(); idx++ {
+		b, err := cb.DecodeSymbol(r)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: bucket %d: %v", ErrCorrupt, idx, err)
+		}
+		var res uint64
+		switch {
+		case b == 0:
+			res = 0
+		case b == 1:
+			res = 1
+		default:
+			low, err := r.ReadBits(uint(b - 1))
+			if err != nil {
+				return nil, 0, fmt.Errorf("%w: residual %d: %v", ErrCorrupt, idx, err)
+			}
+			res = (uint64(1) << (b - 1)) | low
+		}
+		pv := pred.Predict(a.Data, idx, coord)
+		if t == grid.Float32 {
+			p32 := orderedFromFloat32(float32(pv))
+			av := p32 + uint32(unzigzag64(res))
+			a.Data[idx] = float64(float32FromOrdered(av))
+		} else {
+			p64 := orderedFromFloat(pv)
+			av := p64 + uint64(unzigzag64(res))
+			a.Data[idx] = floatFromOrdered(av)
+		}
+		advanceCoord(coord, dims)
+	}
+	return a, t, nil
+}
+
+func zigzag64(v int64) uint64 {
+	return uint64((v << 1) ^ (v >> 63))
+}
+
+func unzigzag64(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+func bitLen(v uint64) int {
+	n := 0
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+func advanceCoord(coord, dims []int) {
+	for j := len(coord) - 1; j >= 0; j-- {
+		coord[j]++
+		if coord[j] < dims[j] {
+			return
+		}
+		coord[j] = 0
+	}
+}

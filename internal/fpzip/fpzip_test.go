@@ -1,0 +1,180 @@
+package fpzip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+)
+
+func TestOrderedMapMonotone(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e300, -1, -1e-300, 0, 1e-300, 1, 1e300, math.Inf(1)}
+	for i := 1; i < len(vals); i++ {
+		if orderedFromFloat(vals[i-1]) >= orderedFromFloat(vals[i]) {
+			t.Fatalf("ordering broken between %g and %g", vals[i-1], vals[i])
+		}
+	}
+	for _, v := range vals {
+		if floatFromOrdered(orderedFromFloat(v)) != v {
+			t.Fatalf("ordered map not invertible at %g", v)
+		}
+	}
+}
+
+func TestOrderedMap32(t *testing.T) {
+	vals := []float32{-1e30, -1, 0, 1, 1e30}
+	for i := 1; i < len(vals); i++ {
+		if orderedFromFloat32(vals[i-1]) >= orderedFromFloat32(vals[i]) {
+			t.Fatalf("32-bit ordering broken")
+		}
+	}
+	for _, v := range vals {
+		if float32FromOrdered(orderedFromFloat32(v)) != v {
+			t.Fatalf("32-bit map not invertible at %g", v)
+		}
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 2, -2, math.MaxInt64, math.MinInt64} {
+		if unzigzag64(zigzag64(v)) != v {
+			t.Fatalf("zigzag broken at %d", v)
+		}
+	}
+}
+
+func TestLossless2D(t *testing.T) {
+	a := grid.New(32, 40)
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 40; j++ {
+			a.Set(math.Sin(float64(i)*0.2)*math.Cos(float64(j)*0.3), i, j)
+		}
+	}
+	c, err := Compress(a, grid.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, dt, err := Decompress(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt != grid.Float64 {
+		t.Fatalf("dtype %v", dt)
+	}
+	if !a.Equal(b) {
+		t.Fatal("fpzip must be lossless")
+	}
+}
+
+func TestLosslessFloat32(t *testing.T) {
+	a := grid.New(25, 25)
+	for i := range a.Data {
+		a.Data[i] = float64(float32(math.Exp(math.Sin(float64(i) * 0.01))))
+	}
+	c, err := Compress(a, grid.Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Decompress(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("float32 mode must be lossless for float32 data")
+	}
+}
+
+func TestSmoothDataCompresses(t *testing.T) {
+	// FPZIP's claim to fame: smooth float32 fields compress losslessly with
+	// CF > 1. Verify we beat 1.3 on a very smooth field.
+	a := grid.New(64, 64)
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			a.Set(float64(float32(math.Sin(float64(i)*0.05)+math.Cos(float64(j)*0.05))), i, j)
+		}
+	}
+	c, err := Compress(a, grid.Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := float64(a.Len()*4) / float64(len(c))
+	if cf < 1.3 {
+		t.Fatalf("smooth float32 CF = %v, want > 1.3", cf)
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	a := grid.New(10)
+	copy(a.Data, []float64{0, math.Inf(1), math.Inf(-1), -0.0, 1e-308, -1e308, 1, -1, math.Pi, 2})
+	c, err := Compress(a, grid.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Decompress(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+			t.Fatalf("value %d not bit-exact: %g vs %g", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestLosslessQuick(t *testing.T) {
+	f := func(seed int64, d uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var a *grid.Array
+		switch d % 3 {
+		case 0:
+			a = grid.New(rng.Intn(100) + 1)
+		case 1:
+			a = grid.New(rng.Intn(12)+1, rng.Intn(12)+1)
+		default:
+			a = grid.New(rng.Intn(6)+1, rng.Intn(6)+1, rng.Intn(6)+1)
+		}
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(12)-6))
+		}
+		c, err := Compress(a, grid.Float64)
+		if err != nil {
+			return false
+		}
+		b, _, err := Decompress(c)
+		if err != nil {
+			return false
+		}
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruption(t *testing.T) {
+	a := grid.New(16, 16)
+	for i := range a.Data {
+		a.Data[i] = float64(i)
+	}
+	c, _ := Compress(a, grid.Float64)
+	bad := append([]byte(nil), c...)
+	bad[len(bad)/2] ^= 1
+	if _, _, err := Decompress(bad); err == nil {
+		t.Fatal("corruption undetected")
+	}
+	if _, _, err := Decompress(c[:8]); err == nil {
+		t.Fatal("truncation undetected")
+	}
+	if _, _, err := Decompress(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestBadDType(t *testing.T) {
+	a := grid.New(4)
+	if _, err := Compress(a, grid.DType(9)); err == nil {
+		t.Fatal("bad dtype accepted")
+	}
+}

@@ -1,0 +1,47 @@
+// Package gzipc is the GZIP baseline of the paper's evaluation (Section V):
+// lossless DEFLATE compression of the raw little-endian float bytes, exactly
+// what `gzip` applied to a scientific data file does.
+package gzipc
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Compress serializes a as raw little-endian values of type t and
+// gzip-compresses the bytes at the default compression level.
+func Compress(a *grid.Array, t grid.DType) ([]byte, error) {
+	var raw bytes.Buffer
+	raw.Grow(a.Len() * t.Size())
+	if err := a.WriteRaw(&raw, t); err != nil {
+		return nil, fmt.Errorf("gzipc: serializing: %w", err)
+	}
+	var out bytes.Buffer
+	zw := gzip.NewWriter(&out)
+	if _, err := zw.Write(raw.Bytes()); err != nil {
+		return nil, fmt.Errorf("gzipc: compressing: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("gzipc: flushing: %w", err)
+	}
+	return out.Bytes(), nil
+}
+
+// Decompress inverts Compress. The element type and dimensions are not
+// stored in the gzip stream (matching how raw scientific files carry no
+// metadata), so the caller supplies them.
+func Decompress(data []byte, t grid.DType, dims ...int) (*grid.Array, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("gzipc: opening stream: %w", err)
+	}
+	defer zr.Close()
+	a, err := grid.ReadRaw(zr, t, dims...)
+	if err != nil {
+		return nil, fmt.Errorf("gzipc: reading values: %w", err)
+	}
+	return a, nil
+}

@@ -1,0 +1,84 @@
+package gzipc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestRoundTripFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := grid.New(20, 30)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	c, err := Compress(a, grid.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decompress(c, grid.Float64, 20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("gzip round trip must be lossless")
+	}
+}
+
+func TestRoundTripFloat32(t *testing.T) {
+	a := grid.New(50)
+	for i := range a.Data {
+		a.Data[i] = float64(float32(math.Sin(float64(i))))
+	}
+	c, err := Compress(a, grid.Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decompress(c, grid.Float32, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("float32 round trip mismatch")
+	}
+}
+
+func TestCompressesRepetitiveData(t *testing.T) {
+	a := grid.New(100, 100)
+	c, err := Compress(a, grid.Float64) // all zeros
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) > a.Len() { // should be far below 8 bytes/value
+		t.Fatalf("zero field compressed to %d bytes", len(c))
+	}
+}
+
+func TestRandomDataBarelyCompresses(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := grid.New(64, 64)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()
+	}
+	c, err := Compress(a, grid.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := float64(a.Len()*8) / float64(len(c))
+	if cf > 1.5 {
+		t.Fatalf("random mantissas should not compress: CF=%v", cf)
+	}
+}
+
+func TestDecompressBadInput(t *testing.T) {
+	if _, err := Decompress([]byte("not gzip"), grid.Float64, 4); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	a := grid.New(10)
+	c, _ := Compress(a, grid.Float64)
+	if _, err := Decompress(c, grid.Float64, 100); err == nil {
+		t.Fatal("wrong dims accepted")
+	}
+}

@@ -1,0 +1,392 @@
+// Package huffman implements canonical Huffman coding over alphabets of
+// arbitrary size.
+//
+// The SZ-1.4 paper (Section IV-A) notes that off-the-shelf Huffman coders
+// operate byte-by-byte (≤256 symbols), while its quantization codes need
+// alphabets of 2^m symbols with m up to 16. This package builds an optimal
+// prefix code for any alphabet up to MaxSymbols, encodes symbol streams to
+// a bit stream, and serializes the codebook compactly as canonical code
+// lengths so the decoder can rebuild identical codes.
+package huffman
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitstream"
+)
+
+// MaxSymbols bounds the alphabet size (quantization uses up to 2^16 codes).
+const MaxSymbols = 1 << 20
+
+// maxCodeLen is the maximum admissible code length. Canonical codes from
+// realistic frequency tables stay far below this; the serialization format
+// stores lengths in 6 bits.
+const maxCodeLen = 57
+
+// ErrCorrupt is returned when a serialized codebook or encoded stream is
+// malformed.
+var ErrCorrupt = errors.New("huffman: corrupt stream")
+
+// Codebook is an immutable canonical Huffman code for a fixed alphabet
+// [0, NumSymbols). Symbols with zero frequency have code length 0 and must
+// not appear in encoded streams.
+type Codebook struct {
+	numSymbols int
+	lengths    []uint8  // code length per symbol, 0 = absent
+	codes      []uint64 // canonical code per symbol (valid when length > 0)
+
+	// Canonical decoding tables, indexed by code length 1..maxLen.
+	maxLen     uint8
+	firstCode  []uint64 // first canonical code of each length
+	firstIndex []int    // index into symByCode of the first code of each length
+	countByLen []int    // number of codes of each length
+	symByCode  []uint32 // symbols sorted by (length, code)
+}
+
+// node is a Huffman tree node used during construction.
+type node struct {
+	freq        uint64
+	symbol      int // valid for leaves
+	left, right int // indices into the node arena, -1 for leaves
+	depth       int // tie-break to keep the tree shallow and deterministic
+}
+
+type nodeHeap struct {
+	arena []node
+	idx   []int
+}
+
+func (h *nodeHeap) Len() int { return len(h.idx) }
+func (h *nodeHeap) Less(i, j int) bool {
+	a, b := h.arena[h.idx[i]], h.arena[h.idx[j]]
+	if a.freq != b.freq {
+		return a.freq < b.freq
+	}
+	if a.depth != b.depth {
+		return a.depth < b.depth
+	}
+	return h.idx[i] < h.idx[j]
+}
+func (h *nodeHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *nodeHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := h.idx
+	n := len(old)
+	x := old[n-1]
+	h.idx = old[:n-1]
+	return x
+}
+
+// New builds a canonical Huffman codebook from symbol frequencies.
+// freqs[i] is the count of symbol i; zero-frequency symbols get no code.
+// At least one symbol must have nonzero frequency.
+func New(freqs []uint64) (*Codebook, error) {
+	n := len(freqs)
+	if n == 0 || n > MaxSymbols {
+		return nil, fmt.Errorf("huffman: alphabet size %d out of range [1,%d]", n, MaxSymbols)
+	}
+	lengths := make([]uint8, n)
+	nz := 0
+	single := -1
+	for s, f := range freqs {
+		if f > 0 {
+			nz++
+			single = s
+		}
+	}
+	switch nz {
+	case 0:
+		return nil, errors.New("huffman: all frequencies are zero")
+	case 1:
+		// A one-symbol alphabet still needs a 1-bit code so the stream has
+		// positive length and decoding terminates by symbol count.
+		lengths[single] = 1
+		return fromLengths(n, lengths)
+	}
+
+	arena := make([]node, 0, 2*nz)
+	h := &nodeHeap{arena: arena}
+	for s, f := range freqs {
+		if f == 0 {
+			continue
+		}
+		h.arena = append(h.arena, node{freq: f, symbol: s, left: -1, right: -1})
+		h.idx = append(h.idx, len(h.arena)-1)
+	}
+	heap.Init(h)
+	for h.Len() > 1 {
+		a := heap.Pop(h).(int)
+		b := heap.Pop(h).(int)
+		d := h.arena[a].depth
+		if h.arena[b].depth > d {
+			d = h.arena[b].depth
+		}
+		h.arena = append(h.arena, node{
+			freq:  h.arena[a].freq + h.arena[b].freq,
+			left:  a,
+			right: b,
+			depth: d + 1,
+		})
+		heap.Push(h, len(h.arena)-1)
+	}
+	root := h.idx[0]
+
+	// Extract code lengths by depth-first walk (iterative to bound stack).
+	type frame struct {
+		node  int
+		depth uint8
+	}
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := h.arena[f.node]
+		if nd.left < 0 {
+			if f.depth > maxCodeLen {
+				return nil, fmt.Errorf("huffman: code length %d exceeds limit %d", f.depth, maxCodeLen)
+			}
+			lengths[nd.symbol] = f.depth
+			continue
+		}
+		stack = append(stack, frame{nd.left, f.depth + 1}, frame{nd.right, f.depth + 1})
+	}
+	return fromLengths(n, lengths)
+}
+
+// fromLengths assigns canonical codes given per-symbol lengths and builds
+// the decoding tables. It validates the Kraft sum.
+func fromLengths(n int, lengths []uint8) (*Codebook, error) {
+	cb := &Codebook{numSymbols: n, lengths: lengths}
+	for _, l := range lengths {
+		if l > cb.maxLen {
+			cb.maxLen = l
+		}
+	}
+	if cb.maxLen == 0 {
+		return nil, errors.New("huffman: no coded symbols")
+	}
+	if cb.maxLen > maxCodeLen {
+		return nil, fmt.Errorf("huffman: code length %d exceeds limit %d", cb.maxLen, maxCodeLen)
+	}
+	cb.countByLen = make([]int, cb.maxLen+1)
+	nz := 0
+	for _, l := range lengths {
+		if l > 0 {
+			cb.countByLen[l]++
+			nz++
+		}
+	}
+	// Kraft inequality check (equality not required: the degenerate
+	// single-symbol codebook uses length 1 with Kraft sum 1/2).
+	var kraft uint64 // scaled by 2^maxLen
+	for l := uint8(1); l <= cb.maxLen; l++ {
+		kraft += uint64(cb.countByLen[l]) << (cb.maxLen - l)
+	}
+	if kraft > 1<<cb.maxLen {
+		return nil, fmt.Errorf("%w: Kraft sum exceeds 1", ErrCorrupt)
+	}
+
+	// Canonical first codes per length.
+	cb.firstCode = make([]uint64, cb.maxLen+2)
+	cb.firstIndex = make([]int, cb.maxLen+2)
+	code := uint64(0)
+	idx := 0
+	for l := uint8(1); l <= cb.maxLen; l++ {
+		cb.firstCode[l] = code
+		cb.firstIndex[l] = idx
+		code = (code + uint64(cb.countByLen[l])) << 1
+		idx += cb.countByLen[l]
+	}
+
+	// Assign codes: symbols sorted by (length, symbol).
+	cb.codes = make([]uint64, n)
+	cb.symByCode = make([]uint32, nz)
+	next := make([]int, cb.maxLen+1)
+	order := make([]int, 0, nz)
+	for s, l := range lengths {
+		if l > 0 {
+			order = append(order, s)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		li, lj := lengths[order[i]], lengths[order[j]]
+		if li != lj {
+			return li < lj
+		}
+		return order[i] < order[j]
+	})
+	for _, s := range order {
+		l := lengths[s]
+		off := next[l]
+		next[l]++
+		cb.codes[s] = cb.firstCode[l] + uint64(off)
+		cb.symByCode[cb.firstIndex[l]+off] = uint32(s)
+	}
+	return cb, nil
+}
+
+// NumSymbols returns the alphabet size.
+func (cb *Codebook) NumSymbols() int { return cb.numSymbols }
+
+// CodeLen returns the code length of symbol s (0 if s has no code).
+func (cb *Codebook) CodeLen(s int) int { return int(cb.lengths[s]) }
+
+// MaxCodeLen returns the longest code length in the book.
+func (cb *Codebook) MaxCodeLen() int { return int(cb.maxLen) }
+
+// EncodedBits returns the exact number of bits Encode will emit for the
+// given frequency histogram (Σ freq[s]·len[s]).
+func (cb *Codebook) EncodedBits(freqs []uint64) uint64 {
+	var total uint64
+	for s, f := range freqs {
+		if s < len(cb.lengths) {
+			total += f * uint64(cb.lengths[s])
+		}
+	}
+	return total
+}
+
+// Encode appends the code for each symbol to w. It returns an error if a
+// symbol is out of range or has no code.
+func (cb *Codebook) Encode(w *bitstream.Writer, symbols []int) error {
+	for _, s := range symbols {
+		if s < 0 || s >= cb.numSymbols {
+			return fmt.Errorf("huffman: symbol %d out of range [0,%d)", s, cb.numSymbols)
+		}
+		l := cb.lengths[s]
+		if l == 0 {
+			return fmt.Errorf("huffman: symbol %d has no code (zero frequency at build time)", s)
+		}
+		w.WriteBits(cb.codes[s], uint(l))
+	}
+	return nil
+}
+
+// EncodeSymbol appends the code for a single symbol to w.
+func (cb *Codebook) EncodeSymbol(w *bitstream.Writer, s int) error {
+	if s < 0 || s >= cb.numSymbols {
+		return fmt.Errorf("huffman: symbol %d out of range [0,%d)", s, cb.numSymbols)
+	}
+	l := cb.lengths[s]
+	if l == 0 {
+		return fmt.Errorf("huffman: symbol %d has no code (zero frequency at build time)", s)
+	}
+	w.WriteBits(cb.codes[s], uint(l))
+	return nil
+}
+
+// DecodeSymbol reads a single symbol from r.
+func (cb *Codebook) DecodeSymbol(r *bitstream.Reader) (int, error) {
+	return cb.decodeOne(r)
+}
+
+// Decode reads exactly count symbols from r.
+func (cb *Codebook) Decode(r *bitstream.Reader, count int) ([]int, error) {
+	out := make([]int, count)
+	if err := cb.DecodeInto(r, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeInto fills out with len(out) decoded symbols.
+func (cb *Codebook) DecodeInto(r *bitstream.Reader, out []int) error {
+	for i := range out {
+		s, err := cb.decodeOne(r)
+		if err != nil {
+			return err
+		}
+		out[i] = s
+	}
+	return nil
+}
+
+func (cb *Codebook) decodeOne(r *bitstream.Reader) (int, error) {
+	var code uint64
+	for l := uint8(1); l <= cb.maxLen; l++ {
+		b, err := r.ReadBits(1)
+		if err != nil {
+			return 0, err
+		}
+		code = (code << 1) | b
+		cnt := cb.countByLen[l]
+		if cnt == 0 {
+			continue
+		}
+		first := cb.firstCode[l]
+		if code >= first && code < first+uint64(cnt) {
+			return int(cb.symByCode[cb.firstIndex[l]+int(code-first)]), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: no code matches after %d bits", ErrCorrupt, cb.maxLen)
+}
+
+// --- codebook serialization --------------------------------------------------
+//
+// Wire format: Elias-gamma alphabet size, then per-symbol code lengths
+// run-length encoded as (gamma runLen-1, 6-bit length) pairs. Zero runs
+// dominate for sparse alphabets, so this stays compact even for 2^16
+// symbols.
+
+// Serialize writes the codebook to w.
+func (cb *Codebook) Serialize(w *bitstream.Writer) {
+	w.WriteEliasGamma(uint64(cb.numSymbols))
+	i := 0
+	for i < cb.numSymbols {
+		l := cb.lengths[i]
+		j := i + 1
+		for j < cb.numSymbols && cb.lengths[j] == l {
+			j++
+		}
+		w.WriteEliasGamma(uint64(j - i - 1)) // run length - 1
+		w.WriteBits(uint64(l), 6)
+		i = j
+	}
+}
+
+// Deserialize reads a codebook written by Serialize.
+func Deserialize(r *bitstream.Reader) (*Codebook, error) {
+	ns, err := r.ReadEliasGamma()
+	if err != nil {
+		return nil, err
+	}
+	if ns == 0 || ns > MaxSymbols {
+		return nil, fmt.Errorf("%w: alphabet size %d", ErrCorrupt, ns)
+	}
+	n := int(ns)
+	lengths := make([]uint8, n)
+	i := 0
+	for i < n {
+		run, err := r.ReadEliasGamma()
+		if err != nil {
+			return nil, err
+		}
+		l, err := r.ReadBits(6)
+		if err != nil {
+			return nil, err
+		}
+		end := i + int(run) + 1
+		if end > n {
+			return nil, fmt.Errorf("%w: run overflows alphabet", ErrCorrupt)
+		}
+		for ; i < end; i++ {
+			lengths[i] = uint8(l)
+		}
+	}
+	return fromLengths(n, lengths)
+}
+
+// CountFrequencies histograms a symbol stream over alphabet [0, numSymbols).
+func CountFrequencies(symbols []int, numSymbols int) ([]uint64, error) {
+	freqs := make([]uint64, numSymbols)
+	for _, s := range symbols {
+		if s < 0 || s >= numSymbols {
+			return nil, fmt.Errorf("huffman: symbol %d out of range [0,%d)", s, numSymbols)
+		}
+		freqs[s]++
+	}
+	return freqs, nil
+}

@@ -1,0 +1,431 @@
+// Package isabela reimplements the ISABELA in-situ lossy compressor of
+// Lakshminarasimhan et al. (CC:PE 2013), the sort-and-spline baseline of
+// the paper's evaluation.
+//
+// ISABELA's idea: within a fixed-size window, sorting the values yields a
+// monotone curve that is far smoother than the original series, so a
+// low-order spline with a handful of knots approximates it well. The cost
+// is that the permutation ("index") must be stored explicitly — ⌈log2 W⌉
+// bits per point — which caps the achievable compression factor; this is
+// exactly the weakness the SZ-1.4 paper highlights (CF ≈ 1.2–1.4 on its
+// data sets).
+//
+// This implementation sorts each window, stores the rank of every point,
+// samples K knots from the sorted curve, reconstructs it with monotone
+// cubic (Fritsch–Carlson) interpolation, and patches every point whose
+// reconstruction misses the absolute error bound with an exact escape.
+// When more than MaxPatchFraction of a window needs patching the
+// compressor reports ErrBoundTooTight — reproducing the paper's
+// observation that "ISABELA cannot deal with some low error bounds".
+package isabela
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+
+	"repro/internal/bitstream"
+	"repro/internal/grid"
+)
+
+const magic = "ISBG"
+
+// Defaults mirror the ISABELA paper's recommended configuration.
+const (
+	// DefaultWindow is the sort window size W.
+	DefaultWindow = 1024
+	// DefaultKnots is the spline coefficient count per window.
+	DefaultKnots = 30
+	// MaxPatchFraction is the largest tolerable share of out-of-bound
+	// points before compression is declared failed.
+	MaxPatchFraction = 0.5
+)
+
+// ErrCorrupt is returned for malformed streams.
+var ErrCorrupt = errors.New("isabela: corrupt stream")
+
+// ErrBoundTooTight is returned when the spline model cannot meet the error
+// bound on a reasonable fraction of points.
+var ErrBoundTooTight = errors.New("isabela: error bound too tight for spline model")
+
+// Params configures compression.
+type Params struct {
+	// AbsBound is the absolute error bound (> 0).
+	AbsBound float64
+	// Window is the sort window size; 0 means DefaultWindow.
+	Window int
+	// Knots is the spline sample count per window; 0 means DefaultKnots.
+	Knots int
+	// OutputType records source precision for CF accounting. 0 = Float64.
+	OutputType grid.DType
+}
+
+// Stats reports compression outcomes.
+type Stats struct {
+	N                 int
+	Patched           int // points stored via the exact escape
+	CompressedBytes   int
+	OriginalBytes     int
+	CompressionFactor float64
+	BitRate           float64
+}
+
+func (p *Params) defaults() error {
+	if !(p.AbsBound > 0) || math.IsInf(p.AbsBound, 0) {
+		return fmt.Errorf("isabela: bound %v must be positive and finite", p.AbsBound)
+	}
+	if p.Window == 0 {
+		p.Window = DefaultWindow
+	}
+	if p.Window < 16 || p.Window > 1<<20 {
+		return fmt.Errorf("isabela: window %d out of range [16, 2^20]", p.Window)
+	}
+	if p.Knots == 0 {
+		p.Knots = DefaultKnots
+	}
+	if p.Knots < 4 || p.Knots > p.Window {
+		return fmt.Errorf("isabela: knots %d out of range [4, window]", p.Knots)
+	}
+	if p.OutputType == 0 {
+		p.OutputType = grid.Float64
+	}
+	if p.OutputType != grid.Float32 && p.OutputType != grid.Float64 {
+		return fmt.Errorf("isabela: unsupported dtype %v", p.OutputType)
+	}
+	return nil
+}
+
+// Compress encodes a under p. It returns ErrBoundTooTight when the model
+// cannot achieve the bound (the caller should fall back or report failure,
+// as the paper does when plotting ISABELA "until it fails").
+func Compress(a *grid.Array, p Params) ([]byte, *Stats, error) {
+	if err := p.defaults(); err != nil {
+		return nil, nil, err
+	}
+	n := a.Len()
+	w := bitstream.NewWriter(n * 2)
+	rankBits := uint(bitsFor(p.Window - 1))
+	totalPatched := 0
+
+	type idxVal struct {
+		idx int
+		v   float64
+	}
+	scratch := make([]idxVal, 0, p.Window)
+
+	for start := 0; start < n; start += p.Window {
+		end := start + p.Window
+		if end > n {
+			end = n
+		}
+		wsize := end - start
+		scratch = scratch[:0]
+		for i := start; i < end; i++ {
+			scratch = append(scratch, idxVal{i - start, a.Data[i]})
+		}
+		sort.SliceStable(scratch, func(x, y int) bool {
+			vx, vy := scratch[x].v, scratch[y].v
+			if math.IsNaN(vx) {
+				return !math.IsNaN(vy)
+			}
+			return vx < vy
+		})
+		ranks := make([]int, wsize)
+		sorted := make([]float64, wsize)
+		for r, iv := range scratch {
+			ranks[iv.idx] = r
+			sorted[r] = iv.v
+		}
+
+		// Knot positions: evenly spaced over [0, wsize-1], clamped count.
+		knots := p.Knots
+		if knots > wsize {
+			knots = wsize
+		}
+		kx := make([]float64, knots)
+		ky := make([]float64, knots)
+		for i := 0; i < knots; i++ {
+			pos := 0
+			if knots > 1 {
+				pos = i * (wsize - 1) / (knots - 1)
+			}
+			kx[i] = float64(pos)
+			v := sorted[pos]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0 // specials are always patched below
+			}
+			ky[i] = v
+		}
+		spline := newMonotoneCubic(kx, ky)
+
+		// Reconstruct, find patches.
+		patches := make([]int, 0)
+		for i := 0; i < wsize; i++ {
+			rec := spline.eval(float64(ranks[i]))
+			x := a.Data[start+i]
+			if !(math.Abs(rec-x) <= p.AbsBound) { // NaN-safe: patches NaN too
+				patches = append(patches, i)
+			}
+		}
+		if float64(len(patches)) > MaxPatchFraction*float64(wsize) {
+			return nil, nil, fmt.Errorf("%w: window at %d needs %d/%d patches",
+				ErrBoundTooTight, start, len(patches), wsize)
+		}
+		totalPatched += len(patches)
+
+		// Serialize window: knot count, knot values, ranks, patch list.
+		w.WriteEliasGamma(uint64(knots))
+		for i := 0; i < knots; i++ {
+			w.WriteBits(math.Float64bits(ky[i]), 64)
+		}
+		for i := 0; i < wsize; i++ {
+			w.WriteBits(uint64(ranks[i]), rankBits)
+		}
+		w.WriteEliasGamma(uint64(len(patches)))
+		prev := 0
+		for _, pi := range patches {
+			w.WriteEliasGamma(uint64(pi - prev))
+			prev = pi
+			w.WriteBits(math.Float64bits(a.Data[start+pi]), 64)
+		}
+	}
+
+	head := make([]byte, 0, 64)
+	head = append(head, magic...)
+	head = append(head, byte(p.OutputType), byte(len(a.Dims)))
+	for _, d := range a.Dims {
+		head = binary.AppendUvarint(head, uint64(d))
+	}
+	head = binary.AppendUvarint(head, uint64(p.Window))
+	head = binary.LittleEndian.AppendUint64(head, math.Float64bits(p.AbsBound))
+	head = binary.AppendUvarint(head, w.Len())
+	out := append(head, w.Bytes()...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+
+	st := &Stats{
+		N:               n,
+		Patched:         totalPatched,
+		CompressedBytes: len(out),
+		OriginalBytes:   n * p.OutputType.Size(),
+	}
+	st.CompressionFactor = float64(st.OriginalBytes) / float64(st.CompressedBytes)
+	st.BitRate = float64(st.CompressedBytes) * 8 / float64(n)
+	return out, st, nil
+}
+
+// Decompress inverts Compress.
+func Decompress(stream []byte) (*grid.Array, error) {
+	if len(stream) < 6+8+4 {
+		return nil, fmt.Errorf("%w: too short", ErrCorrupt)
+	}
+	if string(stream[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if crc32.ChecksumIEEE(stream[:len(stream)-4]) != binary.LittleEndian.Uint32(stream[len(stream)-4:]) {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	t := grid.DType(stream[4])
+	if t != grid.Float32 && t != grid.Float64 {
+		return nil, fmt.Errorf("%w: bad dtype", ErrCorrupt)
+	}
+	nd := int(stream[5])
+	if nd < 1 || nd > grid.MaxDims {
+		return nil, fmt.Errorf("%w: bad ndims", ErrCorrupt)
+	}
+	off := 6
+	dims := make([]int, nd)
+	for i := range dims {
+		v, k := binary.Uvarint(stream[off:])
+		if k <= 0 || v == 0 || v > 1<<40 {
+			return nil, fmt.Errorf("%w: bad dim", ErrCorrupt)
+		}
+		dims[i] = int(v)
+		off += k
+	}
+	window, k := binary.Uvarint(stream[off:])
+	if k <= 0 || window < 16 || window > 1<<20 {
+		return nil, fmt.Errorf("%w: bad window", ErrCorrupt)
+	}
+	off += k
+	if len(stream) < off+8 {
+		return nil, fmt.Errorf("%w: truncated", ErrCorrupt)
+	}
+	off += 8 // bound: informational only for decode
+	nbits, k := binary.Uvarint(stream[off:])
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: bad payload length", ErrCorrupt)
+	}
+	off += k
+	payload := stream[off : len(stream)-4]
+
+	a := grid.New(dims...)
+	n := a.Len()
+	r := bitstream.NewReaderBits(payload, nbits)
+	rankBits := uint(bitsFor(int(window) - 1))
+
+	for start := 0; start < n; start += int(window) {
+		end := start + int(window)
+		if end > n {
+			end = n
+		}
+		wsize := end - start
+		knots64, err := r.ReadEliasGamma()
+		if err != nil {
+			return nil, fmt.Errorf("%w: knots: %v", ErrCorrupt, err)
+		}
+		knots := int(knots64)
+		if knots < 1 || knots > wsize {
+			return nil, fmt.Errorf("%w: knot count %d", ErrCorrupt, knots)
+		}
+		kx := make([]float64, knots)
+		ky := make([]float64, knots)
+		for i := 0; i < knots; i++ {
+			pos := 0
+			if knots > 1 {
+				pos = i * (wsize - 1) / (knots - 1)
+			}
+			kx[i] = float64(pos)
+			bits, err := r.ReadBits(64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: knot value: %v", ErrCorrupt, err)
+			}
+			ky[i] = math.Float64frombits(bits)
+		}
+		spline := newMonotoneCubic(kx, ky)
+		for i := 0; i < wsize; i++ {
+			rank, err := r.ReadBits(rankBits)
+			if err != nil {
+				return nil, fmt.Errorf("%w: rank: %v", ErrCorrupt, err)
+			}
+			if int(rank) >= wsize {
+				return nil, fmt.Errorf("%w: rank %d out of window", ErrCorrupt, rank)
+			}
+			a.Data[start+i] = spline.eval(float64(rank))
+		}
+		np, err := r.ReadEliasGamma()
+		if err != nil {
+			return nil, fmt.Errorf("%w: patch count: %v", ErrCorrupt, err)
+		}
+		if np > uint64(wsize) {
+			return nil, fmt.Errorf("%w: patch count %d", ErrCorrupt, np)
+		}
+		pos := 0
+		for j := uint64(0); j < np; j++ {
+			d, err := r.ReadEliasGamma()
+			if err != nil {
+				return nil, fmt.Errorf("%w: patch delta: %v", ErrCorrupt, err)
+			}
+			pos += int(d)
+			if pos >= wsize {
+				return nil, fmt.Errorf("%w: patch position %d", ErrCorrupt, pos)
+			}
+			bits, err := r.ReadBits(64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: patch value: %v", ErrCorrupt, err)
+			}
+			a.Data[start+pos] = math.Float64frombits(bits)
+		}
+	}
+	return a, nil
+}
+
+// bitsFor returns the number of bits needed to represent x (x >= 0).
+func bitsFor(x int) int {
+	n := 1
+	for x > 1 {
+		n++
+		x >>= 1
+	}
+	return n
+}
+
+// --- monotone cubic interpolation (Fritsch–Carlson) --------------------------
+
+type monotoneCubic struct {
+	xs, ys, ms []float64
+}
+
+// newMonotoneCubic builds a monotonicity-preserving cubic Hermite
+// interpolant through (xs, ys). xs must be strictly increasing except that
+// duplicate leading positions (degenerate tiny windows) collapse safely.
+func newMonotoneCubic(xs, ys []float64) *monotoneCubic {
+	n := len(xs)
+	m := &monotoneCubic{xs: xs, ys: ys, ms: make([]float64, n)}
+	if n == 1 {
+		return m
+	}
+	// Secant slopes.
+	d := make([]float64, n-1)
+	for i := 0; i < n-1; i++ {
+		dx := xs[i+1] - xs[i]
+		if dx <= 0 {
+			d[i] = 0
+			continue
+		}
+		d[i] = (ys[i+1] - ys[i]) / dx
+	}
+	m.ms[0] = d[0]
+	m.ms[n-1] = d[n-2]
+	for i := 1; i < n-1; i++ {
+		if d[i-1]*d[i] <= 0 {
+			m.ms[i] = 0
+		} else {
+			m.ms[i] = (d[i-1] + d[i]) / 2
+		}
+	}
+	// Fritsch–Carlson limiter.
+	for i := 0; i < n-1; i++ {
+		if d[i] == 0 {
+			m.ms[i] = 0
+			m.ms[i+1] = 0
+			continue
+		}
+		alpha := m.ms[i] / d[i]
+		beta := m.ms[i+1] / d[i]
+		s := alpha*alpha + beta*beta
+		if s > 9 {
+			tau := 3 / math.Sqrt(s)
+			m.ms[i] = tau * alpha * d[i]
+			m.ms[i+1] = tau * beta * d[i]
+		}
+	}
+	return m
+}
+
+func (m *monotoneCubic) eval(x float64) float64 {
+	n := len(m.xs)
+	if n == 1 {
+		return m.ys[0]
+	}
+	if x <= m.xs[0] {
+		return m.ys[0]
+	}
+	if x >= m.xs[n-1] {
+		return m.ys[n-1]
+	}
+	// Binary search for the segment.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if m.xs[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	h := m.xs[hi] - m.xs[lo]
+	if h <= 0 {
+		return m.ys[lo]
+	}
+	t := (x - m.xs[lo]) / h
+	t2 := t * t
+	t3 := t2 * t
+	h00 := 2*t3 - 3*t2 + 1
+	h10 := t3 - 2*t2 + t
+	h01 := -2*t3 + 3*t2
+	h11 := t3 - t2
+	return h00*m.ys[lo] + h10*h*m.ms[lo] + h01*m.ys[hi] + h11*h*m.ms[hi]
+}

@@ -1,0 +1,224 @@
+package isabela
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestRoundTripSmooth(t *testing.T) {
+	a := grid.New(4096)
+	for i := range a.Data {
+		a.Data[i] = math.Sin(float64(i) * 0.01)
+	}
+	eb := 1e-2
+	stream, st, err := Compress(a, Params{AbsBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-out.Data[i]) > eb {
+			t.Fatalf("bound violated at %d: %g vs %g", i, a.Data[i], out.Data[i])
+		}
+	}
+	if st.CompressionFactor <= 1 {
+		t.Fatalf("CF %v should exceed 1 on smooth data with loose bound", st.CompressionFactor)
+	}
+}
+
+func TestBoundAlwaysHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := grid.New(2048)
+	for i := range a.Data {
+		a.Data[i] = math.Sin(float64(i)*0.02) + rng.NormFloat64()*0.05
+	}
+	eb := 0.02
+	stream, _, err := Compress(a, Params{AbsBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-out.Data[i]) > eb {
+			t.Fatalf("bound violated at %d", i)
+		}
+	}
+}
+
+func TestFailsAtTightBound(t *testing.T) {
+	// White noise at a very tight bound: the spline model must give up,
+	// matching the paper's "until it fails" plots.
+	rng := rand.New(rand.NewSource(6))
+	a := grid.New(2048)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	_, _, err := Compress(a, Params{AbsBound: 1e-9})
+	if !errors.Is(err, ErrBoundTooTight) {
+		t.Fatalf("expected ErrBoundTooTight, got %v", err)
+	}
+}
+
+func TestIndexOverheadCapsCF(t *testing.T) {
+	// Even perfectly compressible data pays the permutation index: with
+	// W=1024 the rank stream alone is 10 bits/value, so CF < 6.4 for
+	// float64. This is ISABELA's defining limitation.
+	a := grid.New(8192)
+	for i := range a.Data {
+		a.Data[i] = 1.0
+	}
+	_, st, err := Compress(a, Params{AbsBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CompressionFactor > 64.0/10.0+0.5 {
+		t.Fatalf("CF %v exceeds the permutation-index limit", st.CompressionFactor)
+	}
+}
+
+func TestSpecialValuesPatched(t *testing.T) {
+	a := grid.New(256)
+	for i := range a.Data {
+		a.Data[i] = float64(i)
+	}
+	a.Data[10] = math.NaN()
+	a.Data[20] = math.Inf(1)
+	stream, _, err := Compress(a, Params{AbsBound: 1.0, Window: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(out.Data[10]) || !math.IsInf(out.Data[20], 1) {
+		t.Fatal("special values must round-trip via patches")
+	}
+}
+
+func TestPartialWindow(t *testing.T) {
+	// Data length not a multiple of the window.
+	a := grid.New(1000) // window 1024 > 1000
+	for i := range a.Data {
+		a.Data[i] = math.Cos(float64(i) * 0.03)
+	}
+	eb := 1e-2
+	stream, _, err := Compress(a, Params{AbsBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-out.Data[i]) > eb {
+			t.Fatalf("bound violated at %d", i)
+		}
+	}
+}
+
+func TestMultidimensional(t *testing.T) {
+	a := grid.New(40, 50)
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 50; j++ {
+			a.Set(math.Sin(float64(i)*0.2)*math.Cos(float64(j)*0.1), i, j)
+		}
+	}
+	eb := 5e-2
+	stream, _, err := Compress(a, Params{AbsBound: eb, Window: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := grid.SameShape(a, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-out.Data[i]) > eb {
+			t.Fatalf("bound violated at %d", i)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	a := grid.New(64)
+	cases := []Params{
+		{AbsBound: 0},
+		{AbsBound: -1},
+		{AbsBound: math.Inf(1)},
+		{AbsBound: 1, Window: 4},
+		{AbsBound: 1, Window: 1 << 21},
+		{AbsBound: 1, Knots: 2},
+		{AbsBound: 1, Knots: 99999},
+		{AbsBound: 1, OutputType: grid.DType(9)},
+	}
+	for i, p := range cases {
+		if _, _, err := Compress(a, p); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestCorruption(t *testing.T) {
+	a := grid.New(512)
+	for i := range a.Data {
+		a.Data[i] = float64(i)
+	}
+	stream, _, err := Compress(a, Params{AbsBound: 1, Window: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), stream...)
+	bad[len(bad)/2] ^= 0x08
+	if _, err := Decompress(bad); err == nil {
+		t.Fatal("corruption undetected")
+	}
+	if _, err := Decompress(stream[:10]); err == nil {
+		t.Fatal("truncation undetected")
+	}
+}
+
+func TestMonotoneCubicPreservesMonotonicity(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{0, 0.1, 0.2, 5, 10} // monotone with a jump
+	s := newMonotoneCubic(xs, ys)
+	prev := math.Inf(-1)
+	for x := 0.0; x <= 4.0; x += 0.01 {
+		v := s.eval(x)
+		if v < prev-1e-12 {
+			t.Fatalf("interpolant not monotone at x=%v: %v < %v", x, v, prev)
+		}
+		prev = v
+	}
+	// Interpolation at the knots is exact.
+	for i := range xs {
+		if math.Abs(s.eval(xs[i])-ys[i]) > 1e-12 {
+			t.Fatalf("knot %d not interpolated", i)
+		}
+	}
+}
+
+func TestMonotoneCubicEdge(t *testing.T) {
+	s := newMonotoneCubic([]float64{5}, []float64{42})
+	if s.eval(0) != 42 || s.eval(10) != 42 {
+		t.Fatal("single-knot spline should be constant")
+	}
+	s = newMonotoneCubic([]float64{0, 1}, []float64{1, 2})
+	if s.eval(-1) != 1 || s.eval(2) != 2 {
+		t.Fatal("out-of-range eval should clamp")
+	}
+}

@@ -1,0 +1,247 @@
+// Package metrics implements the compression-quality metrics of Section II
+// of the SZ-1.4 paper: pointwise absolute and value-range-based relative
+// error, RMSE / NRMSE / PSNR (Eq. 1–3), the Pearson correlation coefficient
+// (Eq. 4), compression factor and bit-rate (Eq. 5–6), and the error
+// autocorrelation used by the Section V-E study (Fig. 9).
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary aggregates every per-pair metric for an (original, reconstructed)
+// data-set pair.
+type Summary struct {
+	N          int     // number of elements
+	ValueRange float64 // range of the original data (R_X)
+	MaxAbsErr  float64 // max_i |x_i - x̃_i|
+	MaxRelErr  float64 // MaxAbsErr / ValueRange (0 when range is 0)
+	MeanAbsErr float64
+	RMSE       float64 // Eq. 1
+	NRMSE      float64 // Eq. 2
+	PSNR       float64 // Eq. 3, dB; +Inf when RMSE is 0
+	Pearson    float64 // Eq. 4
+}
+
+// Compare computes a Summary for original xs and reconstruction ys.
+// The slices must have equal nonzero length.
+func Compare(xs, ys []float64) (Summary, error) {
+	if len(xs) != len(ys) {
+		return Summary{}, fmt.Errorf("metrics: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return Summary{}, fmt.Errorf("metrics: empty input")
+	}
+	var s Summary
+	s.N = len(xs)
+
+	min, max := xs[0], xs[0]
+	var sumAbs, sumSq float64
+	for i := range xs {
+		if xs[i] < min {
+			min = xs[i]
+		}
+		if xs[i] > max {
+			max = xs[i]
+		}
+		e := math.Abs(xs[i] - ys[i])
+		if e > s.MaxAbsErr {
+			s.MaxAbsErr = e
+		}
+		sumAbs += e
+		sumSq += e * e
+	}
+	s.ValueRange = max - min
+	s.MeanAbsErr = sumAbs / float64(s.N)
+	s.RMSE = math.Sqrt(sumSq / float64(s.N))
+	if s.ValueRange > 0 {
+		s.MaxRelErr = s.MaxAbsErr / s.ValueRange
+		s.NRMSE = s.RMSE / s.ValueRange
+	}
+	if s.RMSE == 0 {
+		s.PSNR = math.Inf(1)
+	} else if s.ValueRange > 0 {
+		s.PSNR = 20 * math.Log10(s.ValueRange/s.RMSE)
+	}
+	s.Pearson = Pearson(xs, ys)
+	return s, nil
+}
+
+// RMSE returns the root mean squared error between xs and ys (Eq. 1).
+func RMSE(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return math.NaN()
+	}
+	var sumSq float64
+	for i := range xs {
+		e := xs[i] - ys[i]
+		sumSq += e * e
+	}
+	return math.Sqrt(sumSq / float64(len(xs)))
+}
+
+// NRMSE returns RMSE normalized by the value range of xs (Eq. 2).
+func NRMSE(xs, ys []float64) float64 {
+	r := valueRange(xs)
+	if r == 0 {
+		return math.NaN()
+	}
+	return RMSE(xs, ys) / r
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB (Eq. 3), using the
+// value range of xs as the peak. It is +Inf for identical inputs.
+func PSNR(xs, ys []float64) float64 {
+	rmse := RMSE(xs, ys)
+	if rmse == 0 {
+		return math.Inf(1)
+	}
+	r := valueRange(xs)
+	if r == 0 {
+		return math.NaN()
+	}
+	return 20 * math.Log10(r/rmse)
+}
+
+// MaxAbsError returns max_i |xs_i - ys_i|.
+func MaxAbsError(xs, ys []float64) float64 {
+	var m float64
+	for i := range xs {
+		if e := math.Abs(xs[i] - ys[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// Pearson returns the Pearson correlation coefficient between xs and ys
+// (Eq. 4). It returns NaN if either sequence has zero variance.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return math.NaN()
+	}
+	n := float64(len(xs))
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// CompressionFactor returns origBytes/compBytes (Eq. 5).
+func CompressionFactor(origBytes, compBytes int) float64 {
+	if compBytes <= 0 {
+		return math.Inf(1)
+	}
+	return float64(origBytes) / float64(compBytes)
+}
+
+// BitRate returns the amortized storage cost in bits per value (Eq. 6).
+func BitRate(compBytes, n int) float64 {
+	if n <= 0 {
+		return math.NaN()
+	}
+	return float64(compBytes) * 8 / float64(n)
+}
+
+// Autocorrelation returns the first maxLag autocorrelation coefficients of
+// the series (lags 1..maxLag), as used in the Fig. 9 compression-error
+// study. Coefficient k is
+//
+//	r_k = Σ_{i=0}^{N-k-1} (e_i - ē)(e_{i+k} - ē) / Σ_i (e_i - ē)².
+//
+// A zero-variance series yields all-zero coefficients.
+func Autocorrelation(series []float64, maxLag int) []float64 {
+	if maxLag < 1 {
+		return nil
+	}
+	n := len(series)
+	out := make([]float64, maxLag)
+	if n < 2 {
+		return out
+	}
+	var mean float64
+	for _, v := range series {
+		mean += v
+	}
+	mean /= float64(n)
+	var denom float64
+	for _, v := range series {
+		d := v - mean
+		denom += d * d
+	}
+	if denom == 0 {
+		return out
+	}
+	for k := 1; k <= maxLag; k++ {
+		if k >= n {
+			break
+		}
+		var num float64
+		for i := 0; i+k < n; i++ {
+			num += (series[i] - mean) * (series[i+k] - mean)
+		}
+		out[k-1] = num / denom
+	}
+	return out
+}
+
+// Errors returns the pointwise signed errors xs_i - ys_i.
+func Errors(xs, ys []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i := range xs {
+		out[i] = xs[i] - ys[i]
+	}
+	return out
+}
+
+// NinesOfCorrelation converts a Pearson coefficient to its "number of
+// nines" (the APAX profiler's "five nines or better" criterion): the
+// largest k such that rho >= 1 - 10^-k, capped at 16. Returns 0 for
+// rho < 0.9 or NaN.
+func NinesOfCorrelation(rho float64) int {
+	if math.IsNaN(rho) || rho < 0.9 {
+		return 0
+	}
+	if rho >= 1 {
+		return 16
+	}
+	// The small epsilon absorbs float rounding: 1-0.99 = 0.010000000000000009
+	// would otherwise floor to 1 nine instead of 2.
+	k := int(math.Floor(-math.Log10(1-rho) + 1e-9))
+	if k > 16 {
+		k = 16
+	}
+	return k
+}
+
+func valueRange(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	min, max := xs[0], xs[0]
+	for _, v := range xs {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return max - min
+}

@@ -1,0 +1,280 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestRMSEKnown(t *testing.T) {
+	xs := []float64{0, 0, 0, 0}
+	ys := []float64{1, -1, 1, -1}
+	if got := RMSE(xs, ys); got != 1 {
+		t.Fatalf("RMSE = %v, want 1", got)
+	}
+}
+
+func TestRMSEZeroForIdentical(t *testing.T) {
+	xs := []float64{3.14, 2.71, -5}
+	if got := RMSE(xs, xs); got != 0 {
+		t.Fatalf("RMSE(identical) = %v", got)
+	}
+}
+
+func TestNRMSE(t *testing.T) {
+	xs := []float64{0, 10} // range 10
+	ys := []float64{1, 9}  // abs errors 1,1 -> rmse 1
+	if got := NRMSE(xs, ys); !almostEqual(got, 0.1, 1e-12) {
+		t.Fatalf("NRMSE = %v, want 0.1", got)
+	}
+}
+
+func TestPSNRKnown(t *testing.T) {
+	// range 100, rmse 1 -> psnr = 40 dB
+	xs := []float64{0, 100, 50, 50}
+	ys := []float64{1, 99, 51, 49}
+	if got := PSNR(xs, ys); !almostEqual(got, 40, 1e-9) {
+		t.Fatalf("PSNR = %v, want 40", got)
+	}
+}
+
+func TestPSNRInfForLossless(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if got := PSNR(xs, xs); !math.IsInf(got, 1) {
+		t.Fatalf("PSNR(identical) = %v", got)
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if got := Pearson(xs, ys); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("Pearson = %v, want 1", got)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if got := Pearson(xs, neg); !almostEqual(got, -1, 1e-12) {
+		t.Fatalf("Pearson = %v, want -1", got)
+	}
+}
+
+func TestPearsonZeroVariance(t *testing.T) {
+	if got := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); !math.IsNaN(got) {
+		t.Fatalf("Pearson with constant input = %v, want NaN", got)
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100) + 2
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		rho := Pearson(xs, ys)
+		return math.IsNaN(rho) || (rho >= -1-1e-9 && rho <= 1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressionFactorBitRateRelationship(t *testing.T) {
+	// Paper: BR * CF = 32 for float32 data.
+	n := 1000
+	origBytes := n * 4
+	compBytes := 500
+	cf := CompressionFactor(origBytes, compBytes)
+	br := BitRate(compBytes, n)
+	if !almostEqual(cf*br, 32, 1e-9) {
+		t.Fatalf("CF*BR = %v, want 32", cf*br)
+	}
+}
+
+func TestCompressionFactorEdge(t *testing.T) {
+	if !math.IsInf(CompressionFactor(100, 0), 1) {
+		t.Fatal("CF with 0 compressed bytes should be +Inf")
+	}
+	if !math.IsNaN(BitRate(100, 0)) {
+		t.Fatal("BitRate with 0 elements should be NaN")
+	}
+}
+
+func TestMaxAbsError(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{1.5, 1.0, 3.25}
+	if got := MaxAbsError(xs, ys); got != 1.0 {
+		t.Fatalf("MaxAbsError = %v", got)
+	}
+}
+
+func TestCompareSummary(t *testing.T) {
+	xs := []float64{0, 10, 5, 5}
+	ys := []float64{0.5, 9.5, 5, 5}
+	s, err := Compare(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 4 || s.ValueRange != 10 {
+		t.Fatalf("N=%d range=%v", s.N, s.ValueRange)
+	}
+	if s.MaxAbsErr != 0.5 || s.MaxRelErr != 0.05 {
+		t.Fatalf("MaxAbsErr=%v MaxRelErr=%v", s.MaxAbsErr, s.MaxRelErr)
+	}
+	wantRMSE := math.Sqrt((0.25 + 0.25) / 4)
+	if !almostEqual(s.RMSE, wantRMSE, 1e-12) {
+		t.Fatalf("RMSE=%v want %v", s.RMSE, wantRMSE)
+	}
+	if !almostEqual(s.NRMSE, wantRMSE/10, 1e-12) {
+		t.Fatalf("NRMSE=%v", s.NRMSE)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if _, err := Compare([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, err := Compare(nil, nil); err == nil {
+		t.Fatal("expected empty-input error")
+	}
+}
+
+func TestComparePSNRMatchesStandalone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 500)
+	ys := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 10
+		ys[i] = xs[i] + rng.NormFloat64()*0.01
+	}
+	s, err := Compare(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(s.PSNR, PSNR(xs, ys), 1e-9) {
+		t.Fatalf("Compare PSNR %v != PSNR %v", s.PSNR, PSNR(xs, ys))
+	}
+	if !almostEqual(s.RMSE, RMSE(xs, ys), 1e-12) {
+		t.Fatal("Compare RMSE mismatch")
+	}
+	if !almostEqual(s.Pearson, Pearson(xs, ys), 1e-12) {
+		t.Fatal("Compare Pearson mismatch")
+	}
+}
+
+func TestAutocorrelationWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	series := make([]float64, 20000)
+	for i := range series {
+		series[i] = rng.NormFloat64()
+	}
+	ac := Autocorrelation(series, 10)
+	for k, v := range ac {
+		if math.Abs(v) > 0.05 {
+			t.Fatalf("white noise lag %d autocorr %v too large", k+1, v)
+		}
+	}
+}
+
+func TestAutocorrelationPeriodic(t *testing.T) {
+	// Perfectly periodic series: autocorrelation at the period ~ 1.
+	series := make([]float64, 1000)
+	for i := range series {
+		series[i] = math.Sin(2 * math.Pi * float64(i) / 10)
+	}
+	ac := Autocorrelation(series, 20)
+	if ac[9] < 0.95 { // lag 10 = one period
+		t.Fatalf("periodic lag-10 autocorr = %v, want ~1", ac[9])
+	}
+	if ac[4] > -0.9 { // lag 5 = half period -> ~-1
+		t.Fatalf("periodic lag-5 autocorr = %v, want ~-1", ac[4])
+	}
+}
+
+func TestAutocorrelationEdge(t *testing.T) {
+	if Autocorrelation(nil, 0) != nil {
+		t.Fatal("maxLag 0 should return nil")
+	}
+	ac := Autocorrelation([]float64{5, 5, 5}, 3)
+	for _, v := range ac {
+		if v != 0 {
+			t.Fatalf("zero-variance autocorr = %v", ac)
+		}
+	}
+	// Series shorter than lag count: higher lags stay zero.
+	ac = Autocorrelation([]float64{1, 2}, 5)
+	if len(ac) != 5 {
+		t.Fatalf("len = %d", len(ac))
+	}
+}
+
+func TestAutocorrelationBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 10
+		series := make([]float64, n)
+		for i := range series {
+			series[i] = rng.NormFloat64()
+		}
+		for _, v := range Autocorrelation(series, 10) {
+			if v < -1-1e-9 || v > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	e := Errors([]float64{3, 1}, []float64{2, 2})
+	if e[0] != 1 || e[1] != -1 {
+		t.Fatalf("Errors = %v", e)
+	}
+}
+
+func TestNinesOfCorrelation(t *testing.T) {
+	cases := []struct {
+		rho  float64
+		want int
+	}{
+		{0.5, 0},
+		{0.99, 2},
+		{0.99999, 5},
+		{0.999999, 6},
+		{1.0, 16},
+		{math.NaN(), 0},
+	}
+	for _, c := range cases {
+		if got := NinesOfCorrelation(c.rho); got != c.want {
+			t.Fatalf("NinesOfCorrelation(%v) = %d, want %d", c.rho, got, c.want)
+		}
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1 << 20
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = xs[i] + 1e-6*rng.NormFloat64()
+	}
+	b.SetBytes(int64(n * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compare(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

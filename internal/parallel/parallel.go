@@ -1,0 +1,276 @@
+// Package parallel implements the Section VI study of the SZ-1.4 paper:
+// parallel (in-situ / off-line) compression of large data sets.
+//
+// The paper runs one MPI process per file fraction with no inter-process
+// communication — an embarrassingly parallel workload. Here processes
+// become goroutine workers over a shared queue of independent arrays. Real
+// strong-scaling measurements (Tables VII/VIII) run up to the host's core
+// count; beyond that a calibrated analytic model extends the curve, the
+// same way the paper runs 2–16 processes per 8-core node at its top end
+// (and sees efficiency fall to ~90% from node-internal contention).
+//
+// The Fig. 10 comparison of "compress + write compressed" versus "write
+// initial data" uses a shared-bandwidth file-system model: per-process
+// bandwidth is capped, and aggregate bandwidth saturates, which is the
+// bottleneck the paper observes on Blues at ≥32 processes.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// CompressAll compresses each array with p using `workers` goroutines and
+// returns the streams in input order plus the wall-clock duration.
+func CompressAll(arrays []*grid.Array, p core.Params, workers int) ([][]byte, time.Duration, error) {
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	streams := make([][]byte, len(arrays))
+	errs := make([]error, len(arrays))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(arrays) {
+					return
+				}
+				s, _, err := core.Compress(arrays[i], p)
+				streams[i] = s
+				errs[i] = err
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return nil, 0, fmt.Errorf("parallel: compressing array %d: %w", i, err)
+		}
+	}
+	return streams, elapsed, nil
+}
+
+// DecompressAll decompresses each stream using `workers` goroutines.
+func DecompressAll(streams [][]byte, workers int) ([]*grid.Array, time.Duration, error) {
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	arrays := make([]*grid.Array, len(streams))
+	errs := make([]error, len(streams))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(streams) {
+					return
+				}
+				a, _, err := core.Decompress(streams[i])
+				arrays[i] = a
+				errs[i] = err
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return nil, 0, fmt.Errorf("parallel: decompressing stream %d: %w", i, err)
+		}
+	}
+	return arrays, elapsed, nil
+}
+
+// ScalingPoint is one row of a strong-scaling table (paper Tables VII/VIII).
+type ScalingPoint struct {
+	Processes  int
+	Nodes      int
+	SpeedGBs   float64 // aggregate throughput, GB/s
+	Speedup    float64
+	Efficiency float64
+	Modeled    bool // true when extrapolated by the cluster model
+}
+
+// MeasureScaling runs real strong-scaling measurements: the fixed work set
+// (count copies produced by gen) is compressed and decompressed with each
+// worker count, and throughput is derived from uncompressed bytes over
+// wall time. Worker counts beyond runtime.NumCPU() are skipped (use
+// ClusterModel to extend the curve).
+func MeasureScaling(gen func(i int) *grid.Array, count int, p core.Params, workerCounts []int) (comp, decomp []ScalingPoint, err error) {
+	arrays := make([]*grid.Array, count)
+	totalBytes := 0
+	for i := range arrays {
+		arrays[i] = gen(i)
+		totalBytes += arrays[i].Len() * 8
+	}
+	var baseComp, baseDecomp float64
+	for _, wcount := range workerCounts {
+		if wcount > runtime.NumCPU() {
+			continue
+		}
+		streams, dur, err := CompressAll(arrays, p, wcount)
+		if err != nil {
+			return nil, nil, err
+		}
+		cs := float64(totalBytes) / dur.Seconds() / 1e9
+		if baseComp == 0 {
+			baseComp = cs / float64(wcount)
+		}
+		pt := ScalingPoint{Processes: wcount, Nodes: wcount, SpeedGBs: cs}
+		pt.Speedup = cs / baseComp
+		pt.Efficiency = pt.Speedup / float64(wcount)
+		comp = append(comp, pt)
+
+		_, ddur, err := DecompressAll(streams, wcount)
+		if err != nil {
+			return nil, nil, err
+		}
+		ds := float64(totalBytes) / ddur.Seconds() / 1e9
+		if baseDecomp == 0 {
+			baseDecomp = ds / float64(wcount)
+		}
+		dpt := ScalingPoint{Processes: wcount, Nodes: wcount, SpeedGBs: ds}
+		dpt.Speedup = ds / baseDecomp
+		dpt.Efficiency = dpt.Speedup / float64(wcount)
+		decomp = append(decomp, dpt)
+	}
+	return comp, decomp, nil
+}
+
+// ClusterModel extrapolates strong scaling to cluster size, calibrated
+// against the paper's Blues configuration: one process per node scales
+// linearly (no communication); beyond MaxNodes, processes share nodes and
+// pay a memory-bandwidth contention penalty.
+type ClusterModel struct {
+	// PerProcessGBs is the single-process compression throughput.
+	PerProcessGBs float64
+	// MaxNodes is the node count ceiling (64 on Blues).
+	MaxNodes int
+	// CoresPerNode bounds processes per node (16 on Blues).
+	CoresPerNode int
+	// ContentionEfficiency is the per-process efficiency once more than
+	// two processes share a node (the paper observes ≈ 0.90).
+	ContentionEfficiency float64
+}
+
+// BluesModel returns the model with the paper's cluster shape, calibrated
+// to a measured single-process rate.
+func BluesModel(perProcessGBs float64) ClusterModel {
+	return ClusterModel{
+		PerProcessGBs:        perProcessGBs,
+		MaxNodes:             64,
+		CoresPerNode:         16,
+		ContentionEfficiency: 0.90,
+	}
+}
+
+// Scaling returns modeled strong-scaling points for the given process
+// counts (paper Tables VII/VIII shape: ~100% efficiency to 128 processes,
+// ~90% beyond, when more than two processes share each node).
+func (m ClusterModel) Scaling(processes []int) []ScalingPoint {
+	out := make([]ScalingPoint, 0, len(processes))
+	for _, procs := range processes {
+		nodes := procs
+		if nodes > m.MaxNodes {
+			nodes = m.MaxNodes
+		}
+		perNode := (procs + nodes - 1) / nodes
+		eff := 1.0
+		if perNode > 2 {
+			eff = m.ContentionEfficiency
+		}
+		speed := m.PerProcessGBs * float64(procs) * eff
+		out = append(out, ScalingPoint{
+			Processes:  procs,
+			Nodes:      nodes,
+			SpeedGBs:   speed,
+			Speedup:    speed / m.PerProcessGBs,
+			Efficiency: eff,
+			Modeled:    true,
+		})
+	}
+	return out
+}
+
+// IOModel is the shared-bandwidth parallel file system of Fig. 10.
+type IOModel struct {
+	// PerProcessGBs caps each process's I/O bandwidth.
+	PerProcessGBs float64
+	// AggregateGBs caps the file system's total bandwidth.
+	AggregateGBs float64
+}
+
+// BluesIOModel approximates the paper's cluster file system: per-process
+// streams saturate a shared store at modest process counts, which is why
+// writing the initial (uncompressed) data dominates the Fig. 10 bars from
+// 32 processes on. Calibrated so that with the paper's measured 0.09 GB/s
+// per-process compression rate and CF ≈ 6.3, the initial-write share
+// crosses 50% at ≥ 32 processes, as in the paper.
+func BluesIOModel() IOModel {
+	return IOModel{PerProcessGBs: 0.15, AggregateGBs: 1.0}
+}
+
+// TransferSeconds returns the wall time to move totalBytes with procs
+// concurrent processes.
+func (m IOModel) TransferSeconds(totalBytes float64, procs int) float64 {
+	bw := m.PerProcessGBs * float64(procs)
+	if bw > m.AggregateGBs {
+		bw = m.AggregateGBs
+	}
+	return totalBytes / (bw * 1e9)
+}
+
+// Fig10Row is one bar of Fig. 10: the share of time spent in each phase
+// when compressing then writing, normalized against writing raw data.
+type Fig10Row struct {
+	Processes int
+	// Seconds per phase.
+	CompressSec     float64
+	WriteCompSec    float64
+	WriteInitialSec float64
+	// Shares normalized so the three phases sum to 1 (as plotted).
+	CompressShare     float64
+	WriteCompShare    float64
+	WriteInitialShare float64
+}
+
+// Fig10 evaluates the model: totalBytes of raw data, compression factor
+// cf, per-process compression rate compGBs, for each process count.
+func Fig10(totalBytes float64, cf float64, compGBs float64, io IOModel, processes []int) []Fig10Row {
+	rows := make([]Fig10Row, 0, len(processes))
+	for _, procs := range processes {
+		r := Fig10Row{Processes: procs}
+		r.CompressSec = totalBytes / (compGBs * float64(procs) * 1e9)
+		r.WriteCompSec = io.TransferSeconds(totalBytes/cf, procs)
+		r.WriteInitialSec = io.TransferSeconds(totalBytes, procs)
+		sum := r.CompressSec + r.WriteCompSec + r.WriteInitialSec
+		r.CompressShare = r.CompressSec / sum
+		r.WriteCompShare = r.WriteCompSec / sum
+		r.WriteInitialShare = r.WriteInitialSec / sum
+		rows = append(rows, r)
+	}
+	return rows
+}

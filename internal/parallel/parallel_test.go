@@ -1,0 +1,177 @@
+package parallel
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/grid"
+)
+
+func testParams() core.Params {
+	return core.Params{Mode: core.BoundRel, RelBound: 1e-4, OutputType: grid.Float32}
+}
+
+func makeArrays(n int) []*grid.Array {
+	arrays := make([]*grid.Array, n)
+	for i := range arrays {
+		arrays[i] = datagen.ATM(40, 50, int64(i))
+	}
+	return arrays
+}
+
+func TestCompressAllMatchesSequential(t *testing.T) {
+	arrays := makeArrays(8)
+	p := testParams()
+	streams, _, err := CompressAll(arrays, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range arrays {
+		want, _, err := core.Compress(a, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(streams[i]) != string(want) {
+			t.Fatalf("stream %d differs from sequential compression", i)
+		}
+	}
+}
+
+func TestDecompressAllRoundTrip(t *testing.T) {
+	arrays := makeArrays(6)
+	p := testParams()
+	streams, _, err := CompressAll(arrays, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := DecompressAll(streams, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range arrays {
+		h, err := core.Inspect(streams[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range arrays[i].Data {
+			if math.Abs(arrays[i].Data[j]-out[i].Data[j]) > h.AbsBound {
+				t.Fatalf("array %d: bound violated at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestWorkerCountDefaults(t *testing.T) {
+	arrays := makeArrays(2)
+	if _, _, err := CompressAll(arrays, testParams(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := CompressAll(arrays, testParams(), 1000); err != nil {
+		t.Fatal(err) // more workers than tasks is fine
+	}
+}
+
+func TestCompressAllPropagatesErrors(t *testing.T) {
+	arrays := makeArrays(2)
+	bad := core.Params{Mode: core.BoundAbs, AbsBound: -1}
+	if _, _, err := CompressAll(arrays, bad, 2); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	if _, _, err := DecompressAll([][]byte{{1, 2, 3}}, 2); err == nil {
+		t.Fatal("corrupt stream accepted")
+	}
+}
+
+func TestMeasureScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling measurement in -short mode")
+	}
+	counts := []int{1, 2}
+	if runtime.NumCPU() < 2 {
+		counts = []int{1}
+	}
+	comp, decomp, err := MeasureScaling(
+		func(i int) *grid.Array { return datagen.ATM(60, 80, int64(i)) },
+		8, testParams(), counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) != len(counts) || len(decomp) != len(counts) {
+		t.Fatalf("points: %d/%d", len(comp), len(decomp))
+	}
+	for _, pt := range comp {
+		if pt.SpeedGBs <= 0 || pt.Efficiency <= 0 {
+			t.Fatalf("bad point %+v", pt)
+		}
+	}
+}
+
+func TestClusterModelShape(t *testing.T) {
+	m := BluesModel(0.09) // the paper's single-process rate
+	procs := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	pts := m.Scaling(procs)
+	if len(pts) != len(procs) {
+		t.Fatalf("points %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Processes <= 128 {
+			// Paper: ~100% efficiency through 128 processes (≤2 per node).
+			if pt.Efficiency < 0.99 {
+				t.Fatalf("procs=%d efficiency %v, want ~1", pt.Processes, pt.Efficiency)
+			}
+		} else {
+			// Paper: ~90% beyond 128 processes.
+			if pt.Efficiency < 0.85 || pt.Efficiency > 0.95 {
+				t.Fatalf("procs=%d efficiency %v, want ~0.9", pt.Processes, pt.Efficiency)
+			}
+		}
+		if pt.Nodes > 64 {
+			t.Fatalf("nodes %d exceed cluster", pt.Nodes)
+		}
+	}
+	// 1024-process speedup should land near the paper's ~930.
+	last := pts[len(pts)-1]
+	if last.Speedup < 850 || last.Speedup > 1000 {
+		t.Fatalf("1024-process speedup %v, want ~930", last.Speedup)
+	}
+}
+
+func TestIOModelSaturates(t *testing.T) {
+	io := BluesIOModel()
+	t1 := io.TransferSeconds(1e12, 1)
+	t4 := io.TransferSeconds(1e12, 4)
+	t64 := io.TransferSeconds(1e12, 64)
+	t1024 := io.TransferSeconds(1e12, 1024)
+	if !(t1 > t4 && t4 > t64) {
+		t.Fatalf("transfer should speed up before saturation: %v %v %v", t1, t4, t64)
+	}
+	if t64 != t1024 {
+		t.Fatalf("aggregate bandwidth should saturate: %v vs %v", t64, t1024)
+	}
+}
+
+func TestFig10CrossesHalf(t *testing.T) {
+	// The paper's observation: at >= 32 processes, writing the initial data
+	// takes more than half of the total bar (compression becomes a win).
+	rows := Fig10(1e12, 6.3, 0.09, BluesIOModel(), []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
+	var at32 Fig10Row
+	for _, r := range rows {
+		if r.Processes == 32 {
+			at32 = r
+		}
+		sum := r.CompressShare + r.WriteCompShare + r.WriteInitialShare
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("shares must sum to 1, got %v", sum)
+		}
+	}
+	if at32.WriteInitialShare < 0.5 {
+		t.Fatalf("at 32 processes initial write share %v, want > 0.5", at32.WriteInitialShare)
+	}
+	// At 1 process, compression time dominates relative to its share later.
+	if rows[0].CompressShare < rows[len(rows)-1].CompressShare {
+		t.Fatal("compression share should shrink with scale (I/O becomes the bottleneck)")
+	}
+}

@@ -1,0 +1,259 @@
+// Package predictor implements the multilayer multidimensional prediction
+// model of the SZ-1.4 paper (Section III).
+//
+// For a d-dimensional data set and a chosen layer count n, the value at
+// point x is predicted from the n-layer data subset S^n_x of already
+// processed neighbours (Eq. 11):
+//
+//	f(x1,…,xd) = Σ_{0≤k1,…,kd≤n, k≠0}  −∏_{j=1}^{d} (−1)^{kj} C(n,kj) · V(x1−k1, …, xd−kd)
+//
+// Theorem 1 of the paper shows this is the value at x of the unique
+// polynomial surface of total degree ≤ 2n−1 through the data subset T^n_x;
+// consequently the predictor is exact on polynomial data of total degree
+// ≤ 2n−1 (degree ≤ n−1 in the one-dimensional case). The n=1 case is the
+// Lorenzo predictor of Ibarria et al.
+//
+// Border handling: the formula needs the full (n+1)^d−1 neighbourhood. For
+// points near the low boundary the layer count is reduced per dimension to
+// what is available (n_j = min(n, x_j)); dimensions with no processed
+// neighbour drop out of the product entirely. The first point of the array
+// has no neighbours and is predicted as 0. This mirrors how the original SZ
+// falls back to lower-dimensional Lorenzo prediction at array borders while
+// preserving the error-bound guarantee (the bound never depends on
+// prediction quality, only on the quantizer).
+package predictor
+
+import (
+	"fmt"
+)
+
+// MaxLayers bounds the supported layer count. Beyond 8 layers the binomial
+// weights exceed any practically useful setting (the paper evaluates 1–4).
+const MaxLayers = 8
+
+// Term is one weighted neighbour reference of a prediction stencil.
+type Term struct {
+	// Delta is the flat row-major index offset of the neighbour,
+	// always negative (neighbours precede the predicted point).
+	Delta int
+	// Offsets holds the per-dimension offsets k (neighbour = x − k).
+	Offsets []int
+	// Coef is the stencil weight.
+	Coef float64
+}
+
+// Predictor evaluates the n-layer prediction for a fixed array geometry.
+type Predictor struct {
+	dims    []int
+	strides []int
+	n       int
+	// interior is the precomputed full stencil used when every dimension
+	// has at least n processed layers available.
+	interior []Term
+	// borderCache memoizes reduced stencils keyed by the per-dimension
+	// effective layer vector.
+	borderCache map[string][]Term
+}
+
+// New constructs a Predictor for a row-major array with the given
+// dimensions (slowest first) and layer count n in [1, MaxLayers].
+func New(dims []int, n int) (*Predictor, error) {
+	if n < 1 || n > MaxLayers {
+		return nil, fmt.Errorf("predictor: layers %d out of range [1,%d]", n, MaxLayers)
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("predictor: no dimensions")
+	}
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("predictor: non-positive dimension in %v", dims)
+		}
+	}
+	p := &Predictor{
+		dims:        append([]int(nil), dims...),
+		n:           n,
+		borderCache: make(map[string][]Term),
+	}
+	p.strides = make([]int, len(dims))
+	s := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		p.strides[i] = s
+		s *= dims[i]
+	}
+	layers := make([]int, len(dims))
+	for i := range layers {
+		layers[i] = n
+	}
+	p.interior = buildStencil(layers, p.strides)
+	return p, nil
+}
+
+// Layers returns the configured layer count n.
+func (p *Predictor) Layers() int { return p.n }
+
+// NumTerms returns the interior stencil size, (n+1)^d − 1.
+func (p *Predictor) NumTerms() int { return len(p.interior) }
+
+// InteriorStencil returns a copy of the interior stencil terms.
+func (p *Predictor) InteriorStencil() []Term {
+	out := make([]Term, len(p.interior))
+	copy(out, p.interior)
+	for i := range out {
+		out[i].Offsets = append([]int(nil), p.interior[i].Offsets...)
+	}
+	return out
+}
+
+// IsInterior reports whether the point at coord has the full n-layer
+// neighbourhood available.
+func (p *Predictor) IsInterior(coord []int) bool {
+	for _, c := range coord {
+		if c < p.n {
+			return false
+		}
+	}
+	return true
+}
+
+// Predict returns the predicted value for the point at the given coordinate
+// and flat index, reading neighbours from data. data must contain the
+// (already reconstructed) values of all preceding points in scan order.
+func (p *Predictor) Predict(data []float64, idx int, coord []int) float64 {
+	stencil := p.interior
+	if !p.IsInterior(coord) {
+		stencil = p.borderStencil(coord)
+		if stencil == nil {
+			return 0 // the very first point: no processed neighbours at all
+		}
+	}
+	var f float64
+	for i := range stencil {
+		f += stencil[i].Coef * data[idx+stencil[i].Delta]
+	}
+	return f
+}
+
+// borderStencil returns the reduced stencil for a border point, memoized by
+// the effective per-dimension layer vector.
+func (p *Predictor) borderStencil(coord []int) []Term {
+	layers := make([]int, len(coord))
+	allZero := true
+	var key [MaxLayers * 4]byte // up to 4 dims, layer fits a byte
+	for j, c := range coord {
+		l := p.n
+		if c < l {
+			l = c
+		}
+		layers[j] = l
+		if l > 0 {
+			allZero = false
+		}
+		key[j] = byte(l)
+	}
+	if allZero {
+		return nil
+	}
+	k := string(key[:len(coord)])
+	if s, ok := p.borderCache[k]; ok {
+		return s
+	}
+	s := buildStencil(layers, p.strides)
+	p.borderCache[k] = s
+	return s
+}
+
+// buildStencil enumerates offsets 0 ≤ kj ≤ layers[j] (k ≠ 0) and computes
+// the coefficient −∏ (−1)^{kj} C(layers[j], kj). Dimensions with layers[j]
+// == 0 contribute only kj = 0 (C(0,0)·(−1)^0 = 1), i.e. they drop out.
+func buildStencil(layers, strides []int) []Term {
+	d := len(layers)
+	size := 1
+	for _, l := range layers {
+		size *= l + 1
+	}
+	terms := make([]Term, 0, size-1)
+	k := make([]int, d)
+	for {
+		// advance odometer
+		j := d - 1
+		for j >= 0 {
+			k[j]++
+			if k[j] <= layers[j] {
+				break
+			}
+			k[j] = 0
+			j--
+		}
+		if j < 0 {
+			break
+		}
+		coef := -1.0
+		delta := 0
+		for m := 0; m < d; m++ {
+			c := binomial(layers[m], k[m])
+			if k[m]%2 == 1 {
+				c = -c
+			}
+			coef *= c
+			delta -= k[m] * strides[m]
+		}
+		terms = append(terms, Term{
+			Delta:   delta,
+			Offsets: append([]int(nil), k...),
+			Coef:    coef,
+		})
+	}
+	return terms
+}
+
+// binomial returns C(n, k) as a float64 (exact for n ≤ MaxLayers).
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	// The loop result is exact for small n but may carry float division
+	// artifacts; round to nearest integer.
+	if r >= 0 {
+		return float64(int64(r + 0.5))
+	}
+	return float64(int64(r - 0.5))
+}
+
+// Coefficients returns the interior stencil for an n-layer, d-dimensional
+// predictor as a map from offset vector (as a string key "k1,k2,…") to
+// coefficient. Intended for inspection and tests against the paper's
+// Table I.
+func Coefficients(n, d int) (map[string]float64, error) {
+	if n < 1 || n > MaxLayers {
+		return nil, fmt.Errorf("predictor: layers %d out of range", n)
+	}
+	if d < 1 || d > 8 {
+		return nil, fmt.Errorf("predictor: dims %d out of range", d)
+	}
+	layers := make([]int, d)
+	strides := make([]int, d)
+	for i := range layers {
+		layers[i] = n
+		strides[i] = 0 // unused for the map form
+	}
+	terms := buildStencil(layers, strides)
+	out := make(map[string]float64, len(terms))
+	for _, t := range terms {
+		key := ""
+		for i, k := range t.Offsets {
+			if i > 0 {
+				key += ","
+			}
+			key += fmt.Sprint(k)
+		}
+		out[key] = t.Coef
+	}
+	return out, nil
+}

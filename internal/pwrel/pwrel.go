@@ -1,0 +1,228 @@
+// Package pwrel adds a pointwise-relative error-bound mode on top of the
+// SZ-1.4 core — the PW_REL mode that later SZ releases ship, implemented
+// the way the SZ lineage does it: compress the base-2 logarithms of the
+// magnitudes with an absolute bound.
+//
+// The paper's value-range-based relative bound (Section II, Metric 1)
+// controls |x−x̃| / (max−min); many analyses instead need |x−x̃| / |x| ≤ ε
+// for every point individually. Taking y = log2|x| and bounding |y−ỹ| by
+// log2(1+ε) gives exactly that: the reconstruction x̃ = s·2^ỹ satisfies
+//
+//	|x̃−x|/|x| = |2^(ỹ−y) − 1| ≤ max(2^eb−1, 1−2^−eb) = ε.
+//
+// Signs travel in a one-bit-per-point side channel; zeros (and subnormals,
+// whose logs would explode the value range) are exact via a third channel.
+package pwrel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/bitstream"
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+const magic = "SZPW"
+
+// ErrCorrupt is returned for malformed streams.
+var ErrCorrupt = errors.New("pwrel: corrupt stream")
+
+// Params configures pointwise-relative compression.
+type Params struct {
+	// RelBound is the per-point relative error bound ε in (0, 1).
+	RelBound float64
+	// Layers and IntervalBits configure the underlying core compressor
+	// (0 = defaults).
+	Layers       int
+	IntervalBits int
+}
+
+// Stats reports compression outcomes.
+type Stats struct {
+	N                 int
+	Exact             int // zeros/subnormals/non-finite stored exactly
+	CompressedBytes   int
+	OriginalBytes     int
+	CompressionFactor float64
+	BitRate           float64
+	// Core carries the log-domain compressor's statistics.
+	Core *core.Stats
+}
+
+// Compress encodes a with |x̃−x| ≤ RelBound·|x| for every finite normal
+// point; zeros, subnormals, NaN and ±Inf are reconstructed exactly.
+func Compress(a *grid.Array, p Params) ([]byte, *Stats, error) {
+	if !(p.RelBound > 0) || p.RelBound >= 1 {
+		return nil, nil, fmt.Errorf("pwrel: RelBound %v must be in (0,1)", p.RelBound)
+	}
+	n := a.Len()
+	logs := grid.New(a.Dims...)
+	signs := bitstream.NewWriter(n / 8)
+	exactW := bitstream.NewWriter(64)
+	exactCount := 0
+
+	// The log of an escaped (exact) point is irrelevant for correctness
+	// but feeds the predictor; a neutral fill value keeps prediction sane
+	// around holes. Use the mean log of the normal points.
+	var meanLog float64
+	normals := 0
+	for _, v := range a.Data {
+		if isNormalish(v) {
+			meanLog += math.Log2(math.Abs(v))
+			normals++
+		}
+	}
+	if normals > 0 {
+		meanLog /= float64(normals)
+	}
+
+	for i, v := range a.Data {
+		if !isNormalish(v) {
+			// Exact channel: flag 1 + raw 64 bits; log slot gets the fill.
+			exactW.WriteBits(1, 1)
+			exactW.WriteBits(math.Float64bits(v), 64)
+			exactCount++
+			logs.Data[i] = meanLog
+			signs.WriteBool(false)
+			continue
+		}
+		exactW.WriteBits(0, 1)
+		signs.WriteBool(math.Signbit(v))
+		logs.Data[i] = math.Log2(math.Abs(v))
+	}
+
+	// Shaving a hair off the log-domain bound absorbs the Log2/Exp2
+	// round-trip rounding so the relative guarantee holds strictly.
+	ebLog := math.Log2(1+p.RelBound) * (1 - 1e-12)
+	cp := core.Params{
+		Mode:         core.BoundAbs,
+		AbsBound:     ebLog,
+		Layers:       p.Layers,
+		IntervalBits: p.IntervalBits,
+	}
+	coreStream, coreStats, err := core.Compress(logs, cp)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	signBytes := signs.Bytes()
+	exactBytes := exactW.Bytes()
+	head := make([]byte, 0, 64)
+	head = append(head, magic...)
+	head = binary.LittleEndian.AppendUint64(head, math.Float64bits(p.RelBound))
+	head = binary.AppendUvarint(head, uint64(exactCount))
+	head = binary.AppendUvarint(head, uint64(len(signBytes)))
+	head = binary.AppendUvarint(head, uint64(len(exactBytes)))
+	head = binary.AppendUvarint(head, uint64(len(coreStream)))
+	out := append(head, signBytes...)
+	out = append(out, exactBytes...)
+	out = append(out, coreStream...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+
+	st := &Stats{
+		N:               n,
+		Exact:           exactCount,
+		CompressedBytes: len(out),
+		OriginalBytes:   n * 8,
+		Core:            coreStats,
+	}
+	st.CompressionFactor = float64(st.OriginalBytes) / float64(st.CompressedBytes)
+	st.BitRate = float64(st.CompressedBytes) * 8 / float64(n)
+	return out, st, nil
+}
+
+// isNormalish reports whether v is finite, nonzero, and not subnormal —
+// the domain on which the log transform is well-behaved.
+func isNormalish(v float64) bool {
+	if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return false
+	}
+	return math.Abs(v) >= 0x1p-1022
+}
+
+// Decompress inverts Compress.
+func Decompress(stream []byte) (*grid.Array, float64, error) {
+	if len(stream) < 4+8+4 {
+		return nil, 0, fmt.Errorf("%w: too short", ErrCorrupt)
+	}
+	if string(stream[:4]) != magic {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if crc32.ChecksumIEEE(stream[:len(stream)-4]) != binary.LittleEndian.Uint32(stream[len(stream)-4:]) {
+		return nil, 0, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	off := 4
+	rel := math.Float64frombits(binary.LittleEndian.Uint64(stream[off:]))
+	off += 8
+	if !(rel > 0) || rel >= 1 {
+		return nil, 0, fmt.Errorf("%w: bad bound %v", ErrCorrupt, rel)
+	}
+	exactCount, k := binary.Uvarint(stream[off:])
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("%w: bad exact count", ErrCorrupt)
+	}
+	off += k
+	signLen, k := binary.Uvarint(stream[off:])
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("%w: bad sign length", ErrCorrupt)
+	}
+	off += k
+	exactLen, k := binary.Uvarint(stream[off:])
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("%w: bad exact length", ErrCorrupt)
+	}
+	off += k
+	coreLen, k := binary.Uvarint(stream[off:])
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("%w: bad core length", ErrCorrupt)
+	}
+	off += k
+	if uint64(len(stream)) != uint64(off)+signLen+exactLen+coreLen+4 {
+		return nil, 0, fmt.Errorf("%w: section lengths", ErrCorrupt)
+	}
+	signBytes := stream[off : off+int(signLen)]
+	exactBytes := stream[off+int(signLen) : off+int(signLen)+int(exactLen)]
+	coreStream := stream[off+int(signLen)+int(exactLen) : len(stream)-4]
+
+	logs, _, err := core.Decompress(coreStream)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: core: %v", ErrCorrupt, err)
+	}
+	n := logs.Len()
+	out := grid.New(logs.Dims...)
+	signs := bitstream.NewReader(signBytes)
+	exact := bitstream.NewReader(exactBytes)
+	seenExact := 0
+	for i := 0; i < n; i++ {
+		isExact, err := exact.ReadBits(1)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: exact flags: %v", ErrCorrupt, err)
+		}
+		neg, err := signs.ReadBool()
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: signs: %v", ErrCorrupt, err)
+		}
+		if isExact == 1 {
+			bits, err := exact.ReadBits(64)
+			if err != nil {
+				return nil, 0, fmt.Errorf("%w: exact value: %v", ErrCorrupt, err)
+			}
+			out.Data[i] = math.Float64frombits(bits)
+			seenExact++
+			continue
+		}
+		v := math.Exp2(logs.Data[i])
+		if neg {
+			v = -v
+		}
+		out.Data[i] = v
+	}
+	if seenExact != int(exactCount) {
+		return nil, 0, fmt.Errorf("%w: exact count %d, header says %d", ErrCorrupt, seenExact, exactCount)
+	}
+	return out, rel, nil
+}

@@ -1,0 +1,197 @@
+package pwrel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+)
+
+func roundTrip(t *testing.T, a *grid.Array, rel float64) *grid.Array {
+	t.Helper()
+	stream, st, err := Compress(a, Params{RelBound: rel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CompressedBytes != len(stream) {
+		t.Fatalf("stats bytes %d != %d", st.CompressedBytes, len(stream))
+	}
+	out, gotRel, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRel != rel {
+		t.Fatalf("bound %v, want %v", gotRel, rel)
+	}
+	if err := grid.SameShape(a, out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func assertPointwise(t *testing.T, a, out *grid.Array, rel float64) {
+	t.Helper()
+	for i, x := range a.Data {
+		got := out.Data[i]
+		if !isNormalish(x) {
+			if math.Float64bits(got) != math.Float64bits(x) {
+				t.Fatalf("special value at %d not exact: %v vs %v", i, got, x)
+			}
+			continue
+		}
+		if e := math.Abs(got-x) / math.Abs(x); e > rel {
+			t.Fatalf("pointwise bound violated at %d: x=%g x̃=%g rel err %g > %g", i, x, got, e, rel)
+		}
+	}
+}
+
+func TestPointwiseBoundSmooth(t *testing.T) {
+	a := grid.New(60, 80)
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 80; j++ {
+			a.Set(100*math.Exp(math.Sin(float64(i)*0.1)+math.Cos(float64(j)*0.07)), i, j)
+		}
+	}
+	for _, rel := range []float64{1e-2, 1e-4, 1e-6} {
+		out := roundTrip(t, a, rel)
+		assertPointwise(t, a, out, rel)
+	}
+}
+
+func TestPointwiseBeatsRangeRelativeOnWideData(t *testing.T) {
+	// The motivating case: values spanning many decades. A range-relative
+	// bound lets small values be destroyed; the pointwise mode preserves
+	// every value's leading digits.
+	rng := rand.New(rand.NewSource(3))
+	a := grid.New(2000)
+	for i := range a.Data {
+		a.Data[i] = math.Pow(10, rng.Float64()*12-6) // 1e-6 .. 1e6
+	}
+	rel := 1e-3
+	out := roundTrip(t, a, rel)
+	assertPointwise(t, a, out, rel)
+	// Even the smallest values keep ~3 significant digits.
+	for i, x := range a.Data {
+		if x < 1e-5 && math.Abs(out.Data[i]-x)/x > rel {
+			t.Fatalf("small value %g lost precision", x)
+		}
+	}
+}
+
+func TestNegativeValuesAndSigns(t *testing.T) {
+	a := grid.New(500)
+	for i := range a.Data {
+		v := math.Exp(math.Sin(float64(i) * 0.05))
+		if i%3 == 0 {
+			v = -v
+		}
+		a.Data[i] = v
+	}
+	out := roundTrip(t, a, 1e-4)
+	assertPointwise(t, a, out, 1e-4)
+	for i := range a.Data {
+		if math.Signbit(a.Data[i]) != math.Signbit(out.Data[i]) {
+			t.Fatalf("sign lost at %d", i)
+		}
+	}
+}
+
+func TestSpecialsExact(t *testing.T) {
+	a := grid.New(10)
+	copy(a.Data, []float64{0, -0.0, math.NaN(), math.Inf(1), math.Inf(-1), 1e-310, 1.5, -2.5, 1e300, -1e-300})
+	out := roundTrip(t, a, 1e-3)
+	assertPointwise(t, a, out, 1e-3)
+}
+
+func TestCompressesSmoothLogData(t *testing.T) {
+	// Exponentially varying data is log-linear: the log-domain pipeline
+	// should predict it extremely well.
+	a := grid.New(4000)
+	for i := range a.Data {
+		a.Data[i] = math.Pow(1.01, float64(i))
+	}
+	stream, st, err := Compress(a, Params{RelBound: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CompressionFactor < 8 {
+		t.Fatalf("log-linear data CF %.2f too low", st.CompressionFactor)
+	}
+	out, rel, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPointwise(t, a, out, rel)
+}
+
+func TestValidation(t *testing.T) {
+	a := grid.New(4)
+	for _, rel := range []float64{0, -1, 1, 2, math.NaN()} {
+		if _, _, err := Compress(a, Params{RelBound: rel}); err == nil {
+			t.Fatalf("RelBound %v accepted", rel)
+		}
+	}
+}
+
+func TestCorruption(t *testing.T) {
+	a := grid.New(100)
+	for i := range a.Data {
+		a.Data[i] = float64(i + 1)
+	}
+	stream, _, err := Compress(a, Params{RelBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), stream...)
+	bad[len(bad)/2] ^= 0x02
+	if _, _, err := Decompress(bad); err == nil {
+		t.Fatal("corruption undetected")
+	}
+	if _, _, err := Decompress(stream[:10]); err == nil {
+		t.Fatal("truncation undetected")
+	}
+}
+
+func TestPointwiseBoundQuick(t *testing.T) {
+	f := func(seed int64, relSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rel := []float64{1e-1, 1e-2, 1e-3, 1e-4, 1e-5}[int(relSel)%5]
+		n := rng.Intn(400) + 1
+		a := grid.New(n)
+		for i := range a.Data {
+			switch rng.Intn(10) {
+			case 0:
+				a.Data[i] = 0
+			case 1:
+				a.Data[i] = -math.Pow(10, rng.Float64()*20-10)
+			default:
+				a.Data[i] = math.Pow(10, rng.Float64()*20-10)
+			}
+		}
+		stream, _, err := Compress(a, Params{RelBound: rel})
+		if err != nil {
+			return false
+		}
+		out, _, err := Decompress(stream)
+		if err != nil {
+			return false
+		}
+		for i, x := range a.Data {
+			if !isNormalish(x) {
+				if math.Float64bits(out.Data[i]) != math.Float64bits(x) {
+					return false
+				}
+				continue
+			}
+			if math.Abs(out.Data[i]-x)/math.Abs(x) > rel {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

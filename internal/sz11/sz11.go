@@ -1,0 +1,304 @@
+// Package sz11 reimplements the SZ-1.1 error-bounded lossy compressor of
+// Di & Cappello (IPDPS 2016), the direct predecessor that SZ-1.4 is
+// evaluated against.
+//
+// SZ-1.1 linearizes the data set and fits each point with three
+// single-dimension curve-fitting models over the preceding *decompressed*
+// values:
+//
+//	preceding : X̃[i−1]                         (constant)
+//	linear    : 2X̃[i−1] − X̃[i−2]               (line through last two)
+//	quadratic : 3X̃[i−1] − 3X̃[i−2] + X̃[i−3]     (parabola through last three)
+//
+// The best-fit model whose prediction lands within the error bound is
+// stored as a 2-bit code; points no model can fit are "unpredictable" and
+// stored via binary-representation analysis. The 2-bit code array is then
+// DEFLATE-compressed. This captures SZ-1.1's defining limitation relative
+// to SZ-1.4: prediction only along one dimension, and only three admissible
+// reconstruction values per point (no quantization intervals).
+package sz11
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/binrep"
+	"repro/internal/bitstream"
+	"repro/internal/grid"
+)
+
+const magic = "SZ11"
+
+// ErrCorrupt is returned for malformed streams.
+var ErrCorrupt = errors.New("sz11: corrupt stream")
+
+// Fit codes stored per data point.
+const (
+	fitNone      = 0 // unpredictable
+	fitPreceding = 1
+	fitLinear    = 2
+	fitQuadratic = 3
+)
+
+// Params configures compression.
+type Params struct {
+	// AbsBound is the absolute error bound (> 0). Callers wanting a
+	// value-range-relative bound multiply by the range, as the paper's
+	// evaluation does for every compressor.
+	AbsBound float64
+	// OutputType records the source precision for CF accounting and
+	// reconstruction snapping. 0 means grid.Float64.
+	OutputType grid.DType
+}
+
+// Stats reports compression outcomes.
+type Stats struct {
+	N                 int
+	Predictable       int
+	HitRate           float64
+	CompressedBytes   int
+	OriginalBytes     int
+	CompressionFactor float64
+	BitRate           float64
+}
+
+// Compress encodes a under p.
+func Compress(a *grid.Array, p Params) ([]byte, *Stats, error) {
+	if !(p.AbsBound > 0) || math.IsInf(p.AbsBound, 0) {
+		return nil, nil, fmt.Errorf("sz11: bound %v must be positive and finite", p.AbsBound)
+	}
+	if p.OutputType == 0 {
+		p.OutputType = grid.Float64
+	}
+	if p.OutputType != grid.Float32 && p.OutputType != grid.Float64 {
+		return nil, nil, fmt.Errorf("sz11: unsupported dtype %v", p.OutputType)
+	}
+	eb := p.AbsBound
+	n := a.Len()
+	data := a.Data
+	recon := make([]float64, n)
+	fits := make([]byte, n)
+	outW := bitstream.NewWriter(256)
+	outEnc := binrep.NewEncoder(outW, eb)
+	predictable := 0
+
+	for i := 0; i < n; i++ {
+		x := data[i]
+		bestFit := fitNone
+		var bestVal float64
+		// Try models in increasing order; keep the one with smallest error,
+		// mirroring SZ-1.1's best-fit selection.
+		bestErr := math.Inf(1)
+		if i >= 1 {
+			v := snap(recon[i-1], p.OutputType)
+			if e := math.Abs(x - v); e <= eb && e < bestErr {
+				bestFit, bestVal, bestErr = fitPreceding, v, e
+			}
+		}
+		if i >= 2 {
+			v := snap(2*recon[i-1]-recon[i-2], p.OutputType)
+			if e := math.Abs(x - v); e <= eb && e < bestErr {
+				bestFit, bestVal, bestErr = fitLinear, v, e
+			}
+		}
+		if i >= 3 {
+			v := snap(3*recon[i-1]-3*recon[i-2]+recon[i-3], p.OutputType)
+			if e := math.Abs(x - v); e <= eb && e < bestErr {
+				bestFit, bestVal, bestErr = fitQuadratic, v, e
+			}
+		}
+		if bestFit == fitNone {
+			recon[i] = encodeOutlier(outEnc, outW, x, eb, p.OutputType)
+		} else {
+			recon[i] = bestVal
+			predictable++
+		}
+		fits[i] = byte(bestFit)
+	}
+
+	// Pack fits 2 bits each, then DEFLATE (SZ-1.1 gzips its metadata).
+	packed := make([]byte, (n+3)/4)
+	for i, f := range fits {
+		packed[i>>2] |= f << uint((i&3)*2)
+	}
+	var fz bytes.Buffer
+	fw, err := flate.NewWriter(&fz, flate.DefaultCompression)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := fw.Write(packed); err != nil {
+		return nil, nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, nil, err
+	}
+
+	head := make([]byte, 0, 64)
+	head = append(head, magic...)
+	head = append(head, byte(p.OutputType), byte(len(a.Dims)))
+	for _, d := range a.Dims {
+		head = binary.AppendUvarint(head, uint64(d))
+	}
+	head = binary.LittleEndian.AppendUint64(head, math.Float64bits(eb))
+	head = binary.AppendUvarint(head, uint64(fz.Len()))
+	head = binary.AppendUvarint(head, outW.Len())
+	out := append(head, fz.Bytes()...)
+	out = append(out, outW.Bytes()...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+
+	st := &Stats{
+		N:               n,
+		Predictable:     predictable,
+		HitRate:         float64(predictable) / float64(n),
+		CompressedBytes: len(out),
+		OriginalBytes:   n * p.OutputType.Size(),
+	}
+	st.CompressionFactor = float64(st.OriginalBytes) / float64(st.CompressedBytes)
+	st.BitRate = float64(st.CompressedBytes) * 8 / float64(n)
+	return out, st, nil
+}
+
+// Decompress inverts Compress. Every value satisfies |x − x̃| ≤ the stored
+// bound.
+func Decompress(stream []byte) (*grid.Array, error) {
+	if len(stream) < 6+8+4 {
+		return nil, fmt.Errorf("%w: too short", ErrCorrupt)
+	}
+	if string(stream[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if crc32.ChecksumIEEE(stream[:len(stream)-4]) != binary.LittleEndian.Uint32(stream[len(stream)-4:]) {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	t := grid.DType(stream[4])
+	if t != grid.Float32 && t != grid.Float64 {
+		return nil, fmt.Errorf("%w: bad dtype", ErrCorrupt)
+	}
+	nd := int(stream[5])
+	if nd < 1 || nd > grid.MaxDims {
+		return nil, fmt.Errorf("%w: bad ndims", ErrCorrupt)
+	}
+	off := 6
+	dims := make([]int, nd)
+	for i := range dims {
+		v, k := binary.Uvarint(stream[off:])
+		if k <= 0 || v == 0 || v > 1<<40 {
+			return nil, fmt.Errorf("%w: bad dim", ErrCorrupt)
+		}
+		dims[i] = int(v)
+		off += k
+	}
+	if len(stream) < off+8 {
+		return nil, fmt.Errorf("%w: truncated", ErrCorrupt)
+	}
+	eb := math.Float64frombits(binary.LittleEndian.Uint64(stream[off:]))
+	off += 8
+	if !(eb > 0) || math.IsInf(eb, 0) {
+		return nil, fmt.Errorf("%w: bad bound", ErrCorrupt)
+	}
+	fzLen, k := binary.Uvarint(stream[off:])
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: bad fit length", ErrCorrupt)
+	}
+	off += k
+	outBits, k := binary.Uvarint(stream[off:])
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: bad outlier length", ErrCorrupt)
+	}
+	off += k
+	if uint64(len(stream)) < uint64(off)+fzLen+4 {
+		return nil, fmt.Errorf("%w: truncated body", ErrCorrupt)
+	}
+	fzBytes := stream[off : off+int(fzLen)]
+	outBytes := stream[off+int(fzLen) : len(stream)-4]
+
+	fr := flate.NewReader(bytes.NewReader(fzBytes))
+	a := grid.New(dims...)
+	n := a.Len()
+	packed := make([]byte, (n+3)/4)
+	if _, err := io.ReadFull(fr, packed); err != nil {
+		return nil, fmt.Errorf("%w: fits: %v", ErrCorrupt, err)
+	}
+	fr.Close()
+
+	r := bitstream.NewReaderBits(outBytes, outBits)
+	dec := binrep.NewDecoder(r)
+	recon := a.Data
+	for i := 0; i < n; i++ {
+		fit := (packed[i>>2] >> uint((i&3)*2)) & 3
+		switch fit {
+		case fitPreceding:
+			if i < 1 {
+				return nil, fmt.Errorf("%w: fit without history at %d", ErrCorrupt, i)
+			}
+			recon[i] = snap(recon[i-1], t)
+		case fitLinear:
+			if i < 2 {
+				return nil, fmt.Errorf("%w: fit without history at %d", ErrCorrupt, i)
+			}
+			recon[i] = snap(2*recon[i-1]-recon[i-2], t)
+		case fitQuadratic:
+			if i < 3 {
+				return nil, fmt.Errorf("%w: fit without history at %d", ErrCorrupt, i)
+			}
+			recon[i] = snap(3*recon[i-1]-3*recon[i-2]+recon[i-3], t)
+		default:
+			v, err := decodeOutlier(dec, r, t)
+			if err != nil {
+				return nil, fmt.Errorf("%w: outlier at %d: %v", ErrCorrupt, i, err)
+			}
+			recon[i] = v
+		}
+	}
+	return a, nil
+}
+
+func snap(v float64, t grid.DType) float64 {
+	if t == grid.Float32 {
+		return float64(float32(v))
+	}
+	return v
+}
+
+func encodeOutlier(enc *binrep.Encoder, w *bitstream.Writer, x, eb float64, t grid.DType) float64 {
+	if t != grid.Float32 {
+		return enc.Encode(x)
+	}
+	x32 := float64(float32(x))
+	if math.Abs(x32-x) <= eb || math.IsNaN(x) {
+		w.WriteBits(0, 1)
+		w.WriteBits(uint64(math.Float32bits(float32(x))), 32)
+		return x32
+	}
+	w.WriteBits(1, 1)
+	w.WriteBits(math.Float64bits(x), 64)
+	return x
+}
+
+func decodeOutlier(dec *binrep.Decoder, r *bitstream.Reader, t grid.DType) (float64, error) {
+	if t != grid.Float32 {
+		return dec.Decode()
+	}
+	esc, err := r.ReadBits(1)
+	if err != nil {
+		return 0, err
+	}
+	if esc == 0 {
+		bits, err := r.ReadBits(32)
+		if err != nil {
+			return 0, err
+		}
+		return float64(math.Float32frombits(uint32(bits))), nil
+	}
+	bits, err := r.ReadBits(64)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(bits), nil
+}

@@ -1,0 +1,188 @@
+package sz11
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+)
+
+func roundTrip(t *testing.T, a *grid.Array, p Params) *grid.Array {
+	t.Helper()
+	stream, st, err := Compress(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CompressedBytes != len(stream) {
+		t.Fatalf("stats bytes %d != stream %d", st.CompressedBytes, len(stream))
+	}
+	out, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := grid.SameShape(a, out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestBoundRespectedSmooth(t *testing.T) {
+	a := grid.New(100)
+	for i := range a.Data {
+		a.Data[i] = math.Sin(float64(i) * 0.05)
+	}
+	eb := 1e-4
+	out := roundTrip(t, a, Params{AbsBound: eb})
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-out.Data[i]) > eb {
+			t.Fatalf("bound violated at %d", i)
+		}
+	}
+}
+
+func TestBoundRespectedNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := grid.New(40, 40)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	eb := 1e-6
+	out := roundTrip(t, a, Params{AbsBound: eb})
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-out.Data[i]) > eb {
+			t.Fatalf("bound violated at %d", i)
+		}
+	}
+}
+
+func TestLinearDataFitsWell(t *testing.T) {
+	a := grid.New(1000)
+	for i := range a.Data {
+		a.Data[i] = 2.5*float64(i) + 1
+	}
+	stream, st, err := Compress(a, Params{AbsBound: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HitRate < 0.99 {
+		t.Fatalf("linear data hit rate %v, want ~1", st.HitRate)
+	}
+	if st.CompressionFactor < 5 {
+		t.Fatalf("linear data CF %v too low", st.CompressionFactor)
+	}
+	out, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-out.Data[i]) > 1e-9 {
+			t.Fatalf("bound violated at %d", i)
+		}
+	}
+}
+
+func TestFloat32Mode(t *testing.T) {
+	a := grid.New(50, 50)
+	for i := range a.Data {
+		a.Data[i] = float64(float32(math.Sin(float64(i) * 0.01)))
+	}
+	eb := 1e-4
+	out := roundTrip(t, a, Params{AbsBound: eb, OutputType: grid.Float32})
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-out.Data[i]) > eb {
+			t.Fatalf("bound violated at %d", i)
+		}
+		if out.Data[i] != float64(float32(out.Data[i])) {
+			t.Fatalf("reconstruction %d not float32-representable", i)
+		}
+	}
+}
+
+func TestQuadraticFitUsed(t *testing.T) {
+	// A parabola should be predictable by the quadratic model after warmup.
+	a := grid.New(500)
+	for i := range a.Data {
+		x := float64(i)
+		a.Data[i] = 0.25*x*x - 3*x + 7
+	}
+	_, st, err := Compress(a, Params{AbsBound: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HitRate < 0.95 {
+		t.Fatalf("parabola hit rate %v, want ~1", st.HitRate)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	a := grid.New(4)
+	for _, p := range []Params{{AbsBound: 0}, {AbsBound: -1}, {AbsBound: math.Inf(1)}, {AbsBound: 1, OutputType: grid.DType(9)}} {
+		if _, _, err := Compress(a, p); err == nil {
+			t.Fatalf("invalid params accepted: %+v", p)
+		}
+	}
+}
+
+func TestCorruption(t *testing.T) {
+	a := grid.New(30)
+	for i := range a.Data {
+		a.Data[i] = float64(i)
+	}
+	stream, _, _ := Compress(a, Params{AbsBound: 1e-3})
+	bad := append([]byte(nil), stream...)
+	bad[len(bad)/2] ^= 0x10
+	if _, err := Decompress(bad); err == nil {
+		t.Fatal("corruption undetected")
+	}
+	if _, err := Decompress(stream[:6]); err == nil {
+		t.Fatal("truncation undetected")
+	}
+}
+
+func TestBoundPropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(500) + 1
+		a := grid.New(n)
+		for i := range a.Data {
+			a.Data[i] = math.Sin(float64(i)*0.1) + rng.NormFloat64()*0.05
+		}
+		eb := math.Pow(10, -float64(rng.Intn(6)+1))
+		stream, _, err := Compress(a, Params{AbsBound: eb})
+		if err != nil {
+			return false
+		}
+		out, err := Decompress(stream)
+		if err != nil {
+			return false
+		}
+		for i := range a.Data {
+			if math.Abs(a.Data[i]-out.Data[i]) > eb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultidimensionalDataLinearized(t *testing.T) {
+	// 2D data is processed in scan order; the bound must still hold.
+	a := grid.New(20, 20)
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			a.Set(math.Sin(float64(i)*0.3)+math.Cos(float64(j)*0.2), i, j)
+		}
+	}
+	eb := 1e-3
+	out := roundTrip(t, a, Params{AbsBound: eb})
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-out.Data[i]) > eb {
+			t.Fatalf("bound violated at %d", i)
+		}
+	}
+}

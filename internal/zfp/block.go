@@ -1,0 +1,197 @@
+package zfp
+
+// Block-level machinery: gather/scatter with edge replication, the lifted
+// orthogonal decorrelating transform, total-sequency coefficient ordering,
+// and the negabinary mapping. All mirror the zfp 0.5 reference algorithms.
+
+// blockSide is the fixed block edge length.
+const blockSide = 4
+
+// fwdLift applies zfp's forward lifting step to four values at stride s.
+// It is an integer approximation of an orthogonal transform; the shifts
+// keep the dynamic range bounded.
+func fwdLift(p []int64, off, s int) {
+	x := p[off]
+	y := p[off+s]
+	z := p[off+2*s]
+	w := p[off+3*s]
+
+	x += w
+	x >>= 1
+	w -= x
+	z += y
+	z >>= 1
+	y -= z
+	x += z
+	x >>= 1
+	z -= x
+	w += y
+	w >>= 1
+	y -= w
+	w += y >> 1
+	y -= w >> 1
+
+	p[off] = x
+	p[off+s] = y
+	p[off+2*s] = z
+	p[off+3*s] = w
+}
+
+// invLift inverts fwdLift.
+func invLift(p []int64, off, s int) {
+	x := p[off]
+	y := p[off+s]
+	z := p[off+2*s]
+	w := p[off+3*s]
+
+	y += w >> 1
+	w -= y >> 1
+	y += w
+	w <<= 1
+	w -= y
+	z += x
+	x <<= 1
+	x -= z
+	y += z
+	z <<= 1
+	z -= y
+	w += x
+	x <<= 1
+	x -= w
+
+	p[off] = x
+	p[off+s] = y
+	p[off+2*s] = z
+	p[off+3*s] = w
+}
+
+// fwdXform applies the lifting along every axis of a d-dimensional block.
+func fwdXform(block []int64, d int) {
+	switch d {
+	case 1:
+		fwdLift(block, 0, 1)
+	case 2:
+		for y := 0; y < 4; y++ { // transform rows (x varies fastest)
+			fwdLift(block, 4*y, 1)
+		}
+		for x := 0; x < 4; x++ { // transform columns
+			fwdLift(block, x, 4)
+		}
+	case 3:
+		for z := 0; z < 4; z++ {
+			for y := 0; y < 4; y++ {
+				fwdLift(block, 16*z+4*y, 1)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for x := 0; x < 4; x++ {
+				fwdLift(block, 16*z+x, 4)
+			}
+		}
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				fwdLift(block, 4*y+x, 16)
+			}
+		}
+	}
+}
+
+// invXform inverts fwdXform (axes in reverse order).
+func invXform(block []int64, d int) {
+	switch d {
+	case 1:
+		invLift(block, 0, 1)
+	case 2:
+		for x := 0; x < 4; x++ {
+			invLift(block, x, 4)
+		}
+		for y := 0; y < 4; y++ {
+			invLift(block, 4*y, 1)
+		}
+	case 3:
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				invLift(block, 4*y+x, 16)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for x := 0; x < 4; x++ {
+				invLift(block, 16*z+x, 4)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for y := 0; y < 4; y++ {
+				invLift(block, 16*z+4*y, 1)
+			}
+		}
+	}
+}
+
+// sequencyOrder returns the coefficient permutation for a d-dimensional
+// block, ordered by total sequency (sum of per-axis frequencies, ties
+// broken by squared sum then lexicographically) — low-frequency
+// coefficients first, as in zfp's PERM tables.
+func sequencyOrder(d int) []int {
+	size := 1
+	for i := 0; i < d; i++ {
+		size *= blockSide
+	}
+	type entry struct {
+		idx, sum, sq int
+	}
+	entries := make([]entry, size)
+	for i := 0; i < size; i++ {
+		sum, sq := 0, 0
+		rem := i
+		for ax := 0; ax < d; ax++ {
+			f := rem % blockSide
+			rem /= blockSide
+			sum += f
+			sq += f * f
+		}
+		entries[i] = entry{i, sum, sq}
+	}
+	// Insertion-stable sort by (sum, sq, idx).
+	order := make([]int, size)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < size; i++ {
+		j := i
+		for j > 0 {
+			a, b := entries[order[j-1]], entries[order[j]]
+			if a.sum > b.sum || (a.sum == b.sum && (a.sq > b.sq || (a.sq == b.sq && a.idx > b.idx))) {
+				order[j-1], order[j] = order[j], order[j-1]
+				j--
+			} else {
+				break
+			}
+		}
+	}
+	return order
+}
+
+// negabinary masks (zfp's NBMASK).
+const (
+	nbMask64 = 0xaaaaaaaaaaaaaaaa
+	nbMask32 = 0xaaaaaaaa
+)
+
+// int2nb converts two's complement to negabinary so that sign information
+// spreads over bit planes (small magnitudes have only low bits set).
+func int2nb(i int64, intprec int) uint64 {
+	if intprec <= 32 {
+		u := (uint32(int32(i)) + uint32(nbMask32)) ^ uint32(nbMask32)
+		return uint64(u)
+	}
+	return (uint64(i) + nbMask64) ^ nbMask64
+}
+
+// nb2int inverts int2nb.
+func nb2int(u uint64, intprec int) int64 {
+	if intprec <= 32 {
+		v := (uint32(u) ^ uint32(nbMask32)) - uint32(nbMask32)
+		return int64(int32(v))
+	}
+	return int64((u ^ nbMask64) - nbMask64)
+}

@@ -1,0 +1,125 @@
+package zfp
+
+// Embedded bit-plane codec, a faithful port of zfp 0.5's encode_ints /
+// decode_ints group-testing scheme: each plane first emits the bits of
+// coefficients already known significant, then unary run-length codes the
+// positions that become significant in this plane. When the bit budget
+// runs out mid-plane both sides stop at the same bit, which is what makes
+// the fixed-rate mode exact.
+//
+// The known-significant prefix of each plane moves as one bulk WriteBits /
+// ReadBits call (with a bit reversal to preserve zfp's LSB-first order);
+// only the data-dependent run-length tail works bit by bit.
+
+import (
+	"math/bits"
+
+	"repro/internal/bitstream"
+)
+
+// encodePlanes encodes the negabinary coefficients (already in sequency
+// order) plane by plane, high to low, down to (and excluding) plane kmin,
+// spending at most maxbits bits. It returns the number of bits written.
+func encodePlanes(w *bitstream.Writer, data []uint64, intprec, kmin, maxbits int) int {
+	budget := maxbits
+	size := len(data)
+	n := 0 // number of coefficients known significant so far
+	for k := intprec; budget > 0 && k > kmin; {
+		k--
+		// Step 1: extract bit plane #k into x (coefficient i -> bit i).
+		var x uint64
+		for i := 0; i < size; i++ {
+			x += ((data[i] >> uint(k)) & 1) << uint(i)
+		}
+		// Step 2: emit the first n bits (known-significant coefficients),
+		// LSB of x first; the reversal lets one WriteBits call carry all m.
+		m := n
+		if m > budget {
+			m = budget
+		}
+		budget -= m
+		if m > 0 {
+			w.WriteBits(bits.Reverse64(x)>>(64-uint(m)), uint(m))
+			x >>= uint(m)
+		}
+		// Step 3: unary run-length encode the remainder of the plane.
+		// (Transliteration of zfp's nested comma-operator for loops.)
+		for n < size && budget > 0 {
+			budget--
+			if x == 0 {
+				w.WriteBits(0, 1) // group test: no significant bits remain
+				break
+			}
+			w.WriteBits(1, 1)
+			for n < size-1 && budget > 0 {
+				budget--
+				b := x & 1
+				w.WriteBits(b, 1)
+				if b != 0 {
+					break // found the next significant coefficient
+				}
+				x >>= 1
+				n++
+			}
+			x >>= 1
+			n++
+		}
+	}
+	return maxbits - budget
+}
+
+// decodePlanes mirrors encodePlanes, accumulating coefficient bits into
+// data (which must be zeroed). It returns the number of bits consumed.
+func decodePlanes(r *bitstream.Reader, data []uint64, intprec, kmin, maxbits int) (int, error) {
+	budget := maxbits
+	size := len(data)
+	n := 0
+	for k := intprec; budget > 0 && k > kmin; {
+		k--
+		var x uint64
+		// Step 1: read the known-significant coefficients' bits in bulk.
+		m := n
+		if m > budget {
+			m = budget
+		}
+		budget -= m
+		if m > 0 {
+			v, err := r.ReadBits(uint(m))
+			if err != nil {
+				return 0, err
+			}
+			x = bits.Reverse64(v << (64 - uint(m)))
+		}
+		// Step 2: unary run-length decode the remainder of the plane.
+		for n < size && budget > 0 {
+			budget--
+			gb, err := r.ReadBits(1)
+			if err != nil {
+				return 0, err
+			}
+			if gb == 0 {
+				break
+			}
+			for n < size-1 && budget > 0 {
+				budget--
+				b, err := r.ReadBits(1)
+				if err != nil {
+					return 0, err
+				}
+				if b != 0 {
+					break
+				}
+				n++
+			}
+			x |= uint64(1) << uint(n)
+			n++
+		}
+		// Step 3: deposit plane bits into the coefficients.
+		for i := 0; x != 0; i, x = i+1, x>>1 {
+			if x&1 != 0 {
+				data[i] |= uint64(1) << uint(k)
+			}
+		}
+	}
+	return maxbits - budget, nil
+}

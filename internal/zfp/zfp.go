@@ -1,0 +1,486 @@
+// Package zfp reimplements Lindstrom's ZFP 0.5 fixed-point block-transform
+// compressor (TVCG 2014), the strongest lossy baseline in the SZ-1.4
+// paper's evaluation.
+//
+// Pipeline per 4^d block: align all values to the block's largest exponent
+// and convert to fixed point; apply the lifted orthogonal decorrelating
+// transform along each axis; reorder coefficients by total sequency; map to
+// negabinary; and emit bit planes MSB-first with group-testing run-length
+// coding. Two modes are provided:
+//
+//   - FixedAccuracy: planes are coded down to the tolerance-derived cutoff
+//     with a 2(d+1)-plane safety margin — which is why ZFP's observed
+//     maximum error is typically an order of magnitude below the requested
+//     tolerance (the paper's Table V), and why the bound can be *violated*
+//     when the value range is so large that the needed planes exceed the
+//     fixed-point precision (the paper's CDNUMC example);
+//   - FixedRate: every block gets exactly the same bit budget, the mode
+//     ZFP is designed around (rate-distortion studies, Fig. 8).
+package zfp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/bitstream"
+	"repro/internal/grid"
+)
+
+const magic = "ZFPG"
+
+// ErrCorrupt is returned for malformed streams.
+var ErrCorrupt = errors.New("zfp: corrupt stream")
+
+// ErrNonFinite is returned when the input contains NaN or Inf, which the
+// exponent-alignment scheme cannot represent (matching the original).
+var ErrNonFinite = errors.New("zfp: input contains non-finite values")
+
+// Mode selects the rate-control policy.
+type Mode uint8
+
+const (
+	// FixedAccuracy bounds the per-value error by a tolerance (zfp -a).
+	FixedAccuracy Mode = iota + 1
+	// FixedRate spends exactly Rate bits per value (zfp -r).
+	FixedRate
+)
+
+func (m Mode) String() string {
+	switch m {
+	case FixedAccuracy:
+		return "accuracy"
+	case FixedRate:
+		return "rate"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// Params configures compression.
+type Params struct {
+	// Mode selects FixedAccuracy or FixedRate.
+	Mode Mode
+	// Tolerance is the absolute error tolerance (FixedAccuracy).
+	Tolerance float64
+	// Rate is the bit budget per value (FixedRate), e.g. 8.0.
+	Rate float64
+	// DType selects the fixed-point precision: Float32 uses 32-bit ints
+	// (zfp's float path), Float64 uses 64-bit ints. 0 means Float64.
+	DType grid.DType
+}
+
+// Stats reports compression outcomes.
+type Stats struct {
+	N                 int
+	CompressedBytes   int
+	OriginalBytes     int
+	CompressionFactor float64
+	BitRate           float64
+}
+
+const (
+	ebits = 12   // biased exponent field width
+	ebias = 2075 // covers frexp exponents of all normal and subnormal doubles
+)
+
+func (p *Params) defaults() error {
+	if p.DType == 0 {
+		p.DType = grid.Float64
+	}
+	if p.DType != grid.Float32 && p.DType != grid.Float64 {
+		return fmt.Errorf("zfp: unsupported dtype %v", p.DType)
+	}
+	switch p.Mode {
+	case FixedAccuracy:
+		if p.Tolerance < 0 || math.IsNaN(p.Tolerance) || math.IsInf(p.Tolerance, 0) {
+			return fmt.Errorf("zfp: tolerance %v must be finite and >= 0", p.Tolerance)
+		}
+	case FixedRate:
+		if !(p.Rate > 0) || p.Rate > 64 {
+			return fmt.Errorf("zfp: rate %v out of (0,64]", p.Rate)
+		}
+	default:
+		return fmt.Errorf("zfp: unknown mode %v", p.Mode)
+	}
+	return nil
+}
+
+func (p *Params) intprec() int {
+	if p.DType == grid.Float32 {
+		return 32
+	}
+	return 64
+}
+
+// minExp returns the tolerance cutoff exponent (zfp_stream_set_accuracy).
+func (p *Params) minExp() int {
+	if p.Mode != FixedAccuracy || p.Tolerance <= 0 {
+		return -(1 << 20) // effectively unlimited precision
+	}
+	_, e := math.Frexp(p.Tolerance)
+	return e - 1
+}
+
+// Compress encodes a under p. Inputs with NaN/Inf are rejected.
+func Compress(a *grid.Array, p Params) ([]byte, *Stats, error) {
+	if err := p.defaults(); err != nil {
+		return nil, nil, err
+	}
+	d := a.NDims()
+	if d < 1 || d > 3 {
+		return nil, nil, fmt.Errorf("zfp: %d dimensions unsupported (1-3)", d)
+	}
+	for _, v := range a.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, nil, ErrNonFinite
+		}
+	}
+	blockSize := 1
+	for i := 0; i < d; i++ {
+		blockSize *= blockSide
+	}
+	order := sequencyOrder(d)
+	intprec := p.intprec()
+	q := intprec - 2
+	minexp := p.minExp()
+
+	maxbits := 1 << 30 // accuracy mode: unbounded
+	if p.Mode == FixedRate {
+		maxbits = int(p.Rate * float64(blockSize))
+		if maxbits < 1+ebits+1 {
+			maxbits = 1 + ebits + 1
+		}
+	}
+
+	w := bitstream.NewWriter(a.Len())
+	block := make([]float64, blockSize)
+	ints := make([]int64, blockSize)
+	coeffs := make([]uint64, blockSize)
+
+	nb := blockCounts(a.Dims)
+	iterBlocks(nb, func(bc []int) {
+		gather(a, bc, block)
+		encodeBlock(w, block, ints, coeffs, order, d, intprec, q, minexp, maxbits, p.Mode)
+	})
+
+	head := make([]byte, 0, 64)
+	head = append(head, magic...)
+	head = append(head, byte(p.DType), byte(p.Mode), byte(d))
+	for _, dim := range a.Dims {
+		head = binary.AppendUvarint(head, uint64(dim))
+	}
+	param := p.Tolerance
+	if p.Mode == FixedRate {
+		param = p.Rate
+	}
+	head = binary.LittleEndian.AppendUint64(head, math.Float64bits(param))
+	head = binary.AppendUvarint(head, w.Len())
+	out := append(head, w.Bytes()...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+
+	st := &Stats{
+		N:               a.Len(),
+		CompressedBytes: len(out),
+		OriginalBytes:   a.Len() * p.DType.Size(),
+	}
+	st.CompressionFactor = float64(st.OriginalBytes) / float64(st.CompressedBytes)
+	st.BitRate = float64(st.CompressedBytes) * 8 / float64(st.N)
+	return out, st, nil
+}
+
+// encodeBlock writes one block.
+func encodeBlock(w *bitstream.Writer, block []float64, ints []int64, coeffs []uint64,
+	order []int, d, intprec, q, minexp, maxbits int, mode Mode) {
+	start := w.Len()
+	maxabs := 0.0
+	for _, v := range block {
+		if av := math.Abs(v); av > maxabs {
+			maxabs = av
+		}
+	}
+	_, emax := math.Frexp(maxabs)
+	if mode == FixedAccuracy && (maxabs == 0 || emax < minexp) {
+		w.WriteBits(0, 1) // negligible block
+		return
+	}
+	w.WriteBits(1, 1)
+	w.WriteBits(uint64(emax+ebias), ebits)
+
+	// Fixed-point cast: x -> x * 2^(q - emax).
+	scale := math.Ldexp(1, q-emax)
+	for i, v := range block {
+		ints[i] = int64(v * scale)
+	}
+	fwdXform(ints, d)
+	for i, src := range order {
+		coeffs[i] = int2nb(ints[src], intprec)
+	}
+
+	// Plane cutoff: zfp's precision() with the 2(d+1) safety margin.
+	maxprec := intprec
+	if mode == FixedAccuracy {
+		maxprec = emax - minexp + 2*(d+1)
+		if maxprec < 0 {
+			maxprec = 0
+		}
+		if maxprec > intprec {
+			maxprec = intprec
+		}
+	}
+	kmin := intprec - maxprec
+	budget := maxbits - int(w.Len()-start)
+	encodePlanes(w, coeffs, intprec, kmin, budget)
+	if mode == FixedRate {
+		// Pad the block to exactly maxbits for random access.
+		for w.Len()-start < uint64(maxbits) {
+			w.WriteBits(0, 1)
+		}
+	}
+}
+
+// Decompress inverts Compress.
+func Decompress(stream []byte) (*grid.Array, error) {
+	if len(stream) < 7+8+4 {
+		return nil, fmt.Errorf("%w: too short", ErrCorrupt)
+	}
+	if string(stream[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if crc32.ChecksumIEEE(stream[:len(stream)-4]) != binary.LittleEndian.Uint32(stream[len(stream)-4:]) {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	p := Params{DType: grid.DType(stream[4]), Mode: Mode(stream[5])}
+	d := int(stream[6])
+	if d < 1 || d > 3 {
+		return nil, fmt.Errorf("%w: bad ndims", ErrCorrupt)
+	}
+	off := 7
+	dims := make([]int, d)
+	for i := range dims {
+		v, k := binary.Uvarint(stream[off:])
+		if k <= 0 || v == 0 || v > 1<<40 {
+			return nil, fmt.Errorf("%w: bad dim", ErrCorrupt)
+		}
+		dims[i] = int(v)
+		off += k
+	}
+	if len(stream) < off+8 {
+		return nil, fmt.Errorf("%w: truncated", ErrCorrupt)
+	}
+	param := math.Float64frombits(binary.LittleEndian.Uint64(stream[off:]))
+	off += 8
+	switch p.Mode {
+	case FixedAccuracy:
+		p.Tolerance = param
+	case FixedRate:
+		p.Rate = param
+	}
+	if err := p.defaults(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	nbits, k := binary.Uvarint(stream[off:])
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: bad payload length", ErrCorrupt)
+	}
+	off += k
+	payload := stream[off : len(stream)-4]
+
+	blockSize := 1
+	for i := 0; i < d; i++ {
+		blockSize *= blockSide
+	}
+	order := sequencyOrder(d)
+	intprec := p.intprec()
+	q := intprec - 2
+	maxbits := 1 << 30
+	if p.Mode == FixedRate {
+		maxbits = int(p.Rate * float64(blockSize))
+		if maxbits < 1+ebits+1 {
+			maxbits = 1 + ebits + 1
+		}
+	}
+
+	a := grid.New(dims...)
+	r := bitstream.NewReaderBits(payload, nbits)
+	block := make([]float64, blockSize)
+	ints := make([]int64, blockSize)
+	coeffs := make([]uint64, blockSize)
+	minexp := p.minExp()
+
+	var decodeErr error
+	nb := blockCounts(dims)
+	iterBlocks(nb, func(bc []int) {
+		if decodeErr != nil {
+			return
+		}
+		if err := decodeBlock(r, block, ints, coeffs, order, d, intprec, q, minexp, maxbits, p.Mode); err != nil {
+			decodeErr = err
+			return
+		}
+		scatter(a, bc, block)
+	})
+	if decodeErr != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, decodeErr)
+	}
+	return a, nil
+}
+
+func decodeBlock(r *bitstream.Reader, block []float64, ints []int64, coeffs []uint64,
+	order []int, d, intprec, q, minexp, maxbits int, mode Mode) error {
+	start := r.Pos()
+	flag, err := r.ReadBits(1)
+	if err != nil {
+		return err
+	}
+	if flag == 0 {
+		for i := range block {
+			block[i] = 0
+		}
+		return nil
+	}
+	e, err := r.ReadBits(ebits)
+	if err != nil {
+		return err
+	}
+	emax := int(e) - ebias
+
+	maxprec := intprec
+	if mode == FixedAccuracy {
+		maxprec = emax - minexp + 2*(d+1)
+		if maxprec < 0 {
+			maxprec = 0
+		}
+		if maxprec > intprec {
+			maxprec = intprec
+		}
+	}
+	kmin := intprec - maxprec
+	for i := range coeffs {
+		coeffs[i] = 0
+	}
+	budget := maxbits - int(r.Pos()-start)
+	if _, err := decodePlanes(r, coeffs, intprec, kmin, budget); err != nil {
+		return err
+	}
+	if mode == FixedRate {
+		// Skip block padding.
+		for r.Pos()-start < uint64(maxbits) {
+			if _, err := r.ReadBits(1); err != nil {
+				return err
+			}
+		}
+	}
+	for i, src := range order {
+		ints[src] = nb2int(coeffs[i], intprec)
+	}
+	invXform(ints, d)
+	scale := math.Ldexp(1, emax-q)
+	for i := range block {
+		block[i] = float64(ints[i]) * scale
+	}
+	return nil
+}
+
+// --- block iteration ---------------------------------------------------------
+
+// blockCounts returns the number of blocks along each dimension.
+func blockCounts(dims []int) []int {
+	nb := make([]int, len(dims))
+	for i, d := range dims {
+		nb[i] = (d + blockSide - 1) / blockSide
+	}
+	return nb
+}
+
+// iterBlocks invokes fn with each block coordinate in row-major order.
+func iterBlocks(nb []int, fn func(bc []int)) {
+	bc := make([]int, len(nb))
+	for {
+		fn(bc)
+		j := len(bc) - 1
+		for j >= 0 {
+			bc[j]++
+			if bc[j] < nb[j] {
+				break
+			}
+			bc[j] = 0
+			j--
+		}
+		if j < 0 {
+			return
+		}
+	}
+}
+
+// gather copies one block from a into dst, replicating edge values for
+// partial blocks (zfp's padding policy).
+func gather(a *grid.Array, bc []int, dst []float64) {
+	d := len(bc)
+	switch d {
+	case 1:
+		base := bc[0] * blockSide
+		for i := 0; i < blockSide; i++ {
+			dst[i] = a.Data[clampIdx(base+i, a.Dims[0])]
+		}
+	case 2:
+		b0, b1 := bc[0]*blockSide, bc[1]*blockSide
+		for y := 0; y < blockSide; y++ {
+			yy := clampIdx(b0+y, a.Dims[0])
+			row := yy * a.Dims[1]
+			for x := 0; x < blockSide; x++ {
+				dst[y*blockSide+x] = a.Data[row+clampIdx(b1+x, a.Dims[1])]
+			}
+		}
+	case 3:
+		b0, b1, b2 := bc[0]*blockSide, bc[1]*blockSide, bc[2]*blockSide
+		for z := 0; z < blockSide; z++ {
+			zz := clampIdx(b0+z, a.Dims[0])
+			for y := 0; y < blockSide; y++ {
+				yy := clampIdx(b1+y, a.Dims[1])
+				row := (zz*a.Dims[1] + yy) * a.Dims[2]
+				for x := 0; x < blockSide; x++ {
+					dst[(z*blockSide+y)*blockSide+x] = a.Data[row+clampIdx(b2+x, a.Dims[2])]
+				}
+			}
+		}
+	}
+}
+
+// scatter writes one decoded block back, skipping padded positions.
+func scatter(a *grid.Array, bc []int, src []float64) {
+	d := len(bc)
+	switch d {
+	case 1:
+		base := bc[0] * blockSide
+		for i := 0; i < blockSide && base+i < a.Dims[0]; i++ {
+			a.Data[base+i] = src[i]
+		}
+	case 2:
+		b0, b1 := bc[0]*blockSide, bc[1]*blockSide
+		for y := 0; y < blockSide && b0+y < a.Dims[0]; y++ {
+			row := (b0 + y) * a.Dims[1]
+			for x := 0; x < blockSide && b1+x < a.Dims[1]; x++ {
+				a.Data[row+b1+x] = src[y*blockSide+x]
+			}
+		}
+	case 3:
+		b0, b1, b2 := bc[0]*blockSide, bc[1]*blockSide, bc[2]*blockSide
+		for z := 0; z < blockSide && b0+z < a.Dims[0]; z++ {
+			for y := 0; y < blockSide && b1+y < a.Dims[1]; y++ {
+				row := ((b0+z)*a.Dims[1] + b1 + y) * a.Dims[2]
+				for x := 0; x < blockSide && b2+x < a.Dims[2]; x++ {
+					a.Data[row+b2+x] = src[(z*blockSide+y)*blockSide+x]
+				}
+			}
+		}
+	}
+}
+
+func clampIdx(i, n int) int {
+	if i >= n {
+		return n - 1
+	}
+	return i
+}

@@ -1,0 +1,422 @@
+package zfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitstream"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+)
+
+// The zfp lifting is intentionally not bit-exact: its >>1 steps discard
+// low-order bits that the two fixed-point guard bits absorb. The inverse
+// must reconstruct within a few integer units — negligible at scale 2^60.
+func TestLiftRoundTripApprox(t *testing.T) {
+	f := func(a, b, c, d int32) bool {
+		p := []int64{int64(a) >> 2, int64(b) >> 2, int64(c) >> 2, int64(d) >> 2}
+		orig := append([]int64(nil), p...)
+		fwdLift(p, 0, 1)
+		invLift(p, 0, 1)
+		for i := range p {
+			if diff := p[i] - orig[i]; diff > 8 || diff < -8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXformRoundTripApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for d := 1; d <= 3; d++ {
+		size := 1
+		for i := 0; i < d; i++ {
+			size *= 4
+		}
+		block := make([]int64, size)
+		for i := range block {
+			block[i] = int64(rng.Int31()) >> 2
+		}
+		orig := append([]int64(nil), block...)
+		fwdXform(block, d)
+		invXform(block, d)
+		for i := range block {
+			diff := block[i] - orig[i]
+			if diff > 64 || diff < -64 {
+				t.Fatalf("d=%d: xform error %d at %d exceeds guard bits", d, diff, i)
+			}
+		}
+	}
+}
+
+func TestXformDecorrelatesSmooth(t *testing.T) {
+	// A linear ramp should concentrate energy in low-sequency coefficients.
+	block := make([]int64, 16)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			block[y*4+x] = int64((x + y) << 20)
+		}
+	}
+	fwdXform(block, 2)
+	order := sequencyOrder(2)
+	var headEnergy, tailEnergy float64
+	for rank, src := range order {
+		e := math.Abs(float64(block[src]))
+		if rank < 4 {
+			headEnergy += e
+		} else if rank >= 8 {
+			tailEnergy += e
+		}
+	}
+	if tailEnergy > headEnergy/10 {
+		t.Fatalf("transform failed to decorrelate: head %v tail %v", headEnergy, tailEnergy)
+	}
+}
+
+func TestNegabinaryRoundTrip(t *testing.T) {
+	for _, prec := range []int{32, 64} {
+		vals := []int64{0, 1, -1, 2, -2, 1000, -1000, 1 << 28, -(1 << 28)}
+		if prec == 64 {
+			vals = append(vals, 1<<60, -(1 << 60))
+		}
+		for _, v := range vals {
+			if got := nb2int(int2nb(v, prec), prec); got != v {
+				t.Fatalf("prec %d: negabinary round trip %d -> %d", prec, v, got)
+			}
+		}
+	}
+}
+
+func TestNegabinarySmallMagnitudeLowBits(t *testing.T) {
+	// Small values must have only low bits set (that is the point of
+	// negabinary for plane coding).
+	for _, v := range []int64{0, 1, -1, 3, -3} {
+		nb := int2nb(v, 64)
+		if nb > 16 {
+			t.Fatalf("negabinary of %d = %#x has high bits", v, nb)
+		}
+	}
+}
+
+func TestSequencyOrderIsPermutation(t *testing.T) {
+	for d := 1; d <= 3; d++ {
+		order := sequencyOrder(d)
+		size := 1
+		for i := 0; i < d; i++ {
+			size *= 4
+		}
+		if len(order) != size {
+			t.Fatalf("d=%d: order size %d", d, len(order))
+		}
+		seen := make([]bool, size)
+		for _, v := range order {
+			if v < 0 || v >= size || seen[v] {
+				t.Fatalf("d=%d: not a permutation", d)
+			}
+			seen[v] = true
+		}
+		if order[0] != 0 {
+			t.Fatalf("d=%d: DC coefficient must come first", d)
+		}
+	}
+}
+
+func TestPlaneCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := rng.Intn(64) + 1
+		data := make([]uint64, size)
+		for i := range data {
+			data[i] = rng.Uint64() >> uint(rng.Intn(60))
+		}
+		w := bitstream.NewWriter(0)
+		used := encodePlanes(w, data, 64, 0, 1<<30)
+		r := bitstream.NewReaderBits(w.Bytes(), w.Len())
+		out := make([]uint64, size)
+		got, err := decodePlanes(r, out, 64, 0, 1<<30)
+		if err != nil || got != used {
+			return false
+		}
+		for i := range data {
+			if out[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaneCodecPartialPrecision(t *testing.T) {
+	// Coding only the top planes must reproduce the high bits exactly.
+	data := []uint64{0xF0F0F0F0F0F0F0F0, 0x0F0F0F0F0F0F0F0F, 42, 1 << 63}
+	kmin := 32
+	w := bitstream.NewWriter(0)
+	encodePlanes(w, data, 64, kmin, 1<<30)
+	out := make([]uint64, len(data))
+	r := bitstream.NewReaderBits(w.Bytes(), w.Len())
+	if _, err := decodePlanes(r, out, 64, kmin, 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	mask := ^uint64(0) << uint(kmin)
+	for i := range data {
+		if out[i] != data[i]&mask {
+			t.Fatalf("coeff %d: got %#x want %#x", i, out[i], data[i]&mask)
+		}
+	}
+}
+
+func smooth2D(m, n int) *grid.Array {
+	a := grid.New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(math.Sin(float64(i)*0.1)*math.Cos(float64(j)*0.15)+0.5*math.Sin(float64(i+j)*0.02), i, j)
+		}
+	}
+	return a
+}
+
+func TestAccuracyModeRespectsToleranceSmooth(t *testing.T) {
+	a := smooth2D(64, 64)
+	for _, tol := range []float64{1e-2, 1e-4, 1e-6} {
+		stream, _, err := Compress(a, Params{Mode: FixedAccuracy, Tolerance: tol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Decompress(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxErr := metrics.MaxAbsError(a.Data, out.Data)
+		if maxErr > tol {
+			t.Fatalf("tol %g: max error %g exceeds tolerance", tol, maxErr)
+		}
+	}
+}
+
+func TestAccuracyModeIsConservative(t *testing.T) {
+	// The paper's Table V: ZFP's actual max error is well below tolerance.
+	a := smooth2D(64, 64)
+	tol := 1e-3
+	stream, _, err := Compress(a, Params{Mode: FixedAccuracy, Tolerance: tol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr := metrics.MaxAbsError(a.Data, out.Data)
+	if maxErr > tol/2 {
+		t.Fatalf("expected conservative error ≪ tol, got %g vs tol %g", maxErr, tol)
+	}
+}
+
+func TestHugeRangeViolatesBoundFloat32(t *testing.T) {
+	// The paper's CDNUMC case: float32 pipeline, values spanning ~14 decades
+	// in one block, tiny absolute tolerance. The 30-bit fixed point cannot
+	// hold enough planes, so the bound is violated — a feature of the
+	// reproduction, not a bug.
+	a := grid.New(8, 8)
+	rng := rand.New(rand.NewSource(11))
+	for i := range a.Data {
+		a.Data[i] = float64(float32(math.Pow(10, rng.Float64()*14-3)))
+	}
+	tol := 1e-7
+	stream, _, err := Compress(a, Params{Mode: FixedAccuracy, Tolerance: tol, DType: grid.Float32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr := metrics.MaxAbsError(a.Data, out.Data)
+	if maxErr <= tol {
+		t.Fatalf("expected bound violation on huge-range block, max error %g <= tol %g", maxErr, tol)
+	}
+}
+
+func TestFixedRateExactBudget(t *testing.T) {
+	a := smooth2D(64, 64)
+	for _, rate := range []float64{4, 8, 16} {
+		stream, st, err := Compress(a, Params{Mode: FixedRate, Rate: rate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Payload must be ~rate bits/value plus the small header.
+		payloadBits := float64(st.CompressedBytes-32) * 8
+		gotRate := payloadBits / float64(a.Len())
+		if math.Abs(gotRate-rate) > 0.5 {
+			t.Fatalf("rate %v: got %.2f bits/value", rate, gotRate)
+		}
+		out, err := Decompress(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := grid.SameShape(a, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFixedRateHigherRateBetterPSNR(t *testing.T) {
+	a := smooth2D(64, 64)
+	var prev float64
+	for _, rate := range []float64{2, 4, 8, 16} {
+		stream, _, err := Compress(a, Params{Mode: FixedRate, Rate: rate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Decompress(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		psnr := metrics.PSNR(a.Data, out.Data)
+		if psnr < prev {
+			t.Fatalf("PSNR fell from %v to %v as rate rose to %v", prev, psnr, rate)
+		}
+		prev = psnr
+	}
+	if prev < 60 {
+		t.Fatalf("16 bits/value PSNR %v unexpectedly low", prev)
+	}
+}
+
+func Test3D(t *testing.T) {
+	a := grid.New(10, 12, 14)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 12; j++ {
+			for k := 0; k < 14; k++ {
+				a.Set(math.Sin(float64(i)*0.3)+math.Cos(float64(j)*0.2)*math.Sin(float64(k)*0.1), i, j, k)
+			}
+		}
+	}
+	tol := 1e-4
+	stream, _, err := Compress(a, Params{Mode: FixedAccuracy, Tolerance: tol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.MaxAbsError(a.Data, out.Data) > tol {
+		t.Fatal("3D tolerance violated")
+	}
+}
+
+func Test1D(t *testing.T) {
+	a := grid.New(1000)
+	for i := range a.Data {
+		a.Data[i] = math.Sin(float64(i) * 0.01)
+	}
+	tol := 1e-5
+	stream, _, err := Compress(a, Params{Mode: FixedAccuracy, Tolerance: tol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.MaxAbsError(a.Data, out.Data) > tol {
+		t.Fatal("1D tolerance violated")
+	}
+}
+
+func TestPartialBlocks(t *testing.T) {
+	// Dims not multiples of 4.
+	a := grid.New(7, 9)
+	for i := range a.Data {
+		a.Data[i] = float64(i) * 0.01
+	}
+	tol := 1e-6
+	stream, _, err := Compress(a, Params{Mode: FixedAccuracy, Tolerance: tol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.MaxAbsError(a.Data, out.Data) > tol {
+		t.Fatal("partial-block tolerance violated")
+	}
+}
+
+func TestZeroBlocks(t *testing.T) {
+	a := grid.New(16, 16) // all zeros
+	stream, st, err := Compress(a, Params{Mode: FixedAccuracy, Tolerance: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CompressionFactor < 50 {
+		t.Fatalf("zero field CF = %v, want huge", st.CompressionFactor)
+	}
+	out, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out.Data {
+		if v != 0 {
+			t.Fatalf("zero block decoded to %v at %d", v, i)
+		}
+	}
+}
+
+func TestNonFiniteRejected(t *testing.T) {
+	a := grid.New(8)
+	a.Data[3] = math.NaN()
+	if _, _, err := Compress(a, Params{Mode: FixedAccuracy, Tolerance: 1e-3}); err != ErrNonFinite {
+		t.Fatalf("want ErrNonFinite, got %v", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	a := grid.New(8)
+	cases := []Params{
+		{Mode: FixedAccuracy, Tolerance: -1},
+		{Mode: FixedAccuracy, Tolerance: math.NaN()},
+		{Mode: FixedRate, Rate: 0},
+		{Mode: FixedRate, Rate: 100},
+		{Mode: Mode(9)},
+		{Mode: FixedAccuracy, DType: grid.DType(7)},
+	}
+	for i, p := range cases {
+		if _, _, err := Compress(a, p); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	a4 := grid.New(2, 2, 2, 2)
+	if _, _, err := Compress(a4, Params{Mode: FixedAccuracy, Tolerance: 1}); err == nil {
+		t.Fatal("4D accepted")
+	}
+}
+
+func TestCorruption(t *testing.T) {
+	a := smooth2D(16, 16)
+	stream, _, _ := Compress(a, Params{Mode: FixedAccuracy, Tolerance: 1e-4})
+	bad := append([]byte(nil), stream...)
+	bad[len(bad)/2] ^= 0x20
+	if _, err := Decompress(bad); err == nil {
+		t.Fatal("corruption undetected")
+	}
+	if _, err := Decompress(stream[:9]); err == nil {
+		t.Fatal("truncation undetected")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if FixedAccuracy.String() != "accuracy" || FixedRate.String() != "rate" || Mode(5).String() == "" {
+		t.Fatal("Mode String broken")
+	}
+}

@@ -1,0 +1,189 @@
+// Package sz is a pure-Go implementation of the SZ-1.4 error-bounded lossy
+// compressor for multidimensional scientific floating-point data, from
+//
+//	Tao, Di, Chen, Cappello: "Significantly Improving Lossy Compression for
+//	Scientific Data Sets Based on Multidimensional Prediction and
+//	Error-Controlled Quantization", IPDPS 2017.
+//
+// The compressor predicts every value from its already-reconstructed
+// neighbours with an n-layer multidimensional predictor, quantizes the
+// residual into 2^m−1 uniform intervals of width twice the error bound,
+// Huffman-codes the quantization codes, and stores the rare unpredictable
+// values via error-bounded IEEE truncation. The reconstruction error of
+// every point is guaranteed within the user's bound.
+//
+// Basic use:
+//
+//	a, _ := sz.FromFloat32s(values, 1800, 3600)
+//	stream, stats, err := sz.Compress(a, sz.Params{
+//		Mode:     sz.BoundRel,
+//		RelBound: 1e-4,
+//	})
+//	...
+//	restored, header, err := sz.Decompress(stream)
+//
+// The internal packages additionally provide the baseline compressors the
+// paper evaluates against (GZIP, FPZIP, ZFP, SZ-1.1, ISABELA), the metric
+// suite, synthetic data generators, and the experiment harness that
+// regenerates every table and figure of the paper (see cmd/szexp).
+package sz
+
+import (
+	"repro/internal/blocked"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/pwrel"
+)
+
+// Re-exported core types. Array is the row-major multidimensional
+// container; Params/Stats/Header configure and describe compression runs.
+type (
+	// Array is a dense row-major d-dimensional float64 array.
+	Array = grid.Array
+	// DType identifies the source element precision.
+	DType = grid.DType
+	// Params configures compression (bound mode, layers, intervals).
+	Params = core.Params
+	// Stats reports what a compression run did.
+	Stats = core.Stats
+	// Header describes a compressed stream.
+	Header = core.Header
+	// BoundMode selects absolute/relative/combined error bounding.
+	BoundMode = core.BoundMode
+	// HitRates carries the Table II prediction-hitting-rate pair.
+	HitRates = core.HitRates
+	// Summary aggregates the paper's quality metrics for a data pair.
+	Summary = metrics.Summary
+)
+
+// Bound modes.
+const (
+	// BoundAbs bounds the pointwise absolute error by Params.AbsBound.
+	BoundAbs = core.BoundAbs
+	// BoundRel bounds the pointwise error by Params.RelBound × value range.
+	BoundRel = core.BoundRel
+	// BoundAbsAndRel enforces the tighter of the two bounds.
+	BoundAbsAndRel = core.BoundAbsAndRel
+)
+
+// Element types.
+const (
+	// Float32 marks single-precision source data.
+	Float32 = grid.Float32
+	// Float64 marks double-precision source data.
+	Float64 = grid.Float64
+)
+
+// Defaults.
+const (
+	// DefaultLayers is the default predictor layer count (n = 1, Lorenzo).
+	DefaultLayers = core.DefaultLayers
+	// DefaultIntervalBits is the default quantization width (m = 8,
+	// 255 intervals).
+	DefaultIntervalBits = core.DefaultIntervalBits
+)
+
+// NewArray allocates a zero-filled array with the given dimensions
+// (slowest-varying first, at most 4).
+func NewArray(dims ...int) *Array { return grid.New(dims...) }
+
+// FromData wraps an existing row-major float64 slice without copying.
+func FromData(data []float64, dims ...int) (*Array, error) {
+	return grid.FromData(data, dims...)
+}
+
+// FromFloat32s widens a float32 slice into a new Array. Pair it with
+// Params.OutputType = Float32 so reconstructions stay single-precision.
+func FromFloat32s(data []float32, dims ...int) (*Array, error) {
+	return grid.FromFloat32s(data, dims...)
+}
+
+// Compress applies the SZ-1.4 pipeline to a and returns the compressed
+// stream and run statistics. Every reconstructed value is guaranteed
+// within the effective error bound (Stats.EffAbsBound).
+func Compress(a *Array, p Params) ([]byte, *Stats, error) {
+	return core.Compress(a, p)
+}
+
+// Decompress reconstructs the array from a stream produced by Compress.
+func Decompress(stream []byte) (*Array, *Header, error) {
+	return core.Decompress(stream)
+}
+
+// Inspect parses a stream header without decompressing the payload.
+func Inspect(stream []byte) (*Header, error) {
+	return core.Inspect(stream)
+}
+
+// ProbeHitRates measures the prediction hitting rate on original versus
+// reconstructed values for the given parameters (the paper's Table II
+// analysis, used to choose the best layer count for a data set).
+func ProbeHitRates(a *Array, p Params) (HitRates, error) {
+	return core.ProbeHitRates(a, p)
+}
+
+// Evaluate computes the paper's quality metrics (max error, RMSE, NRMSE,
+// PSNR, Pearson correlation) between an original and its reconstruction.
+func Evaluate(original, reconstructed *Array) (Summary, error) {
+	if err := grid.SameShape(original, reconstructed); err != nil {
+		return Summary{}, err
+	}
+	return metrics.Compare(original.Data, reconstructed.Data)
+}
+
+// Blocked-container API: the array is split into slabs along the slowest
+// dimension, each compressed independently — parallel compression and
+// decompression plus random access to individual slabs (the paper's
+// Section VI in-situ pattern). See internal/blocked for format details.
+type (
+	// BlockedParams configures blocked compression.
+	BlockedParams = blocked.Params
+	// BlockedStats aggregates per-slab outcomes.
+	BlockedStats = blocked.Stats
+	// BlockedIndex describes a blocked container.
+	BlockedIndex = blocked.Index
+)
+
+// CompressBlocked encodes a as a blocked container with per-slab streams.
+func CompressBlocked(a *Array, p BlockedParams) ([]byte, *BlockedStats, error) {
+	return blocked.Compress(a, p)
+}
+
+// DecompressBlocked reconstructs the full array from a blocked container,
+// using `workers` goroutines (0 = NumCPU).
+func DecompressBlocked(stream []byte, workers int) (*Array, error) {
+	return blocked.Decompress(stream, workers)
+}
+
+// DecompressSlab decompresses only slab i of a blocked container.
+func DecompressSlab(stream []byte, i int) (*Array, error) {
+	return blocked.DecompressSlab(stream, i)
+}
+
+// InspectBlocked parses a blocked container's index without decompressing.
+func InspectBlocked(stream []byte) (*BlockedIndex, error) {
+	return blocked.Inspect(stream)
+}
+
+// Pointwise-relative mode (the PW_REL bound later SZ releases ship as an
+// extension of this paper's compressor): every point satisfies
+// |x − x̃| ≤ ε·|x|, with zeros and non-finite values exact. Implemented as
+// a log-domain transform over the core pipeline; see internal/pwrel.
+type (
+	// PointwiseParams configures pointwise-relative compression.
+	PointwiseParams = pwrel.Params
+	// PointwiseStats reports pointwise-relative outcomes.
+	PointwiseStats = pwrel.Stats
+)
+
+// CompressPointwiseRel encodes a with a per-point relative bound.
+func CompressPointwiseRel(a *Array, p PointwiseParams) ([]byte, *PointwiseStats, error) {
+	return pwrel.Compress(a, p)
+}
+
+// DecompressPointwiseRel inverts CompressPointwiseRel, returning the array
+// and the bound ε recorded in the stream.
+func DecompressPointwiseRel(stream []byte) (*Array, float64, error) {
+	return pwrel.Decompress(stream)
+}

@@ -1,0 +1,82 @@
+package sz_test
+
+import (
+	"math"
+	"testing"
+
+	sz "repro"
+	"repro/internal/datagen"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	a := datagen.ATM(90, 120, 3)
+	stream, stats, err := sz.Compress(a, sz.Params{
+		Mode:       sz.BoundRel,
+		RelBound:   1e-4,
+		OutputType: sz.Float32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CompressionFactor < 2 {
+		t.Fatalf("CF = %v, want > 2 at eb_rel=1e-4", stats.CompressionFactor)
+	}
+	out, h, err := sz.Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-out.Data[i]) > h.AbsBound {
+			t.Fatalf("bound violated at %d", i)
+		}
+	}
+	sum, err := sz.Evaluate(a, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.MaxRelErr > 1e-4 {
+		t.Fatalf("max relative error %v exceeds 1e-4", sum.MaxRelErr)
+	}
+	if sum.Pearson < 0.99999 {
+		t.Fatalf("correlation %v below five nines", sum.Pearson)
+	}
+}
+
+func TestPublicAPIFromFloat32s(t *testing.T) {
+	vals := make([]float32, 400)
+	for i := range vals {
+		vals[i] = float32(math.Sin(float64(i) * 0.05))
+	}
+	a, err := sz.FromFloat32s(vals, 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, _, err := sz.Compress(a, sz.Params{Mode: sz.BoundAbs, AbsBound: 1e-3, OutputType: sz.Float32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sz.Inspect(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.DType != sz.Float32 || h.Dims[0] != 20 {
+		t.Fatalf("header %+v", h)
+	}
+}
+
+func TestPublicAPIProbe(t *testing.T) {
+	a := datagen.ATM(60, 60, 4)
+	hr, err := sz.ProbeHitRates(a, sz.Params{Mode: sz.BoundRel, RelBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.Orig <= 0 || hr.Decomp <= 0 {
+		t.Fatalf("rates %+v", hr)
+	}
+}
+
+func TestEvaluateShapeMismatch(t *testing.T) {
+	if _, err := sz.Evaluate(sz.NewArray(2, 2), sz.NewArray(4)); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
