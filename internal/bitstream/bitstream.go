@@ -86,6 +86,15 @@ func (w *Writer) WriteBits(v uint64, width uint) {
 
 // flushFullBytes moves complete bytes from the accumulator to the buffer.
 func (w *Writer) flushFullBytes() {
+	if w.nacc == 64 {
+		// Full accumulator (the batched-encode spill): append all eight
+		// bytes at once instead of looping.
+		c := w.cur
+		w.buf = append(w.buf, byte(c>>56), byte(c>>48), byte(c>>40), byte(c>>32),
+			byte(c>>24), byte(c>>16), byte(c>>8), byte(c))
+		w.nacc = 0
+		return
+	}
 	for w.nacc >= 8 {
 		w.nacc -= 8
 		w.buf = append(w.buf, byte(w.cur>>w.nacc))
@@ -221,6 +230,25 @@ func (r *Reader) ReadBits(width uint) (uint64, error) {
 	r.pos = pos
 	return v, nil
 }
+
+// Peek returns the next width bits MSB-first without advancing the cursor.
+// The caller must ensure Remaining() >= width; width must be ≤ 16.
+func (r *Reader) Peek(width uint) uint64 {
+	pos := r.pos
+	byteIdx := pos >> 3
+	n := uint(pos&7) + width
+	nb := uint64((n + 7) >> 3)
+	var v uint64
+	for i := uint64(0); i < nb; i++ {
+		v = v<<8 | uint64(r.buf[byteIdx+i])
+	}
+	v >>= uint(nb)*8 - n
+	return v & (1<<width - 1)
+}
+
+// Skip advances the cursor by width bits. The caller must ensure
+// Remaining() >= width (normally after a Peek of at least that width).
+func (r *Reader) Skip(width uint) { r.pos += uint64(width) }
 
 // ReadUnary reads a unary code written by WriteUnary.
 func (r *Reader) ReadUnary() (uint64, error) {

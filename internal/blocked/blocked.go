@@ -23,6 +23,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/grid"
@@ -116,18 +117,14 @@ func Compress(a *grid.Array, p Params) ([]byte, *Stats, error) {
 	streams := make([][]byte, nSlabs)
 	stats := make([]*core.Stats, nSlabs)
 	errs := make([]error, nSlabs)
-	var next int
-	var mu sync.Mutex
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
+				i := int(next.Add(1)) - 1
 				if i >= nSlabs {
 					return
 				}
@@ -277,18 +274,14 @@ func Decompress(stream []byte, workers int) (*grid.Array, error) {
 	b := body(stream, ix)
 	nSlabs := ix.NumSlabs()
 	errs := make([]error, nSlabs)
-	var next int
-	var mu sync.Mutex
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
+				i := int(next.Add(1)) - 1
 				if i >= nSlabs {
 					return
 				}

@@ -16,7 +16,17 @@ import (
 
 // Compress applies the SZ-1.4 pipeline (Algorithm 1 of the paper) to a and
 // returns the compressed stream plus per-run statistics.
+//
+// The per-point predict+quantize scan runs through a fused kernel
+// specialized for the array geometry when one exists (see kernels.go);
+// kernels are byte-for-byte equivalent to the generic scan.
 func Compress(a *grid.Array, p Params) ([]byte, *Stats, error) {
+	return compress(a, p, true)
+}
+
+// compress is the implementation behind Compress; kernels=false forces the
+// generic reference scan (used by the equivalence tests and benchmarks).
+func compress(a *grid.Array, p Params, kernels bool) ([]byte, *Stats, error) {
 	p = p.withDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
@@ -42,33 +52,18 @@ func Compress(a *grid.Array, p Params) ([]byte, *Stats, error) {
 	// the Huffman-coded symbols, so they collect in a side stream.
 	outW := bitstream.NewWriter(256)
 	outEnc := binrep.NewEncoder(outW, eb)
-	numOutliers := 0
 
-	coord := make([]int, a.NDims())
-	data := a.Data
-	for idx := 0; idx < n; idx++ {
-		x := data[idx]
-		pv := pred.Predict(recon, idx, coord)
-		code, rv, ok := q.Quantize(x, pv)
-		if ok {
-			rv = snap(rv, p.OutputType)
-			// The snap to the output precision may nudge the value across
-			// the bound for extreme magnitudes; re-check and escape if so.
-			if !(math.Abs(x-rv) <= eb) {
-				ok = false
-			}
-		}
-		if ok {
-			codes[idx] = code
-			recon[idx] = rv
-		} else {
-			codes[idx] = quant.UnpredictableCode
-			recon[idx] = encodeOutlier(outEnc, outW, x, eb, p.OutputType)
-			numOutliers++
-		}
-		hist[codes[idx]]++
-		advanceCoord(coord, a.Dims)
+	scan := &compressState{
+		qparams: newQParams(q, p.OutputType),
+		data:    a.Data,
+		recon:   recon,
+		codes:   codes,
+		hist:    hist,
+		outW:    outW,
+		outEnc:  outEnc,
 	}
+	scan.scan(a.Dims, p.Layers, pred, kernels)
+	numOutliers := scan.numOutliers
 
 	// Variable-length encoding of the quantization codes (Section IV-A).
 	freqs := hist
@@ -135,8 +130,9 @@ func encodeOutlier(enc *binrep.Encoder, w *bitstream.Writer, x, eb float64, t gr
 	}
 	x32 := float64(float32(x))
 	if math.Abs(x32-x) <= eb || math.IsNaN(x) {
-		w.WriteBits(0, 1)
-		w.WriteBits(uint64(math.Float32bits(float32(x))), 32)
+		// One 33-bit write: the 0 escape flag followed by the raw pattern
+		// (identical bits to writing them separately).
+		w.WriteBits(uint64(math.Float32bits(float32(x))), 33)
 		return x32
 	}
 	w.WriteBits(1, 1)

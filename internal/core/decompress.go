@@ -23,7 +23,16 @@ func Inspect(stream []byte) (*Header, error) {
 
 // Decompress reconstructs the array from a stream produced by Compress.
 // Every reconstructed value satisfies |x − x̃| ≤ Header.AbsBound.
+//
+// Like Compress, the reconstruction scan runs through a fused
+// geometry-specialized kernel when one exists (see kernels.go).
 func Decompress(stream []byte) (*grid.Array, *Header, error) {
+	return decompress(stream, true)
+}
+
+// decompress is the implementation behind Decompress; kernels=false forces
+// the generic reference scan.
+func decompress(stream []byte, kernels bool) (*grid.Array, *Header, error) {
 	h, off, err := parseHeader(stream)
 	if err != nil {
 		return nil, nil, err
@@ -58,32 +67,30 @@ func Decompress(stream []byte) (*grid.Array, *Header, error) {
 		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 
-	out := grid.New(h.Dims...)
-	recon := out.Data
-	dec := binrep.NewDecoder(r)
-	coord := make([]int, len(h.Dims))
-	outliers := 0
-	for idx := 0; idx < n; idx++ {
-		code := codes[idx]
-		if code == quant.UnpredictableCode {
-			v, err := decodeOutlier(dec, r, h.DType)
-			if err != nil {
-				return nil, nil, fmt.Errorf("%w: outlier %d: %v", ErrCorrupt, outliers, err)
-			}
-			recon[idx] = v
-			outliers++
-		} else {
-			pv := pred.Predict(recon, idx, coord)
-			v, err := q.Reconstruct(code, pv)
-			if err != nil {
-				return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-			}
-			recon[idx] = snap(v, h.DType)
+	// A well-formed codebook only emits codes < 2^m, but a corrupt stream
+	// can smuggle in a larger alphabet; the generic Reconstruct rejects
+	// such codes, so the kernels must too. Checking once here keeps the
+	// per-point loops branch-free.
+	for _, c := range codes {
+		if c < 0 || c >= q.NumCodes() {
+			return nil, nil, fmt.Errorf("%w: code %d out of range [0,%d)", ErrCorrupt, c, q.NumCodes())
 		}
-		advanceCoord(coord, h.Dims)
 	}
-	if outliers != h.NumOutliers {
-		return nil, nil, fmt.Errorf("%w: outlier count %d, header says %d", ErrCorrupt, outliers, h.NumOutliers)
+
+	out := grid.New(h.Dims...)
+	scan := &decompressState{
+		qparams: newQParams(q, h.DType),
+		recon:   out.Data,
+		codes:   codes,
+		r:       r,
+		dec:     binrep.NewDecoder(r),
+	}
+	scan.scan(h.Dims, h.Layers, pred, kernels)
+	if scan.err != nil {
+		return nil, nil, scan.err
+	}
+	if scan.outliers != h.NumOutliers {
+		return nil, nil, fmt.Errorf("%w: outlier count %d, header says %d", ErrCorrupt, scan.outliers, h.NumOutliers)
 	}
 	return out, h, nil
 }

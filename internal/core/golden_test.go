@@ -1,0 +1,92 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// goldenData fills dims with a fixed smooth-plus-spikes pattern. It is
+// deliberately self-contained and integer-seeded so the bytes it produces
+// can never drift with library changes.
+func goldenData(dims []int, f32 bool) *grid.Array {
+	a := grid.New(dims...)
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := range a.Data {
+		state = state*6364136223846793005 + 1442695040888963407
+		noise := float64(int64(state>>20)%2048-1024) / 65536.0
+		v := math.Sin(float64(i)*0.07)*5 + math.Cos(float64(i)*0.013)*2 + noise
+		if state%97 == 0 {
+			v *= 1e5 // force an outlier
+		}
+		if f32 {
+			v = float64(float32(v))
+		}
+		a.Data[i] = v
+	}
+	return a
+}
+
+// TestGoldenStreams pins the exact compressed bytes (by SHA-256 and length)
+// for fixed inputs across 1D/2D/3D × float32/float64 × layer counts. A
+// kernel or format refactor that changes the stream in any way fails here
+// loudly; an intentional format change must bump core.Version and regenerate
+// these digests (run the test with -v to see the new values).
+func TestGoldenStreams(t *testing.T) {
+	cases := []struct {
+		name    string
+		dims    []int
+		f32     bool
+		layers  int
+		wantLen int
+		wantSHA string
+	}{
+		{"1d/float64/L1", []int{1024}, false, 1, 2662, "490e2721641a795720d574d356ca46ac7f419f2acf323de795d7aec54fd9123f"},
+		{"1d/float32/L1", []int{1024}, true, 1, 2865, "d3336cf670a836d33dc98b73b031b28123ad8ff633e577a8b4f6e0aea5e37087"},
+		{"2d/float64/L1", []int{48, 64}, false, 1, 9561, "603c8dd12f42cc8e608de232208f04a21c46af2c05486a6a0aefc4be2655e971"},
+		{"2d/float32/L1", []int{48, 64}, true, 1, 10398, "9641faab404db3cafb9ec7c179b4a455c9b8f560c922b16d6b2f91eb63da2812"},
+		{"2d/float64/L2", []int{48, 64}, false, 2, 4077, "dffd4b28e64184e1611ee38f3cbd5db5d8fc92c0059bae06a6afc3790dc1d8f4"},
+		{"3d/float64/L1", []int{12, 24, 16}, false, 1, 14733, "949c0b9b965f9da1ce0db8471554d11f826a2c17951dee1ec8e9d898b2d42894"},
+		{"3d/float32/L1", []int{12, 24, 16}, true, 1, 15820, "934409967fbff85b5b52bcb2766bd6acaf29d2420755b02c37c5d575364fce8c"},
+		{"3d/float32/L2", []int{12, 24, 16}, true, 2, 10269, "08fd66eccc9b5d6dc6e3f027313d3eebc7694636092298777bd89ff252ef3005"},
+		{"3d/float64/L3-generic", []int{8, 12, 10}, false, 3, 2859, "311096b6ce2a744d25c681db938661e2b2fbbc0627177326bbd72c1bff1000e9"},
+	}
+	for i := range cases {
+		tc := &cases[i]
+		t.Run(tc.name, func(t *testing.T) {
+			a := goldenData(tc.dims, tc.f32)
+			p := Params{Mode: BoundAbs, AbsBound: 1e-3, Layers: tc.layers}
+			if tc.f32 {
+				p.OutputType = grid.Float32
+			}
+			stream, _, err := Compress(a, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := sha256.Sum256(stream)
+			got := hex.EncodeToString(sum[:])
+			t.Logf(`{%q, %#v, %v, %d, %d, %q},`,
+				tc.name, tc.dims, tc.f32, tc.layers, len(stream), got)
+			if tc.wantSHA == "" {
+				t.Fatal("golden digest not pinned for this case")
+			}
+			if len(stream) != tc.wantLen || got != tc.wantSHA {
+				t.Errorf("stream changed: got %d bytes sha256=%s, want %d bytes sha256=%s",
+					len(stream), got, tc.wantLen, tc.wantSHA)
+			}
+			// The pinned stream must still round-trip within the bound.
+			out, h, err := Decompress(stream)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, x := range a.Data {
+				if !(math.Abs(x-out.Data[j]) <= h.AbsBound) {
+					t.Fatalf("point %d error %g exceeds bound %g", j, math.Abs(x-out.Data[j]), h.AbsBound)
+				}
+			}
+		})
+	}
+}

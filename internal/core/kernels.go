@@ -1,0 +1,545 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/binrep"
+	"repro/internal/bitstream"
+	"repro/internal/grid"
+	"repro/internal/predictor"
+	"repro/internal/quant"
+)
+
+// This file holds the fused fast-path kernels for the dominant geometries:
+// 1D/2D/3D arrays with Layers=1 (the Lorenzo predictor) and 2D/3D arrays
+// with Layers=2. Each kernel inlines predict + quantize + reconstruct +
+// histogram into a single scan with hoisted strides and explicit border
+// rows, instead of paying the generic per-point cost (coordinate odometer,
+// interior test, []Term stencil walk, quantizer method call).
+//
+// The kernels are pure hot-path specializations: they MUST produce the
+// exact stream bytes and Stats the generic path produces. Two properties
+// make that hold:
+//
+//   - every hand-written prediction expression accumulates its terms in
+//     the same order predictor.Predict enumerates them (the buildStencil
+//     odometer order, last dimension fastest), so float additions round
+//     identically; the 3D Layers=2 kernel walks the FlatStencil, which
+//     preserves that order by construction;
+//   - the fused quantize in (*compressState).point mirrors quant.Quantize
+//     operation for operation (see the comment there).
+//
+// kernels_test.go asserts byte-for-byte equivalence on randomized
+// geometries; the golden-stream tests pin the bytes themselves.
+
+// qparams holds the hoisted quantizer and output-precision parameters
+// shared by the compress and decompress kernels.
+type qparams struct {
+	eb      float64 // absolute error bound
+	twoEB   float64 // interval width 2·eb
+	lim     float64 // radius + 0.5: interval-index cutoff
+	fradius float64 // radius as a float, for the post-round check
+	radius  int     // max |interval offset|, 2^(m-1) − 1
+	center  int     // code of offset 0, 2^(m-1)
+	f32     bool    // snap reconstructions to float32
+	dtype   grid.DType
+}
+
+func newQParams(q *quant.Quantizer, t grid.DType) qparams {
+	c := q.CenterCode()
+	return qparams{
+		eb:      q.ErrorBound(),
+		twoEB:   2 * q.ErrorBound(),
+		lim:     float64(c-1) + 0.5,
+		fradius: float64(c - 1),
+		radius:  c - 1,
+		center:  c,
+		f32:     t == grid.Float32,
+		dtype:   t,
+	}
+}
+
+// --- compression ------------------------------------------------------------
+
+// compressState is the per-run scan state shared by the generic path and
+// the fused kernels.
+type compressState struct {
+	qparams
+	data  []float64
+	recon []float64
+	codes []int
+	hist  []uint64
+
+	outW        *bitstream.Writer
+	outEnc      *binrep.Encoder
+	numOutliers int
+}
+
+// point quantizes the value at idx against prediction pv, mirroring the
+// generic quant.Quantize + snap + bound-recheck sequence decision for
+// decision: escape on non-finite residual (a NaN/Inf residual yields a
+// NaN/Inf interval index, which the range compares reject — no separate
+// IsNaN/IsInf tests needed), round to the nearest interval, reject rounding
+// that lands outside the radius or the bound, snap to the output precision,
+// and re-reject if the snap pushed the reconstruction across the bound.
+// The f64 path skips the post-snap recheck: the snap is the identity there,
+// so the check can never fire.
+func (s *compressState) point(idx int, pv float64) {
+	x := s.data[idx]
+	fi := (x - pv) / s.twoEB
+	if fi <= s.lim && fi >= -s.lim {
+		ri := math.Round(fi)
+		if ri <= s.fradius && ri >= -s.fradius {
+			rv := pv + s.twoEB*ri
+			if d := x - rv; d <= s.eb && d >= -s.eb {
+				if s.f32 {
+					rv = float64(float32(rv))
+					if d := x - rv; !(d <= s.eb && d >= -s.eb) {
+						s.escape(idx, x)
+						return
+					}
+				}
+				code := s.center + int(ri)
+				s.codes[idx] = code
+				s.recon[idx] = rv
+				s.hist[code]++
+				return
+			}
+		}
+	}
+	s.escape(idx, x)
+}
+
+// escape routes the value at idx through the unpredictable-point path.
+func (s *compressState) escape(idx int, x float64) {
+	s.codes[idx] = quant.UnpredictableCode
+	s.recon[idx] = encodeOutlier(s.outEnc, s.outW, x, s.eb, s.dtype)
+	s.numOutliers++
+	s.hist[quant.UnpredictableCode]++
+}
+
+// scanGeneric is the reference path: per-point coordinate odometer and
+// generic predictor, for geometries without a specialized kernel.
+func (s *compressState) scanGeneric(dims []int, pred *predictor.Predictor) {
+	coord := make([]int, len(dims))
+	for idx := range s.data {
+		s.point(idx, pred.Predict(s.recon, idx, coord))
+		advanceCoord(coord, dims)
+	}
+}
+
+// scan runs the fused kernel for the geometry if one exists (and kernels
+// are enabled), else the generic path. It reports which path ran.
+func (s *compressState) scan(dims []int, layers int, pred *predictor.Predictor, kernels bool) bool {
+	if kernels {
+		switch {
+		case layers == 1 && len(dims) == 1:
+			s.compress1DL1(dims[0])
+			return true
+		case layers == 1 && len(dims) == 2:
+			s.compress2DL1(dims[0], dims[1])
+			return true
+		case layers == 1 && len(dims) == 3:
+			s.compress3DL1(dims[0], dims[1], dims[2])
+			return true
+		case layers == 2 && len(dims) == 2:
+			s.compress2DL2(dims[0], dims[1])
+			return true
+		case layers == 2 && len(dims) == 3:
+			s.compress3DL2(dims[0], dims[1], dims[2], pred)
+			return true
+		}
+	}
+	s.scanGeneric(dims, pred)
+	return false
+}
+
+// compress1DL1: pv = previous reconstruction (1D Lorenzo).
+func (s *compressState) compress1DL1(n int) {
+	recon := s.recon
+	s.point(0, 0)
+	for i := 1; i < n; i++ {
+		s.point(i, recon[i-1])
+	}
+}
+
+// compress2DL1: 2D Lorenzo with explicit first row and first column. The
+// interior quantize is spelled out in the loop (same operations as point,
+// see the comment there) so the whole hit path runs without a call and the
+// hoisted parameters stay in registers.
+func (s *compressState) compress2DL1(h, w int) {
+	data, recon, codes, hist := s.data, s.recon, s.codes, s.hist
+	twoEB, eb, lim, fradius := s.twoEB, s.eb, s.lim, s.fradius
+	center, f32 := s.center, s.f32
+	s.point(0, 0)
+	for j := 1; j < w; j++ {
+		s.point(j, recon[j-1])
+	}
+	for i := 1; i < h; i++ {
+		row := i * w
+		s.point(row, recon[row-w])
+		for idx := row + 1; idx < row+w; idx++ {
+			pv := recon[idx-1] + recon[idx-w] - recon[idx-w-1]
+			x := data[idx]
+			fi := (x - pv) / twoEB
+			if fi <= lim && fi >= -lim {
+				ri := math.Round(fi)
+				if ri <= fradius && ri >= -fradius {
+					rv := pv + twoEB*ri
+					if d := x - rv; d <= eb && d >= -eb {
+						if f32 {
+							rv = float64(float32(rv))
+							if d := x - rv; !(d <= eb && d >= -eb) {
+								s.escape(idx, x)
+								continue
+							}
+						}
+						code := center + int(ri)
+						codes[idx] = code
+						recon[idx] = rv
+						hist[code]++
+						continue
+					}
+				}
+			}
+			s.escape(idx, x)
+		}
+	}
+}
+
+// compress3DL1: 3D Lorenzo with explicit first plane, first rows and first
+// columns. sp is the plane stride, w the row stride.
+func (s *compressState) compress3DL1(d, h, w int) {
+	recon := s.recon
+	sp := h * w
+	// Plane 0 degenerates to the 2D Lorenzo kernel.
+	s.point(0, 0)
+	for k := 1; k < w; k++ {
+		s.point(k, recon[k-1])
+	}
+	for j := 1; j < h; j++ {
+		row := j * w
+		s.point(row, recon[row-w])
+		for idx := row + 1; idx < row+w; idx++ {
+			s.point(idx, recon[idx-1]+recon[idx-w]-recon[idx-w-1])
+		}
+	}
+	// Interior planes: the inner-row quantize is spelled out as in
+	// compress2DL1 so consecutive hits run call-free.
+	data, codes, hist := s.data, s.codes, s.hist
+	twoEB, eb, lim, fradius := s.twoEB, s.eb, s.lim, s.fradius
+	center, f32 := s.center, s.f32
+	for i := 1; i < d; i++ {
+		base := i * sp
+		// Row (i,0,·): Lorenzo in the (i,k) plane.
+		s.point(base, recon[base-sp])
+		for idx := base + 1; idx < base+w; idx++ {
+			s.point(idx, recon[idx-1]+recon[idx-sp]-recon[idx-sp-1])
+		}
+		for j := 1; j < h; j++ {
+			row := base + j*w
+			// Column (i,j,0): Lorenzo in the (i,j) plane.
+			s.point(row, recon[row-w]+recon[row-sp]-recon[row-sp-w])
+			for idx := row + 1; idx < row+w; idx++ {
+				pv := recon[idx-1] + recon[idx-w] - recon[idx-w-1] +
+					recon[idx-sp] - recon[idx-sp-1] - recon[idx-sp-w] + recon[idx-sp-w-1]
+				x := data[idx]
+				fi := (x - pv) / twoEB
+				if fi <= lim && fi >= -lim {
+					ri := math.Round(fi)
+					if ri <= fradius && ri >= -fradius {
+						rv := pv + twoEB*ri
+						if d := x - rv; d <= eb && d >= -eb {
+							if f32 {
+								rv = float64(float32(rv))
+								if d := x - rv; !(d <= eb && d >= -eb) {
+									s.escape(idx, x)
+									continue
+								}
+							}
+							code := center + int(ri)
+							codes[idx] = code
+							recon[idx] = rv
+							hist[code]++
+							continue
+						}
+					}
+				}
+				s.escape(idx, x)
+			}
+		}
+	}
+}
+
+// compress2DL2: two-layer 2D stencil (8 interior terms) with explicit
+// reduced stencils for the first two rows and columns.
+func (s *compressState) compress2DL2(h, w int) {
+	recon := s.recon
+	w2 := 2 * w
+	// Row 0: pure 1D two-layer prediction along the row.
+	s.point(0, 0)
+	if w > 1 {
+		s.point(1, recon[0])
+	}
+	for j := 2; j < w; j++ {
+		s.point(j, 2*recon[j-1]-recon[j-2])
+	}
+	// Row 1: one layer available vertically.
+	if h > 1 {
+		s.point(w, recon[0])
+		if w > 1 {
+			s.point(w+1, recon[w]+recon[1]-recon[0])
+		}
+		for idx := w + 2; idx < w2; idx++ {
+			s.point(idx, 2*recon[idx-1]-recon[idx-2]+
+				recon[idx-w]-2*recon[idx-w-1]+recon[idx-w-2])
+		}
+	}
+	for i := 2; i < h; i++ {
+		row := i * w
+		s.point(row, 2*recon[row-w]-recon[row-w2])
+		if w > 1 {
+			idx := row + 1
+			s.point(idx, recon[idx-1]+2*recon[idx-w]-2*recon[idx-w-1]-
+				recon[idx-w2]+recon[idx-w2-1])
+		}
+		for idx := row + 2; idx < row+w; idx++ {
+			s.point(idx, 2*recon[idx-1]-recon[idx-2]+
+				2*recon[idx-w]-4*recon[idx-w-1]+2*recon[idx-w-2]-
+				recon[idx-w2]+2*recon[idx-w2-1]-recon[idx-w2-2])
+		}
+	}
+}
+
+// compress3DL2: the 26-term interior stencil is walked in flat form
+// (hoisted deltas and coefficients, no Term structs); points within two
+// layers of a low border take the generic reduced-stencil path.
+func (s *compressState) compress3DL2(d, h, w int, pred *predictor.Predictor) {
+	recon := s.recon
+	fs := pred.Flat()
+	deltas, coefs := fs.Deltas, fs.Coefs
+	sp := h * w
+	coord := make([]int, 3)
+	for i := 0; i < d; i++ {
+		coord[0] = i
+		for j := 0; j < h; j++ {
+			coord[1] = j
+			row := i*sp + j*w
+			lead := w
+			if i >= 2 && j >= 2 {
+				lead = 2
+				if lead > w {
+					lead = w
+				}
+			}
+			for k := 0; k < lead; k++ {
+				coord[2] = k
+				s.point(row+k, pred.Predict(recon, row+k, coord))
+			}
+			for idx := row + lead; idx < row+w; idx++ {
+				var f float64
+				for t, dt := range deltas {
+					f += coefs[t] * recon[idx+dt]
+				}
+				s.point(idx, f)
+			}
+		}
+	}
+}
+
+// --- decompression ----------------------------------------------------------
+
+// decompressState mirrors compressState for the reconstruction scan.
+type decompressState struct {
+	qparams
+	recon []float64
+	codes []int
+
+	r        *bitstream.Reader
+	dec      *binrep.Decoder
+	outliers int
+	err      error
+}
+
+// point reconstructs the value at idx from its quantization code and the
+// prediction pv. Outlier decode errors stick in s.err; the scan keeps
+// running (the bitstream reader keeps failing harmlessly) and the caller
+// checks s.err once at the end.
+func (s *decompressState) point(idx int, pv float64) {
+	code := s.codes[idx]
+	if code == quant.UnpredictableCode {
+		v, err := decodeOutlier(s.dec, s.r, s.dtype)
+		if err != nil && s.err == nil {
+			s.err = fmt.Errorf("%w: outlier %d: %v", ErrCorrupt, s.outliers, err)
+		}
+		s.recon[idx] = v
+		s.outliers++
+		return
+	}
+	rv := pv + s.twoEB*float64(code-s.center)
+	if s.f32 {
+		rv = float64(float32(rv))
+	}
+	s.recon[idx] = rv
+}
+
+// scanGeneric is the reference reconstruction path.
+func (s *decompressState) scanGeneric(dims []int, pred *predictor.Predictor) {
+	coord := make([]int, len(dims))
+	for idx := range s.recon {
+		// The prediction is only needed for coded points, but computing it
+		// unconditionally costs nothing extra on this path.
+		s.point(idx, pred.Predict(s.recon, idx, coord))
+		advanceCoord(coord, dims)
+	}
+}
+
+// scan mirrors (*compressState).scan for decompression.
+func (s *decompressState) scan(dims []int, layers int, pred *predictor.Predictor, kernels bool) bool {
+	if kernels {
+		switch {
+		case layers == 1 && len(dims) == 1:
+			s.decompress1DL1(dims[0])
+			return true
+		case layers == 1 && len(dims) == 2:
+			s.decompress2DL1(dims[0], dims[1])
+			return true
+		case layers == 1 && len(dims) == 3:
+			s.decompress3DL1(dims[0], dims[1], dims[2])
+			return true
+		case layers == 2 && len(dims) == 2:
+			s.decompress2DL2(dims[0], dims[1])
+			return true
+		case layers == 2 && len(dims) == 3:
+			s.decompress3DL2(dims[0], dims[1], dims[2], pred)
+			return true
+		}
+	}
+	s.scanGeneric(dims, pred)
+	return false
+}
+
+func (s *decompressState) decompress1DL1(n int) {
+	recon := s.recon
+	s.point(0, 0)
+	for i := 1; i < n; i++ {
+		s.point(i, recon[i-1])
+	}
+}
+
+func (s *decompressState) decompress2DL1(h, w int) {
+	recon := s.recon
+	s.point(0, 0)
+	for j := 1; j < w; j++ {
+		s.point(j, recon[j-1])
+	}
+	for i := 1; i < h; i++ {
+		row := i * w
+		s.point(row, recon[row-w])
+		for idx := row + 1; idx < row+w; idx++ {
+			s.point(idx, recon[idx-1]+recon[idx-w]-recon[idx-w-1])
+		}
+	}
+}
+
+func (s *decompressState) decompress3DL1(d, h, w int) {
+	recon := s.recon
+	sp := h * w
+	s.point(0, 0)
+	for k := 1; k < w; k++ {
+		s.point(k, recon[k-1])
+	}
+	for j := 1; j < h; j++ {
+		row := j * w
+		s.point(row, recon[row-w])
+		for idx := row + 1; idx < row+w; idx++ {
+			s.point(idx, recon[idx-1]+recon[idx-w]-recon[idx-w-1])
+		}
+	}
+	for i := 1; i < d; i++ {
+		base := i * sp
+		s.point(base, recon[base-sp])
+		for idx := base + 1; idx < base+w; idx++ {
+			s.point(idx, recon[idx-1]+recon[idx-sp]-recon[idx-sp-1])
+		}
+		for j := 1; j < h; j++ {
+			row := base + j*w
+			s.point(row, recon[row-w]+recon[row-sp]-recon[row-sp-w])
+			for idx := row + 1; idx < row+w; idx++ {
+				s.point(idx,
+					recon[idx-1]+recon[idx-w]-recon[idx-w-1]+
+						recon[idx-sp]-recon[idx-sp-1]-recon[idx-sp-w]+recon[idx-sp-w-1])
+			}
+		}
+	}
+}
+
+func (s *decompressState) decompress2DL2(h, w int) {
+	recon := s.recon
+	w2 := 2 * w
+	s.point(0, 0)
+	if w > 1 {
+		s.point(1, recon[0])
+	}
+	for j := 2; j < w; j++ {
+		s.point(j, 2*recon[j-1]-recon[j-2])
+	}
+	if h > 1 {
+		s.point(w, recon[0])
+		if w > 1 {
+			s.point(w+1, recon[w]+recon[1]-recon[0])
+		}
+		for idx := w + 2; idx < w2; idx++ {
+			s.point(idx, 2*recon[idx-1]-recon[idx-2]+
+				recon[idx-w]-2*recon[idx-w-1]+recon[idx-w-2])
+		}
+	}
+	for i := 2; i < h; i++ {
+		row := i * w
+		s.point(row, 2*recon[row-w]-recon[row-w2])
+		if w > 1 {
+			idx := row + 1
+			s.point(idx, recon[idx-1]+2*recon[idx-w]-2*recon[idx-w-1]-
+				recon[idx-w2]+recon[idx-w2-1])
+		}
+		for idx := row + 2; idx < row+w; idx++ {
+			s.point(idx, 2*recon[idx-1]-recon[idx-2]+
+				2*recon[idx-w]-4*recon[idx-w-1]+2*recon[idx-w-2]-
+				recon[idx-w2]+2*recon[idx-w2-1]-recon[idx-w2-2])
+		}
+	}
+}
+
+func (s *decompressState) decompress3DL2(d, h, w int, pred *predictor.Predictor) {
+	recon := s.recon
+	fs := pred.Flat()
+	deltas, coefs := fs.Deltas, fs.Coefs
+	sp := h * w
+	coord := make([]int, 3)
+	for i := 0; i < d; i++ {
+		coord[0] = i
+		for j := 0; j < h; j++ {
+			coord[1] = j
+			row := i*sp + j*w
+			lead := w
+			if i >= 2 && j >= 2 {
+				lead = 2
+				if lead > w {
+					lead = w
+				}
+			}
+			for k := 0; k < lead; k++ {
+				coord[2] = k
+				s.point(row+k, pred.Predict(recon, row+k, coord))
+			}
+			for idx := row + lead; idx < row+w; idx++ {
+				var f float64
+				for t, dt := range deltas {
+					f += coefs[t] * recon[idx+dt]
+				}
+				s.point(idx, f)
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// BenchmarkCoreKernels compares each fused kernel against the generic scan
+// on the same geometry, for both compression and decompression. The
+// "generic" variants force the reference path, so the ratio is the kernel
+// speedup in isolation (Huffman coding and stream assembly included).
+func BenchmarkCoreKernels(b *testing.B) {
+	cases := []struct {
+		name   string
+		dims   []int
+		layers int
+	}{
+		{"1D-L1", []int{1 << 16}, 1},
+		{"2D-L1", []int{256, 256}, 1},
+		{"3D-L1", []int{40, 40, 40}, 1},
+		{"2D-L2", []int{256, 256}, 2},
+		{"3D-L2", []int{40, 40, 40}, 2},
+	}
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(1))
+		a := randArray(rng, tc.dims, true)
+		p := Params{Mode: BoundRel, RelBound: 1e-4, Layers: tc.layers, OutputType: grid.Float32}
+		stream, _, err := Compress(a, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, variant := range []struct {
+			name    string
+			kernels bool
+		}{{"kernel", true}, {"generic", false}} {
+			b.Run(fmt.Sprintf("compress/%s/%s", tc.name, variant.name), func(b *testing.B) {
+				b.SetBytes(int64(a.Len() * 4))
+				for i := 0; i < b.N; i++ {
+					if _, _, err := compress(a, p, variant.kernels); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("decompress/%s/%s", tc.name, variant.name), func(b *testing.B) {
+				b.SetBytes(int64(a.Len() * 4))
+				for i := 0; i < b.N; i++ {
+					if _, _, err := decompress(stream, variant.kernels); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -151,16 +151,10 @@ func (a *Array) Clone() *Array {
 // NaN values are ignored; if all values are NaN or the array is empty in
 // effect, it returns (0, 0, 0).
 func (a *Array) Range() (min, max, rng float64) {
-	first := true
+	// Seeding with ±Inf lets the loop run without a first-element branch:
+	// NaN fails both comparisons and is skipped implicitly.
+	min, max = math.Inf(1), math.Inf(-1)
 	for _, v := range a.Data {
-		if math.IsNaN(v) {
-			continue
-		}
-		if first {
-			min, max = v, v
-			first = false
-			continue
-		}
 		if v < min {
 			min = v
 		}
@@ -168,7 +162,7 @@ func (a *Array) Range() (min, max, rng float64) {
 			max = v
 		}
 	}
-	if first {
+	if min > max { // no non-NaN values seen
 		return 0, 0, 0
 	}
 	return min, max, max - min

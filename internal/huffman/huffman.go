@@ -10,7 +10,6 @@
 package huffman
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -44,6 +43,11 @@ type Codebook struct {
 	firstIndex []int    // index into symByCode of the first code of each length
 	countByLen []int    // number of codes of each length
 	symByCode  []uint32 // symbols sorted by (length, code)
+
+	// One-shot decode acceleration: table[next tableBits of the stream]
+	// is symbol<<6 | codeLen for codes of length ≤ tableBits, 0 otherwise.
+	tableBits uint
+	table     []uint32
 }
 
 // node is a Huffman tree node used during construction.
@@ -59,8 +63,12 @@ type nodeHeap struct {
 	idx   []int
 }
 
-func (h *nodeHeap) Len() int { return len(h.idx) }
-func (h *nodeHeap) Less(i, j int) bool {
+// The heap is hand-rolled rather than container/heap to keep the build off
+// interface calls. The comparison is a strict total order (freq, then
+// depth, then arena index — all unique), so nodes pop in exactly sorted
+// order and the resulting tree is independent of heap mechanics: this
+// produces bit-identical codebooks to any other correct min-heap.
+func (h *nodeHeap) less(i, j int) bool {
 	a, b := h.arena[h.idx[i]], h.arena[h.idx[j]]
 	if a.freq != b.freq {
 		return a.freq < b.freq
@@ -70,13 +78,53 @@ func (h *nodeHeap) Less(i, j int) bool {
 	}
 	return h.idx[i] < h.idx[j]
 }
-func (h *nodeHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
-func (h *nodeHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := h.idx
-	n := len(old)
-	x := old[n-1]
-	h.idx = old[:n-1]
+
+func (h *nodeHeap) down(i int) {
+	n := len(h.idx)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h.idx[i], h.idx[m] = h.idx[m], h.idx[i]
+		i = m
+	}
+}
+
+func (h *nodeHeap) init() {
+	for i := len(h.idx)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h *nodeHeap) push(x int) {
+	h.idx = append(h.idx, x)
+	i := len(h.idx) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.idx[i], h.idx[p] = h.idx[p], h.idx[i]
+		i = p
+	}
+}
+
+func (h *nodeHeap) pop() int {
+	x := h.idx[0]
+	last := len(h.idx) - 1
+	h.idx[0] = h.idx[last]
+	h.idx = h.idx[:last]
+	if last > 0 {
+		h.down(0)
+	}
 	return x
 }
 
@@ -116,10 +164,10 @@ func New(freqs []uint64) (*Codebook, error) {
 		h.arena = append(h.arena, node{freq: f, symbol: s, left: -1, right: -1})
 		h.idx = append(h.idx, len(h.arena)-1)
 	}
-	heap.Init(h)
-	for h.Len() > 1 {
-		a := heap.Pop(h).(int)
-		b := heap.Pop(h).(int)
+	h.init()
+	for len(h.idx) > 1 {
+		a := h.pop()
+		b := h.pop()
 		d := h.arena[a].depth
 		if h.arena[b].depth > d {
 			d = h.arena[b].depth
@@ -130,7 +178,7 @@ func New(freqs []uint64) (*Codebook, error) {
 			right: b,
 			depth: d + 1,
 		})
-		heap.Push(h, len(h.arena)-1)
+		h.push(len(h.arena) - 1)
 	}
 	root := h.idx[0]
 
@@ -228,6 +276,38 @@ func fromLengths(n int, lengths []uint8) (*Codebook, error) {
 	return cb, nil
 }
 
+// decodeTableBits caps the fast decode table at 2^12 entries (16 KiB).
+const decodeTableBits = 12
+
+// buildDecodeTable fills the one-shot prefix table: entry i (the next
+// tableBits of the stream) holds symbol<<6 | codeLen for every code of
+// length ≤ tableBits, replicated across all suffixes. Zero means "no short
+// code with this prefix" — the bit-by-bit path handles it.
+//
+// Only Deserialize builds the table: codebooks built by New sit on the
+// encode side (the decoder always reconstructs its own from the stream),
+// so they skip the fill and fall back to decodeSlow in the rare case they
+// decode anyway.
+func (cb *Codebook) buildDecodeTable() {
+	tb := uint(cb.maxLen)
+	if tb > decodeTableBits {
+		tb = decodeTableBits
+	}
+	cb.tableBits = tb
+	cb.table = make([]uint32, 1<<tb)
+	for s, l := range cb.lengths {
+		if l == 0 || uint(l) > tb {
+			continue
+		}
+		base := cb.codes[s] << (tb - uint(l))
+		fill := uint64(1) << (tb - uint(l))
+		e := uint32(s)<<6 | uint32(l)
+		for p := uint64(0); p < fill; p++ {
+			cb.table[base+p] = e
+		}
+	}
+}
+
 // NumSymbols returns the alphabet size.
 func (cb *Codebook) NumSymbols() int { return cb.numSymbols }
 
@@ -251,16 +331,42 @@ func (cb *Codebook) EncodedBits(freqs []uint64) uint64 {
 
 // Encode appends the code for each symbol to w. It returns an error if a
 // symbol is out of range or has no code.
+//
+// Codes are gathered into a local 64-bit accumulator and spilled to the
+// writer in large chunks; the emitted bits are identical to writing each
+// code individually (MSB-first concatenation is associative), but the
+// per-symbol writer call disappears from the hot path.
 func (cb *Codebook) Encode(w *bitstream.Writer, symbols []int) error {
+	if cb.maxLen > 32 {
+		// Rare deep codebooks fall back to the simple loop so the
+		// accumulator never has to split a single code.
+		for _, s := range symbols {
+			if err := cb.EncodeSymbol(w, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	lengths, codes := cb.lengths, cb.codes
+	var acc uint64
+	var nacc uint
 	for _, s := range symbols {
 		if s < 0 || s >= cb.numSymbols {
 			return fmt.Errorf("huffman: symbol %d out of range [0,%d)", s, cb.numSymbols)
 		}
-		l := cb.lengths[s]
+		l := uint(lengths[s])
 		if l == 0 {
 			return fmt.Errorf("huffman: symbol %d has no code (zero frequency at build time)", s)
 		}
-		w.WriteBits(cb.codes[s], uint(l))
+		if nacc+l > 64 {
+			w.WriteBits(acc, nacc)
+			acc, nacc = 0, 0
+		}
+		acc = acc<<l | codes[s]&(1<<l-1)
+		nacc += l
+	}
+	if nacc > 0 {
+		w.WriteBits(acc, nacc)
 	}
 	return nil
 }
@@ -292,10 +398,20 @@ func (cb *Codebook) Decode(r *bitstream.Reader, count int) ([]int, error) {
 	return out, nil
 }
 
-// DecodeInto fills out with len(out) decoded symbols.
+// DecodeInto fills out with len(out) decoded symbols. The table fast path
+// is inlined here so the per-symbol cost in the bulk decode is one peek,
+// one table load and one skip.
 func (cb *Codebook) DecodeInto(r *bitstream.Reader, out []int) error {
+	tb, table := cb.tableBits, cb.table
 	for i := range out {
-		s, err := cb.decodeOne(r)
+		if table != nil && r.Remaining() >= uint64(tb) {
+			if e := table[r.Peek(tb)]; e != 0 {
+				r.Skip(uint(e & 63))
+				out[i] = int(e >> 6)
+				continue
+			}
+		}
+		s, err := cb.decodeSlow(r)
 		if err != nil {
 			return err
 		}
@@ -305,6 +421,19 @@ func (cb *Codebook) DecodeInto(r *bitstream.Reader, out []int) error {
 }
 
 func (cb *Codebook) decodeOne(r *bitstream.Reader) (int, error) {
+	// Fast path: resolve codes of length ≤ tableBits with one peek.
+	if cb.table != nil && r.Remaining() >= uint64(cb.tableBits) {
+		if e := cb.table[r.Peek(cb.tableBits)]; e != 0 {
+			r.Skip(uint(e & 63))
+			return int(e >> 6), nil
+		}
+	}
+	return cb.decodeSlow(r)
+}
+
+// decodeSlow is the bit-by-bit canonical decode, used near the end of the
+// stream and for codes longer than tableBits.
+func (cb *Codebook) decodeSlow(r *bitstream.Reader) (int, error) {
 	var code uint64
 	for l := uint8(1); l <= cb.maxLen; l++ {
 		b, err := r.ReadBits(1)
@@ -376,7 +505,12 @@ func Deserialize(r *bitstream.Reader) (*Codebook, error) {
 			lengths[i] = uint8(l)
 		}
 	}
-	return fromLengths(n, lengths)
+	cb, err := fromLengths(n, lengths)
+	if err != nil {
+		return nil, err
+	}
+	cb.buildDecodeTable()
+	return cb, nil
 }
 
 // CountFrequencies histograms a symbol stream over alphabet [0, numSymbols).

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -26,15 +27,15 @@ import (
 )
 
 // CompressAll compresses each array with p using `workers` goroutines and
-// returns the streams in input order plus the wall-clock duration.
+// returns the streams in input order plus the wall-clock duration. The
+// duration is measured (and returned) even when a task fails.
 func CompressAll(arrays []*grid.Array, p core.Params, workers int) ([][]byte, time.Duration, error) {
 	if workers < 1 {
 		workers = runtime.NumCPU()
 	}
 	streams := make([][]byte, len(arrays))
 	errs := make([]error, len(arrays))
-	var next int
-	var mu sync.Mutex
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < workers; w++ {
@@ -42,10 +43,7 @@ func CompressAll(arrays []*grid.Array, p core.Params, workers int) ([][]byte, ti
 		go func() {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
+				i := int(next.Add(1)) - 1
 				if i >= len(arrays) {
 					return
 				}
@@ -59,21 +57,21 @@ func CompressAll(arrays []*grid.Array, p core.Params, workers int) ([][]byte, ti
 	elapsed := time.Since(start)
 	for i, err := range errs {
 		if err != nil {
-			return nil, 0, fmt.Errorf("parallel: compressing array %d: %w", i, err)
+			return nil, elapsed, fmt.Errorf("parallel: compressing array %d: %w", i, err)
 		}
 	}
 	return streams, elapsed, nil
 }
 
 // DecompressAll decompresses each stream using `workers` goroutines.
+// The duration is measured (and returned) even when a task fails.
 func DecompressAll(streams [][]byte, workers int) ([]*grid.Array, time.Duration, error) {
 	if workers < 1 {
 		workers = runtime.NumCPU()
 	}
 	arrays := make([]*grid.Array, len(streams))
 	errs := make([]error, len(streams))
-	var next int
-	var mu sync.Mutex
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < workers; w++ {
@@ -81,10 +79,7 @@ func DecompressAll(streams [][]byte, workers int) ([]*grid.Array, time.Duration,
 		go func() {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
+				i := int(next.Add(1)) - 1
 				if i >= len(streams) {
 					return
 				}
@@ -98,7 +93,7 @@ func DecompressAll(streams [][]byte, workers int) ([]*grid.Array, time.Duration,
 	elapsed := time.Since(start)
 	for i, err := range errs {
 		if err != nil {
-			return nil, 0, fmt.Errorf("parallel: decompressing stream %d: %w", i, err)
+			return nil, elapsed, fmt.Errorf("parallel: decompressing stream %d: %w", i, err)
 		}
 	}
 	return arrays, elapsed, nil

@@ -21,6 +21,11 @@
 // falls back to lower-dimensional Lorenzo prediction at array borders while
 // preserving the error-bound guarantee (the bound never depends on
 // prediction quality, only on the quantizer).
+//
+// The stencil construction lives in stencil.go; fused fast-path kernels in
+// internal/core consume stencils through the FlatStencil form, which
+// preserves Predict's accumulation order so specialized loops stay
+// bit-identical to the generic path.
 package predictor
 
 import (
@@ -30,17 +35,6 @@ import (
 // MaxLayers bounds the supported layer count. Beyond 8 layers the binomial
 // weights exceed any practically useful setting (the paper evaluates 1–4).
 const MaxLayers = 8
-
-// Term is one weighted neighbour reference of a prediction stencil.
-type Term struct {
-	// Delta is the flat row-major index offset of the neighbour,
-	// always negative (neighbours precede the predicted point).
-	Delta int
-	// Offsets holds the per-dimension offsets k (neighbour = x − k).
-	Offsets []int
-	// Coef is the stencil weight.
-	Coef float64
-}
 
 // Predictor evaluates the n-layer prediction for a fixed array geometry.
 type Predictor struct {
@@ -160,100 +154,4 @@ func (p *Predictor) borderStencil(coord []int) []Term {
 	s := buildStencil(layers, p.strides)
 	p.borderCache[k] = s
 	return s
-}
-
-// buildStencil enumerates offsets 0 ≤ kj ≤ layers[j] (k ≠ 0) and computes
-// the coefficient −∏ (−1)^{kj} C(layers[j], kj). Dimensions with layers[j]
-// == 0 contribute only kj = 0 (C(0,0)·(−1)^0 = 1), i.e. they drop out.
-func buildStencil(layers, strides []int) []Term {
-	d := len(layers)
-	size := 1
-	for _, l := range layers {
-		size *= l + 1
-	}
-	terms := make([]Term, 0, size-1)
-	k := make([]int, d)
-	for {
-		// advance odometer
-		j := d - 1
-		for j >= 0 {
-			k[j]++
-			if k[j] <= layers[j] {
-				break
-			}
-			k[j] = 0
-			j--
-		}
-		if j < 0 {
-			break
-		}
-		coef := -1.0
-		delta := 0
-		for m := 0; m < d; m++ {
-			c := binomial(layers[m], k[m])
-			if k[m]%2 == 1 {
-				c = -c
-			}
-			coef *= c
-			delta -= k[m] * strides[m]
-		}
-		terms = append(terms, Term{
-			Delta:   delta,
-			Offsets: append([]int(nil), k...),
-			Coef:    coef,
-		})
-	}
-	return terms
-}
-
-// binomial returns C(n, k) as a float64 (exact for n ≤ MaxLayers).
-func binomial(n, k int) float64 {
-	if k < 0 || k > n {
-		return 0
-	}
-	if k > n-k {
-		k = n - k
-	}
-	r := 1.0
-	for i := 0; i < k; i++ {
-		r = r * float64(n-i) / float64(i+1)
-	}
-	// The loop result is exact for small n but may carry float division
-	// artifacts; round to nearest integer.
-	if r >= 0 {
-		return float64(int64(r + 0.5))
-	}
-	return float64(int64(r - 0.5))
-}
-
-// Coefficients returns the interior stencil for an n-layer, d-dimensional
-// predictor as a map from offset vector (as a string key "k1,k2,…") to
-// coefficient. Intended for inspection and tests against the paper's
-// Table I.
-func Coefficients(n, d int) (map[string]float64, error) {
-	if n < 1 || n > MaxLayers {
-		return nil, fmt.Errorf("predictor: layers %d out of range", n)
-	}
-	if d < 1 || d > 8 {
-		return nil, fmt.Errorf("predictor: dims %d out of range", d)
-	}
-	layers := make([]int, d)
-	strides := make([]int, d)
-	for i := range layers {
-		layers[i] = n
-		strides[i] = 0 // unused for the map form
-	}
-	terms := buildStencil(layers, strides)
-	out := make(map[string]float64, len(terms))
-	for _, t := range terms {
-		key := ""
-		for i, k := range t.Offsets {
-			if i > 0 {
-				key += ","
-			}
-			key += fmt.Sprint(k)
-		}
-		out[key] = t.Coef
-	}
-	return out, nil
 }

@@ -1,0 +1,139 @@
+package predictor
+
+import (
+	"fmt"
+)
+
+// Term is one weighted neighbour reference of a prediction stencil.
+type Term struct {
+	// Delta is the flat row-major index offset of the neighbour,
+	// always negative (neighbours precede the predicted point).
+	Delta int
+	// Offsets holds the per-dimension offsets k (neighbour = x − k).
+	Offsets []int
+	// Coef is the stencil weight.
+	Coef float64
+}
+
+// FlatStencil is a stencil in structure-of-arrays form for fused kernels:
+// Coefs[i] weights the value at flat offset Deltas[i] from the predicted
+// point. Terms appear in the exact order Predict accumulates them, so a
+// kernel summing Coefs[i]·data[idx+Deltas[i]] left to right reproduces
+// Predict bit for bit.
+type FlatStencil struct {
+	Deltas []int
+	Coefs  []float64
+}
+
+// Flat returns the interior stencil in flat form.
+func (p *Predictor) Flat() FlatStencil {
+	return flatten(p.interior)
+}
+
+func flatten(terms []Term) FlatStencil {
+	fs := FlatStencil{
+		Deltas: make([]int, len(terms)),
+		Coefs:  make([]float64, len(terms)),
+	}
+	for i, t := range terms {
+		fs.Deltas[i] = t.Delta
+		fs.Coefs[i] = t.Coef
+	}
+	return fs
+}
+
+// buildStencil enumerates offsets 0 ≤ kj ≤ layers[j] (k ≠ 0) and computes
+// the coefficient −∏ (−1)^{kj} C(layers[j], kj). Dimensions with layers[j]
+// == 0 contribute only kj = 0 (C(0,0)·(−1)^0 = 1), i.e. they drop out.
+func buildStencil(layers, strides []int) []Term {
+	d := len(layers)
+	size := 1
+	for _, l := range layers {
+		size *= l + 1
+	}
+	terms := make([]Term, 0, size-1)
+	k := make([]int, d)
+	for {
+		// advance odometer
+		j := d - 1
+		for j >= 0 {
+			k[j]++
+			if k[j] <= layers[j] {
+				break
+			}
+			k[j] = 0
+			j--
+		}
+		if j < 0 {
+			break
+		}
+		coef := -1.0
+		delta := 0
+		for m := 0; m < d; m++ {
+			c := binomial(layers[m], k[m])
+			if k[m]%2 == 1 {
+				c = -c
+			}
+			coef *= c
+			delta -= k[m] * strides[m]
+		}
+		terms = append(terms, Term{
+			Delta:   delta,
+			Offsets: append([]int(nil), k...),
+			Coef:    coef,
+		})
+	}
+	return terms
+}
+
+// binomial returns C(n, k) as a float64 (exact for n ≤ MaxLayers).
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	// The loop result is exact for small n but may carry float division
+	// artifacts; round to nearest integer.
+	if r >= 0 {
+		return float64(int64(r + 0.5))
+	}
+	return float64(int64(r - 0.5))
+}
+
+// Coefficients returns the interior stencil for an n-layer, d-dimensional
+// predictor as a map from offset vector (as a string key "k1,k2,…") to
+// coefficient. Intended for inspection and tests against the paper's
+// Table I.
+func Coefficients(n, d int) (map[string]float64, error) {
+	if n < 1 || n > MaxLayers {
+		return nil, fmt.Errorf("predictor: layers %d out of range", n)
+	}
+	if d < 1 || d > 8 {
+		return nil, fmt.Errorf("predictor: dims %d out of range", d)
+	}
+	layers := make([]int, d)
+	strides := make([]int, d)
+	for i := range layers {
+		layers[i] = n
+		strides[i] = 0 // unused for the map form
+	}
+	terms := buildStencil(layers, strides)
+	out := make(map[string]float64, len(terms))
+	for _, t := range terms {
+		key := ""
+		for i, k := range t.Offsets {
+			if i > 0 {
+				key += ","
+			}
+			key += fmt.Sprint(k)
+		}
+		out[key] = t.Coef
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package predictor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFlatMatchesInterior asserts Flat() mirrors the interior stencil term
+// for term, in the same order — the property the fused kernels rely on to
+// stay bit-identical with Predict.
+func TestFlatMatchesInterior(t *testing.T) {
+	for _, tc := range []struct {
+		dims []int
+		n    int
+	}{
+		{[]int{64}, 1},
+		{[]int{16, 16}, 1},
+		{[]int{16, 16}, 2},
+		{[]int{8, 8, 8}, 1},
+		{[]int{8, 8, 8}, 2},
+		{[]int{6, 6, 6}, 3},
+	} {
+		p, err := New(tc.dims, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := p.Flat()
+		terms := p.InteriorStencil()
+		if len(fs.Deltas) != len(terms) || len(fs.Coefs) != len(terms) {
+			t.Fatalf("dims=%v n=%d: flat size %d/%d, want %d",
+				tc.dims, tc.n, len(fs.Deltas), len(fs.Coefs), len(terms))
+		}
+		for i, term := range terms {
+			if fs.Deltas[i] != term.Delta || fs.Coefs[i] != term.Coef {
+				t.Fatalf("dims=%v n=%d: flat term %d = (%d, %g), want (%d, %g)",
+					tc.dims, tc.n, i, fs.Deltas[i], fs.Coefs[i], term.Delta, term.Coef)
+			}
+		}
+	}
+}
+
+// TestFlatSumMatchesPredict walks a random field and checks that the
+// left-to-right flat accumulation reproduces Predict bit for bit on
+// interior points.
+func TestFlatSumMatchesPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dims := []int{7, 9, 11}
+	p, err := New(dims, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]float64, 7*9*11)
+	for i := range data {
+		data[i] = rng.NormFloat64() * 100
+	}
+	fs := p.Flat()
+	for i := 2; i < 7; i++ {
+		for j := 2; j < 9; j++ {
+			for k := 2; k < 11; k++ {
+				idx := (i*9+j)*11 + k
+				coord := []int{i, j, k}
+				var f float64
+				for t := range fs.Deltas {
+					f += fs.Coefs[t] * data[idx+fs.Deltas[t]]
+				}
+				if want := p.Predict(data, idx, coord); f != want {
+					t.Fatalf("point %v: flat sum %g != Predict %g", coord, f, want)
+				}
+			}
+		}
+	}
+}
