@@ -1,0 +1,352 @@
+// Command sz streams raw binary floating-point arrays through any codec
+// in the registry (sz14, blocked, pwrel, gzip, fpzip, zfp, sz11,
+// isabela), file to file or pipe to pipe.
+//
+// Compress a 100x500x500 float32 field with a value-range-relative bound:
+//
+//	sz c -codec sz14 -rel 1e-4 -dims 100,500,500 in.f32 out.sz
+//
+// Stream an in-situ blocked container with bounded memory (absolute
+// bound), straight from a generator:
+//
+//	szgen -set Hurricane -o - | sz c -codec blocked -abs 1e-3 -dims 100,500,500 - hur.szb
+//
+// Decompress (codec auto-detected from the stream magic):
+//
+//	sz d hur.szb restored.f32
+//
+// Inspect a stream without decompressing:
+//
+//	sz inspect hur.szb
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	sz "repro"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "c", "compress":
+		err = cmdCompress(os.Args[2:])
+	case "d", "decompress":
+		err = cmdDecompress(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "codecs":
+		fmt.Println(strings.Join(sz.Codecs(), "\n"))
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sz:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  sz c [flags] [in] [out]    compress raw samples (in/out default "-" = stdin/stdout)
+  sz d [flags] [in] [out]    decompress a stream (codec auto-detected)
+  sz inspect [in]            print stream metadata without decompressing
+  sz codecs                  list registered codecs
+
+compress flags:
+  -codec name   codec to use (default sz14); see "sz codecs"
+  -dims d0,d1   array dimensions, slowest first (required; "," or "x" separated)
+  -dtype t      raw element type: f32|f64 (default f32)
+  -abs eb       absolute error bound
+  -rel eb       value-range-relative bound (pointwise epsilon for -codec pwrel)
+  -layers n     SZ predictor layers (default %d)
+  -m bits       SZ quantization code bits (default %d)
+  -slab rows    blocked-container slab thickness (default auto)
+  -workers n    blocked-container parallelism (default NumCPU)
+  -zfprate r    ZFP fixed-rate bits/value (overrides bounds for -codec zfp)
+
+decompress flags:
+  -codec name   force a codec (needed for gzip, whose streams have no magic dims)
+  -dtype t      element type for codecs that do not record it (default f64)
+  -dims d0,d1   shape for non-self-describing codecs
+`, sz.DefaultLayers, sz.DefaultIntervalBits)
+}
+
+// parseDims accepts "100,500,500" or "100x500x500".
+func parseDims(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	sep := ","
+	if strings.Contains(s, "x") {
+		sep = "x"
+	}
+	parts := strings.Split(s, sep)
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad dimension %q", p)
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}
+
+func parseDType(s string) (grid.DType, error) {
+	switch s {
+	case "f32", "float32":
+		return grid.Float32, nil
+	case "f64", "float64":
+		return grid.Float64, nil
+	}
+	return 0, fmt.Errorf("bad -dtype %q (f32|f64)", s)
+}
+
+// openIn returns the input reader; "-" or "" means stdin.
+func openIn(path string) (io.ReadCloser, error) {
+	if path == "" || path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(path)
+}
+
+// openOut returns the output writer; "-" or "" means stdout.
+func openOut(path string) (io.WriteCloser, error) {
+	if path == "" || path == "-" {
+		return nopWriteCloser{os.Stdout}, nil
+	}
+	return os.Create(path)
+}
+
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
+
+// countingWriter tracks bytes for the compression summary.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+func cmdCompress(args []string) error {
+	fs := flag.NewFlagSet("sz c", flag.ExitOnError)
+	var (
+		codecName = fs.String("codec", "sz14", "codec name")
+		dimsStr   = fs.String("dims", "", "dimensions, slowest first")
+		dtypeStr  = fs.String("dtype", "f32", "raw element type: f32|f64")
+		absB      = fs.Float64("abs", 0, "absolute error bound")
+		relB      = fs.Float64("rel", 0, "value-range-relative error bound")
+		layers    = fs.Int("layers", 0, "SZ predictor layers")
+		mbits     = fs.Int("m", 0, "SZ quantization code bits")
+		slab      = fs.Int("slab", 0, "blocked slab rows")
+		workers   = fs.Int("workers", 0, "blocked workers")
+		zfpRate   = fs.Float64("zfprate", 0, "ZFP fixed-rate bits/value")
+	)
+	fs.Parse(args)
+	in, out := fs.Arg(0), fs.Arg(1)
+
+	dims, err := parseDims(*dimsStr)
+	if err != nil {
+		return err
+	}
+	// gzip is shapeless (plain DEFLATE over the byte stream); every
+	// other codec needs the array geometry to interpret the raw input.
+	if len(dims) == 0 && *codecName != "gzip" {
+		return fmt.Errorf("missing -dims (required to interpret the raw input)")
+	}
+	dt, err := parseDType(*dtypeStr)
+	if err != nil {
+		return err
+	}
+	p := sz.CodecParams{
+		AbsBound:     *absB,
+		RelBound:     *relB,
+		Layers:       *layers,
+		IntervalBits: *mbits,
+		DType:        dt,
+		Dims:         dims,
+		SlabRows:     *slab,
+		Workers:      *workers,
+		Rate:         *zfpRate,
+	}
+	switch {
+	case *absB > 0 && *relB > 0:
+		p.Mode = sz.BoundAbsAndRel
+	case *absB > 0:
+		p.Mode = sz.BoundAbs
+	case *relB > 0:
+		p.Mode = sz.BoundRel
+	case *codecName != "gzip" && *codecName != "fpzip" && *zfpRate <= 0:
+		return fmt.Errorf("need -abs or -rel for codec %s", *codecName)
+	}
+
+	r, err := openIn(in)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	w, err := openOut(out)
+	if err != nil {
+		return err
+	}
+	cw := &countingWriter{w: w}
+	zw, err := sz.NewCodecWriter(*codecName, cw, p)
+	if err != nil {
+		w.Close()
+		return err
+	}
+	nIn, err := io.Copy(zw, bufio.NewReaderSize(r, 1<<20))
+	if err == nil {
+		err = zw.Close()
+	}
+	if err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sz c: %s: %d -> %d bytes (CF %.2f)\n",
+		*codecName, nIn, cw.n, float64(nIn)/float64(cw.n))
+	return nil
+}
+
+func cmdDecompress(args []string) error {
+	fs := flag.NewFlagSet("sz d", flag.ExitOnError)
+	var (
+		codecName = fs.String("codec", "", "codec name (default: auto-detect)")
+		dimsStr   = fs.String("dims", "", "dimensions for non-self-describing codecs")
+		dtypeStr  = fs.String("dtype", "f64", "element type for codecs that do not record it")
+		workers   = fs.Int("workers", 0, "decode parallelism where supported")
+	)
+	fs.Parse(args)
+	in, out := fs.Arg(0), fs.Arg(1)
+
+	dims, err := parseDims(*dimsStr)
+	if err != nil {
+		return err
+	}
+	dt, err := parseDType(*dtypeStr)
+	if err != nil {
+		return err
+	}
+	r, err := openIn(in)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	br := bufio.NewReaderSize(r, 1<<20)
+	name := *codecName
+	if name == "" {
+		prefix, _ := br.Peek(4)
+		c, err := codec.Detect(prefix)
+		if err != nil {
+			return fmt.Errorf("%w; pass -codec explicitly", err)
+		}
+		name = c.Name()
+	}
+	zr, err := sz.NewCodecReader(name, br, sz.CodecParams{Dims: dims, DType: dt, Workers: *workers})
+	if err != nil {
+		return err
+	}
+	defer zr.Close()
+	w, err := openOut(out)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	n, err := io.Copy(bw, zr)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sz d: %s: %d raw bytes out\n", name, n)
+	return nil
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("sz inspect", flag.ExitOnError)
+	fs.Parse(args)
+	r, err := openIn(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	stream, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	c, err := codec.Detect(stream)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("codec:  %s\n", c.Name())
+	fmt.Printf("bytes:  %d\n", len(stream))
+	switch c.Name() {
+	case "sz14":
+		h, err := sz.Inspect(stream)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("dims:   %v\n", h.Dims)
+		fmt.Printf("dtype:  %v\n", h.DType)
+		fmt.Printf("bound:  %g (abs)\n", h.AbsBound)
+		fmt.Printf("layers: %d\n", h.Layers)
+		fmt.Printf("m:      %d bits (%d intervals)\n", h.IntervalBits, (1<<h.IntervalBits)-1)
+		fmt.Printf("escapes: %d of %d points\n", h.NumOutliers, h.N())
+	case "blocked":
+		ix, err := sz.InspectBlocked(stream)
+		if err != nil {
+			return err
+		}
+		ns := ix.NumSlabs()
+		fmt.Printf("dims:   %v\n", ix.Dims)
+		fmt.Printf("slabs:  %d x %d rows\n", ns, ix.SlabRows)
+		minL, maxL := -1, 0
+		for i := 0; i < ns; i++ {
+			l := ix.Offsets[i+1] - ix.Offsets[i]
+			if minL < 0 || l < minL {
+				minL = l
+			}
+			if l > maxL {
+				maxL = l
+			}
+		}
+		fmt.Printf("body:   %d bytes (slab streams %d..%d bytes)\n", ix.Offsets[ns], minL, maxL)
+		// The per-slab element type lives in each slab's own header.
+		if h, _, err := core.ParseHeaderPrefix(stream[ix.HeaderLen:]); err == nil {
+			fmt.Printf("dtype:  %v\n", h.DType)
+			fmt.Printf("bound:  %g (abs)\n", h.AbsBound)
+		}
+	}
+	return nil
+}

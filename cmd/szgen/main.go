@@ -21,7 +21,7 @@ func main() {
 		variant = flag.String("variant", "", "ATM variable variant (FREQSH | SNOWHLND | CDNUMC)")
 		scale   = flag.Int("scale", 8, "divide paper dims by this factor")
 		seed    = flag.Int64("seed", 1, "generator seed")
-		out     = flag.String("o", "", "output file (raw little-endian float32)")
+		out     = flag.String("o", "", "output file (raw little-endian float32); - for stdout")
 	)
 	flag.Parse()
 	if err := run(*set, *variant, *scale, *seed, *out); err != nil {
@@ -72,11 +72,17 @@ func run(set, variant string, scale int, seed int64, out string) error {
 	default:
 		return fmt.Errorf("unknown -set %q (ATM|APS|Hurricane|HACC)", set)
 	}
-	f, err := os.Create(out)
-	if err != nil {
-		return err
+	var f *os.File
+	if out == "-" {
+		f = os.Stdout
+	} else {
+		var err error
+		f, err = os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
 	}
-	defer f.Close()
 	if err := a.WriteRaw(f, grid.Float32); err != nil {
 		return err
 	}
@@ -87,7 +93,7 @@ func run(set, variant string, scale int, seed int64, out string) error {
 		}
 		dims += fmt.Sprint(d)
 	}
-	fmt.Printf("wrote %s: %d float32 values, dims %s (use szc -dims %s -dtype float32)\n",
+	fmt.Fprintf(os.Stderr, "wrote %s: %d float32 values, dims %s (use sz c -dims %s -dtype f32)\n",
 		out, a.Len(), dims, dims)
 	return nil
 }

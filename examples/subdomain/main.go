@@ -50,7 +50,7 @@ func main() {
 	}
 
 	// Sanity: full parallel decompression respects the bound everywhere.
-	full, err := sz.DecompressBlocked(stream, 0)
+	full, err := sz.DecompressBlocked(stream, sz.BlockedParams{})
 	if err != nil {
 		log.Fatal(err)
 	}

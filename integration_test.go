@@ -178,7 +178,7 @@ func TestBlockedMatchesCoreBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := sz.DecompressBlocked(stream, 0)
+	out, err := sz.DecompressBlocked(stream, sz.BlockedParams{})
 	if err != nil {
 		t.Fatal(err)
 	}

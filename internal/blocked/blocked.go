@@ -13,9 +13,32 @@
 // error bound is unaffected. With a relative bound, the global value range
 // is resolved once so every slab enforces the same absolute bound the
 // single-stream compressor would.
+//
+// # Container format (v2, magic "SZB2")
+//
+//	magic   "SZB2"                       4 bytes
+//	ndims   byte                         1..4
+//	dims    uvarint x ndims              slowest-varying first
+//	slab    uvarint                      rows per slab
+//	body    nSlabs core streams          concatenated in slab order,
+//	                                     nSlabs = ceil(dims[0]/slab)
+//	footer  uvarint nSlabs               consistency check
+//	        uvarint len(slab[i]) x n     per-slab stream lengths
+//	        uint32le footerLen           bytes of the two varint runs above
+//	        uint32le crc32(IEEE)         over everything before this field
+//
+// The slab index lives in a footer, not the header, so the container can
+// be written as a stream: slabs are emitted as they are compressed and
+// the index is appended last. Random access seeks to the end, reads
+// footerLen + CRC (the trailing 8 bytes), and recovers every slab offset;
+// sequential access needs no footer at all because each core stream is
+// self-delimiting (its header states its payload length). Version 1
+// ("SZBK", header-resident index, no streaming) is no longer written or
+// read.
 package blocked
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -29,12 +52,15 @@ import (
 	"repro/internal/grid"
 )
 
-const magic = "SZBK"
+const (
+	magic   = "SZB2"
+	magicV1 = "SZBK"
+)
 
 // ErrCorrupt is returned for malformed containers.
 var ErrCorrupt = errors.New("blocked: corrupt container")
 
-// Params configures blocked compression.
+// Params configures blocked compression and decompression.
 type Params struct {
 	// Core configures the per-slab compressor. A relative bound is
 	// resolved against the whole array's range before slabbing.
@@ -42,7 +68,8 @@ type Params struct {
 	// SlabRows is the slab thickness along the slowest dimension;
 	// 0 picks a thickness targeting ~NumCPU slabs (at least 4 rows).
 	SlabRows int
-	// Workers bounds compression parallelism; 0 means runtime.NumCPU().
+	// Workers bounds compression/decompression parallelism; 0 means
+	// runtime.NumCPU().
 	Workers int
 }
 
@@ -63,6 +90,9 @@ type Stats struct {
 type Index struct {
 	Dims     []int
 	SlabRows int
+	// HeaderLen is the container header's byte length; the body (the
+	// first slab stream) starts here.
+	HeaderLen int
 	// Offsets[i] is the byte offset of slab i's stream within the body;
 	// Offsets[len] is the body length.
 	Offsets []int
@@ -81,106 +111,47 @@ func (ix *Index) SlabBounds(i int) (lo, hi int) {
 	return lo, hi
 }
 
-// Compress encodes a as a blocked container.
+// Compress encodes a as a blocked container. It is a convenience wrapper
+// over the streaming Writer: slabs are fed as zero-copy views and the
+// container is assembled in memory, so the produced bytes are identical
+// to what the streaming path emits for the same parameters.
 func Compress(a *grid.Array, p Params) ([]byte, *Stats, error) {
 	if err := p.Core.Validate(); err != nil {
 		return nil, nil, err
 	}
-	rows := a.Dims[0]
-	slabRows := p.SlabRows
-	if slabRows <= 0 {
-		slabRows = (rows + runtime.NumCPU() - 1) / runtime.NumCPU()
-		if slabRows < 4 {
-			slabRows = 4
-		}
-	}
-	if slabRows > rows {
-		slabRows = rows
-	}
-	workers := p.Workers
-	if workers < 1 {
-		workers = runtime.NumCPU()
-	}
-
 	// Resolve a relative bound against the global range so every slab
 	// enforces the same absolute bound.
-	cp := p.Core
-	if cp.Mode != core.BoundAbs {
+	if p.Core.Mode != core.BoundAbs {
 		_, _, rng := a.Range()
-		eb := relToAbs(cp, rng)
-		cp.Mode = core.BoundAbs
-		cp.AbsBound = eb
-		cp.RelBound = 0
+		eb := relToAbs(p.Core, rng)
+		p.Core.Mode = core.BoundAbs
+		p.Core.AbsBound = eb
+		p.Core.RelBound = 0
 	}
-
-	nSlabs := (rows + slabRows - 1) / slabRows
-	streams := make([][]byte, nSlabs)
-	stats := make([]*core.Stats, nSlabs)
-	errs := make([]error, nSlabs)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= nSlabs {
-					return
-				}
-				lo := i * slabRows
-				hi := lo + slabRows
-				if hi > rows {
-					hi = rows
-				}
-				slab, err := a.Slab(lo, hi)
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				streams[i], stats[i], errs[i] = core.Compress(slab, cp)
-			}
-		}()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, a.Dims, p)
+	if err != nil {
+		return nil, nil, err
 	}
-	wg.Wait()
-	for i, err := range errs {
+	rows := a.Dims[0]
+	for lo := 0; lo < rows; lo += w.slabRows {
+		hi := lo + w.slabRows
+		if hi > rows {
+			hi = rows
+		}
+		slab, err := a.Slab(lo, hi)
+		if err == nil {
+			err = w.writeSlab(slab)
+		}
 		if err != nil {
-			return nil, nil, fmt.Errorf("blocked: slab %d: %w", i, err)
+			w.Close()
+			return nil, nil, err
 		}
 	}
-
-	// Container: magic, ndims, dims, slabRows, per-slab lengths, body, CRC.
-	head := make([]byte, 0, 64)
-	head = append(head, magic...)
-	head = append(head, byte(len(a.Dims)))
-	for _, d := range a.Dims {
-		head = binary.AppendUvarint(head, uint64(d))
+	if err := w.Close(); err != nil {
+		return nil, nil, err
 	}
-	head = binary.AppendUvarint(head, uint64(slabRows))
-	head = binary.AppendUvarint(head, uint64(nSlabs))
-	for _, s := range streams {
-		head = binary.AppendUvarint(head, uint64(len(s)))
-	}
-	out := head
-	for _, s := range streams {
-		out = append(out, s...)
-	}
-	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
-
-	agg := &Stats{
-		N:               a.Len(),
-		Slabs:           nSlabs,
-		EffAbsBound:     cp.AbsBound,
-		CompressedBytes: len(out),
-	}
-	for _, st := range stats {
-		agg.Predictable += st.Predictable
-		agg.OriginalBytes += st.OriginalBytes
-	}
-	agg.HitRate = float64(agg.Predictable) / float64(agg.N)
-	agg.CompressionFactor = float64(agg.OriginalBytes) / float64(agg.CompressedBytes)
-	agg.BitRate = float64(agg.CompressedBytes) * 8 / float64(agg.N)
-	return out, agg, nil
+	return buf.Bytes(), w.Stats(), nil
 }
 
 // relToAbs mirrors core's effective-bound resolution for relative modes.
@@ -200,12 +171,15 @@ func relToAbs(p core.Params, valueRange float64) float64 {
 	return eb
 }
 
-// Inspect parses the container index.
+// Inspect parses and verifies the container index from the footer.
 func Inspect(stream []byte) (*Index, error) {
-	if len(stream) < len(magic)+2+4 {
+	if len(stream) < len(magic)+3+9 {
 		return nil, fmt.Errorf("%w: too short", ErrCorrupt)
 	}
 	if string(stream[:4]) != magic {
+		if string(stream[:4]) == magicV1 {
+			return nil, fmt.Errorf("%w: v1 container (no footer); re-encode with this version", ErrCorrupt)
+		}
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	if crc32.ChecksumIEEE(stream[:len(stream)-4]) != binary.LittleEndian.Uint32(stream[len(stream)-4:]) {
@@ -231,25 +205,36 @@ func Inspect(stream []byte) (*Index, error) {
 	}
 	ix.SlabRows = int(v)
 	off += k
-	ns, k := binary.Uvarint(stream[off:])
+	ix.HeaderLen = off
+
+	footerLen := int(binary.LittleEndian.Uint32(stream[len(stream)-8:]))
+	footStart := len(stream) - 8 - footerLen
+	if footerLen < 1 || footStart < off {
+		return nil, fmt.Errorf("%w: bad footer length", ErrCorrupt)
+	}
+	foot := stream[footStart : len(stream)-8]
+	ns, k := binary.Uvarint(foot)
 	wantSlabs := (ix.Dims[0] + ix.SlabRows - 1) / ix.SlabRows
 	if k <= 0 || ns != uint64(wantSlabs) {
 		return nil, fmt.Errorf("%w: bad slab count", ErrCorrupt)
 	}
-	off += k
+	foff := k
 	ix.Offsets = make([]int, ns+1)
 	pos := 0
 	for i := 0; i < int(ns); i++ {
-		l, k := binary.Uvarint(stream[off:])
+		l, k := binary.Uvarint(foot[foff:])
 		if k <= 0 {
 			return nil, fmt.Errorf("%w: bad slab length", ErrCorrupt)
 		}
-		off += k
+		foff += k
 		ix.Offsets[i] = pos
 		pos += int(l)
 	}
 	ix.Offsets[ns] = pos
-	if off+pos+4 != len(stream) {
+	if foff != footerLen {
+		return nil, fmt.Errorf("%w: footer length mismatch", ErrCorrupt)
+	}
+	if off+pos != footStart {
 		return nil, fmt.Errorf("%w: body length mismatch", ErrCorrupt)
 	}
 	return ix, nil
@@ -258,15 +243,20 @@ func Inspect(stream []byte) (*Index, error) {
 // body returns the container body bytes given its index.
 func body(stream []byte, ix *Index) []byte {
 	bodyLen := ix.Offsets[len(ix.Offsets)-1]
-	return stream[len(stream)-4-bodyLen : len(stream)-4]
+	footerLen := int(binary.LittleEndian.Uint32(stream[len(stream)-8:]))
+	end := len(stream) - 8 - footerLen
+	return stream[end-bodyLen : end]
 }
 
-// Decompress reconstructs the full array using `workers` goroutines.
-func Decompress(stream []byte, workers int) (*grid.Array, error) {
+// Decompress reconstructs the full array, decoding slabs in parallel
+// with p.Workers goroutines (0 = NumCPU). Only p.Workers is consulted;
+// compression parameters live in the stream.
+func Decompress(stream []byte, p Params) (*grid.Array, error) {
 	ix, err := Inspect(stream)
 	if err != nil {
 		return nil, err
 	}
+	workers := p.Workers
 	if workers < 1 {
 		workers = runtime.NumCPU()
 	}
@@ -274,6 +264,7 @@ func Decompress(stream []byte, workers int) (*grid.Array, error) {
 	b := body(stream, ix)
 	nSlabs := ix.NumSlabs()
 	errs := make([]error, nSlabs)
+	dtypes := make([]grid.DType, nSlabs)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -285,11 +276,12 @@ func Decompress(stream []byte, workers int) (*grid.Array, error) {
 				if i >= nSlabs {
 					return
 				}
-				slab, err := decodeSlab(b, ix, i)
+				slab, dt, err := decodeSlab(b, ix, i)
 				if err != nil {
 					errs[i] = err
 					continue
 				}
+				dtypes[i] = dt
 				lo, hi := ix.SlabBounds(i)
 				dst, err := out.Slab(lo, hi)
 				if err != nil {
@@ -306,6 +298,12 @@ func Decompress(stream []byte, workers int) (*grid.Array, error) {
 			return nil, fmt.Errorf("blocked: slab %d: %w", i, err)
 		}
 	}
+	for i := 1; i < nSlabs; i++ {
+		if dtypes[i] != dtypes[0] {
+			return nil, fmt.Errorf("%w: slab %d element type %v, container uses %v",
+				ErrCorrupt, i, dtypes[i], dtypes[0])
+		}
+	}
 	return out, nil
 }
 
@@ -318,26 +316,27 @@ func DecompressSlab(stream []byte, i int) (*grid.Array, error) {
 	if i < 0 || i >= ix.NumSlabs() {
 		return nil, fmt.Errorf("blocked: slab %d out of range [0,%d)", i, ix.NumSlabs())
 	}
-	return decodeSlab(body(stream, ix), ix, i)
+	slab, _, err := decodeSlab(body(stream, ix), ix, i)
+	return slab, err
 }
 
-func decodeSlab(b []byte, ix *Index, i int) (*grid.Array, error) {
+func decodeSlab(b []byte, ix *Index, i int) (*grid.Array, grid.DType, error) {
 	lo, hi := ix.Offsets[i], ix.Offsets[i+1]
 	if lo > hi || hi > len(b) {
-		return nil, fmt.Errorf("%w: slab %d bounds", ErrCorrupt, i)
+		return nil, 0, fmt.Errorf("%w: slab %d bounds", ErrCorrupt, i)
 	}
-	slab, _, err := core.Decompress(b[lo:hi])
+	slab, h, err := core.Decompress(b[lo:hi])
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	wantLo, wantHi := ix.SlabBounds(i)
 	if slab.Dims[0] != wantHi-wantLo {
-		return nil, fmt.Errorf("%w: slab %d has %d rows, want %d", ErrCorrupt, i, slab.Dims[0], wantHi-wantLo)
+		return nil, 0, fmt.Errorf("%w: slab %d has %d rows, want %d", ErrCorrupt, i, slab.Dims[0], wantHi-wantLo)
 	}
 	for d := 1; d < len(ix.Dims); d++ {
 		if d >= len(slab.Dims) || slab.Dims[d] != ix.Dims[d] {
-			return nil, fmt.Errorf("%w: slab %d dims %v do not match container %v", ErrCorrupt, i, slab.Dims, ix.Dims)
+			return nil, 0, fmt.Errorf("%w: slab %d dims %v do not match container %v", ErrCorrupt, i, slab.Dims, ix.Dims)
 		}
 	}
-	return slab, nil
+	return slab, h.DType, nil
 }

@@ -26,7 +26,7 @@ func TestRoundTrip(t *testing.T) {
 	if st.Slabs != (90+15)/16 {
 		t.Fatalf("slabs = %d", st.Slabs)
 	}
-	out, err := Decompress(stream, 2)
+	out, err := Decompress(stream, Params{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestGlobalBoundResolution(t *testing.T) {
 	if math.Abs(st.EffAbsBound-want) > 1e-12*rng {
 		t.Fatalf("bound %v, want global %v", st.EffAbsBound, want)
 	}
-	out, err := Decompress(stream, 0)
+	out, err := Decompress(stream, Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestRandomAccessSlab(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := Decompress(stream, 0)
+	full, err := Decompress(stream, Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestSlabRowsDefaults(t *testing.T) {
 	if st.Slabs < 1 {
 		t.Fatalf("slabs = %d", st.Slabs)
 	}
-	if _, err := Decompress(stream, 0); err != nil {
+	if _, err := Decompress(stream, Params{}); err != nil {
 		t.Fatal(err)
 	}
 	// Slab thickness larger than the array collapses to one slab.
@@ -173,7 +173,7 @@ func TestCorruption(t *testing.T) {
 	}
 	bad := append([]byte(nil), stream...)
 	bad[len(bad)/2] ^= 0x04
-	if _, err := Decompress(bad, 0); err == nil {
+	if _, err := Decompress(bad, Params{}); err == nil {
 		t.Fatal("corruption undetected")
 	}
 	if _, err := Inspect(stream[:8]); err == nil {

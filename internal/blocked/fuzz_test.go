@@ -1,0 +1,83 @@
+package blocked
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// FuzzBlockedDecompress feeds arbitrary bytes to both container decode
+// paths (mirroring internal/core's FuzzDecompress): neither the
+// in-memory parallel decoder nor the streaming reader may panic, and
+// when both accept a container they must agree bit-for-bit. Seeds
+// include valid containers, truncations, and flipped footers so
+// mutation explores the index machinery.
+func FuzzBlockedDecompress(f *testing.F) {
+	a := grid.New(20, 9)
+	for i := range a.Data {
+		a.Data[i] = math.Sin(float64(i) * 0.17)
+	}
+	for _, p := range []Params{
+		{Core: core.Params{Mode: core.BoundAbs, AbsBound: 1e-3}, SlabRows: 4},
+		{Core: core.Params{Mode: core.BoundAbs, AbsBound: 1e-2, OutputType: grid.Float32}, SlabRows: 7},
+		{Core: core.Params{Mode: core.BoundAbs, AbsBound: 1e-5, Layers: 2, IntervalBits: 4}, SlabRows: 20},
+	} {
+		stream, _, err := Compress(a, p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(stream)
+		f.Add(stream[:len(stream)-6]) // footer truncation
+		f.Add(stream[:len(stream)/2]) // body truncation
+		flipped := append([]byte(nil), stream...)
+		flipped[len(flipped)-10] ^= 0x40 // footer bit flip
+		f.Add(flipped)
+	}
+	f.Add([]byte(magic))
+	f.Add([]byte(magicV1))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, derr := Decompress(data, Params{Workers: 1})
+		if derr == nil {
+			if out == nil {
+				t.Fatal("nil array without error")
+			}
+			ix, err := Inspect(data)
+			if err != nil {
+				t.Fatalf("Decompress accepted what Inspect rejects: %v", err)
+			}
+			n := 1
+			for _, d := range ix.Dims {
+				n *= d
+			}
+			if out.Len() != n {
+				t.Fatalf("decoded %d values, index says %d", out.Len(), n)
+			}
+		}
+
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			if derr == nil {
+				t.Fatalf("one-shot accepted but streaming rejected header: %v", err)
+			}
+			return
+		}
+		got, serr := io.ReadAll(r)
+		if derr == nil {
+			if serr != nil {
+				t.Fatalf("one-shot accepted but streaming failed: %v", serr)
+			}
+			var want bytes.Buffer
+			if err := out.WriteRaw(&want, r.DType()); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want.Bytes()) {
+				t.Fatal("streaming and one-shot reconstructions differ")
+			}
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package blocked
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// goldenData mirrors internal/core's golden generator: fixed
+// smooth-plus-spikes data from an integer-seeded LCG, so the bytes can
+// never drift with library changes.
+func goldenData(dims []int, f32 bool) *grid.Array {
+	a := grid.New(dims...)
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := range a.Data {
+		state = state*6364136223846793005 + 1442695040888963407
+		noise := float64(int64(state>>20)%2048-1024) / 65536.0
+		v := math.Sin(float64(i)*0.07)*5 + math.Cos(float64(i)*0.013)*2 + noise
+		if state%97 == 0 {
+			v *= 1e5 // force an outlier
+		}
+		if f32 {
+			v = float64(float32(v))
+		}
+		a.Data[i] = v
+	}
+	return a
+}
+
+// TestGoldenContainers pins the exact container bytes (SHA-256 and
+// length) for fixed inputs. The container is deterministic regardless of
+// worker count — slabs are emitted in order — so any format change fails
+// here loudly; an intentional change must update the format note in the
+// package comment and regenerate these digests (run with -v).
+func TestGoldenContainers(t *testing.T) {
+	cases := []struct {
+		name     string
+		dims     []int
+		f32      bool
+		slabRows int
+		wantLen  int
+		wantSHA  string
+	}{
+		{"2d/float64/slab16", []int{48, 64}, false, 16, 9853, "39f9fd1fec0f38c5b434c96c6f1f348afdcb39523780de7958e1211698b85888"},
+		{"3d/float32/slab5", []int{12, 24, 16}, true, 5, 15821, "033929fc5088a00cb1c8df43fb87c835966e7b09717aebdaed1d43d411241928"},
+		{"1d/float64/oneslab", []int{1024}, false, 1024, 2682, "0fe00ac47d78636ab6169c9e59e9131256d16fedd802d36b131ac35f22052070"},
+	}
+	for i := range cases {
+		tc := &cases[i]
+		t.Run(tc.name, func(t *testing.T) {
+			a := goldenData(tc.dims, tc.f32)
+			p := Params{
+				Core:     core.Params{Mode: core.BoundAbs, AbsBound: 1e-3},
+				SlabRows: tc.slabRows,
+				Workers:  3,
+			}
+			if tc.f32 {
+				p.Core.OutputType = grid.Float32
+			}
+			stream, _, err := Compress(a, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := sha256.Sum256(stream)
+			got := hex.EncodeToString(sum[:])
+			t.Logf(`{%q, %#v, %v, %d, %d, %q},`,
+				tc.name, tc.dims, tc.f32, tc.slabRows, len(stream), got)
+			if tc.wantSHA == "" {
+				t.Fatal("golden digest not pinned for this case")
+			}
+			if len(stream) != tc.wantLen || got != tc.wantSHA {
+				t.Errorf("container changed: got %d bytes sha256=%s, want %d bytes sha256=%s",
+					len(stream), got, tc.wantLen, tc.wantSHA)
+			}
+			// The pinned container must still round-trip within bound.
+			out, err := Decompress(stream, Params{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range a.Data {
+				if math.Abs(a.Data[i]-out.Data[i]) > 1e-3 {
+					t.Fatalf("bound violated at %d", i)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,628 @@
+package blocked
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// ErrNeedsAbsBound is returned by NewWriter for relative bound modes: a
+// streaming writer sees the data once and cannot resolve a value-range
+// relative bound against the global range. Resolve the bound first (or
+// use Compress, which does it for you).
+var ErrNeedsAbsBound = errors.New(
+	"blocked: streaming writer requires an absolute bound (core.BoundAbs)")
+
+// maxSlabStream bounds a slab's compressed size so a corrupt or hostile
+// length field cannot make the streaming reader allocate unbounded
+// memory: worst-case escape coding costs under 2x the raw bytes plus the
+// Huffman table, far below this cap.
+func maxSlabStream(rawSlabBytes int) int {
+	return 4*rawSlabBytes + 1<<20
+}
+
+type job struct {
+	slab *grid.Array
+	res  chan result
+}
+
+type result struct {
+	stream []byte
+	stats  *core.Stats
+	err    error
+}
+
+// Writer is a streaming blocked-container writer. Raw little-endian
+// values of the configured output type arrive row-major through Write;
+// every SlabRows rows the accumulated slab is handed to a worker pool
+// and the compressed slab streams are emitted to the destination in
+// order, pipelined — slab k compresses while slab k-1 is still being
+// written out. Memory is bounded by O(workers x slab), never by the
+// stream length. Close flushes the pipeline and appends the seekable
+// footer (see the package format note).
+type Writer struct {
+	dst   io.Writer
+	crc   hash.Hash32
+	dims  []int
+	dtype grid.DType
+	cp    core.Params
+
+	slabRows int
+	nSlabs   int
+	rowBytes int
+	elemSize int
+
+	buf      []byte // raw-byte accumulator for the current slab
+	slabIdx  int    // slabs dispatched so far
+	rowsDone int    // rows fully dispatched
+
+	jobs  chan job
+	order chan chan result
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	mu        sync.Mutex
+	err       error
+	lengths   []int
+	slabStats []*core.Stats
+	written   int64
+
+	closed   bool
+	closeErr error
+	stats    *Stats
+}
+
+// NewWriter starts a streaming container writer for an array with the
+// given dimensions (slowest-varying first). p.Core.Mode must be
+// core.BoundAbs (ErrNeedsAbsBound otherwise); p.SlabRows and p.Workers
+// default as in Compress. The caller must deliver exactly
+// product(dims) values as raw little-endian p.Core.OutputType bytes and
+// then Close.
+func NewWriter(w io.Writer, dims []int, p Params) (*Writer, error) {
+	if len(dims) < 1 || len(dims) > grid.MaxDims {
+		return nil, fmt.Errorf("blocked: %d dims out of range [1,%d]", len(dims), grid.MaxDims)
+	}
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("blocked: bad dimension %d", d)
+		}
+	}
+	if err := p.Core.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Core.Mode != core.BoundAbs {
+		return nil, ErrNeedsAbsBound
+	}
+	dtype := p.Core.OutputType
+	if dtype == 0 {
+		dtype = grid.Float64
+	}
+	rows := dims[0]
+	slabRows := slabRowsFor(rows, p.SlabRows)
+	workers := p.Workers
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	rowElems := 1
+	for _, d := range dims[1:] {
+		rowElems *= d
+	}
+
+	w2 := &Writer{
+		dst:      w,
+		crc:      crc32.NewIEEE(),
+		dims:     append([]int(nil), dims...),
+		dtype:    dtype,
+		cp:       p.Core,
+		slabRows: slabRows,
+		nSlabs:   (rows + slabRows - 1) / slabRows,
+		rowBytes: rowElems * dtype.Size(),
+		elemSize: dtype.Size(),
+		jobs:     make(chan job, workers),
+		order:    make(chan chan result, 2*workers+2),
+		done:     make(chan struct{}),
+	}
+	if err := w2.writeHeader(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < workers; i++ {
+		w2.wg.Add(1)
+		go func() {
+			defer w2.wg.Done()
+			for j := range w2.jobs {
+				s, st, err := core.Compress(j.slab, w2.cp)
+				j.res <- result{s, st, err}
+			}
+		}()
+	}
+	go w2.emit()
+	return w2, nil
+}
+
+// slabRowsFor resolves the slab thickness (0 targets ~NumCPU slabs, at
+// least 4 rows, capped at the row count).
+func slabRowsFor(rows, requested int) int {
+	slabRows := requested
+	if slabRows <= 0 {
+		slabRows = (rows + runtime.NumCPU() - 1) / runtime.NumCPU()
+		if slabRows < 4 {
+			slabRows = 4
+		}
+	}
+	if slabRows > rows {
+		slabRows = rows
+	}
+	return slabRows
+}
+
+func (w *Writer) writeHeader() error {
+	head := make([]byte, 0, 32)
+	head = append(head, magic...)
+	head = append(head, byte(len(w.dims)))
+	for _, d := range w.dims {
+		head = binary.AppendUvarint(head, uint64(d))
+	}
+	head = binary.AppendUvarint(head, uint64(w.slabRows))
+	return w.writeHashed(head)
+}
+
+// writeHashed writes to the destination while folding the bytes into the
+// running container CRC. Only NewWriter, the emitter, and Close call it,
+// never concurrently.
+func (w *Writer) writeHashed(b []byte) error {
+	if _, err := w.dst.Write(b); err != nil {
+		return err
+	}
+	w.crc.Write(b)
+	w.mu.Lock()
+	w.written += int64(len(b))
+	w.mu.Unlock()
+	return nil
+}
+
+// emit drains the ordered result queue, writing each compressed slab as
+// soon as it and all its predecessors are done.
+func (w *Writer) emit() {
+	defer close(w.done)
+	for rc := range w.order {
+		r := <-rc
+		if r.err != nil {
+			w.setErr(r.err)
+			continue
+		}
+		if w.getErr() != nil {
+			continue
+		}
+		if err := w.writeHashed(r.stream); err != nil {
+			w.setErr(err)
+			continue
+		}
+		w.mu.Lock()
+		w.lengths = append(w.lengths, len(r.stream))
+		w.slabStats = append(w.slabStats, r.stats)
+		w.mu.Unlock()
+	}
+}
+
+func (w *Writer) setErr(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+}
+
+func (w *Writer) getErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// curSlabRows returns the row count of the slab currently being filled.
+func (w *Writer) curSlabRows() int {
+	rows := w.dims[0] - w.slabIdx*w.slabRows
+	if rows > w.slabRows {
+		rows = w.slabRows
+	}
+	return rows
+}
+
+// Write accepts the next raw little-endian bytes of the row-major array.
+func (w *Writer) Write(b []byte) (int, error) {
+	if w.closed {
+		return 0, errors.New("blocked: write after Close")
+	}
+	if err := w.getErr(); err != nil {
+		return 0, err
+	}
+	n := len(b)
+	for len(b) > 0 {
+		if w.slabIdx >= w.nSlabs {
+			err := fmt.Errorf("blocked: more than %d rows of data written", w.dims[0])
+			w.setErr(err)
+			return n - len(b), err
+		}
+		target := w.curSlabRows() * w.rowBytes
+		take := target - len(w.buf)
+		if take > len(b) {
+			take = len(b)
+		}
+		w.buf = append(w.buf, b[:take]...)
+		b = b[take:]
+		if len(w.buf) == target {
+			if err := w.dispatchBuf(); err != nil {
+				return n - len(b), err
+			}
+		}
+	}
+	return n, nil
+}
+
+// dispatchBuf parses the accumulated slab bytes into an array and hands
+// it to the pipeline, recycling the byte buffer.
+func (w *Writer) dispatchBuf() error {
+	rows := w.curSlabRows()
+	dims := append([]int(nil), w.dims...)
+	dims[0] = rows
+	slab := grid.New(dims...)
+	es := w.elemSize
+	for i := range slab.Data {
+		if es == 4 {
+			slab.Data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(w.buf[i*4:])))
+		} else {
+			slab.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(w.buf[i*8:]))
+		}
+	}
+	w.buf = w.buf[:0]
+	return w.dispatch(slab)
+}
+
+// writeSlab feeds a whole slab directly into the pipeline, bypassing the
+// raw-byte path; Compress uses it with zero-copy slab views. Do not mix
+// with partial Write calls.
+func (w *Writer) writeSlab(slab *grid.Array) error {
+	if w.closed {
+		return errors.New("blocked: write after Close")
+	}
+	if err := w.getErr(); err != nil {
+		return err
+	}
+	if len(w.buf) != 0 {
+		return errors.New("blocked: writeSlab after partial Write")
+	}
+	if w.slabIdx >= w.nSlabs {
+		return fmt.Errorf("blocked: more than %d rows of data written", w.dims[0])
+	}
+	if slab.Dims[0] != w.curSlabRows() {
+		return fmt.Errorf("blocked: slab has %d rows, want %d", slab.Dims[0], w.curSlabRows())
+	}
+	return w.dispatch(slab)
+}
+
+func (w *Writer) dispatch(slab *grid.Array) error {
+	res := make(chan result, 1)
+	w.order <- res
+	w.jobs <- job{slab: slab, res: res}
+	w.rowsDone += slab.Dims[0]
+	w.slabIdx++
+	return nil
+}
+
+// Close flushes the compression pipeline, writes the footer, and
+// finalizes Stats. It fails if the data delivered does not amount to
+// exactly product(dims) values.
+func (w *Writer) Close() error {
+	if w.closed {
+		return w.closeErr
+	}
+	w.closed = true
+	if len(w.buf) != 0 && w.getErr() == nil {
+		w.setErr(fmt.Errorf("blocked: %d trailing bytes do not complete a slab", len(w.buf)))
+	}
+	if w.rowsDone != w.dims[0] && w.getErr() == nil {
+		w.setErr(fmt.Errorf("blocked: got %d of %d rows", w.rowsDone, w.dims[0]))
+	}
+	close(w.jobs)
+	w.wg.Wait()
+	close(w.order)
+	<-w.done
+	if err := w.getErr(); err != nil {
+		w.closeErr = err
+		return err
+	}
+
+	// Footer: slab count + lengths, their byte length, container CRC.
+	foot := binary.AppendUvarint(nil, uint64(w.nSlabs))
+	for _, l := range w.lengths {
+		foot = binary.AppendUvarint(foot, uint64(l))
+	}
+	footLen := len(foot)
+	foot = binary.LittleEndian.AppendUint32(foot, uint32(footLen))
+	if err := w.writeHashed(foot); err != nil {
+		w.closeErr = err
+		return err
+	}
+	tail := binary.LittleEndian.AppendUint32(nil, w.crc.Sum32())
+	if _, err := w.dst.Write(tail); err != nil {
+		w.closeErr = err
+		return err
+	}
+	w.mu.Lock()
+	w.written += int64(len(tail))
+	w.mu.Unlock()
+
+	w.stats = w.aggregateStats()
+	return nil
+}
+
+func (w *Writer) aggregateStats() *Stats {
+	n := 1
+	for _, d := range w.dims {
+		n *= d
+	}
+	agg := &Stats{
+		N:               n,
+		Slabs:           w.nSlabs,
+		EffAbsBound:     w.cp.AbsBound,
+		CompressedBytes: int(w.written),
+	}
+	for _, st := range w.slabStats {
+		agg.Predictable += st.Predictable
+		agg.OriginalBytes += st.OriginalBytes
+	}
+	agg.HitRate = float64(agg.Predictable) / float64(agg.N)
+	agg.CompressionFactor = float64(agg.OriginalBytes) / float64(agg.CompressedBytes)
+	agg.BitRate = float64(agg.CompressedBytes) * 8 / float64(agg.N)
+	return agg
+}
+
+// Stats returns the aggregated compression statistics; it is nil until
+// Close has returned successfully.
+func (w *Writer) Stats() *Stats { return w.stats }
+
+// Reader decompresses a blocked container from a plain io.Reader,
+// slab-at-a-time: each core stream is self-delimiting, so the reader
+// never buffers more than one compressed slab plus its reconstruction —
+// peak memory is O(slab), not O(stream). Read returns the reconstructed
+// values as raw little-endian bytes of the container's element type, in
+// row-major order. The footer lengths and container CRC are verified
+// when the last slab has been consumed.
+type Reader struct {
+	br  *bufio.Reader
+	crc hash.Hash32
+
+	dims     []int
+	slabRows int
+	nSlabs   int
+	dtype    grid.DType
+
+	slabIdx int
+	cur     []byte // raw bytes of the current slab not yet served
+	curOff  int
+	sbuf    []byte       // reusable compressed-slab buffer
+	rawBuf  bytes.Buffer // reusable slab-serialization buffer
+	lengths []int
+	hashed  int // bytes consumed and folded into the CRC so far
+	err     error
+}
+
+// NewReader parses the container header from r and prepares streaming
+// decompression. The element type is read from the first slab's header
+// without consuming it, so DType is valid immediately.
+func NewReader(r io.Reader) (*Reader, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok || br.Size() < core.MaxHeaderLen {
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	rd := &Reader{br: br, crc: crc32.NewIEEE()}
+
+	var head [5]byte
+	if err := rd.readFull(head[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	if string(head[:4]) != magic {
+		if string(head[:4]) == magicV1 {
+			return nil, fmt.Errorf("%w: v1 container (no footer); re-encode with this version", ErrCorrupt)
+		}
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	nd := int(head[4])
+	if nd < 1 || nd > grid.MaxDims {
+		return nil, fmt.Errorf("%w: bad ndims", ErrCorrupt)
+	}
+	rd.dims = make([]int, nd)
+	for i := range rd.dims {
+		v, err := rd.readUvarint()
+		if err != nil || v == 0 || v > 1<<40 {
+			return nil, fmt.Errorf("%w: bad dim", ErrCorrupt)
+		}
+		rd.dims[i] = int(v)
+	}
+	v, err := rd.readUvarint()
+	if err != nil || v == 0 || v > uint64(rd.dims[0]) {
+		return nil, fmt.Errorf("%w: bad slab rows", ErrCorrupt)
+	}
+	rd.slabRows = int(v)
+	rd.nSlabs = (rd.dims[0] + rd.slabRows - 1) / rd.slabRows
+
+	// Learn the element type from the first slab header (peek only).
+	pk, _ := br.Peek(core.MaxHeaderLen)
+	h, _, err := core.ParseHeaderPrefix(pk)
+	if err != nil {
+		return nil, fmt.Errorf("%w: first slab: %v", ErrCorrupt, err)
+	}
+	rd.dtype = h.DType
+	return rd, nil
+}
+
+// Dims returns the full-array dimensions recorded in the container.
+func (r *Reader) Dims() []int { return append([]int(nil), r.dims...) }
+
+// DType returns the element type the raw output bytes use.
+func (r *Reader) DType() grid.DType { return r.dtype }
+
+// NumSlabs returns the container's slab count.
+func (r *Reader) NumSlabs() int { return r.nSlabs }
+
+// SlabRows returns the slab thickness along the slowest dimension.
+func (r *Reader) SlabRows() int { return r.slabRows }
+
+func (r *Reader) readFull(b []byte) error {
+	if _, err := io.ReadFull(r.br, b); err != nil {
+		return err
+	}
+	r.crc.Write(b)
+	r.hashed += len(b)
+	return nil
+}
+
+func (r *Reader) readUvarint() (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		c, err := r.br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		r.crc.Write([]byte{c})
+		r.hashed++
+		if c < 0x80 {
+			if i == binary.MaxVarintLen64-1 && c > 1 {
+				return 0, errors.New("uvarint overflow")
+			}
+			return x | uint64(c)<<s, nil
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+	}
+	return 0, errors.New("uvarint overflow")
+}
+
+// Read serves the next raw bytes of the reconstruction, decoding slabs
+// lazily as needed.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	for r.curOff == len(r.cur) {
+		if r.slabIdx == r.nSlabs {
+			if err := r.readFooter(); err != nil {
+				r.err = err
+				return 0, err
+			}
+			r.err = io.EOF
+			return 0, io.EOF
+		}
+		if err := r.nextSlab(); err != nil {
+			r.err = err
+			return 0, err
+		}
+	}
+	n := copy(p, r.cur[r.curOff:])
+	r.curOff += n
+	return n, nil
+}
+
+// Close exists so Reader satisfies io.ReadCloser; it never fails and
+// does not close the underlying reader.
+func (r *Reader) Close() error { return nil }
+
+func (r *Reader) nextSlab() error {
+	i := r.slabIdx
+	pk, _ := r.br.Peek(core.MaxHeaderLen)
+	_, total, err := core.ParseHeaderPrefix(pk)
+	if err != nil {
+		return fmt.Errorf("%w: slab %d: %v", ErrCorrupt, i, err)
+	}
+	wantLo := i * r.slabRows
+	wantHi := wantLo + r.slabRows
+	if wantHi > r.dims[0] {
+		wantHi = r.dims[0]
+	}
+	rowElems := 1
+	for _, d := range r.dims[1:] {
+		rowElems *= d
+	}
+	rawSlab := (wantHi - wantLo) * rowElems * r.dtype.Size()
+	if total > maxSlabStream(rawSlab) {
+		return fmt.Errorf("%w: slab %d claims %d bytes", ErrCorrupt, i, total)
+	}
+	if cap(r.sbuf) < total {
+		r.sbuf = make([]byte, total)
+	}
+	r.sbuf = r.sbuf[:total]
+	if err := r.readFull(r.sbuf); err != nil {
+		return fmt.Errorf("%w: slab %d: %v", ErrCorrupt, i, err)
+	}
+	slab, h, err := core.Decompress(r.sbuf)
+	if err != nil {
+		return fmt.Errorf("blocked: slab %d: %w", i, err)
+	}
+	if h.DType != r.dtype {
+		return fmt.Errorf("%w: slab %d element type %v, container uses %v", ErrCorrupt, i, h.DType, r.dtype)
+	}
+	if slab.Dims[0] != wantHi-wantLo {
+		return fmt.Errorf("%w: slab %d has %d rows, want %d", ErrCorrupt, i, slab.Dims[0], wantHi-wantLo)
+	}
+	for d := 1; d < len(r.dims); d++ {
+		if d >= len(slab.Dims) || slab.Dims[d] != r.dims[d] {
+			return fmt.Errorf("%w: slab %d dims %v do not match container %v", ErrCorrupt, i, slab.Dims, r.dims)
+		}
+	}
+	r.rawBuf.Reset()
+	if err := slab.WriteRaw(&r.rawBuf, r.dtype); err != nil {
+		return err
+	}
+	r.cur = r.rawBuf.Bytes()
+	r.curOff = 0
+	r.lengths = append(r.lengths, total)
+	r.slabIdx++
+	return nil
+}
+
+// readFooter parses and verifies the footer against everything the
+// reader has seen, then checks the container CRC and clean EOF.
+func (r *Reader) readFooter() error {
+	start := r.hashed
+	ns, err := r.readUvarint()
+	if err != nil || ns != uint64(r.nSlabs) {
+		return fmt.Errorf("%w: footer slab count", ErrCorrupt)
+	}
+	for i := 0; i < r.nSlabs; i++ {
+		l, err := r.readUvarint()
+		if err != nil || int(l) != r.lengths[i] {
+			return fmt.Errorf("%w: footer length of slab %d", ErrCorrupt, i)
+		}
+	}
+	varintBytes := r.hashed - start
+	var lenBuf [4]byte
+	if err := r.readFull(lenBuf[:]); err != nil {
+		return fmt.Errorf("%w: footer: %v", ErrCorrupt, err)
+	}
+	if int(binary.LittleEndian.Uint32(lenBuf[:])) != varintBytes {
+		return fmt.Errorf("%w: footer length mismatch", ErrCorrupt)
+	}
+	want := r.crc.Sum32()
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r.br, crcBuf[:]); err != nil {
+		return fmt.Errorf("%w: CRC: %v", ErrCorrupt, err)
+	}
+	if binary.LittleEndian.Uint32(crcBuf[:]) != want {
+		return fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	if _, err := r.br.ReadByte(); err != io.EOF {
+		return fmt.Errorf("%w: trailing data after container", ErrCorrupt)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package blocked
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/grid"
+)
+
+// Hurricane-shaped 3D float32 field (the paper's 100x500x500 layout,
+// scaled to keep single-core benchmark runs in seconds).
+func benchField(b *testing.B) (*grid.Array, Params, []byte) {
+	b.Helper()
+	a := datagen.Hurricane(50, 250, 250, 7)
+	p := Params{
+		Core:     core.Params{Mode: core.BoundAbs, AbsBound: 1e-3, OutputType: grid.Float32},
+		SlabRows: 10,
+	}
+	var raw bytes.Buffer
+	if err := a.WriteRaw(&raw, grid.Float32); err != nil {
+		b.Fatal(err)
+	}
+	return a, p, raw.Bytes()
+}
+
+// BenchmarkBlockedOneShot is the in-memory Compress path (slab views,
+// no raw-byte parsing).
+func BenchmarkBlockedOneShot(b *testing.B) {
+	a, p, raw := benchField(b)
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Compress(a, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBlockedStreamWrite pushes raw little-endian bytes through the
+// streaming Writer — the in-situ pipe scenario, including byte parsing.
+func BenchmarkBlockedStreamWrite(b *testing.B) {
+	a, p, raw := benchField(b)
+	_ = a
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := NewWriter(io.Discard, []int{50, 250, 250}, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(w, bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBlockedOneShotDecompress decodes the whole container into an
+// in-memory array (parallel slab decode).
+func BenchmarkBlockedOneShotDecompress(b *testing.B) {
+	a, p, raw := benchField(b)
+	stream, _, err := Compress(a, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(stream, Params{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBlockedStreamRead drains the streaming Reader — O(slab)
+// memory, raw bytes out.
+func BenchmarkBlockedStreamRead(b *testing.B) {
+	a, p, raw := benchField(b)
+	stream, _, err := Compress(a, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewReader(bytes.NewReader(stream))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

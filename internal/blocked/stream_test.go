@@ -1,0 +1,314 @@
+package blocked
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/grid"
+)
+
+func absParams(slabRows int, dt grid.DType) Params {
+	return Params{
+		Core:     core.Params{Mode: core.BoundAbs, AbsBound: 1e-3, OutputType: dt},
+		SlabRows: slabRows,
+		Workers:  3,
+	}
+}
+
+// rawBytes serializes an array the way the streaming writer expects it.
+func rawBytes(t *testing.T, a *grid.Array, dt grid.DType) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := a.WriteRaw(&buf, dt); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestWriterMatchesCompress: the streaming writer fed raw bytes in
+// awkward chunk sizes must produce byte-identical containers to the
+// one-shot Compress path.
+func TestWriterMatchesCompress(t *testing.T) {
+	for _, dt := range []grid.DType{grid.Float32, grid.Float64} {
+		a := datagen.Hurricane(26, 21, 17, 4)
+		p := absParams(7, dt)
+		want, _, err := Compress(a, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		raw := rawBytes(t, a, dt)
+		var got bytes.Buffer
+		w, err := NewWriter(&got, a.Dims, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Deliberately misaligned chunks (prime size) so slab and
+		// element boundaries never line up with Write calls.
+		for off := 0; off < len(raw); off += 1009 {
+			end := off + 1009
+			if end > len(raw) {
+				end = len(raw)
+			}
+			if _, err := w.Write(raw[off:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Fatalf("dtype %v: streamed container (%d bytes) differs from one-shot (%d bytes)",
+				dt, got.Len(), len(want))
+		}
+		st := w.Stats()
+		if st == nil || st.Slabs != (26+6)/7 || st.N != a.Len() {
+			t.Fatalf("bad writer stats: %+v", st)
+		}
+	}
+}
+
+// TestReaderMatchesDecompress: streaming reconstruction must be
+// bit-identical to the in-memory parallel path.
+func TestReaderMatchesDecompress(t *testing.T) {
+	for _, dt := range []grid.DType{grid.Float32, grid.Float64} {
+		a := datagen.ATM(45, 64, 9)
+		stream, _, err := Compress(a, absParams(8, dt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Decompress(stream, Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		r, err := NewReader(bytes.NewReader(stream))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.DType() != dt {
+			t.Fatalf("reader dtype %v, want %v", r.DType(), dt)
+		}
+		if r.NumSlabs() != (45+7)/8 || r.SlabRows() != 8 {
+			t.Fatalf("reader geometry: %d slabs x %d rows", r.NumSlabs(), r.SlabRows())
+		}
+		got, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, rawBytes(t, want, dt)) {
+			t.Fatalf("dtype %v: streamed reconstruction differs from Decompress", dt)
+		}
+		gd := r.Dims()
+		if len(gd) != 2 || gd[0] != 45 || gd[1] != 64 {
+			t.Fatalf("reader dims %v", gd)
+		}
+	}
+}
+
+// TestReaderIsIncremental proves the O(slab) input bound behaviorally:
+// given only the container header and the first k slab streams — the
+// footer and remaining slabs do not exist — the reader must still
+// deliver the first k slabs' reconstruction in full. A reader that
+// buffers the whole stream (or seeks the footer) cannot do this.
+func TestReaderIsIncremental(t *testing.T) {
+	a := datagen.Hurricane(32, 20, 20, 5)
+	p := absParams(4, grid.Float32)
+	stream, _, err := Compress(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Inspect(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	footerLen := int(binary.LittleEndian.Uint32(stream[len(stream)-8:]))
+	bodyStart := len(stream) - 8 - footerLen - ix.Offsets[ix.NumSlabs()]
+
+	const k = 3
+	cut := bodyStart + ix.Offsets[k]
+	r, err := NewReader(bytes.NewReader(stream[:cut]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := 0
+	_, hi := ix.SlabBounds(k - 1)
+	prefix, err := a.Slab(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := prefix.Len() * grid.Float32.Size()
+	got := make([]byte, want)
+	if _, err := io.ReadFull(r, got); err != nil {
+		t.Fatalf("reading %d slabs from a %d-byte prefix: %v", k, cut, err)
+	}
+	// The prefix data must also be correct (bound-respecting).
+	full, err := Decompress(stream, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSlab, _ := full.Slab(lo, hi)
+	var ref bytes.Buffer
+	if err := refSlab.WriteRaw(&ref, grid.Float32); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref.Bytes()) {
+		t.Fatal("prefix reconstruction differs from full decompression")
+	}
+	// Beyond the cut there is nothing; the reader must error, not hang
+	// or fabricate data.
+	if _, err := io.ReadAll(r); err == nil {
+		t.Fatal("reading past the available prefix succeeded")
+	}
+}
+
+// TestReaderMemoryBounded: streaming decompression of a container must
+// keep live heap O(slab), far below the array size, while the in-memory
+// path would hold the whole reconstruction.
+func TestReaderMemoryBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	// 1024x1024 float64 = 8 MiB raw; 32-row slabs = 256 KiB per slab.
+	a := grid.New(1024, 1024)
+	for i := range a.Data {
+		a.Data[i] = math.Sin(float64(i) * 1e-3)
+	}
+	rawBytesTotal := a.Len() * 8
+	stream, _, err := Compress(a, Params{
+		Core:     core.Params{Mode: core.BoundAbs, AbsBound: 1e-4},
+		SlabRows: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a = nil // only the compressed container stays live
+
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+
+	r, err := NewReader(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64<<10)
+	read := 0
+	peak := uint64(0)
+	for {
+		n, err := r.Read(buf)
+		read += n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if read%(2<<20) < len(buf) { // sample roughly every 2 MiB of output
+			runtime.GC()
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > base.HeapAlloc && ms.HeapAlloc-base.HeapAlloc > peak {
+				peak = ms.HeapAlloc - base.HeapAlloc
+			}
+		}
+	}
+	if read != rawBytesTotal {
+		t.Fatalf("read %d raw bytes, want %d", read, rawBytesTotal)
+	}
+	limit := uint64(rawBytesTotal / 4)
+	if peak > limit {
+		t.Fatalf("streaming decompression held %d live bytes, want < %d (raw size %d)",
+			peak, limit, rawBytesTotal)
+	}
+}
+
+// TestWriterRejectsRelativeBound: a single pass cannot resolve a
+// value-range bound.
+func TestWriterRejectsRelativeBound(t *testing.T) {
+	p := Params{Core: core.Params{Mode: core.BoundRel, RelBound: 1e-4}}
+	if _, err := NewWriter(io.Discard, []int{16, 16}, p); err != ErrNeedsAbsBound {
+		t.Fatalf("got %v, want ErrNeedsAbsBound", err)
+	}
+}
+
+// TestWriterRowAccounting: short and long inputs must fail loudly.
+func TestWriterRowAccounting(t *testing.T) {
+	p := absParams(4, grid.Float64)
+	w, err := NewWriter(io.Discard, []int{8, 4}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(make([]byte, 4*4*8)); err != nil { // half the rows
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("short input accepted")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("second Close must repeat the error")
+	}
+
+	w, err = NewWriter(io.Discard, []int{8, 4}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(make([]byte, 9*4*8)); err == nil { // one row too many
+		if err = w.Close(); err == nil {
+			t.Fatal("overlong input accepted")
+		}
+	}
+
+	w, err = NewWriter(io.Discard, []int{8, 4}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(make([]byte, 8*4*8+3)); err == nil { // trailing partial element
+		if err = w.Close(); err == nil {
+			t.Fatal("trailing bytes accepted")
+		}
+	}
+}
+
+// TestReaderRejectsCorruption covers streaming-path detection of the
+// damage classes the one-shot path already catches.
+func TestReaderRejectsCorruption(t *testing.T) {
+	a := datagen.ATM(24, 16, 11)
+	stream, _, err := Compress(a, absParams(8, grid.Float32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain := func(b []byte) error {
+		r, err := NewReader(bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		_, err = io.ReadAll(r)
+		return err
+	}
+	if err := drain(stream); err != nil {
+		t.Fatalf("pristine container rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bit flip in body", func(b []byte) []byte { b[len(b)/2] ^= 0x10; return b }},
+		{"truncated footer", func(b []byte) []byte { return b[:len(b)-5] }},
+		{"truncated body", func(b []byte) []byte { return b[:len(b)*2/3] }},
+		{"bad magic", func(b []byte) []byte { copy(b, "NOPE"); return b }},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0xAA) }},
+		{"crc flip", func(b []byte) []byte { b[len(b)-1] ^= 0xFF; return b }},
+	} {
+		b := append([]byte(nil), stream...)
+		if err := drain(tc.mutate(b)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package core
+
+// Streaming-framing helpers: an SZ-Go stream is self-delimiting — its
+// header records PayloadBits — so a consumer that has the header prefix
+// can compute the exact byte length of the whole stream without decoding
+// it. The blocked container's streaming reader uses this to consume a
+// concatenation of core streams slab-at-a-time from a plain io.Reader.
+
+// MaxHeaderLen bounds the encoded header size in bytes: magic (4),
+// version/dtype/ndims (3), up to MaxDims varint dims (10 each), the
+// 8-byte bound, layers/interval bits (2), and two more varints (10 each)
+// for the outlier count and payload length. A prefix of MaxHeaderLen
+// bytes (or the whole stream, if shorter) is always enough for
+// ParseHeaderPrefix.
+const MaxHeaderLen = 4 + 3 + 4*10 + 8 + 2 + 10 + 10
+
+// ParseHeaderPrefix parses a stream header from a prefix of the stream
+// and returns it together with the total byte length of the full stream
+// (header + payload + CRC). The prefix needs at most MaxHeaderLen bytes;
+// shorter prefixes work when they contain the whole header. Errors wrap
+// ErrCorrupt.
+func ParseHeaderPrefix(prefix []byte) (*Header, int, error) {
+	h, off, err := parseHeader(prefix)
+	if err != nil {
+		return nil, 0, err
+	}
+	return h, off + int((h.PayloadBits+7)/8) + 4, nil
+}

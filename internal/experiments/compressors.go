@@ -1,17 +1,12 @@
 package experiments
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/core"
-	"repro/internal/fpzip"
 	"repro/internal/grid"
-	"repro/internal/gzipc"
-	"repro/internal/isabela"
-	"repro/internal/sz11"
-	"repro/internal/zfp"
 )
 
 // Compressor names used across experiments, matching the paper's labels.
@@ -30,6 +25,16 @@ var AllCompressors = []string{SZ14, ZFP, SZ11, ISABELA, FPZIP, GZIP}
 // LossyCompressors lists the error-bounded subset.
 var LossyCompressors = []string{SZ14, ZFP, SZ11, ISABELA}
 
+// codecNames maps the paper's labels to codec registry names.
+var codecNames = map[string]string{
+	SZ14:    "sz14",
+	SZ11:    "sz11",
+	ZFP:     "zfp",
+	ISABELA: "isabela",
+	FPZIP:   "fpzip",
+	GZIP:    "gzip",
+}
+
 // RunResult is the outcome of one (compressor, data set, bound) cell.
 type RunResult struct {
 	Compressor      string
@@ -45,42 +50,26 @@ type RunResult struct {
 	Err    error
 }
 
-// runCompressor executes one compressor on a with the given absolute error
-// bound (ignored by the lossless ones). dt is the source precision used
-// for compression-factor accounting.
-func runCompressor(name string, a *grid.Array, absBound float64, dt grid.DType) RunResult {
-	res := RunResult{Compressor: name, OriginalBytes: a.Len() * dt.Size()}
+// runCodec executes one registry codec on a with the given parameters,
+// timing compression and decompression separately.
+func runCodec(label, codecName string, a *grid.Array, p codec.Params) RunResult {
+	p.Dims = a.Dims
+	dt := p.DType
+	if dt == 0 {
+		dt = grid.Float64
+	}
+	res := RunResult{Compressor: label, OriginalBytes: a.Len() * dt.Size()}
 	fail := func(err error) RunResult {
 		res.Err = err
 		res.Failed = true
 		return res
 	}
-	start := time.Now()
-	var stream []byte
-	var err error
-	switch name {
-	case SZ14:
-		stream, _, err = core.Compress(a, core.Params{
-			Mode: core.BoundAbs, AbsBound: absBound, OutputType: dt,
-		})
-	case SZ11:
-		stream, _, err = sz11.Compress(a, sz11.Params{AbsBound: absBound, OutputType: dt})
-	case ZFP:
-		stream, _, err = zfp.Compress(a, zfp.Params{
-			Mode: zfp.FixedAccuracy, Tolerance: absBound, DType: dt,
-		})
-	case ISABELA:
-		stream, _, err = isabela.Compress(a, isabela.Params{AbsBound: absBound, OutputType: dt})
-		if errors.Is(err, isabela.ErrBoundTooTight) {
-			return fail(err)
-		}
-	case FPZIP:
-		stream, err = fpzip.Compress(a, dt)
-	case GZIP:
-		stream, err = gzipc.Compress(a, dt)
-	default:
-		return fail(fmt.Errorf("experiments: unknown compressor %q", name))
+	c, err := codec.Lookup(codecName)
+	if err != nil {
+		return fail(err)
 	}
+	start := time.Now()
+	stream, err := c.Encode(a, p)
 	if err != nil {
 		return fail(err)
 	}
@@ -90,21 +79,7 @@ func runCompressor(name string, a *grid.Array, absBound float64, dt grid.DType) 
 	res.BitRate = float64(res.CompressedBytes) * 8 / float64(a.Len())
 
 	start = time.Now()
-	var recon *grid.Array
-	switch name {
-	case SZ14:
-		recon, _, err = core.Decompress(stream)
-	case SZ11:
-		recon, err = sz11.Decompress(stream)
-	case ZFP:
-		recon, err = zfp.Decompress(stream)
-	case ISABELA:
-		recon, err = isabela.Decompress(stream)
-	case FPZIP:
-		recon, _, err = fpzip.Decompress(stream)
-	case GZIP:
-		recon, err = gzipc.Decompress(stream, dt, a.Dims...)
-	}
+	recon, err := c.Decode(stream, p)
 	if err != nil {
 		return fail(err)
 	}
@@ -113,28 +88,25 @@ func runCompressor(name string, a *grid.Array, absBound float64, dt grid.DType) 
 	return res
 }
 
+// runCompressor executes one compressor on a with the given absolute error
+// bound (ignored by the lossless ones). dt is the source precision used
+// for compression-factor accounting.
+func runCompressor(name string, a *grid.Array, absBound float64, dt grid.DType) RunResult {
+	cn, ok := codecNames[name]
+	if !ok {
+		res := RunResult{Compressor: name, OriginalBytes: a.Len() * dt.Size()}
+		res.Err = fmt.Errorf("experiments: unknown compressor %q", name)
+		res.Failed = true
+		return res
+	}
+	return runCodec(name, cn, a, codec.Params{
+		Mode:     core.BoundAbs,
+		AbsBound: absBound,
+		DType:    dt,
+	})
+}
+
 // runZFPFixedRate runs ZFP in its native fixed-rate mode (Fig. 8).
 func runZFPFixedRate(a *grid.Array, rate float64, dt grid.DType) RunResult {
-	res := RunResult{Compressor: ZFP, OriginalBytes: a.Len() * dt.Size()}
-	start := time.Now()
-	stream, _, err := zfp.Compress(a, zfp.Params{Mode: zfp.FixedRate, Rate: rate, DType: dt})
-	if err != nil {
-		res.Err = err
-		res.Failed = true
-		return res
-	}
-	res.CompSeconds = time.Since(start).Seconds()
-	res.CompressedBytes = len(stream)
-	res.CF = float64(res.OriginalBytes) / float64(res.CompressedBytes)
-	res.BitRate = float64(res.CompressedBytes) * 8 / float64(a.Len())
-	start = time.Now()
-	recon, err := zfp.Decompress(stream)
-	if err != nil {
-		res.Err = err
-		res.Failed = true
-		return res
-	}
-	res.DecompSeconds = time.Since(start).Seconds()
-	res.Recon = recon
-	return res
+	return runCodec(ZFP, "zfp", a, codec.Params{Rate: rate, DType: dt})
 }

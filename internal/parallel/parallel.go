@@ -22,19 +22,19 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/grid"
 )
 
-// CompressAll compresses each array with p using `workers` goroutines and
-// returns the streams in input order plus the wall-clock duration. The
-// duration is measured (and returned) even when a task fails.
-func CompressAll(arrays []*grid.Array, p core.Params, workers int) ([][]byte, time.Duration, error) {
+// runAll executes fn over n independent tasks with `workers` goroutines
+// pulling from a shared counter, returning the wall-clock duration and
+// the first error (the duration is measured even when a task fails).
+func runAll(n, workers int, fn func(i int) error) (time.Duration, error) {
 	if workers < 1 {
 		workers = runtime.NumCPU()
 	}
-	streams := make([][]byte, len(arrays))
-	errs := make([]error, len(arrays))
+	errs := make([]error, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -44,59 +44,77 @@ func CompressAll(arrays []*grid.Array, p core.Params, workers int) ([][]byte, ti
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(arrays) {
+				if i >= n {
 					return
 				}
-				s, _, err := core.Compress(arrays[i], p)
-				streams[i] = s
-				errs[i] = err
+				errs[i] = fn(i)
 			}
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	for i, err := range errs {
+	for _, err := range errs {
 		if err != nil {
-			return nil, elapsed, fmt.Errorf("parallel: compressing array %d: %w", i, err)
+			return elapsed, err
 		}
+	}
+	return elapsed, nil
+}
+
+// EncodeAll compresses each array with the named registry codec using
+// `workers` goroutines and returns the streams in input order plus the
+// wall-clock duration.
+func EncodeAll(codecName string, arrays []*grid.Array, p codec.Params, workers int) ([][]byte, time.Duration, error) {
+	c, err := codec.Lookup(codecName)
+	if err != nil {
+		return nil, 0, err
+	}
+	streams := make([][]byte, len(arrays))
+	elapsed, err := runAll(len(arrays), workers, func(i int) error {
+		s, err := c.Encode(arrays[i], p)
+		if err != nil {
+			return fmt.Errorf("parallel: compressing array %d: %w", i, err)
+		}
+		streams[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, elapsed, err
 	}
 	return streams, elapsed, nil
 }
 
-// DecompressAll decompresses each stream using `workers` goroutines.
-// The duration is measured (and returned) even when a task fails.
-func DecompressAll(streams [][]byte, workers int) ([]*grid.Array, time.Duration, error) {
-	if workers < 1 {
-		workers = runtime.NumCPU()
+// DecodeAll decompresses each stream with the named registry codec.
+func DecodeAll(codecName string, streams [][]byte, p codec.Params, workers int) ([]*grid.Array, time.Duration, error) {
+	c, err := codec.Lookup(codecName)
+	if err != nil {
+		return nil, 0, err
 	}
 	arrays := make([]*grid.Array, len(streams))
-	errs := make([]error, len(streams))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(streams) {
-					return
-				}
-				a, _, err := core.Decompress(streams[i])
-				arrays[i] = a
-				errs[i] = err
-			}
-		}()
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	for i, err := range errs {
+	elapsed, err := runAll(len(streams), workers, func(i int) error {
+		a, err := c.Decode(streams[i], p)
 		if err != nil {
-			return nil, elapsed, fmt.Errorf("parallel: decompressing stream %d: %w", i, err)
+			return fmt.Errorf("parallel: decompressing stream %d: %w", i, err)
 		}
+		arrays[i] = a
+		return nil
+	})
+	if err != nil {
+		return nil, elapsed, err
 	}
 	return arrays, elapsed, nil
+}
+
+// CompressAll compresses each array with the SZ-1.4 core via the codec
+// registry; see EncodeAll for arbitrary codecs.
+func CompressAll(arrays []*grid.Array, p core.Params, workers int) ([][]byte, time.Duration, error) {
+	return EncodeAll("sz14", arrays, codec.FromCore(p), workers)
+}
+
+// DecompressAll decompresses SZ-1.4 streams; see DecodeAll for arbitrary
+// codecs.
+func DecompressAll(streams [][]byte, workers int) ([]*grid.Array, time.Duration, error) {
+	return DecodeAll("sz14", streams, codec.Params{}, workers)
 }
 
 // ScalingPoint is one row of a strong-scaling table (paper Tables VII/VIII).

@@ -1,0 +1,155 @@
+package sz_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	sz "repro"
+	"repro/internal/datagen"
+	"repro/internal/grid"
+)
+
+// TestStreamingMatchesCompress: sz.NewWriter fed raw sample bytes must
+// emit the byte-identical stream to sz.Compress for the same input and
+// parameters, and sz.NewReader must reproduce sz.Decompress's
+// reconstruction exactly.
+func TestStreamingMatchesCompress(t *testing.T) {
+	for _, dt := range []sz.DType{sz.Float32, sz.Float64} {
+		a := datagen.ATM(36, 48, 11)
+		if dt == sz.Float32 {
+			for i := range a.Data {
+				a.Data[i] = float64(float32(a.Data[i]))
+			}
+		}
+		cp := sz.Params{Mode: sz.BoundRel, RelBound: 1e-4, OutputType: dt}
+		want, _, err := sz.Compress(a, cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var raw bytes.Buffer
+		if err := a.WriteRaw(&raw, dt); err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		w, err := sz.NewWriter(&got, sz.CodecParams{
+			Mode: sz.BoundRel, RelBound: 1e-4, DType: dt, Dims: a.Dims,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(w, &raw); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Fatalf("dtype %v: NewWriter stream (%d bytes) differs from Compress (%d bytes)",
+				dt, got.Len(), len(want))
+		}
+
+		r, err := sz.NewReader(bytes.NewReader(want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recon, _, err := sz.Decompress(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wantRaw bytes.Buffer
+		if err := recon.WriteRaw(&wantRaw, dt); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, wantRaw.Bytes()) {
+			t.Fatalf("dtype %v: NewReader output differs from Decompress", dt)
+		}
+	}
+}
+
+// TestBlockedStreamingMatchesOneShot: the public blocked streaming pair
+// must agree bit-for-bit with CompressBlocked/DecompressBlocked.
+func TestBlockedStreamingMatchesOneShot(t *testing.T) {
+	a := datagen.Hurricane(20, 24, 24, 12)
+	p := sz.BlockedParams{SlabRows: 6}
+	p.Core.Mode = sz.BoundAbs
+	p.Core.AbsBound = 1e-3
+	p.Core.OutputType = sz.Float32
+	want, _, err := sz.CompressBlocked(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var raw bytes.Buffer
+	if err := a.WriteRaw(&raw, sz.Float32); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	w, err := sz.NewBlockedWriter(&got, a.Dims, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(w, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatal("blocked streaming container differs from CompressBlocked")
+	}
+
+	full, err := sz.DecompressBlocked(want, sz.BlockedParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sz.NewBlockedReader(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantRaw bytes.Buffer
+	if err := full.WriteRaw(&wantRaw, grid.Float32); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, wantRaw.Bytes()) {
+		t.Fatal("blocked streaming reconstruction differs from DecompressBlocked")
+	}
+}
+
+// TestCodecRegistrySurface: the facade exposes the registry.
+func TestCodecRegistrySurface(t *testing.T) {
+	names := sz.Codecs()
+	if len(names) != 8 {
+		t.Fatalf("Codecs() = %v, want 8 entries", names)
+	}
+	a := datagen.APS(24, 24, 13)
+	var buf bytes.Buffer
+	w, err := sz.NewCodecWriter("pwrel", &buf, sz.CodecParams{
+		RelBound: 1e-3, DType: sz.Float64, Dims: a.Dims,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteRaw(w, sz.Float64); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, eps, err := sz.DecompressPointwiseRel(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps != 1e-3 || out.Len() != a.Len() {
+		t.Fatalf("pwrel roundtrip: eps %v, %d values", eps, out.Len())
+	}
+}

@@ -29,7 +29,10 @@
 package sz
 
 import (
+	"io"
+
 	"repro/internal/blocked"
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/metrics"
@@ -150,10 +153,10 @@ func CompressBlocked(a *Array, p BlockedParams) ([]byte, *BlockedStats, error) {
 	return blocked.Compress(a, p)
 }
 
-// DecompressBlocked reconstructs the full array from a blocked container,
-// using `workers` goroutines (0 = NumCPU).
-func DecompressBlocked(stream []byte, workers int) (*Array, error) {
-	return blocked.Decompress(stream, workers)
+// DecompressBlocked reconstructs the full array from a blocked container;
+// p.Workers bounds parallelism (0 = NumCPU).
+func DecompressBlocked(stream []byte, p BlockedParams) (*Array, error) {
+	return blocked.Decompress(stream, p)
 }
 
 // DecompressSlab decompresses only slab i of a blocked container.
@@ -186,4 +189,70 @@ func CompressPointwiseRel(a *Array, p PointwiseParams) ([]byte, *PointwiseStats,
 // and the bound ε recorded in the stream.
 func DecompressPointwiseRel(stream []byte) (*Array, float64, error) {
 	return pwrel.Decompress(stream)
+}
+
+// Streaming codec API: every compressor in the repository — sz14
+// single-stream, the blocked container, pwrel, and the five baselines —
+// is registered under a name in internal/codec and can speak
+// io.Reader/io.Writer over raw little-endian sample bytes. The blocked
+// container streams with memory bounded by O(slab); buffer-bound codecs
+// fall back to an internal buffer but emit bytes identical to their
+// one-shot form. See cmd/sz for the file-to-file CLI.
+type (
+	// CodecParams configures a registry codec (bounds, layout, knobs).
+	CodecParams = codec.Params
+	// BlockedWriter streams a blocked container out as rows arrive.
+	BlockedWriter = blocked.Writer
+	// BlockedReader decompresses a blocked container slab-at-a-time.
+	BlockedReader = blocked.Reader
+)
+
+// Codecs lists the registered codec names.
+func Codecs() []string { return codec.Names() }
+
+// NewWriter returns a streaming single-stream SZ-1.4 compressor: raw
+// little-endian p.DType samples written to it come out of w as exactly
+// the stream Compress would produce for the same data and parameters
+// (the stream is complete after Close). p.Dims is required.
+func NewWriter(w io.Writer, p CodecParams) (io.WriteCloser, error) {
+	return NewCodecWriter("sz14", w, p)
+}
+
+// NewReader returns a streaming single-stream SZ-1.4 decompressor
+// producing raw little-endian sample bytes in the stream's element type.
+func NewReader(r io.Reader) (io.ReadCloser, error) {
+	return NewCodecReader("sz14", r, CodecParams{})
+}
+
+// NewCodecWriter opens a streaming compressor for any registered codec.
+func NewCodecWriter(name string, w io.Writer, p CodecParams) (io.WriteCloser, error) {
+	c, err := codec.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return c.NewWriter(w, p)
+}
+
+// NewCodecReader opens a streaming decompressor for any registered
+// codec. Params are only consulted by codecs whose streams are not
+// self-describing (gzip needs DType; Dims only for one-shot decode).
+func NewCodecReader(name string, r io.Reader, p CodecParams) (io.ReadCloser, error) {
+	c, err := codec.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return c.NewReader(r, p)
+}
+
+// NewBlockedWriter streams a blocked container to w for an array with
+// the given dimensions; see blocked.NewWriter for the contract (the
+// bound must be absolute — resolve relative bounds first).
+func NewBlockedWriter(w io.Writer, dims []int, p BlockedParams) (*BlockedWriter, error) {
+	return blocked.NewWriter(w, dims, p)
+}
+
+// NewBlockedReader streams a blocked container from r, decompressing
+// slab-at-a-time with peak memory O(slab), not O(stream).
+func NewBlockedReader(r io.Reader) (*BlockedReader, error) {
+	return blocked.NewReader(r)
 }
