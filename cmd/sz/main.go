@@ -15,24 +15,30 @@
 //
 //	sz d hur.szb restored.f32
 //
-// Inspect a stream without decompressing:
+// Inspect a stream without decompressing (add -json for scripts):
 //
 //	sz inspect hur.szb
+//
+// Every subcommand takes -remote <addr> to run against an szd daemon
+// instead of compressing in-process:
+//
+//	sz c -remote localhost:7071 -codec blocked -abs 1e-3 -dims 100,500,500 in.f32 out.szb
 package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
+	"sync/atomic"
 
 	sz "repro"
+	"repro/internal/client"
 	"repro/internal/codec"
-	"repro/internal/core"
-	"repro/internal/grid"
 )
 
 func main() {
@@ -49,7 +55,7 @@ func main() {
 	case "inspect":
 		err = cmdInspect(os.Args[2:])
 	case "codecs":
-		fmt.Println(strings.Join(sz.Codecs(), "\n"))
+		err = cmdCodecs(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -66,8 +72,8 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   sz c [flags] [in] [out]    compress raw samples (in/out default "-" = stdin/stdout)
   sz d [flags] [in] [out]    decompress a stream (codec auto-detected)
-  sz inspect [in]            print stream metadata without decompressing
-  sz codecs                  list registered codecs
+  sz inspect [flags] [in]    print stream metadata without decompressing
+  sz codecs [flags]          list registered codecs
 
 compress flags:
   -codec name   codec to use (default sz14); see "sz codecs"
@@ -85,38 +91,13 @@ decompress flags:
   -codec name   force a codec (needed for gzip, whose streams have no magic dims)
   -dtype t      element type for codecs that do not record it (default f64)
   -dims d0,d1   shape for non-self-describing codecs
+
+inspect flags:
+  -json         machine-readable output
+
+every subcommand:
+  -remote addr  run against an szd daemon at addr instead of in-process
 `, sz.DefaultLayers, sz.DefaultIntervalBits)
-}
-
-// parseDims accepts "100,500,500" or "100x500x500".
-func parseDims(s string) ([]int, error) {
-	if s == "" {
-		return nil, nil
-	}
-	sep := ","
-	if strings.Contains(s, "x") {
-		sep = "x"
-	}
-	parts := strings.Split(s, sep)
-	dims := make([]int, len(parts))
-	for i, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil || v <= 0 {
-			return nil, fmt.Errorf("bad dimension %q", p)
-		}
-		dims[i] = v
-	}
-	return dims, nil
-}
-
-func parseDType(s string) (grid.DType, error) {
-	switch s {
-	case "f32", "float32":
-		return grid.Float32, nil
-	case "f64", "float64":
-		return grid.Float64, nil
-	}
-	return 0, fmt.Errorf("bad -dtype %q (f32|f64)", s)
 }
 
 // openIn returns the input reader; "-" or "" means stdin.
@@ -127,28 +108,88 @@ func openIn(path string) (io.ReadCloser, error) {
 	return os.Open(path)
 }
 
-// openOut returns the output writer; "-" or "" means stdout.
+// openOut returns the output writer; "-" or "" means stdout. A real
+// path opens lazily on the first written byte, so failures that produce
+// no output — an unknown codec, an unreachable or overloaded daemon in
+// -remote mode — never truncate a pre-existing file.
 func openOut(path string) (io.WriteCloser, error) {
 	if path == "" || path == "-" {
 		return nopWriteCloser{os.Stdout}, nil
 	}
-	return os.Create(path)
+	return &lazyFileWriter{path: path}, nil
 }
 
 type nopWriteCloser struct{ io.Writer }
 
 func (nopWriteCloser) Close() error { return nil }
 
-// countingWriter tracks bytes for the compression summary.
+// lazyFileWriter creates its file on first Write. Compression always
+// writes at least a header; a zero-byte decompression must call
+// materialize on success so the output file exists (and is empty)
+// rather than silently absent or stale.
+type lazyFileWriter struct {
+	path string
+	f    *os.File
+}
+
+func (lw *lazyFileWriter) materialize() error {
+	if lw.f != nil {
+		return nil
+	}
+	f, err := os.Create(lw.path)
+	if err != nil {
+		return err
+	}
+	lw.f = f
+	return nil
+}
+
+func (lw *lazyFileWriter) Write(p []byte) (int, error) {
+	if lw.f == nil {
+		f, err := os.Create(lw.path)
+		if err != nil {
+			return 0, err
+		}
+		lw.f = f
+	}
+	return lw.f.Write(p)
+}
+
+func (lw *lazyFileWriter) Close() error {
+	if lw.f == nil {
+		return nil
+	}
+	return lw.f.Close()
+}
+
+// countingWriter tracks bytes for the compression summary. discard
+// (atomic: a blocked writer's emit goroutine may be mid-Write when the
+// main goroutine aborts) swallows output once a run has failed, so
+// cleanup-time flushes reach neither file nor stdout.
 type countingWriter struct {
-	w io.Writer
-	n int64
+	w       io.Writer
+	n       int64
+	discard atomic.Bool
 }
 
 func (cw *countingWriter) Write(p []byte) (int, error) {
+	if cw.discard.Load() {
+		return len(p), nil
+	}
 	n, err := cw.w.Write(p)
 	cw.n += int64(n)
 	return n, err
+}
+
+// inputSize stats a path for the remote admission hint; -1 for pipes.
+func inputSize(path string) int64 {
+	if path == "" || path == "-" {
+		return -1
+	}
+	if fi, err := os.Stat(path); err == nil && fi.Mode().IsRegular() {
+		return fi.Size()
+	}
+	return -1
 }
 
 func cmdCompress(args []string) error {
@@ -164,11 +205,20 @@ func cmdCompress(args []string) error {
 		slab      = fs.Int("slab", 0, "blocked slab rows")
 		workers   = fs.Int("workers", 0, "blocked workers")
 		zfpRate   = fs.Float64("zfprate", 0, "ZFP fixed-rate bits/value")
+		remote    = fs.String("remote", "", "szd daemon address")
 	)
 	fs.Parse(args)
 	in, out := fs.Arg(0), fs.Arg(1)
 
-	dims, err := parseDims(*dimsStr)
+	// Validate the codec name up front so a typo fails with the list of
+	// registered codecs before any file is created or byte is read.
+	// (Remote mode defers to the daemon's registry.)
+	if *remote == "" {
+		if _, err := codec.Lookup(*codecName); err != nil {
+			return err
+		}
+	}
+	dims, err := codec.ParseDims(*dimsStr)
 	if err != nil {
 		return err
 	}
@@ -177,7 +227,7 @@ func cmdCompress(args []string) error {
 	if len(dims) == 0 && *codecName != "gzip" {
 		return fmt.Errorf("missing -dims (required to interpret the raw input)")
 	}
-	dt, err := parseDType(*dtypeStr)
+	dt, err := codec.ParseDType(*dtypeStr)
 	if err != nil {
 		return err
 	}
@@ -213,14 +263,40 @@ func cmdCompress(args []string) error {
 		return err
 	}
 	cw := &countingWriter{w: w}
-	zw, err := sz.NewCodecWriter(*codecName, cw, p)
-	if err != nil {
-		w.Close()
-		return err
+	var zw io.WriteCloser
+	if *remote != "" {
+		cl, err := client.New(*remote)
+		if err != nil {
+			w.Close()
+			return err
+		}
+		zw, err = cl.NewWriter(context.Background(), cw, *codecName, p)
+		if err != nil {
+			w.Close()
+			return err
+		}
+	} else {
+		zw, err = sz.NewCodecWriter(*codecName, cw, p)
+		if err != nil {
+			w.Close()
+			return err
+		}
 	}
 	nIn, err := io.Copy(zw, bufio.NewReaderSize(r, 1<<20))
 	if err == nil {
 		err = zw.Close()
+	} else {
+		// The run failed: discard further output so no stray bytes land
+		// in the file, then tear the codec writer down. A remote writer
+		// gets Abort (dropping its unsent buffer instead of posting a
+		// truncated payload); local writers need Close, which reaps the
+		// blocked container's worker/emit goroutines.
+		cw.discard.Store(true)
+		if aw, ok := zw.(interface{ Abort() error }); ok {
+			aw.Abort()
+		} else {
+			zw.Close()
+		}
 	}
 	if err != nil {
 		w.Close()
@@ -241,15 +317,16 @@ func cmdDecompress(args []string) error {
 		dimsStr   = fs.String("dims", "", "dimensions for non-self-describing codecs")
 		dtypeStr  = fs.String("dtype", "f64", "element type for codecs that do not record it")
 		workers   = fs.Int("workers", 0, "decode parallelism where supported")
+		remote    = fs.String("remote", "", "szd daemon address")
 	)
 	fs.Parse(args)
 	in, out := fs.Arg(0), fs.Arg(1)
 
-	dims, err := parseDims(*dimsStr)
+	dims, err := codec.ParseDims(*dimsStr)
 	if err != nil {
 		return err
 	}
-	dt, err := parseDType(*dtypeStr)
+	dt, err := codec.ParseDType(*dtypeStr)
 	if err != nil {
 		return err
 	}
@@ -259,18 +336,35 @@ func cmdDecompress(args []string) error {
 	}
 	defer r.Close()
 	br := bufio.NewReaderSize(r, 1<<20)
+	p := sz.CodecParams{Dims: dims, DType: dt, Workers: *workers}
+
+	var zr io.ReadCloser
 	name := *codecName
-	if name == "" {
-		prefix, _ := br.Peek(4)
-		c, err := codec.Detect(prefix)
+	if *remote != "" {
+		cl, err := client.New(*remote)
 		if err != nil {
-			return fmt.Errorf("%w; pass -codec explicitly", err)
+			return err
 		}
-		name = c.Name()
-	}
-	zr, err := sz.NewCodecReader(name, br, sz.CodecParams{Dims: dims, DType: dt, Workers: *workers})
-	if err != nil {
-		return err
+		zr, err = cl.NewReader(context.Background(), br, inputSize(in), *codecName, p)
+		if err != nil {
+			return err
+		}
+		if name == "" {
+			name = "auto"
+		}
+	} else {
+		if name == "" {
+			prefix, _ := br.Peek(4)
+			c, err := codec.Detect(prefix)
+			if err != nil {
+				return fmt.Errorf("%w; pass -codec explicitly", err)
+			}
+			name = c.Name()
+		}
+		zr, err = sz.NewCodecReader(name, br, p)
+		if err != nil {
+			return err
+		}
 	}
 	defer zr.Close()
 	w, err := openOut(out)
@@ -281,6 +375,13 @@ func cmdDecompress(args []string) error {
 	n, err := io.Copy(bw, zr)
 	if err == nil {
 		err = bw.Flush()
+	}
+	if err == nil {
+		// A legitimate zero-sample stream writes no bytes; the output
+		// file must still come into existence on success.
+		if lw, ok := w.(*lazyFileWriter); ok {
+			err = lw.materialize()
+		}
 	}
 	if err != nil {
 		w.Close()
@@ -295,58 +396,61 @@ func cmdDecompress(args []string) error {
 
 func cmdInspect(args []string) error {
 	fs := flag.NewFlagSet("sz inspect", flag.ExitOnError)
+	var (
+		asJSON = fs.Bool("json", false, "machine-readable output")
+		remote = fs.String("remote", "", "szd daemon address")
+	)
 	fs.Parse(args)
 	r, err := openIn(fs.Arg(0))
 	if err != nil {
 		return err
 	}
 	defer r.Close()
-	stream, err := io.ReadAll(r)
-	if err != nil {
-		return err
-	}
-	c, err := codec.Detect(stream)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("codec:  %s\n", c.Name())
-	fmt.Printf("bytes:  %d\n", len(stream))
-	switch c.Name() {
-	case "sz14":
-		h, err := sz.Inspect(stream)
+
+	var si *codec.StreamInfo
+	if *remote != "" {
+		cl, err := client.New(*remote)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("dims:   %v\n", h.Dims)
-		fmt.Printf("dtype:  %v\n", h.DType)
-		fmt.Printf("bound:  %g (abs)\n", h.AbsBound)
-		fmt.Printf("layers: %d\n", h.Layers)
-		fmt.Printf("m:      %d bits (%d intervals)\n", h.IntervalBits, (1<<h.IntervalBits)-1)
-		fmt.Printf("escapes: %d of %d points\n", h.NumOutliers, h.N())
-	case "blocked":
-		ix, err := sz.InspectBlocked(stream)
+		if si, err = cl.Inspect(context.Background(), r, inputSize(fs.Arg(0))); err != nil {
+			return err
+		}
+	} else {
+		stream, err := io.ReadAll(r)
 		if err != nil {
 			return err
 		}
-		ns := ix.NumSlabs()
-		fmt.Printf("dims:   %v\n", ix.Dims)
-		fmt.Printf("slabs:  %d x %d rows\n", ns, ix.SlabRows)
-		minL, maxL := -1, 0
-		for i := 0; i < ns; i++ {
-			l := ix.Offsets[i+1] - ix.Offsets[i]
-			if minL < 0 || l < minL {
-				minL = l
-			}
-			if l > maxL {
-				maxL = l
-			}
-		}
-		fmt.Printf("body:   %d bytes (slab streams %d..%d bytes)\n", ix.Offsets[ns], minL, maxL)
-		// The per-slab element type lives in each slab's own header.
-		if h, _, err := core.ParseHeaderPrefix(stream[ix.HeaderLen:]); err == nil {
-			fmt.Printf("dtype:  %v\n", h.DType)
-			fmt.Printf("bound:  %g (abs)\n", h.AbsBound)
+		if si, err = codec.InspectStream(stream); err != nil {
+			return err
 		}
 	}
+	if *asJSON {
+		out, err := json.MarshalIndent(si, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	fmt.Print(si.Text())
+	return nil
+}
+
+func cmdCodecs(args []string) error {
+	fs := flag.NewFlagSet("sz codecs", flag.ExitOnError)
+	remote := fs.String("remote", "", "szd daemon address")
+	fs.Parse(args)
+	names := sz.Codecs()
+	if *remote != "" {
+		cl, err := client.New(*remote)
+		if err != nil {
+			return err
+		}
+		if names, err = cl.Codecs(context.Background()); err != nil {
+			return err
+		}
+	}
+	fmt.Println(strings.Join(names, "\n"))
 	return nil
 }

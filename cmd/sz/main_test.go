@@ -2,12 +2,18 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
 	"math"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/internal/codec"
 	"repro/internal/grid"
+	"repro/internal/server"
 )
 
 // writeInput generates a small raw float32 field on disk and returns its
@@ -112,21 +118,146 @@ func TestCompressRejectsMissingBound(t *testing.T) {
 	}
 }
 
-func TestParseDims(t *testing.T) {
-	for _, tc := range []struct {
-		in   string
-		want int
-		ok   bool
-	}{
-		{"100,500,500", 3, true},
-		{"100x500x500", 3, true},
-		{"1024", 1, true},
-		{"0,5", 0, false},
-		{"a,b", 0, false},
-	} {
-		dims, err := parseDims(tc.in)
-		if tc.ok != (err == nil) || (err == nil && len(dims) != tc.want) {
-			t.Errorf("parseDims(%q) = %v, %v", tc.in, dims, err)
+// captureStdout runs fn with os.Stdout redirected into a buffer.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	var buf bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		io.Copy(&buf, r)
+		close(done)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	<-done
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return buf.String()
+}
+
+func TestInspectJSON(t *testing.T) {
+	dir := t.TempDir()
+	in, _ := writeInput(t, dir)
+	comp := filepath.Join(dir, "out.szb")
+	if err := cmdCompress([]string{"-codec", "blocked", "-dims", "16,20,12", "-dtype", "f32", "-abs", "1e-3", in, comp}); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return cmdInspect([]string{"-json", comp})
+	})
+	var si codec.StreamInfo
+	if err := json.Unmarshal([]byte(out), &si); err != nil {
+		t.Fatalf("inspect -json output is not JSON: %v\n%s", err, out)
+	}
+	if si.Codec != "blocked" || len(si.Dims) != 3 || si.Slabs == 0 {
+		t.Errorf("inspect -json parsed to %+v", si)
+	}
+}
+
+func TestUnknownCodecListsRegistered(t *testing.T) {
+	dir := t.TempDir()
+	in, _ := writeInput(t, dir)
+	err := cmdCompress([]string{"-codec", "bogus", "-dims", "16,20,12", "-abs", "1e-3", in, filepath.Join(dir, "x")})
+	if err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+	for _, name := range []string{"sz14", "blocked", "gzip"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list codec %s", err, name)
 		}
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, "x")); statErr == nil {
+		t.Error("unknown codec still created the output file")
+	}
+}
+
+// TestRemoteRoundTrip drives the CLI against a real daemon: remote
+// compression must be byte-identical to local, and remote decompression
+// must restore the same raw bytes.
+func TestRemoteRoundTrip(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	dir := t.TempDir()
+	in, _ := writeInput(t, dir)
+	local := filepath.Join(dir, "local.szb")
+	remote := filepath.Join(dir, "remote.szb")
+	args := []string{"-codec", "blocked", "-dims", "16,20,12", "-dtype", "f32", "-abs", "1e-3"}
+	if err := cmdCompress(append(args, in, local)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCompress(append(append([]string{"-remote", addr}, args...), in, remote)); err != nil {
+		t.Fatal(err)
+	}
+	lb, _ := os.ReadFile(local)
+	rb, _ := os.ReadFile(remote)
+	if !bytes.Equal(lb, rb) {
+		t.Fatalf("remote compression differs from local (%d vs %d bytes)", len(rb), len(lb))
+	}
+
+	localRaw := filepath.Join(dir, "local.f32")
+	remoteRaw := filepath.Join(dir, "remote.f32")
+	if err := cmdDecompress([]string{local, localRaw}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDecompress([]string{"-remote", addr, remote, remoteRaw}); err != nil {
+		t.Fatal(err)
+	}
+	lr, _ := os.ReadFile(localRaw)
+	rr, _ := os.ReadFile(remoteRaw)
+	if !bytes.Equal(lr, rr) {
+		t.Fatalf("remote reconstruction differs from local (%d vs %d bytes)", len(rr), len(lr))
+	}
+
+	// Remote inspect and codecs round out the surface.
+	out := captureStdout(t, func() error {
+		return cmdInspect([]string{"-remote", addr, "-json", remote})
+	})
+	var si codec.StreamInfo
+	if err := json.Unmarshal([]byte(out), &si); err != nil {
+		t.Fatalf("remote inspect -json: %v\n%s", err, out)
+	}
+	if si.Codec != "blocked" {
+		t.Errorf("remote inspect codec %q", si.Codec)
+	}
+	out = captureStdout(t, func() error {
+		return cmdCodecs([]string{"-remote", addr})
+	})
+	if !strings.Contains(out, "sz14") || !strings.Contains(out, "blocked") {
+		t.Errorf("remote codecs output %q", out)
+	}
+}
+
+// TestRemoteErrorKeepsOutputFile: a remote failure that produces no
+// output (unknown codec on the daemon) must not truncate an existing
+// output file — the file only opens on the first compressed byte.
+func TestRemoteErrorKeepsOutputFile(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	dir := t.TempDir()
+	in, _ := writeInput(t, dir)
+	out := filepath.Join(dir, "precious.szb")
+	if err := os.WriteFile(out, []byte("precious bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := cmdCompress([]string{"-remote", addr, "-codec", "bogus",
+		"-dims", "16,20,12", "-dtype", "f32", "-abs", "1e-3", in, out})
+	if err == nil {
+		t.Fatal("remote unknown codec accepted")
+	}
+	got, rerr := os.ReadFile(out)
+	if rerr != nil || string(got) != "precious bytes" {
+		t.Errorf("pre-existing output clobbered: %q, %v", got, rerr)
 	}
 }

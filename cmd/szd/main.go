@@ -1,0 +1,92 @@
+// Command szd runs the compression daemon: the full codec registry
+// (sz14, blocked, pwrel, gzip, fpzip, zfp, sz11, isabela) served over
+// HTTP with streaming bodies, admission control, and metrics, so remote
+// producers share one resource-governed compression fleet.
+//
+//	szd -addr :7071 -max-inflight-bytes $((1<<30))
+//
+// Compress a field from the command line (or use `sz -remote`):
+//
+//	curl --data-binary @field.f32 \
+//	  'http://localhost:7071/v1/compress?codec=blocked&abs=1e-3&dims=100,500,500&dtype=f32' \
+//	  -o field.szb
+//
+// On SIGTERM/SIGINT the daemon drains: /healthz flips to 503, new
+// requests are rejected with 503, and in-flight streams get
+// -drain-timeout to finish before the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":7071", "listen address")
+		maxInflight  = flag.Int64("max-inflight-bytes", 0, "admission byte budget (0 = 1 GiB default, -1 = unlimited)")
+		maxRequest   = flag.Int64("max-request-bytes", 0, "per-request body cap (0 = 1 GiB default, -1 = unlimited)")
+		workers      = flag.Int("workers", 0, "worker-pool size (0 = 4 x GOMAXPROCS)")
+		readTimeout  = flag.Duration("read-timeout", 0, "max duration reading a request, including the body (0 = none)")
+		writeTimeout = flag.Duration("write-timeout", 0, "max duration writing a response (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight streams on shutdown")
+	)
+	flag.Parse()
+	if err := run(*addr, *maxInflight, *maxRequest, *workers, *readTimeout, *writeTimeout, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "szd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, maxInflight, maxRequest int64, workers int, readTimeout, writeTimeout, drainTimeout time.Duration) error {
+	s := server.New(server.Config{
+		MaxInflightBytes: maxInflight,
+		MaxRequestBytes:  maxRequest,
+		Workers:          workers,
+	})
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       readTimeout,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+		ErrorLog:          log.New(os.Stderr, "szd: ", log.LstdFlags),
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("szd: listening on %s", addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("szd: %v: draining (grace %s)", sig, drainTimeout)
+		s.StartDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain incomplete: %w", err)
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		log.Printf("szd: drained cleanly")
+		return nil
+	}
+}

@@ -150,6 +150,49 @@ func NewWriter(w io.Writer, dims []int, p Params) (*Writer, error) {
 	return w2, nil
 }
 
+// SlabRowsFor reports the slab thickness a container with the given row
+// count would use for a requested thickness (0 = auto). It exposes the
+// writer's sizing heuristic so capacity planners (the szd admission
+// controller) can estimate per-request streaming memory.
+func SlabRowsFor(rows, requested int) int { return slabRowsFor(rows, requested) }
+
+// MaxHeaderLen bounds the container header: magic (4), ndims (1), up to
+// grid.MaxDims + 1 uvarints of at most 10 bytes each.
+const MaxHeaderLen = 4 + 1 + (grid.MaxDims+1)*10
+
+// ParseContainerHeader parses dims and slab thickness from the leading
+// bytes of a container stream without consuming it, returning also the
+// header's byte length. It is the one container-header parser: NewReader
+// decodes through it, and admission controllers (szd) can cost a
+// decompression from the peeked prefix alone.
+func ParseContainerHeader(b []byte) (dims []int, slabRows, headerLen int, err error) {
+	if len(b) >= 4 && string(b[:4]) == magicV1 {
+		return nil, 0, 0, fmt.Errorf("%w: v1 container (no footer); re-encode with this version", ErrCorrupt)
+	}
+	if len(b) < 5 || string(b[:4]) != magic {
+		return nil, 0, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	nd := int(b[4])
+	if nd < 1 || nd > grid.MaxDims {
+		return nil, 0, 0, fmt.Errorf("%w: bad ndims", ErrCorrupt)
+	}
+	off := 5
+	dims = make([]int, nd)
+	for i := range dims {
+		v, n := binary.Uvarint(b[off:])
+		if n <= 0 || v == 0 || v > 1<<40 {
+			return nil, 0, 0, fmt.Errorf("%w: bad dim", ErrCorrupt)
+		}
+		dims[i] = int(v)
+		off += n
+	}
+	v, n := binary.Uvarint(b[off:])
+	if n <= 0 || v == 0 || v > uint64(dims[0]) {
+		return nil, 0, 0, fmt.Errorf("%w: bad slab rows", ErrCorrupt)
+	}
+	return dims, int(v), off + n, nil
+}
+
 // slabRowsFor resolves the slab thickness (0 targets ~NumCPU slabs, at
 // least 4 rows, capped at the row count).
 func slabRowsFor(rows, requested int) int {
@@ -427,40 +470,23 @@ func NewReader(r io.Reader) (*Reader, error) {
 	}
 	rd := &Reader{br: br, crc: crc32.NewIEEE()}
 
-	var head [5]byte
-	if err := rd.readFull(head[:]); err != nil {
-		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	hdr, _ := br.Peek(MaxHeaderLen) // short reads surface as parse errors
+	dims, slabRows, headerLen, err := ParseContainerHeader(hdr)
+	if err != nil {
+		return nil, err
 	}
-	if string(head[:4]) != magic {
-		if string(head[:4]) == magicV1 {
-			return nil, fmt.Errorf("%w: v1 container (no footer); re-encode with this version", ErrCorrupt)
-		}
-		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	if err := rd.readFull(make([]byte, headerLen)); err != nil {
+		return nil, fmt.Errorf("%w: header: %w", ErrCorrupt, err)
 	}
-	nd := int(head[4])
-	if nd < 1 || nd > grid.MaxDims {
-		return nil, fmt.Errorf("%w: bad ndims", ErrCorrupt)
-	}
-	rd.dims = make([]int, nd)
-	for i := range rd.dims {
-		v, err := rd.readUvarint()
-		if err != nil || v == 0 || v > 1<<40 {
-			return nil, fmt.Errorf("%w: bad dim", ErrCorrupt)
-		}
-		rd.dims[i] = int(v)
-	}
-	v, err := rd.readUvarint()
-	if err != nil || v == 0 || v > uint64(rd.dims[0]) {
-		return nil, fmt.Errorf("%w: bad slab rows", ErrCorrupt)
-	}
-	rd.slabRows = int(v)
+	rd.dims = dims
+	rd.slabRows = slabRows
 	rd.nSlabs = (rd.dims[0] + rd.slabRows - 1) / rd.slabRows
 
 	// Learn the element type from the first slab header (peek only).
 	pk, _ := br.Peek(core.MaxHeaderLen)
 	h, _, err := core.ParseHeaderPrefix(pk)
 	if err != nil {
-		return nil, fmt.Errorf("%w: first slab: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: first slab: %w", ErrCorrupt, err)
 	}
 	rd.dtype = h.DType
 	return rd, nil
@@ -543,7 +569,7 @@ func (r *Reader) nextSlab() error {
 	pk, _ := r.br.Peek(core.MaxHeaderLen)
 	_, total, err := core.ParseHeaderPrefix(pk)
 	if err != nil {
-		return fmt.Errorf("%w: slab %d: %v", ErrCorrupt, i, err)
+		return fmt.Errorf("%w: slab %d: %w", ErrCorrupt, i, err)
 	}
 	wantLo := i * r.slabRows
 	wantHi := wantLo + r.slabRows
@@ -563,7 +589,7 @@ func (r *Reader) nextSlab() error {
 	}
 	r.sbuf = r.sbuf[:total]
 	if err := r.readFull(r.sbuf); err != nil {
-		return fmt.Errorf("%w: slab %d: %v", ErrCorrupt, i, err)
+		return fmt.Errorf("%w: slab %d: %w", ErrCorrupt, i, err)
 	}
 	slab, h, err := core.Decompress(r.sbuf)
 	if err != nil {
@@ -608,7 +634,7 @@ func (r *Reader) readFooter() error {
 	varintBytes := r.hashed - start
 	var lenBuf [4]byte
 	if err := r.readFull(lenBuf[:]); err != nil {
-		return fmt.Errorf("%w: footer: %v", ErrCorrupt, err)
+		return fmt.Errorf("%w: footer: %w", ErrCorrupt, err)
 	}
 	if int(binary.LittleEndian.Uint32(lenBuf[:])) != varintBytes {
 		return fmt.Errorf("%w: footer length mismatch", ErrCorrupt)
@@ -616,7 +642,7 @@ func (r *Reader) readFooter() error {
 	want := r.crc.Sum32()
 	var crcBuf [4]byte
 	if _, err := io.ReadFull(r.br, crcBuf[:]); err != nil {
-		return fmt.Errorf("%w: CRC: %v", ErrCorrupt, err)
+		return fmt.Errorf("%w: CRC: %w", ErrCorrupt, err)
 	}
 	if binary.LittleEndian.Uint32(crcBuf[:]) != want {
 		return fmt.Errorf("%w: CRC mismatch", ErrCorrupt)

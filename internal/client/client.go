@@ -1,0 +1,419 @@
+// Package client is the Go client for szd, the compression daemon in
+// internal/server. It mirrors the library's streaming facade — NewWriter
+// and NewReader hand back io.WriteCloser/io.ReadCloser that behave like
+// sz.NewWriter/sz.NewReader but run the codec on a remote daemon — plus
+// wrappers for the daemon's metadata endpoints.
+//
+// Overload handling: szd sheds load with 429 (budget or worker pool
+// exhausted) and 503 (draining). Requests whose bodies fit the client's
+// buffer limit are replayable and are retried with exponential backoff;
+// larger bodies stream chunked in one attempt and surface a StatusError
+// instead, so the caller decides whether re-generating the stream is
+// worth it.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/codec"
+)
+
+// StatusError is a non-2xx daemon response.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("szd: %d %s: %s", e.Code, http.StatusText(e.Code), e.Message)
+}
+
+// Temporary reports whether the request may succeed if retried (the
+// daemon shed it rather than rejected it).
+func (e *StatusError) Temporary() bool {
+	return e.Code == http.StatusTooManyRequests || e.Code == http.StatusServiceUnavailable
+}
+
+// Client talks to one szd daemon.
+type Client struct {
+	base        string
+	http        *http.Client
+	maxAttempts int
+	backoff     time.Duration
+	bufferLimit int
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (default http.DefaultClient).
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h } }
+
+// WithRetry sets the attempt budget and initial backoff for replayable
+// requests shed with 429/503 (defaults: 4 attempts, 100 ms doubling).
+func WithRetry(attempts int, backoff time.Duration) Option {
+	return func(c *Client) {
+		c.maxAttempts = attempts
+		c.backoff = backoff
+	}
+}
+
+// WithBufferLimit sets how many body bytes the client will buffer to
+// keep a request replayable for retry (default 4 MiB). Bodies beyond it
+// stream chunked in a single attempt.
+func WithBufferLimit(n int) Option { return func(c *Client) { c.bufferLimit = n } }
+
+// New returns a client for the daemon at addr ("host:port" or a full
+// http:// / https:// URL).
+func New(addr string, opts ...Option) (*Client, error) {
+	if addr == "" {
+		return nil, errors.New("client: empty daemon address")
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	u, err := url.Parse(addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad daemon address: %w", err)
+	}
+	c := &Client{
+		base:        strings.TrimRight(u.String(), "/"),
+		http:        http.DefaultClient,
+		maxAttempts: 4,
+		backoff:     100 * time.Millisecond,
+		bufferLimit: 4 << 20,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.maxAttempts < 1 {
+		c.maxAttempts = 1
+	}
+	return c, nil
+}
+
+func (c *Client) url(path string, q url.Values) string {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	return u
+}
+
+// statusError turns a non-2xx response into a StatusError, consuming
+// and closing the body.
+func statusError(resp *http.Response) error {
+	defer resp.Body.Close()
+	msg := ""
+	var body struct {
+		Error string `json:"error"`
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	if err := json.Unmarshal(raw, &body); err == nil && body.Error != "" {
+		msg = body.Error
+	} else {
+		msg = strings.TrimSpace(string(raw))
+	}
+	return &StatusError{Code: resp.StatusCode, Message: msg}
+}
+
+// do runs build-request/execute with retry-on-shed. build is called per
+// attempt so the body is fresh each time.
+func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
+	backoff := c.backoff
+	for attempt := 1; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode < 300 {
+			return resp, nil
+		}
+		serr := statusError(resp)
+		var se *StatusError
+		if attempt >= c.maxAttempts || !errors.As(serr, &se) || !se.Temporary() {
+			return nil, serr
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// Codecs lists the codec names registered on the daemon.
+func (c *Client) Codecs(ctx context.Context) ([]string, error) {
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/codecs", nil), nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Codecs []string `json:"codecs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("client: decoding codec list: %w", err)
+	}
+	return body.Codecs, nil
+}
+
+// Health checks /healthz; nil means the daemon is accepting work.
+func (c *Client) Health(ctx context.Context) error {
+	resp, err := c.http.Do(mustRequest(ctx, http.MethodGet, c.url("/healthz", nil), nil))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusErrorKeepOpen(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+func statusErrorKeepOpen(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	return &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+}
+
+func mustRequest(ctx context.Context, method, url string, body io.Reader) *http.Request {
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		panic(err) // static method+URL, cannot fail
+	}
+	return req
+}
+
+// Inspect sends a compressed stream and returns the daemon's parsed
+// metadata (codec, geometry, bounds, slab layout). size is the stream
+// length when known (it becomes the admission hint for streams too big
+// to buffer), -1 otherwise.
+func (c *Client) Inspect(ctx context.Context, stream io.Reader, size int64) (*codec.StreamInfo, error) {
+	resp, err := c.bodyRequest(ctx, "/v1/inspect", nil, stream, size)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	si := &codec.StreamInfo{}
+	if err := json.NewDecoder(resp.Body).Decode(si); err != nil {
+		return nil, fmt.Errorf("client: decoding inspect response: %w", err)
+	}
+	return si, nil
+}
+
+// bodyRequest POSTs src as the body of path. Bodies within the buffer
+// limit go replayable-with-retry; larger ones stream chunked once, with
+// size (when >= 0) forwarded as the X-Sz-Content-Length admission hint.
+func (c *Client) bodyRequest(ctx context.Context, path string, q url.Values, src io.Reader, size int64) (*http.Response, error) {
+	head, err := io.ReadAll(io.LimitReader(src, int64(c.bufferLimit)+1))
+	if err != nil {
+		return nil, err
+	}
+	u := c.url(path, q)
+	if len(head) <= c.bufferLimit {
+		return c.do(ctx, func() (*http.Request, error) {
+			return http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(head))
+		})
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u,
+		io.MultiReader(bytes.NewReader(head), src))
+	if err != nil {
+		return nil, err
+	}
+	if size >= 0 {
+		req.Header.Set("X-Sz-Content-Length", fmt.Sprint(size))
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		return nil, statusError(resp)
+	}
+	return resp, nil
+}
+
+// NewReader opens a remote decompressor: src supplies a compressed
+// stream and the returned reader yields raw little-endian samples. The
+// daemon auto-detects the codec from the stream magic unless forceCodec
+// names one explicitly (required for gzip, whose streams carry no
+// shape). size is the compressed size when known (improves admission
+// accuracy for chunked sends), -1 otherwise.
+func (c *Client) NewReader(ctx context.Context, src io.Reader, size int64, forceCodec string, p codec.Params) (io.ReadCloser, error) {
+	q := p.Values()
+	if forceCodec != "" {
+		q.Set("codec", forceCodec)
+	}
+	resp, err := c.bodyRequest(ctx, "/v1/decompress", q, src, size)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// NewWriter opens a remote compressor mirroring sz.NewWriter: raw
+// little-endian p.DType samples written to it stream to the daemon, and
+// the compressed stream lands in dst. The stream is complete only after
+// Close returns nil. p.Dims is required for every codec but gzip.
+//
+// The returned writer additionally implements interface{ Abort() error }:
+// a caller whose input failed mid-way should Abort instead of Close, so
+// the buffered partial payload is dropped (Close would send it to the
+// daemon as a real request, retries and all) and any in-flight
+// streaming request is cancelled.
+func (c *Client) NewWriter(ctx context.Context, dst io.Writer, codecName string, p codec.Params) (io.WriteCloser, error) {
+	if codecName == "" {
+		codecName = "sz14"
+	}
+	q := p.Values()
+	q.Set("codec", codecName)
+	rawSize := int64(-1)
+	if len(p.Dims) > 0 {
+		rawSize = 1
+		for _, d := range p.Dims {
+			rawSize *= int64(d)
+		}
+		sz := int64(8)
+		if p.DType != 0 {
+			sz = int64(p.DType.Size())
+		}
+		rawSize *= sz
+	}
+	return &remoteWriter{
+		c:       c,
+		ctx:     ctx,
+		dst:     dst,
+		url:     c.url("/v1/compress", q),
+		rawSize: rawSize,
+		buf:     &bytes.Buffer{},
+	}, nil
+}
+
+// remoteWriter buffers raw samples up to the client's buffer limit so
+// small requests stay replayable (retry on 429/503); beyond the limit
+// it flips into a single chunked streaming request whose response is
+// copied to dst concurrently.
+type remoteWriter struct {
+	c       *Client
+	ctx     context.Context
+	dst     io.Writer
+	url     string
+	rawSize int64 // expected total raw bytes from dims/dtype; -1 unknown
+
+	buf    *bytes.Buffer // buffering phase; nil once streaming
+	pw     *io.PipeWriter
+	done   chan error
+	closed bool
+}
+
+func (rw *remoteWriter) Write(b []byte) (int, error) {
+	if rw.closed {
+		return 0, errors.New("client: write after Close")
+	}
+	if rw.buf != nil {
+		rw.buf.Write(b)
+		if rw.buf.Len() <= rw.c.bufferLimit {
+			return len(b), nil
+		}
+		if err := rw.startStreaming(); err != nil {
+			return 0, err
+		}
+		return len(b), nil
+	}
+	return rw.pw.Write(b)
+}
+
+// startStreaming launches the chunked request, seeded with everything
+// buffered so far; subsequent writes feed the pipe.
+func (rw *remoteWriter) startStreaming() error {
+	pr, pw := io.Pipe()
+	body := io.MultiReader(bytes.NewReader(rw.buf.Bytes()), pr)
+	req, err := http.NewRequestWithContext(rw.ctx, http.MethodPost, rw.url, body)
+	if err != nil {
+		pw.Close()
+		return err
+	}
+	if rw.rawSize >= 0 {
+		req.ContentLength = rw.rawSize
+	}
+	rw.buf = nil
+	rw.pw = pw
+	rw.done = make(chan error, 1)
+	go func() {
+		resp, err := rw.c.http.Do(req)
+		if err != nil {
+			pr.CloseWithError(err)
+			rw.done <- err
+			return
+		}
+		if resp.StatusCode >= 300 {
+			err := statusError(resp)
+			pr.CloseWithError(err)
+			rw.done <- err
+			return
+		}
+		_, err = io.Copy(rw.dst, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			pr.CloseWithError(err)
+		}
+		rw.done <- err
+	}()
+	return nil
+}
+
+// Abort discards the writer without completing the request: buffered
+// state is dropped unsent; an in-flight streaming request is cancelled
+// and awaited. Idempotent, and a later Close is a no-op.
+func (rw *remoteWriter) Abort() error {
+	if rw.closed {
+		return nil
+	}
+	rw.closed = true
+	if rw.buf != nil {
+		rw.buf = nil
+		return nil
+	}
+	rw.pw.CloseWithError(errors.New("client: request aborted"))
+	<-rw.done
+	return nil
+}
+
+func (rw *remoteWriter) Close() error {
+	if rw.closed {
+		return nil
+	}
+	rw.closed = true
+	if rw.buf != nil {
+		// Replayable one-shot with retry.
+		payload := rw.buf.Bytes()
+		resp, err := rw.c.do(rw.ctx, func() (*http.Request, error) {
+			return http.NewRequestWithContext(rw.ctx, http.MethodPost, rw.url, bytes.NewReader(payload))
+		})
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		_, err = io.Copy(rw.dst, resp.Body)
+		return err
+	}
+	rw.pw.Close()
+	return <-rw.done
+}

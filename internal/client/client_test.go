@@ -1,0 +1,303 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/grid"
+	"repro/internal/server"
+)
+
+func makeRaw(t *testing.T, dt grid.DType, dims ...int) []byte {
+	t.Helper()
+	a := grid.New(dims...)
+	for i := range a.Data {
+		v := math.Sin(float64(i) * 0.02)
+		if dt == grid.Float32 {
+			v = float64(float32(v))
+		}
+		a.Data[i] = v
+	}
+	var raw bytes.Buffer
+	if err := a.WriteRaw(&raw, dt); err != nil {
+		t.Fatal(err)
+	}
+	return raw.Bytes()
+}
+
+func localStream(t *testing.T, name string, raw []byte, p codec.Params) []byte {
+	t.Helper()
+	c, err := codec.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	zw, err := c.NewWriter(&out, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+func newDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRemoteMirrorsLocal is the client half of the acceptance e2e: the
+// remote writer's output is byte-identical to the local streaming
+// writer, and the remote reader reproduces the local reconstruction,
+// for sz14, blocked, and gzip — in both the buffered-replayable and the
+// chunked-streaming client modes.
+func TestRemoteMirrorsLocal(t *testing.T) {
+	ts := newDaemon(t)
+	raw := makeRaw(t, grid.Float32, 16, 20, 12)
+	p := codec.Params{AbsBound: 1e-3, DType: grid.Float32, Dims: []int{16, 20, 12}}
+
+	for _, mode := range []struct {
+		name string
+		opts []Option
+	}{
+		{"buffered", nil},
+		// A 1 KiB limit forces the chunked-streaming path for this
+		// 15 KiB payload.
+		{"streaming", []Option{WithBufferLimit(1 << 10)}},
+	} {
+		for _, name := range []string{"sz14", "blocked", "gzip"} {
+			t.Run(mode.name+"/"+name, func(t *testing.T) {
+				cl, err := New(ts.URL, mode.opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := localStream(t, name, raw, p)
+
+				var got bytes.Buffer
+				zw, err := cl.NewWriter(context.Background(), &got, name, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Write in small chunks to exercise mid-write mode flips.
+				for off := 0; off < len(raw); off += 4096 {
+					end := off + 4096
+					if end > len(raw) {
+						end = len(raw)
+					}
+					if _, err := zw.Write(raw[off:end]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := zw.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got.Bytes(), want) {
+					t.Fatalf("remote stream differs from local (%d vs %d bytes)", got.Len(), len(want))
+				}
+
+				c, _ := codec.Lookup(name)
+				lr, err := c.NewReader(bytes.NewReader(want), p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantRaw, err := io.ReadAll(lr)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				force := ""
+				if name == "gzip" {
+					force = "gzip"
+				}
+				zr, err := cl.NewReader(context.Background(), bytes.NewReader(want), int64(len(want)), force, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotRaw, err := io.ReadAll(zr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				zr.Close()
+				if !bytes.Equal(gotRaw, wantRaw) {
+					t.Fatalf("remote reconstruction differs from local (%d vs %d bytes)", len(gotRaw), len(wantRaw))
+				}
+			})
+		}
+	}
+}
+
+// TestRetryOn429 sheds the first two attempts and verifies the client
+// backs off and lands the third.
+func TestRetryOn429(t *testing.T) {
+	real := server.New(server.Config{}).Handler()
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"synthetic shed"}`, http.StatusTooManyRequests)
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	cl, err := New(ts.URL, WithRetry(4, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := makeRaw(t, grid.Float32, 8, 10)
+	p := codec.Params{AbsBound: 1e-3, DType: grid.Float32, Dims: []int{8, 10}}
+	want := localStream(t, "sz14", raw, p)
+
+	var got bytes.Buffer
+	zw, err := cl.NewWriter(context.Background(), &got, "sz14", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatalf("Close after shed: %v", err)
+	}
+	if n := attempts.Load(); n != 3 {
+		t.Errorf("attempts = %d, want 3", n)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatal("retried stream differs from local reference")
+	}
+}
+
+func TestRetryExhausted(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"always shed"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	cl, err := New(ts.URL, WithRetry(3, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw, err := cl.NewWriter(context.Background(), io.Discard, "sz14",
+		codec.Params{AbsBound: 1e-3, DType: grid.Float32, Dims: []int{4, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw.Write(make([]byte, 64))
+	err = zw.Close()
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want StatusError 429", err)
+	}
+	if !se.Temporary() {
+		t.Error("429 should be Temporary")
+	}
+}
+
+func TestCodecsAndHealth(t *testing.T) {
+	ts := newDaemon(t)
+	cl, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := cl.Codecs(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, codec.Names()) {
+		t.Errorf("remote codecs %v != local %v", names, codec.Names())
+	}
+	if err := cl.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInspect(t *testing.T) {
+	ts := newDaemon(t)
+	cl, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := makeRaw(t, grid.Float32, 16, 20, 12)
+	p := codec.Params{AbsBound: 1e-3, DType: grid.Float32, Dims: []int{16, 20, 12}}
+	stream := localStream(t, "blocked", raw, p)
+
+	want, err := codec.InspectStream(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Inspect(context.Background(), bytes.NewReader(stream), int64(len(stream)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("remote inspect %+v != local %+v", *got, *want)
+	}
+}
+
+func TestBadAddress(t *testing.T) {
+	if _, err := New(""); err == nil {
+		t.Error("empty address accepted")
+	}
+	cl, err := New("localhost:1") // nothing listens here
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Health(context.Background()); err == nil {
+		t.Error("Health against a dead port succeeded")
+	}
+}
+
+// TestAbortDoesNotSend: aborting a buffered writer after an upstream
+// failure must drop the partial payload instead of posting it (with
+// retries) to the daemon.
+func TestAbortDoesNotSend(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	cl, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw, err := cl.NewWriter(context.Background(), io.Discard, "sz14",
+		codec.Params{AbsBound: 1e-3, DType: grid.Float32, Dims: []int{8, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zw.Write(make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	aw, ok := zw.(interface{ Abort() error })
+	if !ok {
+		t.Fatal("remote writer does not expose Abort")
+	}
+	if err := aw.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil { // Close after Abort is a no-op
+		t.Fatal(err)
+	}
+	if n := hits.Load(); n != 0 {
+		t.Errorf("aborted writer still sent %d request(s)", n)
+	}
+}

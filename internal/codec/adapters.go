@@ -133,6 +133,44 @@ func init() {
 	Register(&gzipCodec{}, []byte{0x1f, 0x8b})
 }
 
+// streamer is the optional interface a codec implements when its
+// NewWriter/NewReader stream with memory independent of the payload
+// (O(slab)/O(window)) instead of buffering. Admission controllers
+// (szd) query it through StreamingWriter/StreamingReader, so the
+// classification lives on the codec whose behavior it describes.
+type streamer interface {
+	streamingWriter(p Params) bool
+	streamingReader() bool
+}
+
+// StreamingWriter reports whether the named codec's NewWriter streams
+// with bounded memory for these params, as opposed to buffering the
+// whole input. Unknown codecs report false (buffered: the conservative
+// admission assumption).
+func StreamingWriter(name string, p Params) bool {
+	c, err := Lookup(name)
+	if err != nil {
+		return false
+	}
+	if s, ok := c.(streamer); ok {
+		return s.streamingWriter(p)
+	}
+	return false
+}
+
+// StreamingReader reports whether the named codec's NewReader streams
+// with bounded memory (vs buffering stream and reconstruction).
+func StreamingReader(name string) bool {
+	c, err := Lookup(name)
+	if err != nil {
+		return false
+	}
+	if s, ok := c.(streamer); ok {
+		return s.streamingReader()
+	}
+	return false
+}
+
 // blockedCodec wires the container's native streaming forms through the
 // registry. With an absolute bound the writer streams with O(slab)
 // memory; relative bounds need the global value range, so the writer
@@ -155,11 +193,16 @@ func (c *blockedCodec) Decode(stream []byte, p Params) (*grid.Array, error) {
 	return blocked.Decompress(stream, blocked.Params{Workers: p.Workers})
 }
 
+// A relative bound needs the global value range before slabbing, so
+// only the absolute-bound writer can stream.
+func (blockedCodec) streamingWriter(p Params) bool { return p.mode() == core.BoundAbs }
+func (blockedCodec) streamingReader() bool         { return true }
+
 func (c *blockedCodec) NewWriter(w io.Writer, p Params) (io.WriteCloser, error) {
 	if len(p.Dims) == 0 {
 		return nil, fmt.Errorf("codec blocked: streaming write requires Params.Dims")
 	}
-	if p.mode() == core.BoundAbs {
+	if c.streamingWriter(p) {
 		return blocked.NewWriter(w, p.Dims, p.blocked())
 	}
 	return &bufWriter{dst: w, p: p, enc: c.Encode, name: "blocked"}, nil
@@ -175,6 +218,9 @@ func (c *blockedCodec) NewReader(r io.Reader, _ Params) (io.ReadCloser, error) {
 type gzipCodec struct{}
 
 func (gzipCodec) Name() string { return "gzip" }
+
+func (gzipCodec) streamingWriter(Params) bool { return true }
+func (gzipCodec) streamingReader() bool       { return true }
 
 func (gzipCodec) Encode(a *grid.Array, p Params) ([]byte, error) {
 	return gzipc.Compress(a, p.dtype())

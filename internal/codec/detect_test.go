@@ -1,0 +1,132 @@
+package codec
+
+// Hostile-prefix coverage: Detect and every registered codec's reader
+// must return errors — never panic, never succeed — on empty input,
+// short truncations of every magic, and valid magics followed by
+// truncated payloads. A compression daemon feeds these functions bytes
+// straight off the network, so this is the adversarial surface.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// encodeAll produces one valid stream per registered codec.
+func encodeAll(t *testing.T) map[string][]byte {
+	t.Helper()
+	a := grid.New(8, 8)
+	for i := range a.Data {
+		a.Data[i] = float64(float32(math.Sin(float64(i) * 0.3)))
+	}
+	// RelBound doubles as pwrel's pointwise epsilon; every other codec
+	// resolves the pair to its tighter effective absolute bound.
+	p := Params{AbsBound: 1e-3, RelBound: 1e-3, DType: grid.Float32, Dims: []int{8, 8}}
+	streams := map[string][]byte{}
+	for _, name := range Names() {
+		s, err := Encode(name, a, p)
+		if err != nil {
+			t.Fatalf("encoding %s: %v", name, err)
+		}
+		streams[name] = s
+	}
+	return streams
+}
+
+func TestDetectEmptyAndNil(t *testing.T) {
+	for _, prefix := range [][]byte{nil, {}, {0x00}, {0xff, 0xff, 0xff, 0xff}} {
+		if _, err := Detect(prefix); !errors.Is(err, ErrUnknownFormat) {
+			t.Errorf("Detect(%v) err = %v, want ErrUnknownFormat", prefix, err)
+		}
+	}
+}
+
+// TestDetectTruncatedMagics feeds Detect every 1..7-byte truncation of
+// every codec's stream. Prefixes shorter than the magic must not match
+// (except where a shorter registered magic is a genuine prefix, as with
+// nothing in the current registry); prefixes at or past the magic must
+// identify the right codec.
+func TestDetectTruncatedMagics(t *testing.T) {
+	streams := encodeAll(t)
+	for name, stream := range streams {
+		for l := 1; l <= 7 && l <= len(stream); l++ {
+			c, err := Detect(stream[:l])
+			if err != nil {
+				// Too short to identify: acceptable, but it must be
+				// the documented sentinel, not a panic or a bogus hit.
+				if !errors.Is(err, ErrUnknownFormat) {
+					t.Errorf("%s: Detect on %d-byte prefix: %v", name, l, err)
+				}
+				continue
+			}
+			if c.Name() != name {
+				t.Errorf("%s: %d-byte truncation detected as %s", name, l, c.Name())
+			}
+		}
+	}
+}
+
+// TestReadersOnTruncatedStreams runs every codec's streaming reader on
+// 1..7-byte truncations (magic fragments) and on a valid magic followed
+// by a truncated payload. Every case must surface an error — from the
+// constructor or the first reads — and must not panic.
+func TestReadersOnTruncatedStreams(t *testing.T) {
+	streams := encodeAll(t)
+	p := Params{DType: grid.Float32, Dims: []int{8, 8}}
+	for name, stream := range streams {
+		c, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cuts := []int{0, 1, 2, 3, 4, 5, 6, 7, len(stream) / 2, len(stream) - 1}
+		for _, cut := range cuts {
+			if cut > len(stream) {
+				continue
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Errorf("%s: reader panicked on %d-byte truncation: %v", name, cut, r)
+					}
+				}()
+				zr, err := c.NewReader(bytes.NewReader(stream[:cut]), p)
+				if err != nil {
+					return // rejected at construction: correct
+				}
+				_, err = io.ReadAll(zr)
+				zr.Close()
+				if err == nil {
+					t.Errorf("%s: reading a %d-of-%d-byte truncation succeeded", name, cut, len(stream))
+				}
+			}()
+		}
+	}
+}
+
+// TestDecodeTruncatedStreams does the same through the one-shot Decode
+// face.
+func TestDecodeTruncatedStreams(t *testing.T) {
+	streams := encodeAll(t)
+	p := Params{DType: grid.Float32, Dims: []int{8, 8}}
+	for name, stream := range streams {
+		for _, cut := range []int{0, 1, 4, 7, len(stream) / 2, len(stream) - 1} {
+			if cut > len(stream) {
+				continue
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Errorf("%s: Decode panicked on %d-byte truncation: %v", name, cut, r)
+					}
+				}()
+				if _, err := Decode(name, stream[:cut], p); err == nil {
+					t.Errorf("%s: decoding a %d-of-%d-byte truncation succeeded", name, cut, len(stream))
+				}
+			}()
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package codec
+
+// Stream inspection shared by `sz inspect` and szd's /v1/inspect: one
+// parse into a machine-readable StreamInfo, one canonical text rendering.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/blocked"
+	"repro/internal/core"
+)
+
+// StreamInfo describes a compressed stream without decompressing it.
+// Fields beyond Codec and Bytes are populated only for formats whose
+// headers carry them (sz14 single streams, blocked containers).
+type StreamInfo struct {
+	Codec        string  `json:"codec"`
+	Bytes        int     `json:"bytes"`
+	Dims         []int   `json:"dims,omitempty"`
+	DType        string  `json:"dtype,omitempty"`
+	AbsBound     float64 `json:"abs_bound,omitempty"`
+	Layers       int     `json:"layers,omitempty"`
+	IntervalBits int     `json:"interval_bits,omitempty"`
+	Intervals    int     `json:"intervals,omitempty"`
+	Points       int     `json:"points,omitempty"`
+	Outliers     int     `json:"outliers,omitempty"`
+	Slabs        int     `json:"slabs,omitempty"`
+	SlabRows     int     `json:"slab_rows,omitempty"`
+	BodyBytes    int     `json:"body_bytes,omitempty"`
+	MinSlabBytes int     `json:"min_slab_bytes,omitempty"`
+	MaxSlabBytes int     `json:"max_slab_bytes,omitempty"`
+}
+
+// InspectStream detects the codec of a stream and parses the metadata
+// its format exposes. The payload is never decompressed.
+func InspectStream(stream []byte) (*StreamInfo, error) {
+	c, err := Detect(stream)
+	if err != nil {
+		return nil, err
+	}
+	si := &StreamInfo{Codec: c.Name(), Bytes: len(stream)}
+	switch c.Name() {
+	case "sz14":
+		h, err := core.Inspect(stream)
+		if err != nil {
+			return nil, err
+		}
+		si.Dims = h.Dims
+		si.DType = h.DType.String()
+		si.AbsBound = h.AbsBound
+		si.Layers = h.Layers
+		si.IntervalBits = h.IntervalBits
+		si.Intervals = (1 << h.IntervalBits) - 1
+		si.Points = h.N()
+		si.Outliers = h.NumOutliers
+	case "blocked":
+		ix, err := blocked.Inspect(stream)
+		if err != nil {
+			return nil, err
+		}
+		ns := ix.NumSlabs()
+		si.Dims = ix.Dims
+		si.Slabs = ns
+		si.SlabRows = ix.SlabRows
+		si.BodyBytes = ix.Offsets[ns]
+		minL, maxL := -1, 0
+		for i := 0; i < ns; i++ {
+			l := ix.Offsets[i+1] - ix.Offsets[i]
+			if minL < 0 || l < minL {
+				minL = l
+			}
+			if l > maxL {
+				maxL = l
+			}
+		}
+		si.MinSlabBytes, si.MaxSlabBytes = minL, maxL
+		// The per-slab element type lives in each slab's own header.
+		if h, _, err := core.ParseHeaderPrefix(stream[ix.HeaderLen:]); err == nil {
+			si.DType = h.DType.String()
+			si.AbsBound = h.AbsBound
+		}
+	}
+	return si, nil
+}
+
+// Text renders the info in `sz inspect`'s human-readable format.
+func (si *StreamInfo) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "codec:  %s\n", si.Codec)
+	fmt.Fprintf(&b, "bytes:  %d\n", si.Bytes)
+	switch si.Codec {
+	case "sz14":
+		fmt.Fprintf(&b, "dims:   %v\n", si.Dims)
+		fmt.Fprintf(&b, "dtype:  %v\n", si.DType)
+		fmt.Fprintf(&b, "bound:  %g (abs)\n", si.AbsBound)
+		fmt.Fprintf(&b, "layers: %d\n", si.Layers)
+		fmt.Fprintf(&b, "m:      %d bits (%d intervals)\n", si.IntervalBits, si.Intervals)
+		fmt.Fprintf(&b, "escapes: %d of %d points\n", si.Outliers, si.Points)
+	case "blocked":
+		fmt.Fprintf(&b, "dims:   %v\n", si.Dims)
+		fmt.Fprintf(&b, "slabs:  %d x %d rows\n", si.Slabs, si.SlabRows)
+		fmt.Fprintf(&b, "body:   %d bytes (slab streams %d..%d bytes)\n",
+			si.BodyBytes, si.MinSlabBytes, si.MaxSlabBytes)
+		if si.DType != "" {
+			fmt.Fprintf(&b, "dtype:  %v\n", si.DType)
+			fmt.Fprintf(&b, "bound:  %g (abs)\n", si.AbsBound)
+		}
+	}
+	return b.String()
+}

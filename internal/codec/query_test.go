@@ -1,0 +1,97 @@
+package codec
+
+import (
+	"net/url"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+func TestParseDims(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"100,500,500", 3, true},
+		{"100x500x500", 3, true},
+		{"1024", 1, true},
+		{"", 0, true},
+		{"0,5", 0, false},
+		{"a,b", 0, false},
+		{"-3", 0, false},
+	} {
+		dims, err := ParseDims(tc.in)
+		if tc.ok != (err == nil) || (err == nil && len(dims) != tc.want) {
+			t.Errorf("ParseDims(%q) = %v, %v", tc.in, dims, err)
+		}
+	}
+}
+
+// TestWireRoundTrip: Values -> ParamsFromValues must reproduce every
+// wire-transported field, including an explicitly-set bound mode (with
+// both bounds present, a dropped mode would silently re-derive
+// BoundAbsAndRel on the receiver and change the compressed bytes).
+func TestWireRoundTrip(t *testing.T) {
+	p := Params{
+		Mode:             core.BoundAbs,
+		AbsBound:         1e-3,
+		RelBound:         1e-4,
+		Layers:           2,
+		IntervalBits:     10,
+		HitRateThreshold: 0.9,
+		DType:            grid.Float32,
+		Dims:             []int{100, 500, 500},
+		SlabRows:         16,
+		Workers:          4,
+		Rate:             8,
+	}
+	got, err := ParamsFromValues(p.Values())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Errorf("wire roundtrip:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestWireKeysCoverValues(t *testing.T) {
+	p := Params{
+		Mode:             core.BoundRel,
+		AbsBound:         1,
+		RelBound:         1,
+		Layers:           1,
+		IntervalBits:     1,
+		HitRateThreshold: 0.5,
+		DType:            grid.Float64,
+		Dims:             []int{2},
+		SlabRows:         1,
+		Workers:          1,
+		Rate:             1,
+	}
+	keys := map[string]bool{}
+	for _, k := range WireKeys {
+		keys[k] = true
+	}
+	for k := range p.Values() {
+		if !keys[k] {
+			t.Errorf("Values emits key %q missing from WireKeys (header fallback would ignore it)", k)
+		}
+	}
+}
+
+func TestParamsFromValuesRejectsBad(t *testing.T) {
+	for _, bad := range []url.Values{
+		{"mode": {"sideways"}},
+		{"dims": {"0,4"}},
+		{"dtype": {"f16"}},
+		{"abs": {"-1"}},
+		{"layers": {"x"}},
+	} {
+		if _, err := ParamsFromValues(bad); err == nil {
+			t.Errorf("ParamsFromValues(%v) accepted", bad)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"bytes"
 	"compress/gzip"
 	"fmt"
+	"io"
 
 	"repro/internal/grid"
 )
@@ -42,6 +43,12 @@ func Decompress(data []byte, t grid.DType, dims ...int) (*grid.Array, error) {
 	a, err := grid.ReadRaw(zr, t, dims...)
 	if err != nil {
 		return nil, fmt.Errorf("gzipc: reading values: %w", err)
+	}
+	// Drain to EOF so the DEFLATE stream's end and the gzip trailer
+	// (CRC32 + length) are actually verified; without this a stream
+	// truncated after the last value decodes silently.
+	if _, err := io.Copy(io.Discard, zr); err != nil {
+		return nil, fmt.Errorf("gzipc: verifying stream trailer: %w", err)
 	}
 	return a, nil
 }

@@ -1,0 +1,136 @@
+package server
+
+// Admission control. The governor meters two resources:
+//
+//   - an in-flight byte budget approximating the peak memory concurrent
+//     requests can pin (buffered codecs charge their whole payload,
+//     streaming codecs charge their window), and
+//   - a worker pool sized off GOMAXPROCS whose tokens are shared with
+//     the blocked container's internal parallelism — a request that is
+//     granted k tokens runs its slab workers at most k wide, so total
+//     CPU-bound parallelism across all requests stays bounded.
+//
+// Both resources are acquired non-blocking at admission: when either is
+// exhausted the request is rejected immediately (429) instead of queuing,
+// so saturation degrades into fast rejections rather than a convoy of
+// half-served streams.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	errDraining = errors.New("server is draining")
+	errBudget   = errors.New("in-flight byte budget exhausted")
+	errWorkers  = errors.New("worker pool exhausted")
+	errTooLarge = errors.New("request exceeds the per-request size limit")
+)
+
+type governor struct {
+	maxInflight int64 // byte budget; <= 0 means unlimited
+	poolSize    int   // worker tokens
+
+	draining atomic.Bool
+	inflight atomic.Int64 // reserved bytes
+	requests atomic.Int64 // admitted, not yet released
+
+	mu   sync.Mutex
+	free int // worker tokens not handed out
+}
+
+func newGovernor(maxInflightBytes int64, workers int) *governor {
+	return &governor{maxInflight: maxInflightBytes, poolSize: workers, free: workers}
+}
+
+// grant is one admitted request's hold on the governed resources.
+type grant struct {
+	g        *governor
+	bytes    int64
+	workers  int
+	released atomic.Bool
+}
+
+// admit reserves charge bytes of budget and up to wantWorkers worker
+// tokens (at least one). It never blocks: exhaustion of either resource
+// is an immediate error.
+func (g *governor) admit(charge int64, wantWorkers int) (*grant, error) {
+	if g.draining.Load() {
+		return nil, errDraining
+	}
+	if !g.tryReserve(charge) {
+		return nil, errBudget
+	}
+	if wantWorkers < 1 {
+		wantWorkers = 1
+	}
+	if wantWorkers > g.poolSize {
+		wantWorkers = g.poolSize
+	}
+	g.mu.Lock()
+	granted := wantWorkers
+	if granted > g.free {
+		granted = g.free
+	}
+	g.free -= granted
+	g.mu.Unlock()
+	if granted == 0 {
+		g.inflight.Add(-charge)
+		return nil, errWorkers
+	}
+	g.requests.Add(1)
+	return &grant{g: g, bytes: charge, workers: granted}, nil
+}
+
+// tryReserve adds n bytes to the in-flight reservation if the budget
+// allows it. Negative reservations are refused outright: they would
+// add budget headroom, so a caller computing one has a bug upstream.
+func (g *governor) tryReserve(n int64) bool {
+	if n < 0 {
+		return false
+	}
+	if g.maxInflight <= 0 {
+		g.inflight.Add(n)
+		return true
+	}
+	for {
+		cur := g.inflight.Load()
+		if cur+n > g.maxInflight {
+			return false
+		}
+		if g.inflight.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
+}
+
+// grow extends the grant's byte reservation mid-request (a stream that
+// exceeded its declared size). Non-blocking; on refusal the caller must
+// abort the request.
+func (gr *grant) grow(n int64) bool {
+	if !gr.g.tryReserve(n) {
+		return false
+	}
+	gr.bytes += n
+	return true
+}
+
+// release returns everything the grant holds. Idempotent.
+func (gr *grant) release() {
+	if gr.released.Swap(true) {
+		return
+	}
+	gr.g.inflight.Add(-gr.bytes)
+	gr.g.mu.Lock()
+	gr.g.free += gr.workers
+	gr.g.mu.Unlock()
+	gr.g.requests.Add(-1)
+}
+
+// busyWorkers reports handed-out worker tokens.
+func (g *governor) busyWorkers() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.poolSize - g.free
+}

@@ -1,0 +1,154 @@
+package server
+
+// Request telemetry with a Prometheus-style text exposition. Kept
+// dependency-free on purpose: counters, gauges, and fixed-bucket latency
+// histograms cover what operating a compression fleet needs (request
+// rates by status, shed rates, byte throughput, tail latency per codec).
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds (log-spaced
+// from 1 ms to 10 s; compression requests span ~4 decades).
+var latencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+type histogram struct {
+	counts []int64 // len(latencyBuckets)+1; +Inf overflow at the end
+	sum    float64
+	n      int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets, s)
+	h.counts[i]++
+	h.sum += s
+	h.n++
+}
+
+// reqKey labels one counter/histogram series.
+type reqKey struct {
+	endpoint string // compress, decompress, inspect, codecs, ...
+	codec    string // "" when no codec applies
+	status   int
+}
+
+type metrics struct {
+	mu       sync.Mutex
+	requests map[reqKey]int64
+	bytesIn  map[string]int64 // by endpoint
+	bytesOut map[string]int64
+	latency  map[string]*histogram // by "endpoint\x00codec"
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: map[reqKey]int64{},
+		bytesIn:  map[string]int64{},
+		bytesOut: map[string]int64{},
+		latency:  map[string]*histogram{},
+	}
+}
+
+// record logs one finished (or rejected) request.
+func (m *metrics) record(endpoint, codec string, status int, in, out int64, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[reqKey{endpoint, codec, status}]++
+	m.bytesIn[endpoint] += in
+	m.bytesOut[endpoint] += out
+	hk := endpoint + "\x00" + codec
+	h := m.latency[hk]
+	if h == nil {
+		h = newHistogram()
+		m.latency[hk] = h
+	}
+	h.observe(d)
+}
+
+// expose renders the text exposition. The governor supplies the live
+// gauges.
+func (m *metrics) expose(g *governor) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+
+	b.WriteString("# HELP szd_requests_total Requests by endpoint, codec, and HTTP status.\n")
+	b.WriteString("# TYPE szd_requests_total counter\n")
+	keys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, c := keys[i], keys[j]
+		if a.endpoint != c.endpoint {
+			return a.endpoint < c.endpoint
+		}
+		if a.codec != c.codec {
+			return a.codec < c.codec
+		}
+		return a.status < c.status
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&b, "szd_requests_total{endpoint=%q,codec=%q,status=\"%d\"} %d\n",
+			k.endpoint, k.codec, k.status, m.requests[k])
+	}
+
+	writeByEndpoint := func(name, help string, vals map[string]int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		eps := make([]string, 0, len(vals))
+		for ep := range vals {
+			eps = append(eps, ep)
+		}
+		sort.Strings(eps)
+		for _, ep := range eps {
+			fmt.Fprintf(&b, "%s{endpoint=%q} %d\n", name, ep, vals[ep])
+		}
+	}
+	writeByEndpoint("szd_bytes_in_total", "Request body bytes consumed.", m.bytesIn)
+	writeByEndpoint("szd_bytes_out_total", "Response body bytes produced.", m.bytesOut)
+
+	fmt.Fprintf(&b, "# HELP szd_inflight_requests Admitted requests currently being served.\n")
+	fmt.Fprintf(&b, "# TYPE szd_inflight_requests gauge\n")
+	fmt.Fprintf(&b, "szd_inflight_requests %d\n", g.requests.Load())
+	fmt.Fprintf(&b, "# HELP szd_inflight_bytes Reserved in-flight byte budget.\n")
+	fmt.Fprintf(&b, "# TYPE szd_inflight_bytes gauge\n")
+	fmt.Fprintf(&b, "szd_inflight_bytes %d\n", g.inflight.Load())
+	fmt.Fprintf(&b, "# HELP szd_workers_busy Worker-pool tokens handed out (pool size %d).\n", g.poolSize)
+	fmt.Fprintf(&b, "# TYPE szd_workers_busy gauge\n")
+	fmt.Fprintf(&b, "szd_workers_busy %d\n", g.busyWorkers())
+
+	b.WriteString("# HELP szd_request_seconds Request latency by endpoint and codec.\n")
+	b.WriteString("# TYPE szd_request_seconds histogram\n")
+	hks := make([]string, 0, len(m.latency))
+	for hk := range m.latency {
+		hks = append(hks, hk)
+	}
+	sort.Strings(hks)
+	for _, hk := range hks {
+		parts := strings.SplitN(hk, "\x00", 2)
+		ep, codec := parts[0], parts[1]
+		h := m.latency[hk]
+		cum := int64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(&b, "szd_request_seconds_bucket{endpoint=%q,codec=%q,le=\"%g\"} %d\n",
+				ep, codec, ub, cum)
+		}
+		cum += h.counts[len(latencyBuckets)]
+		fmt.Fprintf(&b, "szd_request_seconds_bucket{endpoint=%q,codec=%q,le=\"+Inf\"} %d\n", ep, codec, cum)
+		fmt.Fprintf(&b, "szd_request_seconds_sum{endpoint=%q,codec=%q} %g\n", ep, codec, h.sum)
+		fmt.Fprintf(&b, "szd_request_seconds_count{endpoint=%q,codec=%q} %d\n", ep, codec, h.n)
+	}
+	return b.String()
+}

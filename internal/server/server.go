@@ -1,0 +1,687 @@
+// Package server implements szd, the compression daemon: the codec
+// registry served over HTTP with streaming request/response bodies and
+// admission control, so remote producers (simulation ranks, ingest
+// pipelines, CLI users) share a resource-governed compression fleet
+// instead of linking the library.
+//
+// Endpoints:
+//
+//	POST /v1/compress?codec=sz14&dims=...&abs=...   raw samples in, stream out
+//	POST /v1/decompress[?codec=...]                 stream in (magic auto-detect), raw samples out
+//	GET  /v1/codecs                                 registered codec names
+//	GET|POST /v1/inspect                            stream in, container metadata out (JSON)
+//	GET  /healthz                                   200 ok / 503 draining
+//	GET  /metrics                                   text exposition (szd_* series)
+//
+// Codec parameters travel as query values (keys match the sz CLI flags)
+// with X-Sz-<key> headers as a fallback. Bodies are chunked-streamed in
+// both directions; the blocked codec flows through with O(slab) server
+// memory. Overload is rejected fast — 429 with Retry-After when the
+// in-flight byte budget or worker pool is exhausted, 503 while draining —
+// rather than queued; see internal/server/governor.go.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/blocked"
+	"repro/internal/codec"
+	"repro/internal/grid"
+)
+
+// Config sizes the daemon's resource governance.
+type Config struct {
+	// MaxInflightBytes is the admission byte budget: an estimate of the
+	// peak memory all in-flight requests may pin, beyond which new
+	// requests get 429. 0 means the 1 GiB default; negative disables
+	// the budget.
+	MaxInflightBytes int64
+	// MaxRequestBytes caps a single request body (413 beyond it).
+	// 0 means the 1 GiB default; negative disables the cap.
+	MaxRequestBytes int64
+	// Workers is the worker-pool size shared across requests, including
+	// the blocked writer's internal parallelism. 0 sizes the pool at
+	// 4 x GOMAXPROCS (streaming requests spend much of their life in
+	// I/O wait, so modest CPU oversubscription keeps the cores busy).
+	Workers int
+}
+
+const (
+	defaultInflightBytes = 1 << 30
+	defaultRequestBytes  = 1 << 30
+	// unknownLengthCharge is the admission charge for chunked uploads
+	// that declare no length at all (no Content-Length, no
+	// X-Sz-Content-Length hint) when the per-request cap is disabled.
+	unknownLengthCharge = 64 << 20
+	// streamCopyBuffer is the io.Copy buffer for streaming bodies.
+	streamCopyBuffer = 256 << 10
+)
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflightBytes == 0 {
+		c.MaxInflightBytes = defaultInflightBytes
+	}
+	if c.MaxRequestBytes == 0 {
+		c.MaxRequestBytes = defaultRequestBytes
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4 * runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Server is the szd daemon's HTTP surface plus its governor and metrics.
+type Server struct {
+	cfg Config
+	gov *governor
+	met *metrics
+	mux *http.ServeMux
+}
+
+// New builds a Server from cfg (zero value = defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		gov: newGovernor(cfg.MaxInflightBytes, cfg.Workers),
+		met: newMetrics(),
+		mux: http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/compress", s.method(http.MethodPost, s.handleCompress))
+	s.mux.HandleFunc("/v1/decompress", s.method(http.MethodPost, s.handleDecompress))
+	s.mux.HandleFunc("/v1/codecs", s.method(http.MethodGet, s.handleCodecs))
+	s.mux.HandleFunc("/v1/inspect", s.handleInspect) // GET-with-body or POST
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.method(http.MethodGet, s.handleMetrics))
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// StartDrain flips the server into draining: /healthz turns 503 so load
+// balancers stop routing here, and every new request is rejected with
+// 503 while in-flight streams run to completion (the caller then calls
+// http.Server.Shutdown to wait for them).
+func (s *Server) StartDrain() { s.gov.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (s *Server) Draining() bool { return s.gov.draining.Load() }
+
+func (s *Server) method(want string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != want {
+			w.Header().Set("Allow", want)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use %s", want))
+			return
+		}
+		h(w, r)
+	}
+}
+
+// writeError emits a JSON error body. Safe only before the response
+// body has started streaming.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func admitStatus(err error) int {
+	switch {
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errTooLarge):
+		return http.StatusRequestEntityTooLarge
+	default: // errBudget, errWorkers
+		return http.StatusTooManyRequests
+	}
+}
+
+// streamErrStatus maps a mid-body error to its response status:
+// governance errors keep their 413/429 semantics (429 is the retryable
+// one — a blanket 400 would stop clients from backing off), everything
+// else is the client's malformed input.
+func streamErrStatus(err error) int {
+	if errors.Is(err, errBudget) || errors.Is(err, errTooLarge) {
+		return admitStatus(err)
+	}
+	return http.StatusBadRequest
+}
+
+func requestValues(r *http.Request) url.Values {
+	v := r.URL.Query()
+	// Every wire parameter is accepted in the query string and, as
+	// X-Sz-<key>, in headers (query wins).
+	for _, key := range codec.WireKeys {
+		if v.Get(key) != "" {
+			continue
+		}
+		if hv := r.Header.Get("X-Sz-" + key); hv != "" {
+			v.Set(key, hv)
+		}
+	}
+	return v
+}
+
+// declaredLength resolves the request's declared body size: the
+// Content-Length when present, else the X-Sz-Content-Length hint chunked
+// senders can supply so admission charges them accurately. -1 = unknown.
+func declaredLength(r *http.Request) int64 {
+	if r.ContentLength >= 0 {
+		return r.ContentLength
+	}
+	if h := r.Header.Get("X-Sz-Content-Length"); h != "" {
+		if n, err := strconv.ParseInt(h, 10, 64); err == nil && n >= 0 {
+			return n
+		}
+	}
+	return -1
+}
+
+func dtypeSize(p codec.Params) int64 {
+	if p.DType == grid.Float32 {
+		return 4
+	}
+	return 8 // grid.Float64 and the zero-value default
+}
+
+// satMul multiplies non-negative int64s, saturating at MaxInt64. Every
+// admission-charge product goes through it: hostile dims (billions per
+// axis) must saturate into a rejectable charge, never wrap negative —
+// a negative reservation would ADD budget headroom.
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}
+
+// rawBytesFor returns prod(dims) x esz, saturating on overflow.
+func rawBytesFor(dims []int, esz int64) int64 {
+	n := esz
+	for _, d := range dims {
+		n = satMul(n, int64(d))
+	}
+	return n
+}
+
+// unknownCharge is the admission charge for length-less uploads.
+func (s *Server) unknownCharge() int64 {
+	if s.cfg.MaxRequestBytes > 0 {
+		return s.cfg.MaxRequestBytes
+	}
+	return unknownLengthCharge
+}
+
+// compressCharge estimates the peak memory a compress request pins,
+// which is what the in-flight byte budget meters. The second return
+// reports whether the path streams (memory independent of body size) —
+// streaming requests are not metered per body byte.
+//
+//   - gzip streams with O(window) memory: flat 1 MiB.
+//   - blocked with an absolute bound streams slab-at-a-time: charge the
+//     pipeline depth (workers+2 slabs in flight) times the slab footprint
+//     (raw input bytes plus the float64 working copy), independent of
+//     the total request size — this is what keeps a saturated daemon's
+//     memory bounded even while petabyte-scale fields flow through.
+//   - every buffered codec holds the raw input plus a float64 array:
+//     declared x (1 + 8/elemSize). With no declared length at all, the
+//     flat unknown-length charge stands in for the worst case (no
+//     multiplier on top: it already equals the per-request cap).
+func (s *Server) compressCharge(name string, declared int64, p codec.Params) (int64, bool) {
+	unknown := declared < 0
+	if unknown {
+		declared = s.unknownCharge()
+	}
+	esz := dtypeSize(p)
+	// The streaming-vs-buffered split comes from the codec layer (the
+	// same predicate the adapters act on), so admission never drifts
+	// from the writers' actual memory behavior.
+	if codec.StreamingWriter(name, p) {
+		if name == "blocked" && len(p.Dims) > 0 {
+			rowCells := int64(1)
+			for _, d := range p.Dims[1:] {
+				rowCells = satMul(rowCells, int64(d))
+			}
+			slabRows := int64(blocked.SlabRowsFor(p.Dims[0], p.SlabRows))
+			workers := int64(p.Workers)
+			if workers <= 0 {
+				workers = int64(runtime.GOMAXPROCS(0))
+			}
+			est := satMul(satMul(workers+2, satMul(slabRows, rowCells)), esz+8)
+			if est < 1<<20 {
+				est = 1 << 20
+			}
+			// Small fields cost less than a full pipeline: cap by the
+			// whole-array footprint, computed from dims — never from
+			// the client-declared length, which a false hint could
+			// shrink to zero and defeat the budget with.
+			if full := satMul(rawBytesFor(p.Dims, esz), 1+8/esz); est > full {
+				est = full
+			}
+			return est, true
+		}
+		return 1 << 20, true // gzip: O(window)
+	}
+	if unknown {
+		return declared, false
+	}
+	return satMul(declared, 1+8/esz), false
+}
+
+// decompressCharge estimates the peak memory a decompress request pins.
+// gzip streams with O(window); the blocked reader holds one slab at a
+// time, so its charge comes from the slab geometry in the container
+// header (peeked, attacker-supplied, hence validated and saturated) —
+// a single-slab container is charged its whole footprint. Buffered
+// decoders hold the compressed stream plus the reconstruction, which
+// for lossy codecs is several times larger — 5x declared is the
+// heuristic (flat unknown-length charge when no length was declared).
+func (s *Server) decompressCharge(name string, declared int64, header []byte) (int64, bool) {
+	if codec.StreamingReader(name) {
+		charge := int64(1 << 20) // gzip O(window); blocked floor
+		if name == "blocked" {
+			if dims, slabRows, _, err := blocked.ParseContainerHeader(header); err == nil {
+				rowCells := int64(1)
+				for _, d := range dims[1:] {
+					rowCells = satMul(rowCells, int64(d))
+				}
+				// Per slab: the reader tolerates compressed streams up
+				// to maxSlabStream = 4x raw (32 B/cell for f64) before
+				// calling a container hostile, plus the float64 working
+				// copy (8 B) and raw output (<= 8 B): 48 B/cell keeps
+				// the charge honest even for crafted containers.
+				if c := satMul(satMul(int64(slabRows), rowCells), 48); c > charge {
+					charge = c
+				}
+			}
+		}
+		return charge, true
+	}
+	if declared < 0 {
+		return s.unknownCharge(), false
+	}
+	return satMul(declared, 5), false
+}
+
+// admit pre-checks that the charge can ever fit the budget — a request
+// whose memory estimate exceeds the whole budget gets a permanent 413,
+// not a retryable 429 that clients would back off against forever —
+// then takes the grant from the governor.
+func (s *Server) admit(charge int64, wantWorkers int) (*grant, int, error) {
+	if s.cfg.MaxInflightBytes > 0 && charge > s.cfg.MaxInflightBytes {
+		return nil, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("%w: estimated memory %d exceeds the in-flight budget %d",
+				errTooLarge, charge, s.cfg.MaxInflightBytes)
+	}
+	gr, err := s.gov.admit(charge, wantWorkers)
+	if err != nil {
+		return nil, admitStatus(err), err
+	}
+	return gr, 0, nil
+}
+
+// meteredReader counts request-body bytes and enforces the per-request
+// cap. On buffered paths — where every body byte really pins memory —
+// it also extends the grant's byte reservation when a stream outgrows
+// its declared size (chunks of growQuantum scaled by the request's
+// memory multiplier), aborting the request if the budget refuses.
+// Streaming paths skip the growth metering: their memory is O(window)
+// no matter how many bytes flow through.
+type meteredReader struct {
+	src       io.Reader
+	gr        *grant
+	n         int64 // bytes read
+	meter     bool  // grow the reservation as bytes arrive (buffered paths)
+	allowance int64 // bytes covered by the current reservation
+	mult      int64 // memory charge per body byte (>= 1)
+	limit     int64 // per-request cap; <= 0 unlimited
+}
+
+const growQuantum = 4 << 20
+
+func (m *meteredReader) Read(p []byte) (int, error) {
+	n, err := m.src.Read(p)
+	m.n += int64(n)
+	if m.limit > 0 && m.n > m.limit {
+		return n, errTooLarge
+	}
+	for m.meter && m.n > m.allowance {
+		if !m.gr.grow(satMul(growQuantum, m.mult)) {
+			return n, fmt.Errorf("%w (stream exceeded its declared size)", errBudget)
+		}
+		m.allowance += growQuantum
+	}
+	return n, err
+}
+
+// mult is the endpoint's memory-per-body-byte model (3x for buffered
+// f32 compress, 5x for buffered decompress, ...), passed explicitly so
+// a spoofed declared length of 0 cannot collapse growth metering to 1x.
+func newMeteredReader(src io.Reader, gr *grant, declared, charge, limit, mult int64, streaming bool) *meteredReader {
+	allowance := declared
+	if allowance < 0 {
+		allowance = charge // unknown-length: the flat charge covers this many bytes
+	}
+	if mult < 1 {
+		mult = 1
+	}
+	return &meteredReader{src: src, gr: gr, meter: !streaming, allowance: allowance, mult: mult, limit: limit}
+}
+
+// respWriter counts response bytes and remembers whether the body has
+// started (after which errors can only abort the connection). discard
+// swallows writes once a request is being aborted, so cleanup-time
+// flushes from a codec writer emit nothing; it is atomic because the
+// handler goroutine sets it while a blocked writer's emit goroutine may
+// still be inside Write (n and wrote need no lock: Write is called by
+// one goroutine at a time, and the handler only reads them after
+// zw.Close joins that goroutine).
+type respWriter struct {
+	http.ResponseWriter
+	n       int64
+	wrote   bool
+	discard atomic.Bool
+}
+
+func (rw *respWriter) Write(b []byte) (int, error) {
+	if rw.discard.Load() {
+		return len(b), nil
+	}
+	rw.wrote = true
+	n, err := rw.ResponseWriter.Write(b)
+	rw.n += int64(n)
+	return n, err
+}
+
+func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	vals := requestValues(r)
+	name := vals.Get("codec")
+	if name == "" {
+		name = "sz14"
+	}
+	c, err := codec.Lookup(name)
+	if err != nil {
+		s.reject(w, "compress", name, http.StatusBadRequest, err, start)
+		return
+	}
+	name = c.Name()
+	p, err := codec.ParamsFromValues(vals)
+	if err != nil {
+		s.reject(w, "compress", name, http.StatusBadRequest, err, start)
+		return
+	}
+	if len(p.Dims) == 0 && name != "gzip" {
+		s.reject(w, "compress", name, http.StatusBadRequest,
+			fmt.Errorf("missing dims (required to interpret the raw input)"), start)
+		return
+	}
+	// The raw body for these dims cannot legally exceed the per-request
+	// cap; reject absurd geometries (including int64-saturating ones)
+	// before they reach the charge arithmetic.
+	if rb := rawBytesFor(p.Dims, dtypeSize(p)); s.cfg.MaxRequestBytes > 0 && rb > s.cfg.MaxRequestBytes {
+		s.reject(w, "compress", name, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("%w: dims imply %d raw bytes, limit %d", errTooLarge, rb, s.cfg.MaxRequestBytes), start)
+		return
+	}
+
+	declared := declaredLength(r)
+	if s.cfg.MaxRequestBytes > 0 && declared > s.cfg.MaxRequestBytes {
+		s.reject(w, "compress", name, http.StatusRequestEntityTooLarge, errTooLarge, start)
+		return
+	}
+	charge, streaming := s.compressCharge(name, declared, p)
+	want := 1
+	if name == "blocked" {
+		want = p.Workers
+		if want <= 0 {
+			want = runtime.GOMAXPROCS(0)
+		}
+	}
+	gr, status, err := s.admit(charge, want)
+	if err != nil {
+		s.reject(w, "compress", name, status, err, start)
+		return
+	}
+	defer gr.release()
+	if name == "blocked" {
+		// Share the pool: the container's internal parallelism is
+		// clamped to the tokens this request was actually granted.
+		p.Workers = gr.workers
+	}
+
+	// Streaming codecs write response bytes while the request body is
+	// still arriving; without full duplex, Go's HTTP/1 server reacts to
+	// the first response flush by silently discarding 256 KiB of any
+	// still-unread chunked body — corrupting the input mid-stream.
+	http.NewResponseController(w).EnableFullDuplex()
+	body := newMeteredReader(r.Body, gr, declared, charge, s.cfg.MaxRequestBytes, 1+8/dtypeSize(p), streaming)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Sz-Codec", name)
+	out := &respWriter{ResponseWriter: w}
+	zw, err := c.NewWriter(out, p)
+	if err != nil {
+		s.reject(w, "compress", name, http.StatusBadRequest, err, start)
+		return
+	}
+	_, err = io.CopyBuffer(zw, body, make([]byte, streamCopyBuffer))
+	if err == nil {
+		err = zw.Close()
+	} else {
+		// The request is aborted, but the writer must still be closed
+		// or the blocked container's worker/emit goroutines (and their
+		// slab memory) leak for the daemon's lifetime. Discard its
+		// output first so no trailer bytes reach the truncated
+		// response.
+		out.discard.Store(true)
+		zw.Close()
+	}
+	s.finishStream(w, out, "compress", name, body.n, err, start)
+}
+
+func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	vals := requestValues(r)
+	p, err := codec.ParamsFromValues(vals)
+	if err != nil {
+		s.reject(w, "decompress", "", http.StatusBadRequest, err, start)
+		return
+	}
+	declared := declaredLength(r)
+	if s.cfg.MaxRequestBytes > 0 && declared > s.cfg.MaxRequestBytes {
+		s.reject(w, "decompress", "", http.StatusRequestEntityTooLarge, errTooLarge, start)
+		return
+	}
+
+	// Resolve the codec: forced via ?codec=, else detected from the
+	// stream magic (peeking consumes nothing).
+	br := newPeekReader(r.Body)
+	var c codec.Codec
+	if name := vals.Get("codec"); name != "" {
+		if c, err = codec.Lookup(name); err != nil {
+			s.reject(w, "decompress", name, http.StatusBadRequest, err, start)
+			return
+		}
+	} else {
+		prefix, _ := br.Peek(4)
+		if c, err = codec.Detect(prefix); err != nil {
+			s.reject(w, "decompress", "", http.StatusBadRequest,
+				fmt.Errorf("%w; pass ?codec= explicitly", err), start)
+			return
+		}
+	}
+	name := c.Name()
+
+	var header []byte
+	if name == "blocked" {
+		header, _ = br.Peek(blocked.MaxHeaderLen)
+	}
+	charge, streaming := s.decompressCharge(name, declared, header)
+	gr, status, err := s.admit(charge, 1)
+	if err != nil {
+		s.reject(w, "decompress", name, status, err, start)
+		return
+	}
+	defer gr.release()
+
+	// See handleCompress: required so chunked request bodies survive
+	// the first response flush on HTTP/1.
+	http.NewResponseController(w).EnableFullDuplex()
+	body := newMeteredReader(br, gr, declared, charge, s.cfg.MaxRequestBytes, 5, streaming)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Sz-Codec", name)
+	out := &respWriter{ResponseWriter: w}
+	zr, err := c.NewReader(body, p)
+	if err != nil {
+		// Buffered codecs consume the whole body inside NewReader, so
+		// governance errors (413/429) can surface here — keep their
+		// retry semantics instead of blanketing them as 400.
+		s.reject(w, "decompress", name, streamErrStatus(err), err, start)
+		return
+	}
+	_, err = io.CopyBuffer(out, zr, make([]byte, streamCopyBuffer))
+	if cerr := zr.Close(); err == nil {
+		err = cerr
+	}
+	s.finishStream(w, out, "decompress", name, body.n, err, start)
+}
+
+// reject records and reports a request that failed before its response
+// body started.
+func (s *Server) reject(w http.ResponseWriter, endpoint, codecName string, status int, err error, start time.Time) {
+	s.met.record(endpoint, codecName, status, 0, 0, time.Since(start))
+	writeError(w, status, err)
+}
+
+// finishStream settles a streaming request: a clean finish records 200;
+// an error before the first body byte still yields a proper error
+// response; an error mid-stream can only abort the connection so the
+// client sees a truncated transfer instead of silently corrupt data.
+func (s *Server) finishStream(w http.ResponseWriter, out *respWriter, endpoint, codecName string, bytesIn int64, err error, start time.Time) {
+	switch {
+	case err == nil:
+		s.met.record(endpoint, codecName, http.StatusOK, bytesIn, out.n, time.Since(start))
+	case !out.wrote:
+		s.reject(w, endpoint, codecName, streamErrStatus(err), err, start)
+	default:
+		s.met.record(endpoint, codecName, http.StatusInternalServerError, bytesIn, out.n, time.Since(start))
+		panic(http.ErrAbortHandler)
+	}
+}
+
+func (s *Server) handleCodecs(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string][]string{"codecs": codec.Names()})
+	s.met.record("codecs", "", http.StatusOK, 0, 0, time.Since(start))
+}
+
+func (s *Server) handleInspect(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+		return
+	}
+	declared := declaredLength(r)
+	if s.cfg.MaxRequestBytes > 0 && declared > s.cfg.MaxRequestBytes {
+		s.reject(w, "inspect", "", http.StatusRequestEntityTooLarge, errTooLarge, start)
+		return
+	}
+	charge := declared
+	if charge < 0 {
+		charge = s.unknownCharge()
+	}
+	gr, status, err := s.admit(charge, 1)
+	if err != nil {
+		s.reject(w, "inspect", "", status, err, start)
+		return
+	}
+	defer gr.release()
+	body := newMeteredReader(r.Body, gr, declared, charge, s.cfg.MaxRequestBytes, 1, false)
+	stream, err := io.ReadAll(body)
+	if err != nil {
+		s.reject(w, "inspect", "", streamErrStatus(err), err, start)
+		return
+	}
+	si, err := codec.InspectStream(stream)
+	if err != nil {
+		s.reject(w, "inspect", "", http.StatusBadRequest, err, start)
+		return
+	}
+	resp, err := json.Marshal(si)
+	if err != nil {
+		s.reject(w, "inspect", si.Codec, http.StatusInternalServerError, err, start)
+		return
+	}
+	resp = append(resp, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(resp)
+	s.met.record("inspect", si.Codec, http.StatusOK, int64(len(stream)), int64(len(resp)), time.Since(start))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	io.WriteString(w, s.met.expose(s.gov))
+}
+
+// peekReader is a minimal buffered reader exposing Peek without bulk
+// read-ahead (a bufio.Reader would slurp 4 KiB+ past the magic, which
+// the metered reader must account, not the buffer).
+type peekReader struct {
+	src  io.Reader
+	head []byte
+}
+
+func newPeekReader(src io.Reader) *peekReader { return &peekReader{src: src} }
+
+// Peek returns the next n bytes without consuming them; fewer when the
+// stream is shorter.
+func (pr *peekReader) Peek(n int) ([]byte, error) {
+	for len(pr.head) < n {
+		buf := make([]byte, n-len(pr.head))
+		m, err := pr.src.Read(buf)
+		pr.head = append(pr.head, buf[:m]...)
+		if err != nil {
+			return pr.head, err
+		}
+	}
+	return pr.head[:n], nil
+}
+
+func (pr *peekReader) Read(p []byte) (int, error) {
+	if len(pr.head) > 0 {
+		n := copy(p, pr.head)
+		pr.head = pr.head[n:]
+		return n, nil
+	}
+	return pr.src.Read(p)
+}

@@ -153,3 +153,31 @@ func TestCodecRegistrySurface(t *testing.T) {
 		t.Fatalf("pwrel roundtrip: eps %v, %d values", eps, out.Len())
 	}
 }
+
+// TestNewReaderHostilePrefixes: the facade's streaming decompressor must
+// return errors — never panic — on empty input, truncations of the
+// stream magic, and a valid magic followed by a truncated payload.
+func TestNewReaderHostilePrefixes(t *testing.T) {
+	a := datagen.ATM(24, 32, 7)
+	stream, _, err := sz.Compress(a, sz.Params{Mode: sz.BoundAbs, AbsBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := []int{0, 1, 2, 3, 4, 5, 6, 7, len(stream) / 2, len(stream) - 1}
+	for _, cut := range cuts {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("NewReader panicked on %d-byte truncation: %v", cut, r)
+				}
+			}()
+			zr, err := sz.NewReader(bytes.NewReader(stream[:cut]))
+			if err != nil {
+				return // rejected at construction: correct
+			}
+			if _, err := io.ReadAll(zr); err == nil {
+				t.Errorf("reading a %d-of-%d-byte truncation succeeded", cut, len(stream))
+			}
+		}()
+	}
+}

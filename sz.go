@@ -198,6 +198,12 @@ func DecompressPointwiseRel(stream []byte) (*Array, float64, error) {
 // container streams with memory bounded by O(slab); buffer-bound codecs
 // fall back to an internal buffer but emit bytes identical to their
 // one-shot form. See cmd/sz for the file-to-file CLI.
+//
+// The same registry is also served over the network: cmd/szd runs it as
+// a daemon with streaming endpoints and admission control, and
+// internal/client mirrors NewWriter/NewReader against a daemon (the CLI
+// exposes this as `sz -remote`). Remote streams are byte-identical to
+// local ones.
 type (
 	// CodecParams configures a registry codec (bounds, layout, knobs).
 	CodecParams = codec.Params
