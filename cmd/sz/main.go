@@ -27,6 +27,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -37,6 +38,7 @@ import (
 	"sync/atomic"
 
 	sz "repro"
+	"repro/internal/blocked"
 	"repro/internal/client"
 	"repro/internal/codec"
 )
@@ -91,6 +93,7 @@ decompress flags:
   -codec name   force a codec (needed for gzip, whose streams have no magic dims)
   -dtype t      element type for codecs that do not record it (default f64)
   -dims d0,d1   shape for non-self-describing codecs
+  -slab i|lo-hi random-access decode of just that slab range of a blocked container
 
 inspect flags:
   -json         machine-readable output
@@ -317,6 +320,7 @@ func cmdDecompress(args []string) error {
 		dimsStr   = fs.String("dims", "", "dimensions for non-self-describing codecs")
 		dtypeStr  = fs.String("dtype", "f64", "element type for codecs that do not record it")
 		workers   = fs.Int("workers", 0, "decode parallelism where supported")
+		slabSpec  = fs.String("slab", "", "random-access decode of a blocked container: slab index or lo-hi range")
 		remote    = fs.String("remote", "", "szd daemon address")
 	)
 	fs.Parse(args)
@@ -340,7 +344,38 @@ func cmdDecompress(args []string) error {
 
 	var zr io.ReadCloser
 	name := *codecName
-	if *remote != "" {
+	if *slabSpec != "" {
+		// Random access: only the requested slab range is reconstructed,
+		// locally or by the daemon's /v1/slab endpoint.
+		lo, hi, err := codec.ParseSlabSpec(*slabSpec)
+		if err != nil {
+			return err
+		}
+		name = "blocked"
+		if *remote != "" {
+			cl, err := client.New(*remote)
+			if err != nil {
+				return err
+			}
+			if zr, err = cl.ReadSlab(context.Background(), br, inputSize(in), lo, hi); err != nil {
+				return err
+			}
+		} else {
+			stream, err := io.ReadAll(br)
+			if err != nil {
+				return err
+			}
+			arr, dt, err := blocked.DecompressSlabRange(stream, lo, hi)
+			if err != nil {
+				return err
+			}
+			var raw bytes.Buffer
+			if err := arr.WriteRaw(&raw, dt); err != nil {
+				return err
+			}
+			zr = io.NopCloser(&raw)
+		}
+	} else if *remote != "" {
 		cl, err := client.New(*remote)
 		if err != nil {
 			return err

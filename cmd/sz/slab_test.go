@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestSlabDecodeLocalAndRemote is the CLI half of the slab acceptance
+// criterion: `sz d -slab i` against a daemon must produce bytes
+// identical to the local random-access decode of the same container.
+func TestSlabDecodeLocalAndRemote(t *testing.T) {
+	dir := t.TempDir()
+	in, _ := writeInput(t, dir)
+	comp := filepath.Join(dir, "out.szb")
+	if err := cmdCompress([]string{"-codec", "blocked", "-dims", "16,20,12",
+		"-dtype", "f32", "-abs", "1e-3", "-slab", "4", in, comp}); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	for _, spec := range []string{"0", "2", "1-3", "0-3"} {
+		local := filepath.Join(dir, "slab_local.f32")
+		remote := filepath.Join(dir, "slab_remote.f32")
+		if err := cmdDecompress([]string{"-slab", spec, comp, local}); err != nil {
+			t.Fatalf("local -slab %s: %v", spec, err)
+		}
+		if err := cmdDecompress([]string{"-slab", spec, "-remote", addr, comp, remote}); err != nil {
+			t.Fatalf("remote -slab %s: %v", spec, err)
+		}
+		lb, err := os.ReadFile(local)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := os.ReadFile(remote)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lb) == 0 || !bytes.Equal(lb, rb) {
+			t.Fatalf("-slab %s: local %d bytes vs remote %d bytes differ", spec, len(lb), len(rb))
+		}
+	}
+
+	// Bad specs fail before touching the output file.
+	if err := cmdDecompress([]string{"-slab", "9-2", comp, filepath.Join(dir, "x.f32")}); err == nil {
+		t.Fatal("inverted slab spec accepted")
+	}
+	if err := cmdDecompress([]string{"-slab", "17", comp, filepath.Join(dir, "x.f32")}); err == nil {
+		t.Fatal("out-of-range slab accepted")
+	}
+}

@@ -1,0 +1,97 @@
+// Command szrouter fronts a fleet of szd daemons: it spreads
+// /v1/compress, /v1/decompress, /v1/inspect, and the slab range
+// endpoints across the backends by consistent hashing on stream
+// identity, fails over to the next ring node when a backend sheds
+// (429), drains (503), or is unreachable, and balances unbounded
+// streams onto the least-loaded healthy node.
+//
+//	szrouter -addr :7070 -backends host1:7071,host2:7071,host3:7071
+//
+// Clients need no changes: `sz -remote <router>` and the Go client work
+// against the router exactly as against a single daemon; backend
+// rejections (including Retry-After) are relayed unchanged when the
+// whole fleet is saturated.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7070", "listen address")
+		backends    = flag.String("backends", "", "comma-separated szd backends (host:port or URLs); required")
+		poll        = flag.Duration("poll", 2*time.Second, "health-poll interval")
+		replicas    = flag.Int("replicas", 0, "consistent-hash vnodes per backend (0 = 128)")
+		bufferLimit = flag.Int("buffer-limit", 0, "replayable-body cap in bytes (0 = 4 MiB)")
+	)
+	flag.Parse()
+	if err := run(*addr, *backends, *poll, *replicas, *bufferLimit); err != nil {
+		fmt.Fprintln(os.Stderr, "szrouter:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, backends string, poll time.Duration, replicas, bufferLimit int) error {
+	var nodes []string
+	for _, b := range strings.Split(backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			nodes = append(nodes, b)
+		}
+	}
+	rt, err := fleet.New(fleet.Config{
+		Backends:     nodes,
+		Replicas:     replicas,
+		BufferLimit:  bufferLimit,
+		PollInterval: poll,
+	})
+	if err != nil {
+		return err
+	}
+	rt.Start()
+	defer rt.Stop()
+
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		ErrorLog:          log.New(os.Stderr, "szrouter: ", log.LstdFlags),
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("szrouter: listening on %s, backends %v", addr, nodes)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("szrouter: %v: shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown incomplete: %w", err)
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		log.Printf("szrouter: drained cleanly")
+		return nil
+	}
+}

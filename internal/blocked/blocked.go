@@ -60,6 +60,11 @@ const (
 // ErrCorrupt is returned for malformed containers.
 var ErrCorrupt = errors.New("blocked: corrupt container")
 
+// ErrSlabRange is returned by the random-access decoders for a slab
+// range outside the container's extent — distinguishable from ErrCorrupt
+// so servers can answer 416 rather than 400.
+var ErrSlabRange = errors.New("slab range beyond container")
+
 // Params configures blocked compression and decompression.
 type Params struct {
 	// Core configures the per-slab compressor. A relative bound is
@@ -309,15 +314,76 @@ func Decompress(stream []byte, p Params) (*grid.Array, error) {
 
 // DecompressSlab decompresses only slab i (random access).
 func DecompressSlab(stream []byte, i int) (*grid.Array, error) {
+	slab, _, err := DecompressSlabRange(stream, i, i)
+	return slab, err
+}
+
+// DecompressSlabRange decompresses slabs lo..hi (inclusive) into one
+// contiguous array covering their row span, decoding the slabs in
+// parallel. It also returns the container's element type so callers can
+// serialize the reconstruction in the container's own width — this is
+// the random-access primitive behind szd's /v1/slab/{spec} endpoint.
+func DecompressSlabRange(stream []byte, lo, hi int) (*grid.Array, grid.DType, error) {
 	ix, err := Inspect(stream)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	if i < 0 || i >= ix.NumSlabs() {
-		return nil, fmt.Errorf("blocked: slab %d out of range [0,%d)", i, ix.NumSlabs())
+	if lo < 0 || hi >= ix.NumSlabs() || lo > hi {
+		return nil, 0, fmt.Errorf("blocked: %w: %d-%d of [0,%d)", ErrSlabRange, lo, hi, ix.NumSlabs())
 	}
-	slab, _, err := decodeSlab(body(stream, ix), ix, i)
-	return slab, err
+	rowLo, _ := ix.SlabBounds(lo)
+	_, rowHi := ix.SlabBounds(hi)
+	dims := append([]int(nil), ix.Dims...)
+	dims[0] = rowHi - rowLo
+	out := grid.New(dims...)
+	b := body(stream, ix)
+	n := hi - lo + 1
+	errs := make([]error, n)
+	dtypes := make([]grid.DType, n)
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= n {
+					return
+				}
+				slab, dt, err := decodeSlab(b, ix, lo+k)
+				if err != nil {
+					errs[k] = err
+					continue
+				}
+				dtypes[k] = dt
+				slo, shi := ix.SlabBounds(lo + k)
+				dst, err := out.Slab(slo-rowLo, shi-rowLo)
+				if err != nil {
+					errs[k] = err
+					continue
+				}
+				copy(dst.Data, slab.Data)
+			}
+		}()
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			return nil, 0, fmt.Errorf("blocked: slab %d: %w", lo+k, err)
+		}
+	}
+	for k := 1; k < n; k++ {
+		if dtypes[k] != dtypes[0] {
+			return nil, 0, fmt.Errorf("%w: slab %d element type %v, container uses %v",
+				ErrCorrupt, lo+k, dtypes[k], dtypes[0])
+		}
+	}
+	return out, dtypes[0], nil
 }
 
 func decodeSlab(b []byte, ix *Index, i int) (*grid.Array, grid.DType, error) {

@@ -1,0 +1,63 @@
+package blocked
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+func TestDecompressSlabRange(t *testing.T) {
+	a := grid.New(18, 6, 6) // 18 rows, 4-row slabs -> 5 slabs, ragged tail
+	for i := range a.Data {
+		a.Data[i] = math.Cos(float64(i) * 0.03)
+	}
+	p := Params{Core: core.Params{Mode: core.BoundAbs, AbsBound: 1e-3}, SlabRows: 4}
+	stream, _, err := Compress(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Decompress(stream, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Inspect(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := ix.NumSlabs()
+	if ns != 5 {
+		t.Fatalf("%d slabs, want 5", ns)
+	}
+
+	for _, c := range [][2]int{{0, 0}, {1, 2}, {0, ns - 1}, {ns - 1, ns - 1}, {3, 4}} {
+		arr, dt, err := DecompressSlabRange(stream, c[0], c[1])
+		if err != nil {
+			t.Fatalf("range %v: %v", c, err)
+		}
+		if dt != grid.Float64 {
+			t.Fatalf("range %v: dtype %v", c, dt)
+		}
+		rowLo, _ := ix.SlabBounds(c[0])
+		_, rowHi := ix.SlabBounds(c[1])
+		if arr.Dims[0] != rowHi-rowLo {
+			t.Fatalf("range %v: %d rows, want %d", c, arr.Dims[0], rowHi-rowLo)
+		}
+		want, err := full.Slab(rowLo, rowHi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range arr.Data {
+			if v != want.Data[i] {
+				t.Fatalf("range %v: value %d differs: %g vs %g", c, i, v, want.Data[i])
+			}
+		}
+	}
+
+	for _, c := range [][2]int{{-1, 0}, {2, 1}, {0, ns}, {ns, ns}} {
+		if _, _, err := DecompressSlabRange(stream, c[0], c[1]); err == nil {
+			t.Errorf("range %v accepted, want error", c)
+		}
+	}
+}

@@ -250,6 +250,38 @@ func (c *Client) bodyRequest(ctx context.Context, path string, q url.Values, src
 	return resp, nil
 }
 
+// SlabIndex sends a blocked container and returns its footer index —
+// the random-access map a caller needs to plan ReadSlab requests. size
+// is the container length when known, -1 otherwise.
+func (c *Client) SlabIndex(ctx context.Context, stream io.Reader, size int64) (*codec.SlabIndex, error) {
+	resp, err := c.bodyRequest(ctx, "/v1/slabs", nil, stream, size)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	si := &codec.SlabIndex{}
+	if err := json.NewDecoder(resp.Body).Decode(si); err != nil {
+		return nil, fmt.Errorf("client: decoding slab index: %w", err)
+	}
+	return si, nil
+}
+
+// ReadSlab asks the daemon to random-access decode slabs lo..hi
+// (inclusive) of the blocked container supplied by src, returning the
+// reconstructed raw little-endian samples of just that row span. size is
+// the container length when known, -1 otherwise. lo == hi reads a
+// single slab.
+func (c *Client) ReadSlab(ctx context.Context, src io.Reader, size int64, lo, hi int) (io.ReadCloser, error) {
+	if lo < 0 || hi < lo {
+		return nil, fmt.Errorf("client: bad slab range %d-%d", lo, hi)
+	}
+	resp, err := c.bodyRequest(ctx, "/v1/slab/"+codec.FormatSlabSpec(lo, hi), nil, src, size)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
 // NewReader opens a remote decompressor: src supplies a compressed
 // stream and the returned reader yields raw little-endian samples. The
 // daemon auto-detects the codec from the stream magic unless forceCodec

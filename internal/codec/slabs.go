@@ -1,0 +1,121 @@
+package codec
+
+// Slab range serving shared by szd's /v1/slab endpoints, the Go client,
+// and `sz d -slab`: one parser for the slab-range spec that travels in
+// the URL path, and one JSON shape for the container's random-access
+// index.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/blocked"
+	"repro/internal/core"
+)
+
+// maxSlabIndex bounds a parsed slab index. Containers cap dims[0] at
+// 2^40 with at least one row per slab, so any larger request is
+// malformed rather than merely out of range.
+const maxSlabIndex = 1 << 40
+
+// ParseSlabSpec parses a slab-range spec: "i" for a single slab or
+// "lo-hi" for an inclusive index range. Indices are decimal, zero-based,
+// unsigned, and must satisfy lo <= hi. The returned range is [lo, hi]
+// inclusive; validation against a container's actual slab count is the
+// caller's job.
+func ParseSlabSpec(spec string) (lo, hi int, err error) {
+	a, b, ranged := strings.Cut(spec, "-")
+	lo, err = parseSlabIndex(a)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad slab spec %q: %w", spec, err)
+	}
+	hi = lo
+	if ranged {
+		hi, err = parseSlabIndex(b)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad slab spec %q: %w", spec, err)
+		}
+		if hi < lo {
+			return 0, 0, fmt.Errorf("bad slab spec %q: range is inverted", spec)
+		}
+	}
+	return lo, hi, nil
+}
+
+// parseSlabIndex accepts plain decimal digits only: no signs, spaces,
+// or exotic numerals (strconv alone would admit "+3").
+func parseSlabIndex(s string) (int, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty index")
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, fmt.Errorf("index %q is not a decimal number", s)
+		}
+	}
+	v, err := strconv.ParseUint(s, 10, 63)
+	if err != nil || v >= maxSlabIndex {
+		return 0, fmt.Errorf("index %q out of range", s)
+	}
+	return int(v), nil
+}
+
+// FormatSlabSpec renders a range in the form ParseSlabSpec accepts
+// (single index when lo == hi).
+func FormatSlabSpec(lo, hi int) string {
+	if lo == hi {
+		return strconv.Itoa(lo)
+	}
+	return fmt.Sprintf("%d-%d", lo, hi)
+}
+
+// SlabIndex is the /v1/slabs response: a blocked container's
+// random-access map, enough for a remote reader to plan per-slab range
+// requests without ever downloading the body.
+type SlabIndex struct {
+	Codec       string  `json:"codec"`
+	Bytes       int     `json:"bytes"`
+	Dims        []int   `json:"dims"`
+	DType       string  `json:"dtype,omitempty"`
+	AbsBound    float64 `json:"abs_bound,omitempty"`
+	SlabRows    int     `json:"slab_rows"`
+	Slabs       int     `json:"slabs"`
+	HeaderLen   int     `json:"header_len"`
+	SlabLengths []int   `json:"slab_lengths"`
+}
+
+// SlabIndexOf parses and verifies a blocked container's footer index
+// into its wire shape. Non-blocked streams are an error: only the
+// blocked container supports random access.
+func SlabIndexOf(stream []byte) (*SlabIndex, error) {
+	c, err := Detect(stream)
+	if err != nil {
+		return nil, err
+	}
+	if c.Name() != "blocked" {
+		return nil, fmt.Errorf("codec %s has no slab index (random access needs a blocked container)", c.Name())
+	}
+	ix, err := blocked.Inspect(stream)
+	if err != nil {
+		return nil, err
+	}
+	ns := ix.NumSlabs()
+	si := &SlabIndex{
+		Codec:       "blocked",
+		Bytes:       len(stream),
+		Dims:        ix.Dims,
+		SlabRows:    ix.SlabRows,
+		Slabs:       ns,
+		HeaderLen:   ix.HeaderLen,
+		SlabLengths: make([]int, ns),
+	}
+	for i := 0; i < ns; i++ {
+		si.SlabLengths[i] = ix.Offsets[i+1] - ix.Offsets[i]
+	}
+	if h, _, err := core.ParseHeaderPrefix(stream[ix.HeaderLen:]); err == nil {
+		si.DType = h.DType.String()
+		si.AbsBound = h.AbsBound
+	}
+	return si, nil
+}

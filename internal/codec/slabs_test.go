@@ -1,0 +1,120 @@
+package codec
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestParseSlabSpec(t *testing.T) {
+	good := []struct {
+		spec   string
+		lo, hi int
+	}{
+		{"0", 0, 0},
+		{"12", 12, 12},
+		{"3-5", 3, 5},
+		{"5-5", 5, 5},
+		{"0-1099511627775", 0, 1<<40 - 1},
+	}
+	for _, c := range good {
+		lo, hi, err := ParseSlabSpec(c.spec)
+		if err != nil || lo != c.lo || hi != c.hi {
+			t.Errorf("ParseSlabSpec(%q) = (%d, %d, %v), want (%d, %d)", c.spec, lo, hi, err, c.lo, c.hi)
+		}
+	}
+	bad := []string{"", "-", "1-", "-2", "+3", "3-2", "0x10", " 1", "1 ", "1.5",
+		"99999999999999999999", "1099511627776", "1-2-3", "a", "3-b", "−3"}
+	for _, s := range bad {
+		if _, _, err := ParseSlabSpec(s); err == nil {
+			t.Errorf("ParseSlabSpec(%q) accepted, want error", s)
+		}
+	}
+}
+
+func FuzzParseSlabSpec(f *testing.F) {
+	for _, seed := range []string{"0", "7", "3-5", "", "-", "1-2-3", "+9",
+		"18446744073709551615", "0-0", "a-b", "12x", "007"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		lo, hi, err := ParseSlabSpec(spec)
+		if err != nil {
+			return
+		}
+		if lo < 0 || hi < lo || hi >= maxSlabIndex {
+			t.Fatalf("ParseSlabSpec(%q) = (%d, %d) out of contract", spec, lo, hi)
+		}
+		// The canonical rendering must parse back to the same range.
+		lo2, hi2, err := ParseSlabSpec(FormatSlabSpec(lo, hi))
+		if err != nil || lo2 != lo || hi2 != hi {
+			t.Fatalf("round trip of %q: (%d, %d, %v), want (%d, %d)", spec, lo2, hi2, err, lo, hi)
+		}
+	})
+}
+
+func TestSlabIndexOf(t *testing.T) {
+	a := grid.New(16, 8, 8)
+	for i := range a.Data {
+		a.Data[i] = math.Sin(float64(i) * 0.02)
+	}
+	var raw bytes.Buffer
+	if err := a.WriteRaw(&raw, grid.Float64); err != nil {
+		t.Fatal(err)
+	}
+	p := Params{AbsBound: 1e-3, Dims: []int{16, 8, 8}, SlabRows: 4}
+	c, err := Lookup("blocked")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	zw, err := c.NewWriter(&stream, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zw.Write(raw.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	si, err := SlabIndexOf(stream.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.Codec != "blocked" || si.Slabs != 4 || si.SlabRows != 4 {
+		t.Fatalf("index = %+v, want 4 slabs x 4 rows", si)
+	}
+	if len(si.SlabLengths) != 4 {
+		t.Fatalf("%d slab lengths, want 4", len(si.SlabLengths))
+	}
+	sum := 0
+	for _, l := range si.SlabLengths {
+		sum += l
+	}
+	if si.HeaderLen <= 0 || sum <= 0 || si.HeaderLen+sum >= si.Bytes {
+		t.Errorf("inconsistent layout: header %d + body %d vs %d total", si.HeaderLen, sum, si.Bytes)
+	}
+	if si.DType != "float64" {
+		t.Errorf("dtype = %q, want float64", si.DType)
+	}
+
+	// Non-blocked streams have no slab index.
+	single, err := Lookup("sz14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	szStream, err := single.Encode(a, Params{AbsBound: 1e-3, Dims: []int{16, 8, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SlabIndexOf(szStream); err == nil {
+		t.Fatal("SlabIndexOf accepted an sz14 stream")
+	}
+	if _, err := SlabIndexOf([]byte("garbage")); err == nil {
+		t.Fatal("SlabIndexOf accepted garbage")
+	}
+}

@@ -1,0 +1,271 @@
+package fleet
+
+// Backend health tracking. The poller GETs each backend's /healthz on an
+// interval and, while the node answers, scrapes /metrics for the two
+// load signals admission control exposes: the reserved in-flight byte
+// gauge and the cumulative 429 count. The router consults the resulting
+// state to order candidates (dead and draining nodes are skipped, loaded
+// nodes deprioritized) and feeds observed connect failures back so a
+// SIGKILLed backend stops receiving traffic before the next poll tick.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// State is a backend's health as seen by the poller.
+type State int
+
+const (
+	// StateUnknown is the pre-first-poll state; the router treats it as
+	// routable so a cold router does not blackhole traffic.
+	StateUnknown State = iota
+	// StateHealthy backends answer /healthz with 200.
+	StateHealthy
+	// StateDraining backends answer 503: they finish in-flight work but
+	// accept nothing new, so the router routes around them.
+	StateDraining
+	// StateDead backends are unreachable (connect error, timeout) or
+	// answer with a non-health status.
+	StateDead
+)
+
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDraining:
+		return "draining"
+	case StateDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// Health is one backend's polled status and load signals.
+type Health struct {
+	State State
+	// InflightBytes is the backend's reserved admission budget
+	// (szd_inflight_bytes) at the last successful scrape.
+	InflightBytes int64
+	// Shed429 is the cumulative 429 count (szd_requests_total with
+	// status="429") at the last successful scrape.
+	Shed429 int64
+	// ShedRecently reports whether the backend returned any 429s between
+	// the two most recent scrapes — the signal that its budget is
+	// saturated right now, not just that it shed load at some point.
+	ShedRecently bool
+	// LastChange is when State last transitioned.
+	LastChange time.Time
+	// LastPoll is when the backend was last probed.
+	LastPoll time.Time
+}
+
+// Poller tracks the health of a fixed backend set.
+type Poller struct {
+	backends []string
+	client   *http.Client
+	interval time.Duration
+
+	mu     sync.Mutex
+	status map[string]*Health
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewPoller builds a poller over backends (each "host:port", http://
+// assumed). interval <= 0 defaults to 2s; hc nil uses a client with a
+// per-probe timeout of half the interval.
+func NewPoller(backends []string, interval time.Duration, hc *http.Client) *Poller {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	if hc == nil {
+		hc = &http.Client{Timeout: interval / 2}
+	}
+	p := &Poller{
+		backends: append([]string(nil), backends...),
+		client:   hc,
+		interval: interval,
+		status:   make(map[string]*Health, len(backends)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, b := range p.backends {
+		p.status[b] = &Health{}
+	}
+	return p
+}
+
+// Start runs one synchronous poll (so callers begin with real states,
+// not Unknown) and then polls on the interval until Stop.
+func (p *Poller) Start() {
+	p.PollOnce(context.Background())
+	go func() {
+		defer close(p.done)
+		t := time.NewTicker(p.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.PollOnce(context.Background())
+			}
+		}
+	}()
+}
+
+// Stop halts the poll loop and waits for it to exit.
+func (p *Poller) Stop() {
+	close(p.stop)
+	<-p.done
+}
+
+// PollOnce probes every backend concurrently and updates states.
+func (p *Poller) PollOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, b := range p.backends {
+		wg.Add(1)
+		go func(b string) {
+			defer wg.Done()
+			p.probe(ctx, b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// probe classifies one backend: connect failure or an unexpected status
+// is dead, 503 is draining, 200 is healthy — and a healthy node also
+// gets its /metrics load signals scraped.
+func (p *Poller) probe(ctx context.Context, backend string) {
+	state := StateDead
+	var inflight, shed int64
+	var scraped bool
+	resp, err := p.get(ctx, backend, "/healthz")
+	if err == nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			state = StateHealthy
+		case http.StatusServiceUnavailable:
+			state = StateDraining
+		}
+	}
+	if state == StateHealthy {
+		if mresp, err := p.get(ctx, backend, "/metrics"); err == nil {
+			inflight, shed, scraped = parseLoadMetrics(mresp.Body)
+			mresp.Body.Close()
+		}
+	}
+	now := time.Now()
+	p.mu.Lock()
+	h := p.status[backend]
+	if h == nil {
+		p.mu.Unlock()
+		return
+	}
+	if h.State != state {
+		h.State = state
+		h.LastChange = now
+	}
+	if scraped {
+		h.ShedRecently = shed > h.Shed429
+		h.InflightBytes = inflight
+		h.Shed429 = shed
+	}
+	h.LastPoll = now
+	p.mu.Unlock()
+}
+
+func (p *Poller) get(ctx context.Context, backend, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, backendURL(backend)+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return p.client.Do(req)
+}
+
+// backendURL normalizes a backend address to a base URL.
+func backendURL(backend string) string {
+	if strings.Contains(backend, "://") {
+		return strings.TrimRight(backend, "/")
+	}
+	return "http://" + backend
+}
+
+// Health returns the backend's current status (zero value for unknown
+// backends).
+func (p *Poller) Health(backend string) Health {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if h := p.status[backend]; h != nil {
+		return *h
+	}
+	return Health{}
+}
+
+// Routable reports whether the router should offer the backend traffic:
+// healthy, or not yet polled.
+func (p *Poller) Routable(backend string) bool {
+	s := p.Health(backend).State
+	return s == StateHealthy || s == StateUnknown
+}
+
+// MarkDead records an observed failure (the router could not connect)
+// without waiting for the next poll tick, so a killed backend stops
+// being offered traffic immediately.
+func (p *Poller) MarkDead(backend string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := p.status[backend]
+	if h == nil || h.State == StateDead {
+		return
+	}
+	h.State = StateDead
+	h.LastChange = time.Now()
+}
+
+// parseLoadMetrics extracts szd_inflight_bytes and the summed 429 count
+// from a Prometheus text exposition. ok is true only when at least the
+// inflight gauge was recognized — szd always exposes it, so anything
+// else (an HTML error page behind a middlebox, an empty body) is not a
+// scrape, and the caller must keep its previous signals rather than
+// zero them.
+func parseLoadMetrics(r io.Reader) (inflight, shed429 int64, ok bool) {
+	sc := bufio.NewScanner(io.LimitReader(r, 1<<20))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "szd_inflight_bytes "):
+			if v, err := strconv.ParseInt(strings.TrimSpace(line[len("szd_inflight_bytes "):]), 10, 64); err == nil {
+				inflight = v
+				ok = true
+			}
+		case strings.HasPrefix(line, "szd_requests_total{") && strings.Contains(line, `status="429"`):
+			if i := strings.LastIndexByte(line, ' '); i >= 0 {
+				if v, err := strconv.ParseInt(line[i+1:], 10, 64); err == nil {
+					shed429 += v
+				}
+			}
+		}
+	}
+	return inflight, shed429, ok
+}
+
+// String renders a status line for logs.
+func (h Health) String() string {
+	return fmt.Sprintf("%s inflight=%d shed429=%d", h.State, h.InflightBytes, h.Shed429)
+}

@@ -1,0 +1,168 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeBackend is a controllable szd stand-in: its /healthz mode can be
+// flipped, its /metrics report arbitrary load, and it can be killed and
+// resurrected on the same address to exercise the dead -> recovered
+// transition.
+type fakeBackend struct {
+	t        *testing.T
+	addr     string
+	srv      *http.Server
+	draining atomic.Bool
+	inflight atomic.Int64
+	shed     atomic.Int64
+}
+
+func newFakeBackend(t *testing.T) *fakeBackend {
+	t.Helper()
+	fb := &fakeBackend{t: t}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb.addr = ln.Addr().String()
+	fb.serve(ln)
+	t.Cleanup(func() { fb.stop() })
+	return fb
+}
+
+func (fb *fakeBackend) serve(ln net.Listener) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if fb.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "# TYPE szd_requests_total counter\n")
+		fmt.Fprintf(w, "szd_requests_total{endpoint=\"compress\",codec=\"blocked\",status=\"429\"} %d\n", fb.shed.Load())
+		fmt.Fprintf(w, "szd_requests_total{endpoint=\"decompress\",codec=\"\",status=\"200\"} 7\n")
+		fmt.Fprintf(w, "# TYPE szd_inflight_bytes gauge\n")
+		fmt.Fprintf(w, "szd_inflight_bytes %d\n", fb.inflight.Load())
+	})
+	fb.srv = &http.Server{Handler: mux}
+	go fb.srv.Serve(ln)
+}
+
+// stop kills the backend: connections refuse from here on.
+func (fb *fakeBackend) stop() { fb.srv.Close() }
+
+// restart resurrects the backend on its original address.
+func (fb *fakeBackend) restart() {
+	fb.t.Helper()
+	ln, err := net.Listen("tcp", fb.addr)
+	if err != nil {
+		fb.t.Fatalf("rebinding %s: %v", fb.addr, err)
+	}
+	fb.serve(ln)
+}
+
+// TestPollerStateTransitions walks one backend through the full
+// lifecycle: healthy -> draining -> dead -> recovered (healthy again).
+func TestPollerStateTransitions(t *testing.T) {
+	fb := newFakeBackend(t)
+	fb.inflight.Store(12345)
+	fb.shed.Store(0)
+	p := NewPoller([]string{fb.addr}, time.Second, nil)
+	ctx := context.Background()
+
+	p.PollOnce(ctx)
+	h := p.Health(fb.addr)
+	if h.State != StateHealthy {
+		t.Fatalf("state = %v, want healthy", h.State)
+	}
+	if h.InflightBytes != 12345 {
+		t.Errorf("inflight = %d, want 12345 (metrics not scraped?)", h.InflightBytes)
+	}
+	if !p.Routable(fb.addr) {
+		t.Error("healthy backend not routable")
+	}
+
+	fb.draining.Store(true)
+	p.PollOnce(ctx)
+	if h = p.Health(fb.addr); h.State != StateDraining {
+		t.Fatalf("state = %v, want draining", h.State)
+	}
+	if p.Routable(fb.addr) {
+		t.Error("draining backend still routable")
+	}
+
+	fb.stop()
+	p.PollOnce(ctx)
+	if h = p.Health(fb.addr); h.State != StateDead {
+		t.Fatalf("state = %v, want dead", h.State)
+	}
+
+	fb.draining.Store(false)
+	fb.restart()
+	p.PollOnce(ctx)
+	if h = p.Health(fb.addr); h.State != StateHealthy {
+		t.Fatalf("state = %v, want healthy after recovery", h.State)
+	}
+	if !p.Routable(fb.addr) {
+		t.Error("recovered backend not routable")
+	}
+}
+
+// TestPollerShedRecently verifies the 429-rate signal: a counter
+// increase between scrapes flags the backend as shedding, a flat
+// counter clears it.
+func TestPollerShedRecently(t *testing.T) {
+	fb := newFakeBackend(t)
+	p := NewPoller([]string{fb.addr}, time.Second, nil)
+	ctx := context.Background()
+
+	p.PollOnce(ctx)
+	fb.shed.Store(5)
+	p.PollOnce(ctx)
+	if h := p.Health(fb.addr); !h.ShedRecently || h.Shed429 != 5 {
+		t.Fatalf("after 429 burst: ShedRecently=%v Shed429=%d, want true/5", h.ShedRecently, h.Shed429)
+	}
+	p.PollOnce(ctx)
+	if h := p.Health(fb.addr); h.ShedRecently {
+		t.Fatal("ShedRecently still set though the counter is flat")
+	}
+}
+
+func TestPollerMarkDead(t *testing.T) {
+	fb := newFakeBackend(t)
+	p := NewPoller([]string{fb.addr}, time.Second, nil)
+	p.PollOnce(context.Background())
+	p.MarkDead(fb.addr)
+	if h := p.Health(fb.addr); h.State != StateDead {
+		t.Fatalf("state = %v, want dead after MarkDead", h.State)
+	}
+	// The next poll sees the live backend and recovers it.
+	p.PollOnce(context.Background())
+	if h := p.Health(fb.addr); h.State != StateHealthy {
+		t.Fatalf("state = %v, want healthy after re-poll", h.State)
+	}
+}
+
+func TestParseLoadMetrics(t *testing.T) {
+	exp := `# HELP szd_requests_total Requests.
+# TYPE szd_requests_total counter
+szd_requests_total{endpoint="compress",codec="blocked",status="200"} 10
+szd_requests_total{endpoint="compress",codec="blocked",status="429"} 3
+szd_requests_total{endpoint="decompress",codec="gzip",status="429"} 4
+szd_inflight_bytes 987654
+`
+	inflight, shed, ok := parseLoadMetrics(strings.NewReader(exp))
+	if !ok || inflight != 987654 || shed != 7 {
+		t.Fatalf("parse = (%d, %d, %v), want (987654, 7, true)", inflight, shed, ok)
+	}
+}

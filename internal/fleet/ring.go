@@ -1,0 +1,149 @@
+// Package fleet routes szd traffic across a set of daemon backends: a
+// consistent-hash ring assigns replayable requests to nodes by stream
+// identity (so repeated compressions of the same input land on the same
+// daemon, which is what makes response caching placeable later), a
+// health poller tracks each backend's /healthz and /metrics, and the
+// Router proxies /v1/* with automatic failover to the next ring node
+// when a backend sheds (429), drains (503), or is unreachable.
+//
+// The admission budget stays authoritative on each node: the router
+// never queues work it cannot place, it only moves it to the next
+// candidate or relays the backend's rejection (Retry-After intact) to
+// the client.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultReplicas is the virtual-node count per backend. 128 vnodes keep
+// the expected load imbalance across a handful of nodes within a few
+// percent while the ring stays small enough to rebuild on every
+// membership change.
+const defaultReplicas = 128
+
+// Ring is a consistent-hash ring with virtual nodes. It is not
+// goroutine-safe; the Router guards it (membership never changes after
+// construction in the current router, but Add/Remove keep the type
+// reusable and testable on its own).
+type Ring struct {
+	replicas int
+	nodes    map[string]bool
+	hashes   []uint64          // sorted vnode positions
+	owner    map[uint64]string // vnode position -> node
+}
+
+// NewRing builds a ring over nodes with the given vnode count per node
+// (0 = default).
+func NewRing(replicas int, nodes ...string) *Ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	r := &Ring{replicas: replicas, nodes: map[string]bool{}}
+	for _, n := range nodes {
+		r.nodes[n] = true
+	}
+	r.rebuild()
+	return r
+}
+
+// Add inserts a node (no-op if present).
+func (r *Ring) Add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	r.rebuild()
+}
+
+// Remove deletes a node (no-op if absent).
+func (r *Ring) Remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	r.rebuild()
+}
+
+// Nodes returns the membership, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rebuild recomputes the vnode table from the membership set. On a vnode
+// hash collision the lexicographically smaller node wins, so ownership
+// stays deterministic regardless of insertion order.
+func (r *Ring) rebuild() {
+	r.hashes = r.hashes[:0]
+	r.owner = make(map[uint64]string, len(r.nodes)*r.replicas)
+	for node := range r.nodes {
+		for i := 0; i < r.replicas; i++ {
+			h := hash64(fmt.Sprintf("%s#%d", node, i))
+			if prev, ok := r.owner[h]; ok && prev < node {
+				continue
+			}
+			if _, ok := r.owner[h]; !ok {
+				r.hashes = append(r.hashes, h)
+			}
+			r.owner[h] = node
+		}
+	}
+	sort.Slice(r.hashes, func(i, j int) bool { return r.hashes[i] < r.hashes[j] })
+}
+
+// Lookup returns the node owning key, "" on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	seq := r.Sequence(key, 1)
+	if len(seq) == 0 {
+		return ""
+	}
+	return seq[0]
+}
+
+// Sequence returns up to n distinct nodes in ring order starting at
+// key's successor vnode — the failover order for a request with this
+// identity: index 0 is the owner, each later entry is the next node a
+// router should try when the previous one sheds or is unreachable.
+func (r *Ring) Sequence(key string, n int) []string {
+	if len(r.hashes) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.hashes) && len(out) < n; i++ {
+		node := r.owner[r.hashes[(start+i)%len(r.hashes)]]
+		if !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// hash64 is FNV-1a with a murmur-style finalizer. Raw FNV avalanches
+// poorly on short, similar strings (vnode labels differ only in their
+// suffix), which skews node shares by 2x and more; the finalizer
+// restores uniform spread.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

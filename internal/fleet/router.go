@@ -1,0 +1,503 @@
+package fleet
+
+// The routing proxy. One Router fronts a set of szd backends:
+//
+//   - Replayable bodies (those that fit the buffer limit) are routed by
+//     stream identity: the SHA-256 of the body picks the owning ring
+//     node, and on 429/503/connect failure the request replays against
+//     the next ring node in sequence. Identical inputs always land on
+//     the same healthy backend, which keeps per-node caches hot.
+//   - Unbounded streaming bodies cannot be replayed, so they skip the
+//     ring: the router picks the least-loaded routable backend
+//     (round-robin among ties) and forwards in a single attempt.
+//   - Backend rejections that exhaust every candidate are relayed to
+//     the client unchanged — status, body, and Retry-After header — so
+//     client backoff works exactly as it does against a single daemon.
+//
+// The router adds X-Sz-Backend to every response naming the backend
+// that served (or last rejected) it, and exposes szrouter_* metrics:
+// per-backend forwards, failovers, and request counts by status.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// defaultBufferLimit bounds the body bytes buffered to keep a
+	// request replayable (hash-routed, retryable). Matches the szd
+	// client's default.
+	defaultBufferLimit = 4 << 20
+	// relayErrBodyLimit bounds how much of a rejection body is stored
+	// for relaying after every candidate failed.
+	relayErrBodyLimit = 4 << 10
+)
+
+// Config configures a Router.
+type Config struct {
+	// Backends are the szd nodes ("host:port" or full URLs). Required.
+	Backends []string
+	// Replicas is the ring vnode count per backend (0 = 128).
+	Replicas int
+	// BufferLimit is the replayable-body cap in bytes (0 = 4 MiB).
+	BufferLimit int
+	// PollInterval is the health-poll cadence (0 = 2s).
+	PollInterval time.Duration
+	// HTTPClient overrides the proxy transport (nil = no-timeout client;
+	// streams may legitimately run for minutes).
+	HTTPClient *http.Client
+}
+
+// Router is the fleet-mode HTTP proxy.
+type Router struct {
+	ring        *Ring
+	poller      *Poller
+	backends    []string
+	client      *http.Client
+	bufferLimit int
+	rr          atomic.Uint64
+	met         *routerMetrics
+	mux         *http.ServeMux
+}
+
+// New builds a Router; call Start to begin health polling.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("fleet: no backends configured")
+	}
+	seen := map[string]bool{}
+	for _, b := range cfg.Backends {
+		if b == "" || seen[b] {
+			return nil, fmt.Errorf("fleet: empty or duplicate backend %q", b)
+		}
+		seen[b] = true
+	}
+	limit := cfg.BufferLimit
+	if limit <= 0 {
+		limit = defaultBufferLimit
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	rt := &Router{
+		ring:        NewRing(cfg.Replicas, cfg.Backends...),
+		poller:      NewPoller(cfg.Backends, cfg.PollInterval, nil),
+		backends:    append([]string(nil), cfg.Backends...),
+		client:      hc,
+		bufferLimit: limit,
+		met:         newRouterMetrics(),
+		mux:         http.NewServeMux(),
+	}
+	rt.mux.HandleFunc("/v1/compress", rt.proxyBody("compress"))
+	rt.mux.HandleFunc("/v1/decompress", rt.proxyBody("decompress"))
+	rt.mux.HandleFunc("/v1/inspect", rt.proxyBody("inspect"))
+	rt.mux.HandleFunc("/v1/slabs", rt.proxyBody("slabs"))
+	rt.mux.HandleFunc("/v1/slab/", rt.proxyBody("slab"))
+	rt.mux.HandleFunc("/v1/codecs", rt.proxyBodyless("codecs"))
+	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Start runs an initial synchronous health poll and begins the poll
+// loop.
+func (rt *Router) Start() { rt.poller.Start() }
+
+// Stop halts health polling.
+func (rt *Router) Stop() { rt.poller.Stop() }
+
+// Poller exposes the health tracker (for status pages and tests).
+func (rt *Router) Poller() *Poller { return rt.poller }
+
+// hopByHop are the connection-scoped headers a proxy must not forward.
+var hopByHop = map[string]bool{
+	"Connection": true, "Keep-Alive": true, "Proxy-Authenticate": true,
+	"Proxy-Authorization": true, "Te": true, "Trailer": true,
+	"Transfer-Encoding": true, "Upgrade": true,
+}
+
+func copyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		if hopByHop[k] {
+			continue
+		}
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// candidates orders the ring sequence for key by health: routable nodes
+// that are not actively shedding first, then routable-but-shedding, then
+// everything else (draining/dead — still tried last, because poller
+// state may be stale and a request in hand beats a guaranteed 503).
+// Ring order is preserved within each tier so the owner stays first.
+func (rt *Router) candidates(key string) []string {
+	seq := rt.ring.Sequence(key, len(rt.backends))
+	// Snapshot each backend's tier once: querying the poller inside the
+	// comparator would take its lock O(n log n) times and, worse, a
+	// concurrent probe could flip a state mid-sort and break the
+	// comparator's consistency.
+	tier := make(map[string]int, len(seq))
+	for _, b := range seq {
+		h := rt.poller.Health(b)
+		switch {
+		case (h.State == StateHealthy || h.State == StateUnknown) && !h.ShedRecently:
+			tier[b] = 0
+		case h.State == StateHealthy || h.State == StateUnknown:
+			tier[b] = 1
+		default:
+			tier[b] = 2
+		}
+	}
+	sort.SliceStable(seq, func(i, j int) bool { return tier[seq[i]] < tier[seq[j]] })
+	return seq
+}
+
+// pickStreaming chooses the backend for a non-replayable stream: the
+// least-loaded (by reserved in-flight bytes) routable backend, with a
+// rotating tie-break so equally-idle nodes share the traffic.
+func (rt *Router) pickStreaming() string {
+	start := int(rt.rr.Add(1))
+	best, bestLoad := "", int64(-1)
+	for tier := 0; tier < 2 && best == ""; tier++ {
+		for i := range rt.backends {
+			b := rt.backends[(start+i)%len(rt.backends)]
+			h := rt.poller.Health(b)
+			routable := h.State == StateHealthy || h.State == StateUnknown
+			if tier == 0 && (!routable || h.ShedRecently) {
+				continue
+			}
+			if tier == 1 && !routable {
+				continue
+			}
+			if best == "" || h.InflightBytes < bestLoad {
+				best, bestLoad = b, h.InflightBytes
+			}
+		}
+	}
+	if best == "" {
+		best = rt.backends[start%len(rt.backends)]
+	}
+	return best
+}
+
+// storedResp is a rejection kept for relaying if every candidate fails.
+type storedResp struct {
+	status  int
+	header  http.Header
+	body    []byte
+	backend string
+}
+
+// storeResp drains (bounded) and closes a shed response so its
+// connection is reusable and its status can be relayed later.
+func storeResp(resp *http.Response, backend string) *storedResp {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, relayErrBodyLimit))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	h := make(http.Header, 4)
+	copyHeaders(h, resp.Header)
+	// The stored body is truncated to the relay limit; the backend's
+	// Content-Length would then overstate what gets written and corrupt
+	// the relayed response mid-stream.
+	h.Del("Content-Length")
+	return &storedResp{status: resp.StatusCode, header: h, body: body, backend: backend}
+}
+
+func (sr *storedResp) write(w http.ResponseWriter) {
+	// Retry-After travels in sr.header verbatim: the backend's own
+	// backoff hint must reach the client unchanged.
+	copyHeaders(w.Header(), sr.header)
+	w.Header().Set("X-Sz-Backend", sr.backend)
+	w.WriteHeader(sr.status)
+	w.Write(sr.body)
+}
+
+// retryable reports whether a backend status means "try the next node":
+// the daemon shed (429) or is draining (503). Anything else — success or
+// a request-shaped error like 400/413 — is the client's answer.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// proxyBody handles the body-carrying endpoints. Bodies within the
+// buffer limit are hashed and routed with failover; larger bodies
+// stream to a single picked backend.
+func (rt *Router) proxyBody(endpoint string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		head, err := io.ReadAll(io.LimitReader(r.Body, int64(rt.bufferLimit)+1))
+		if err != nil {
+			rt.met.request(endpoint, http.StatusBadRequest)
+			writeJSONError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err))
+			return
+		}
+		if len(head) <= rt.bufferLimit {
+			digest := sha256.Sum256(head)
+			key := hex.EncodeToString(digest[:])
+			rt.forwardReplayable(w, r, endpoint, rt.candidates(key), head)
+			return
+		}
+		rt.forwardStream(w, r, endpoint, head)
+	}
+}
+
+// proxyBodyless handles GET endpoints with no body (the codec listing):
+// any routable backend can answer, with failover through the rest.
+func (rt *Router) proxyBodyless(endpoint string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := int(rt.rr.Add(1))
+		rotated := make([]string, len(rt.backends))
+		routable := make(map[string]bool, len(rt.backends))
+		for i, b := range rt.backends {
+			rotated[i] = rt.backends[(start+i)%len(rt.backends)]
+			routable[b] = rt.poller.Routable(b)
+		}
+		sort.SliceStable(rotated, func(i, j int) bool {
+			return routable[rotated[i]] && !routable[rotated[j]]
+		})
+		rt.forwardReplayable(w, r, endpoint, rotated, nil)
+	}
+}
+
+// forwardReplayable tries candidates in order with a fresh body per
+// attempt, failing over on shed statuses and transport errors; the last
+// rejection is relayed when no candidate accepts.
+func (rt *Router) forwardReplayable(w http.ResponseWriter, r *http.Request, endpoint string, cands []string, body []byte) {
+	var last *storedResp
+	for _, backend := range cands {
+		if r.Context().Err() != nil {
+			return // client went away; stop burning backends
+		}
+		req, err := rt.buildRequest(r, backend, bytes.NewReader(body), int64(len(body)))
+		if err != nil {
+			rt.met.request(endpoint, http.StatusInternalServerError)
+			writeJSONError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // the client aborted; the backend is not at fault
+			}
+			rt.poller.MarkDead(backend)
+			rt.met.failover(backend)
+			continue
+		}
+		rt.met.forward(backend, endpoint)
+		if retryable(resp.StatusCode) {
+			last = storeResp(resp, backend)
+			rt.met.failover(backend)
+			continue
+		}
+		rt.relay(w, resp, backend, endpoint)
+		return
+	}
+	if last != nil {
+		last.write(w)
+		rt.met.request(endpoint, last.status)
+		return
+	}
+	rt.met.request(endpoint, http.StatusBadGateway)
+	writeJSONError(w, http.StatusBadGateway, errors.New("no reachable backend"))
+}
+
+// forwardStream forwards a non-replayable stream in one attempt: head
+// holds the already-buffered prefix, the rest of the client body is
+// piped through.
+func (rt *Router) forwardStream(w http.ResponseWriter, r *http.Request, endpoint string, head []byte) {
+	backend := rt.pickStreaming()
+	// The client may still be uploading while the backend's response
+	// streams back; without full duplex Go's HTTP/1 server discards
+	// still-unread request bytes at the first response flush.
+	http.NewResponseController(w).EnableFullDuplex()
+	req, err := rt.buildRequest(r, backend, io.MultiReader(bytes.NewReader(head), r.Body), -1)
+	if err != nil {
+		rt.met.request(endpoint, http.StatusInternalServerError)
+		writeJSONError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		// Only blame the backend when the client side is still live: a
+		// Do error here can equally be the client's own aborted upload,
+		// and marking healthy backends dead for that lets misbehaving
+		// clients knock nodes out of rotation.
+		if r.Context().Err() == nil {
+			rt.poller.MarkDead(backend)
+			rt.met.failover(backend)
+		}
+		rt.met.request(endpoint, http.StatusBadGateway)
+		writeJSONError(w, http.StatusBadGateway, fmt.Errorf("backend %s: %w", backend, err))
+		return
+	}
+	rt.met.forward(backend, endpoint)
+	rt.relay(w, resp, backend, endpoint)
+}
+
+// buildRequest clones the inbound request toward a backend.
+func (rt *Router) buildRequest(r *http.Request, backend string, body io.Reader, length int64) (*http.Request, error) {
+	u := backendURL(backend) + r.URL.Path
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, body)
+	if err != nil {
+		return nil, err
+	}
+	copyHeaders(req.Header, r.Header)
+	req.Header.Del("Host")
+	if length >= 0 {
+		req.ContentLength = length
+	}
+	return req, nil
+}
+
+// relay streams a backend response to the client verbatim (headers,
+// status, body), tagged with the serving backend.
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, backend, endpoint string) {
+	defer resp.Body.Close()
+	copyHeaders(w.Header(), resp.Header)
+	w.Header().Set("X-Sz-Backend", backend)
+	w.WriteHeader(resp.StatusCode)
+	io.CopyBuffer(w, resp.Body, make([]byte, 256<<10))
+	rt.met.request(endpoint, resp.StatusCode)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	for _, b := range rt.backends {
+		if rt.poller.Routable(b) {
+			io.WriteString(w, "ok\n")
+			return
+		}
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	io.WriteString(w, "no routable backends\n")
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	io.WriteString(w, rt.met.expose(rt.backends, rt.poller))
+}
+
+func writeJSONError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+}
+
+// routerMetrics counts the router's own traffic; backend health gauges
+// are rendered live from the poller at exposition time.
+type routerMetrics struct {
+	mu        sync.Mutex
+	forwards  map[[2]string]int64 // {backend, endpoint} -> attempts relayed
+	failovers map[string]int64    // backend -> attempts diverted away
+	requests  map[string]map[int]int64
+}
+
+func newRouterMetrics() *routerMetrics {
+	return &routerMetrics{
+		forwards:  map[[2]string]int64{},
+		failovers: map[string]int64{},
+		requests:  map[string]map[int]int64{},
+	}
+}
+
+func (m *routerMetrics) forward(backend, endpoint string) {
+	m.mu.Lock()
+	m.forwards[[2]string{backend, endpoint}]++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) failover(backend string) {
+	m.mu.Lock()
+	m.failovers[backend]++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) request(endpoint string, status int) {
+	m.mu.Lock()
+	if m.requests[endpoint] == nil {
+		m.requests[endpoint] = map[int]int64{}
+	}
+	m.requests[endpoint][status]++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) expose(backends []string, p *Poller) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+
+	b.WriteString("# HELP szrouter_forwards_total Attempts forwarded, by backend and endpoint.\n")
+	b.WriteString("# TYPE szrouter_forwards_total counter\n")
+	fkeys := make([][2]string, 0, len(m.forwards))
+	for k := range m.forwards {
+		fkeys = append(fkeys, k)
+	}
+	sort.Slice(fkeys, func(i, j int) bool {
+		if fkeys[i][0] != fkeys[j][0] {
+			return fkeys[i][0] < fkeys[j][0]
+		}
+		return fkeys[i][1] < fkeys[j][1]
+	})
+	for _, k := range fkeys {
+		fmt.Fprintf(&b, "szrouter_forwards_total{backend=%q,endpoint=%q} %d\n", k[0], k[1], m.forwards[k])
+	}
+
+	b.WriteString("# HELP szrouter_failovers_total Attempts diverted away from a backend (shed or unreachable).\n")
+	b.WriteString("# TYPE szrouter_failovers_total counter\n")
+	bkeys := make([]string, 0, len(m.failovers))
+	for k := range m.failovers {
+		bkeys = append(bkeys, k)
+	}
+	sort.Strings(bkeys)
+	for _, k := range bkeys {
+		fmt.Fprintf(&b, "szrouter_failovers_total{backend=%q} %d\n", k, m.failovers[k])
+	}
+
+	b.WriteString("# HELP szrouter_requests_total Client requests by endpoint and final status.\n")
+	b.WriteString("# TYPE szrouter_requests_total counter\n")
+	eps := make([]string, 0, len(m.requests))
+	for ep := range m.requests {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		sts := make([]int, 0, len(m.requests[ep]))
+		for st := range m.requests[ep] {
+			sts = append(sts, st)
+		}
+		sort.Ints(sts)
+		for _, st := range sts {
+			fmt.Fprintf(&b, "szrouter_requests_total{endpoint=%q,status=\"%d\"} %d\n", ep, st, m.requests[ep][st])
+		}
+	}
+
+	b.WriteString("# HELP szrouter_backend_state Backend health (0 unknown, 1 healthy, 2 draining, 3 dead).\n")
+	b.WriteString("# TYPE szrouter_backend_state gauge\n")
+	for _, bk := range backends {
+		fmt.Fprintf(&b, "szrouter_backend_state{backend=%q} %d\n", bk, p.Health(bk).State)
+	}
+	b.WriteString("# HELP szrouter_backend_inflight_bytes Last-scraped reserved budget per backend.\n")
+	b.WriteString("# TYPE szrouter_backend_inflight_bytes gauge\n")
+	for _, bk := range backends {
+		fmt.Fprintf(&b, "szrouter_backend_inflight_bytes{backend=%q} %d\n", bk, p.Health(bk).InflightBytes)
+	}
+	return b.String()
+}

@@ -10,6 +10,8 @@
 //	POST /v1/decompress[?codec=...]                 stream in (magic auto-detect), raw samples out
 //	GET  /v1/codecs                                 registered codec names
 //	GET|POST /v1/inspect                            stream in, container metadata out (JSON)
+//	GET|POST /v1/slabs                              blocked container in, footer index out (JSON)
+//	GET|POST /v1/slab/{i | lo-hi}                   blocked container in, raw samples of that slab range out
 //	GET  /healthz                                   200 ok / 503 draining
 //	GET  /metrics                                   text exposition (szd_* series)
 //
@@ -101,6 +103,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/decompress", s.method(http.MethodPost, s.handleDecompress))
 	s.mux.HandleFunc("/v1/codecs", s.method(http.MethodGet, s.handleCodecs))
 	s.mux.HandleFunc("/v1/inspect", s.handleInspect) // GET-with-body or POST
+	s.mux.HandleFunc("/v1/slabs", s.handleSlabs)     // GET-with-body or POST
+	s.mux.HandleFunc("/v1/slab/", s.handleSlab)      // GET-with-body or POST
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.method(http.MethodGet, s.handleMetrics))
 	return s

@@ -1,0 +1,160 @@
+package server
+
+// Slab range serving: the paper's random-access decompression pattern
+// over HTTP. A blocked v2 container carries a seekable footer index, so
+// a client holding the compressed stream can ask the daemon for any
+// contiguous slab range without paying for a full decode:
+//
+//	GET|POST /v1/slabs       container in, footer index out (JSON)
+//	GET|POST /v1/slab/{i}    container in, slab i's raw samples out
+//	GET|POST /v1/slab/{lo-hi}  inclusive slab range, concatenated
+//
+// The container body still travels with the request (szd stores
+// nothing); what the endpoint saves is decode work and response bytes —
+// only the requested rows are reconstructed and returned.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/blocked"
+	"repro/internal/codec"
+)
+
+// slabCharge estimates the memory a slab-range request pins: the whole
+// container (buffered for footer access) plus the decoded range — one
+// float64 working copy and the raw output per cell, with headroom for
+// the per-worker slab reconstructions (24 B/cell total). The range
+// geometry comes from the peeked, attacker-supplied header, so every
+// product saturates.
+func (s *Server) slabCharge(declared int64, header []byte, lo, hi int) int64 {
+	base := declared
+	if base < 0 {
+		base = s.unknownCharge()
+	}
+	dims, slabRows, _, err := blocked.ParseContainerHeader(header)
+	if err != nil {
+		return satMul(base, 2)
+	}
+	rowCells := int64(1)
+	for _, d := range dims[1:] {
+		rowCells = satMul(rowCells, int64(d))
+	}
+	rows := satMul(int64(hi-lo+1), int64(slabRows))
+	if rows > int64(dims[0]) {
+		rows = int64(dims[0])
+	}
+	return base + satMul(satMul(rows, rowCells), 24)
+}
+
+func (s *Server) handleSlabs(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+		return
+	}
+	stream, gr, ok := s.readContainer(w, r, "slabs", nil, start)
+	if !ok {
+		return
+	}
+	defer gr.release()
+	si, err := codec.SlabIndexOf(stream)
+	if err != nil {
+		s.reject(w, "slabs", "", http.StatusBadRequest, err, start)
+		return
+	}
+	resp, err := json.Marshal(si)
+	if err != nil {
+		s.reject(w, "slabs", "blocked", http.StatusInternalServerError, err, start)
+		return
+	}
+	resp = append(resp, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(resp)
+	s.met.record("slabs", "blocked", http.StatusOK, int64(len(stream)), int64(len(resp)), time.Since(start))
+}
+
+func (s *Server) handleSlab(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+		return
+	}
+	spec := strings.TrimPrefix(r.URL.Path, "/v1/slab/")
+	lo, hi, err := codec.ParseSlabSpec(spec)
+	if err != nil {
+		s.reject(w, "slab", "", http.StatusBadRequest, err, start)
+		return
+	}
+	rng := [2]int{lo, hi}
+	stream, gr, ok := s.readContainer(w, r, "slab", &rng, start)
+	if !ok {
+		return
+	}
+	defer gr.release()
+	// One pass: DecompressSlabRange parses and CRC-verifies the
+	// container itself, so no separate index parse runs first (on large
+	// containers the footer walk and checksum dominate non-decode cost).
+	arr, dt, err := blocked.DecompressSlabRange(stream, lo, hi)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, blocked.ErrSlabRange) {
+			// A well-formed spec beyond the container's extent is the
+			// range version of a seek past EOF, not a malformed request.
+			status = http.StatusRequestedRangeNotSatisfiable
+		}
+		s.reject(w, "slab", "blocked", status, err, start)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Sz-Codec", "blocked")
+	w.Header().Set("X-Sz-Dtype", dt.String())
+	w.Header().Set("X-Sz-Dims", codec.FormatDims(arr.Dims))
+	w.Header().Set("X-Sz-Slabs", codec.FormatSlabSpec(lo, hi))
+	out := &respWriter{ResponseWriter: w}
+	err = arr.WriteRaw(out, dt)
+	s.finishStream(w, out, "slab", "blocked", int64(len(stream)), err, start)
+}
+
+// readContainer admits and buffers the request body for the slab
+// endpoints. rng, when set, lets the admission charge cover the decode
+// footprint of that slab range (peeked from the container header); nil
+// charges the buffered body alone. On ok the caller owns the returned
+// grant (release it when the decode is done); on !ok the response has
+// already been written.
+func (s *Server) readContainer(w http.ResponseWriter, r *http.Request, endpoint string, rng *[2]int, start time.Time) ([]byte, *grant, bool) {
+	declared := declaredLength(r)
+	if s.cfg.MaxRequestBytes > 0 && declared > s.cfg.MaxRequestBytes {
+		s.reject(w, endpoint, "", http.StatusRequestEntityTooLarge, errTooLarge, start)
+		return nil, nil, false
+	}
+	br := newPeekReader(r.Body)
+	charge := declared
+	if charge < 0 {
+		charge = s.unknownCharge()
+	}
+	if rng != nil {
+		header, _ := br.Peek(blocked.MaxHeaderLen)
+		charge = s.slabCharge(declared, header, rng[0], rng[1])
+	}
+	gr, status, err := s.admit(charge, 1)
+	if err != nil {
+		s.reject(w, endpoint, "", status, err, start)
+		return nil, nil, false
+	}
+	body := newMeteredReader(br, gr, declared, charge, s.cfg.MaxRequestBytes, 1, false)
+	stream, err := io.ReadAll(body)
+	if err != nil {
+		gr.release()
+		s.reject(w, endpoint, "", streamErrStatus(err), err, start)
+		return nil, nil, false
+	}
+	return stream, gr, true
+}

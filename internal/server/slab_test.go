@@ -1,0 +1,175 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/blocked"
+	"repro/internal/codec"
+	"repro/internal/grid"
+)
+
+// slabContainer builds a 16x8x8 f32 blocked container with 4-row slabs
+// and returns (stream, raw input bytes).
+func slabContainer(t *testing.T) ([]byte, []byte) {
+	t.Helper()
+	raw, _ := makeRaw(t, grid.Float32, 16, 8, 8)
+	p := codec.Params{AbsBound: 1e-3, DType: grid.Float32, Dims: []int{16, 8, 8}, SlabRows: 4}
+	return localStream(t, "blocked", raw, p), raw
+}
+
+// localSlabDecode is the reference: the library's own random-access
+// decode serialized in the container's element type.
+func localSlabDecode(t *testing.T, stream []byte, lo, hi int) []byte {
+	t.Helper()
+	arr, dt, err := blocked.DecompressSlabRange(stream, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := arr.WriteRaw(&buf, dt); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSlabsEndpoint(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{})
+	stream, _ := slabContainer(t)
+
+	resp := post(t, ts.URL+"/v1/slabs", stream)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, readAllClose(t, resp))
+	}
+	var si codec.SlabIndex
+	if err := json.Unmarshal(readAllClose(t, resp), &si); err != nil {
+		t.Fatal(err)
+	}
+	if si.Codec != "blocked" || si.Slabs != 4 || si.SlabRows != 4 || si.DType != "float32" {
+		t.Fatalf("slab index = %+v, want blocked 4x4 float32", si)
+	}
+	want, err := codec.SlabIndexOf(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(si.SlabLengths) != len(want.SlabLengths) {
+		t.Fatalf("%d slab lengths, want %d", len(si.SlabLengths), len(want.SlabLengths))
+	}
+
+	// A non-blocked stream has no slab index.
+	raw, _ := makeRaw(t, grid.Float32, 8, 8)
+	szStream := localStream(t, "sz14", raw, codec.Params{AbsBound: 1e-3, DType: grid.Float32, Dims: []int{8, 8}})
+	resp = post(t, ts.URL+"/v1/slabs", szStream)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("sz14 stream: status %d, want 400", resp.StatusCode)
+	}
+	readAllClose(t, resp)
+}
+
+func TestSlabEndpointMatchesLocal(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{})
+	stream, _ := slabContainer(t)
+
+	for _, spec := range []struct {
+		path   string
+		lo, hi int
+	}{
+		{"0", 0, 0},
+		{"2", 2, 2},
+		{"3", 3, 3},
+		{"1-2", 1, 2},
+		{"0-3", 0, 3},
+	} {
+		resp := post(t, ts.URL+"/v1/slab/"+spec.path, stream)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("slab %s: status %d: %s", spec.path, resp.StatusCode, readAllClose(t, resp))
+		}
+		if dt := resp.Header.Get("X-Sz-Dtype"); dt != "float32" {
+			t.Errorf("slab %s: X-Sz-Dtype = %q", spec.path, dt)
+		}
+		got := readAllClose(t, resp)
+		if want := localSlabDecode(t, stream, spec.lo, spec.hi); !bytes.Equal(got, want) {
+			t.Fatalf("slab %s: remote decode differs from local (%d vs %d bytes)", spec.path, len(got), len(want))
+		}
+	}
+
+	// The whole-container range must equal the full decompression.
+	resp := post(t, ts.URL+"/v1/slab/0-3", stream)
+	full := readAllClose(t, resp)
+	arr, err := blocked.Decompress(stream, blocked.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := arr.WriteRaw(&buf, grid.Float32); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(full, buf.Bytes()) {
+		t.Fatal("slab range 0-3 differs from full decompression")
+	}
+}
+
+func TestSlabEndpointErrors(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{})
+	stream, _ := slabContainer(t)
+
+	for _, c := range []struct {
+		path   string
+		status int
+	}{
+		{"abc", http.StatusBadRequest},
+		{"3-1", http.StatusBadRequest},
+		{"", http.StatusBadRequest},
+		{"1.5", http.StatusBadRequest},
+		{"4", http.StatusRequestedRangeNotSatisfiable},
+		{"2-9", http.StatusRequestedRangeNotSatisfiable},
+	} {
+		resp := post(t, ts.URL+"/v1/slab/"+c.path, stream)
+		if resp.StatusCode != c.status {
+			t.Errorf("slab %q: status %d, want %d", c.path, resp.StatusCode, c.status)
+		}
+		readAllClose(t, resp)
+	}
+
+	// Garbage container.
+	resp := post(t, ts.URL+"/v1/slab/0", []byte("not a container"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage container: status %d, want 400", resp.StatusCode)
+	}
+	readAllClose(t, resp)
+
+	// Wrong method.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/slab/0", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE: status %d, want 405", dresp.StatusCode)
+	}
+	readAllClose(t, dresp)
+}
+
+func TestSlabMetricsRecorded(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{})
+	stream, _ := slabContainer(t)
+	readAllClose(t, post(t, ts.URL+"/v1/slab/1", stream))
+	readAllClose(t, post(t, ts.URL+"/v1/slabs", stream))
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(readAllClose(t, resp))
+	for _, want := range []string{
+		`szd_requests_total{endpoint="slab",codec="blocked",status="200"} 1`,
+		`szd_requests_total{endpoint="slabs",codec="blocked",status="200"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
