@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on the DefaultServeMux, served only via -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,12 +41,30 @@ func main() {
 		readTimeout  = flag.Duration("read-timeout", 0, "max duration reading a request, including the body (0 = none)")
 		writeTimeout = flag.Duration("write-timeout", 0, "max duration writing a response (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight streams on shutdown")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty = disabled")
 	)
 	flag.Parse()
+	servePprof(*pprofAddr, "szd")
 	if err := run(*addr, *maxInflight, *maxRequest, *workers, *readTimeout, *writeTimeout, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "szd:", err)
 		os.Exit(1)
 	}
+}
+
+// servePprof exposes the pprof handlers on their own listener when
+// enabled, so allocation and CPU profiles can be captured from a
+// production daemon without widening the service surface: the main
+// listener never serves /debug/.
+func servePprof(addr, name string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		log.Printf("%s: pprof listening on %s", name, addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("%s: pprof server: %v", name, err)
+		}
+	}()
 }
 
 func run(addr string, maxInflight, maxRequest int64, workers int, readTimeout, writeTimeout, drainTimeout time.Duration) error {

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on the DefaultServeMux, served only via -pprof
 	"os"
 	"os/signal"
 	"strings"
@@ -36,15 +37,33 @@ func main() {
 		poll        = flag.Duration("poll", 2*time.Second, "health-poll interval")
 		replicas    = flag.Int("replicas", 0, "consistent-hash vnodes per backend (0 = 128)")
 		bufferLimit = flag.Int("buffer-limit", 0, "replayable-body cap in bytes (0 = 4 MiB)")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "response-cache budget for decode endpoints (0 = 64 MiB, -1 disables cache and coalescing)")
+		cacheEntry  = flag.Int64("cache-entry-bytes", 0, "largest cacheable single response (0 = 16 MiB)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty = disabled")
 	)
 	flag.Parse()
-	if err := run(*addr, *backends, *poll, *replicas, *bufferLimit); err != nil {
+	servePprof(*pprofAddr)
+	if err := run(*addr, *backends, *poll, *replicas, *bufferLimit, *cacheBytes, *cacheEntry); err != nil {
 		fmt.Fprintln(os.Stderr, "szrouter:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, backends string, poll time.Duration, replicas, bufferLimit int) error {
+// servePprof exposes the pprof handlers on their own listener when
+// enabled; the routing mux never serves /debug/.
+func servePprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		log.Printf("szrouter: pprof listening on %s", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("szrouter: pprof server: %v", err)
+		}
+	}()
+}
+
+func run(addr, backends string, poll time.Duration, replicas, bufferLimit int, cacheBytes, cacheEntry int64) error {
 	var nodes []string
 	for _, b := range strings.Split(backends, ",") {
 		if b = strings.TrimSpace(b); b != "" {
@@ -52,10 +71,12 @@ func run(addr, backends string, poll time.Duration, replicas, bufferLimit int) e
 		}
 	}
 	rt, err := fleet.New(fleet.Config{
-		Backends:     nodes,
-		Replicas:     replicas,
-		BufferLimit:  bufferLimit,
-		PollInterval: poll,
+		Backends:        nodes,
+		Replicas:        replicas,
+		BufferLimit:     bufferLimit,
+		PollInterval:    poll,
+		CacheBytes:      cacheBytes,
+		CacheEntryBytes: cacheEntry,
 	})
 	if err != nil {
 		return err

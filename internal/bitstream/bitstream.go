@@ -35,6 +35,14 @@ func NewWriter(sizeHint int) *Writer {
 	return &Writer{buf: make([]byte, 0, sizeHint)}
 }
 
+// NewWriterBytes returns a Writer that spills into buf (truncated to
+// length 0, capacity retained). Callers recycling buffers through a pool
+// hand one in here and reclaim it via Bytes after the last write; the
+// Writer may still grow past cap(buf) through ordinary append.
+func NewWriterBytes(buf []byte) *Writer {
+	return &Writer{buf: buf[:0]}
+}
+
 // WriteBit appends a single bit (any nonzero b counts as 1).
 func (w *Writer) WriteBit(b uint) {
 	var v uint64

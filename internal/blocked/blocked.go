@@ -281,19 +281,16 @@ func Decompress(stream []byte, p Params) (*grid.Array, error) {
 				if i >= nSlabs {
 					return
 				}
-				slab, dt, err := decodeSlab(b, ix, i)
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				dtypes[i] = dt
 				lo, hi := ix.SlabBounds(i)
 				dst, err := out.Slab(lo, hi)
 				if err != nil {
 					errs[i] = err
 					continue
 				}
-				copy(dst.Data, slab.Data)
+				// Decode straight into the output's slab rows: the slabs
+				// tile out.Data disjointly, so the workers never overlap
+				// and the decode-then-copy round trip disappears.
+				dtypes[i], errs[i] = decodeSlabInto(b, ix, i, dst.Data)
 			}
 		}()
 	}
@@ -355,19 +352,13 @@ func DecompressSlabRange(stream []byte, lo, hi int) (*grid.Array, grid.DType, er
 				if k >= n {
 					return
 				}
-				slab, dt, err := decodeSlab(b, ix, lo+k)
-				if err != nil {
-					errs[k] = err
-					continue
-				}
-				dtypes[k] = dt
 				slo, shi := ix.SlabBounds(lo + k)
 				dst, err := out.Slab(slo-rowLo, shi-rowLo)
 				if err != nil {
 					errs[k] = err
 					continue
 				}
-				copy(dst.Data, slab.Data)
+				dtypes[k], errs[k] = decodeSlabInto(b, ix, lo+k, dst.Data)
 			}
 		}()
 	}
@@ -386,23 +377,27 @@ func DecompressSlabRange(stream []byte, lo, hi int) (*grid.Array, grid.DType, er
 	return out, dtypes[0], nil
 }
 
-func decodeSlab(b []byte, ix *Index, i int) (*grid.Array, grid.DType, error) {
+// decodeSlabInto decompresses slab i directly into dst (the output
+// rows the slab covers). When the stream's geometry does not fit dst the
+// core falls back to a private allocation, so a corrupt slab can at
+// worst scribble on rows its caller is about to discard with the error.
+func decodeSlabInto(b []byte, ix *Index, i int, dst []float64) (grid.DType, error) {
 	lo, hi := ix.Offsets[i], ix.Offsets[i+1]
 	if lo > hi || hi > len(b) {
-		return nil, 0, fmt.Errorf("%w: slab %d bounds", ErrCorrupt, i)
+		return 0, fmt.Errorf("%w: slab %d bounds", ErrCorrupt, i)
 	}
-	slab, h, err := core.Decompress(b[lo:hi])
+	slab, h, err := core.DecompressInto(b[lo:hi], dst)
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	wantLo, wantHi := ix.SlabBounds(i)
 	if slab.Dims[0] != wantHi-wantLo {
-		return nil, 0, fmt.Errorf("%w: slab %d has %d rows, want %d", ErrCorrupt, i, slab.Dims[0], wantHi-wantLo)
+		return 0, fmt.Errorf("%w: slab %d has %d rows, want %d", ErrCorrupt, i, slab.Dims[0], wantHi-wantLo)
 	}
 	for d := 1; d < len(ix.Dims); d++ {
 		if d >= len(slab.Dims) || slab.Dims[d] != ix.Dims[d] {
-			return nil, 0, fmt.Errorf("%w: slab %d dims %v do not match container %v", ErrCorrupt, i, slab.Dims, ix.Dims)
+			return 0, fmt.Errorf("%w: slab %d dims %v do not match container %v", ErrCorrupt, i, slab.Dims, ix.Dims)
 		}
 	}
-	return slab, h.DType, nil
+	return h.DType, nil
 }

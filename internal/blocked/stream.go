@@ -2,7 +2,6 @@ package blocked
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -15,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/scratch"
 )
 
 // ErrNeedsAbsBound is returned by NewWriter for relative bound modes: a
@@ -34,10 +34,16 @@ func maxSlabStream(rawSlabBytes int) int {
 
 type job struct {
 	slab *grid.Array
-	res  chan result
+	// pooled marks slab.Data as drawn from the scratch pool (the raw-byte
+	// Write path); the worker recycles it once the slab is compressed.
+	// Zero-copy views handed in by writeSlab must never be recycled.
+	pooled bool
+	res    chan result
 }
 
 type result struct {
+	// stream is a scratch-pooled buffer; the emitter recycles it after
+	// writing it out.
 	stream []byte
 	stats  *core.Stats
 	err    error
@@ -136,12 +142,19 @@ func NewWriter(w io.Writer, dims []int, p Params) (*Writer, error) {
 	if err := w2.writeHeader(); err != nil {
 		return nil, err
 	}
+	// Seed each worker's output buffer at half the raw slab size — ample
+	// for typical compression factors, and append-growth (recycled too)
+	// covers incompressible slabs.
+	streamHint := w2.slabRows * w2.rowBytes / 2
 	for i := 0; i < workers; i++ {
 		w2.wg.Add(1)
 		go func() {
 			defer w2.wg.Done()
 			for j := range w2.jobs {
-				s, st, err := core.Compress(j.slab, w2.cp)
+				s, st, err := core.CompressAppend(scratch.Bytes(streamHint)[:0], j.slab, w2.cp)
+				if j.pooled {
+					scratch.PutFloat64s(j.slab.Data)
+				}
 				j.res <- result{s, st, err}
 			}
 		}()
@@ -240,19 +253,24 @@ func (w *Writer) emit() {
 	defer close(w.done)
 	for rc := range w.order {
 		r := <-rc
+		resChanPool.Put(rc) // drained: one send, one receive
 		if r.err != nil {
 			w.setErr(r.err)
 			continue
 		}
 		if w.getErr() != nil {
+			scratch.PutBytes(r.stream)
 			continue
 		}
-		if err := w.writeHashed(r.stream); err != nil {
+		err := w.writeHashed(r.stream)
+		n := len(r.stream)
+		scratch.PutBytes(r.stream)
+		if err != nil {
 			w.setErr(err)
 			continue
 		}
 		w.mu.Lock()
-		w.lengths = append(w.lengths, len(r.stream))
+		w.lengths = append(w.lengths, n)
 		w.slabStats = append(w.slabStats, r.stats)
 		w.mu.Unlock()
 	}
@@ -297,6 +315,11 @@ func (w *Writer) Write(b []byte) (int, error) {
 			return n - len(b), err
 		}
 		target := w.curSlabRows() * w.rowBytes
+		if cap(w.buf) == 0 {
+			// Lazily drawn so the writeSlab (zero-copy) path never pays
+			// for an accumulator it does not use.
+			w.buf = scratch.Bytes(target)[:0]
+		}
 		take := target - len(w.buf)
 		if take > len(b) {
 			take = len(b)
@@ -313,22 +336,26 @@ func (w *Writer) Write(b []byte) (int, error) {
 }
 
 // dispatchBuf parses the accumulated slab bytes into an array and hands
-// it to the pipeline, recycling the byte buffer.
+// it to the pipeline, recycling the byte buffer. The slab's float64
+// backing comes from the scratch pool (every element is assigned here);
+// the compressing worker recycles it.
 func (w *Writer) dispatchBuf() error {
 	rows := w.curSlabRows()
 	dims := append([]int(nil), w.dims...)
 	dims[0] = rows
-	slab := grid.New(dims...)
 	es := w.elemSize
-	for i := range slab.Data {
-		if es == 4 {
-			slab.Data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(w.buf[i*4:])))
-		} else {
-			slab.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(w.buf[i*8:]))
+	data := scratch.Float64s(len(w.buf) / es)
+	if es == 4 {
+		for i := range data {
+			data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(w.buf[i*4:])))
+		}
+	} else {
+		for i := range data {
+			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(w.buf[i*8:]))
 		}
 	}
 	w.buf = w.buf[:0]
-	return w.dispatch(slab)
+	return w.dispatch(&grid.Array{Dims: dims, Data: data}, true)
 }
 
 // writeSlab feeds a whole slab directly into the pipeline, bypassing the
@@ -350,13 +377,17 @@ func (w *Writer) writeSlab(slab *grid.Array) error {
 	if slab.Dims[0] != w.curSlabRows() {
 		return fmt.Errorf("blocked: slab has %d rows, want %d", slab.Dims[0], w.curSlabRows())
 	}
-	return w.dispatch(slab)
+	return w.dispatch(slab, false)
 }
 
-func (w *Writer) dispatch(slab *grid.Array) error {
-	res := make(chan result, 1)
+// resChanPool recycles the per-slab result channels (channels are
+// pointer-shaped, so pooling them allocates nothing in steady state).
+var resChanPool = sync.Pool{New: func() any { return make(chan result, 1) }}
+
+func (w *Writer) dispatch(slab *grid.Array, pooled bool) error {
+	res := resChanPool.Get().(chan result)
 	w.order <- res
-	w.jobs <- job{slab: slab, res: res}
+	w.jobs <- job{slab: slab, pooled: pooled, res: res}
 	w.rowsDone += slab.Dims[0]
 	w.slabIdx++
 	return nil
@@ -380,6 +411,8 @@ func (w *Writer) Close() error {
 	w.wg.Wait()
 	close(w.order)
 	<-w.done
+	scratch.PutBytes(w.buf)
+	w.buf = nil
 	if err := w.getErr(); err != nil {
 		w.closeErr = err
 		return err
@@ -453,11 +486,13 @@ type Reader struct {
 	slabIdx int
 	cur     []byte // raw bytes of the current slab not yet served
 	curOff  int
-	sbuf    []byte       // reusable compressed-slab buffer
-	rawBuf  bytes.Buffer // reusable slab-serialization buffer
+	sbuf    []byte    // scratch-pooled compressed-slab buffer
+	recon   []float64 // scratch-pooled reconstruction buffer
+	curBuf  []byte    // scratch-pooled slab-serialization buffer
 	lengths []int
 	hashed  int // bytes consumed and folded into the CRC so far
 	err     error
+	closed  bool
 }
 
 // NewReader parses the container header from r and prepares streaming
@@ -560,9 +595,24 @@ func (r *Reader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-// Close exists so Reader satisfies io.ReadCloser; it never fails and
-// does not close the underlying reader.
-func (r *Reader) Close() error { return nil }
+// Close returns the reader's pooled working buffers to the scratch
+// pools. It never fails and does not close the underlying reader; a
+// closed reader serves no further data. Closing is optional — an
+// unclosed reader's buffers are ordinary garbage.
+func (r *Reader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	scratch.PutBytes(r.sbuf)
+	scratch.PutFloat64s(r.recon)
+	scratch.PutBytes(r.curBuf)
+	r.sbuf, r.recon, r.curBuf, r.cur = nil, nil, nil, nil
+	if r.err == nil {
+		r.err = errors.New("blocked: reader closed")
+	}
+	return nil
+}
 
 func (r *Reader) nextSlab() error {
 	i := r.slabIdx
@@ -585,13 +635,22 @@ func (r *Reader) nextSlab() error {
 		return fmt.Errorf("%w: slab %d claims %d bytes", ErrCorrupt, i, total)
 	}
 	if cap(r.sbuf) < total {
-		r.sbuf = make([]byte, total)
+		scratch.PutBytes(r.sbuf)
+		r.sbuf = scratch.Bytes(total)
 	}
 	r.sbuf = r.sbuf[:total]
 	if err := r.readFull(r.sbuf); err != nil {
 		return fmt.Errorf("%w: slab %d: %w", ErrCorrupt, i, err)
 	}
-	slab, h, err := core.Decompress(r.sbuf)
+	// Decode into the reader's reusable reconstruction buffer: slabs of
+	// a container share one geometry, so after the first slab this is
+	// allocation-free.
+	slabElems := (wantHi - wantLo) * rowElems
+	if cap(r.recon) < slabElems {
+		scratch.PutFloat64s(r.recon)
+		r.recon = scratch.Float64s(slabElems)
+	}
+	slab, h, err := core.DecompressInto(r.sbuf, r.recon[:slabElems])
 	if err != nil {
 		return fmt.Errorf("blocked: slab %d: %w", i, err)
 	}
@@ -606,11 +665,25 @@ func (r *Reader) nextSlab() error {
 			return fmt.Errorf("%w: slab %d dims %v do not match container %v", ErrCorrupt, i, slab.Dims, r.dims)
 		}
 	}
-	r.rawBuf.Reset()
-	if err := slab.WriteRaw(&r.rawBuf, r.dtype); err != nil {
-		return err
+	// Serialize the reconstruction into the reusable output buffer —
+	// byte-identical to grid.Array.WriteRaw (same IEEE conversions in
+	// the same order), without the intermediate bytes.Buffer.
+	need := len(slab.Data) * r.dtype.Size()
+	if cap(r.curBuf) < need {
+		scratch.PutBytes(r.curBuf)
+		r.curBuf = scratch.Bytes(need)
 	}
-	r.cur = r.rawBuf.Bytes()
+	out := r.curBuf[:need]
+	if r.dtype == grid.Float32 {
+		for k, v := range slab.Data {
+			binary.LittleEndian.PutUint32(out[k*4:], math.Float32bits(float32(v)))
+		}
+	} else {
+		for k, v := range slab.Data {
+			binary.LittleEndian.PutUint64(out[k*8:], math.Float64bits(v))
+		}
+	}
+	r.cur = out
 	r.curOff = 0
 	r.lengths = append(r.lengths, total)
 	r.slabIdx++

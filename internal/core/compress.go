@@ -12,6 +12,7 @@ import (
 	"repro/internal/huffman"
 	"repro/internal/predictor"
 	"repro/internal/quant"
+	"repro/internal/scratch"
 )
 
 // Compress applies the SZ-1.4 pipeline (Algorithm 1 of the paper) to a and
@@ -19,14 +20,23 @@ import (
 //
 // The per-point predict+quantize scan runs through a fused kernel
 // specialized for the array geometry when one exists (see kernels.go);
-// kernels are byte-for-byte equivalent to the generic scan.
+// kernels are byte-for-byte equivalent to the generic scan. All working
+// memory (code array, reconstruction, histogram, Huffman arenas,
+// bitstream buffers) is drawn from and returned to the scratch pools, so
+// steady-state compression allocates only the returned stream and Stats.
 func Compress(a *grid.Array, p Params) ([]byte, *Stats, error) {
-	return compress(a, p, true)
+	return compress(nil, a, p, true)
+}
+
+// CompressAppend is Compress appending the stream to dst (which may be a
+// recycled buffer); the returned slice reuses dst's storage when it fits.
+func CompressAppend(dst []byte, a *grid.Array, p Params) ([]byte, *Stats, error) {
+	return compress(dst, a, p, true)
 }
 
 // compress is the implementation behind Compress; kernels=false forces the
 // generic reference scan (used by the equivalence tests and benchmarks).
-func compress(a *grid.Array, p Params, kernels bool) ([]byte, *Stats, error) {
+func compress(dst []byte, a *grid.Array, p Params, kernels bool) ([]byte, *Stats, error) {
 	p = p.withDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
@@ -44,13 +54,21 @@ func compress(a *grid.Array, p Params, kernels bool) ([]byte, *Stats, error) {
 	}
 
 	n := a.Len()
-	codes := make([]int, n)
-	recon := make([]float64, n)
-	hist := make([]uint64, q.NumCodes())
+	codes := scratch.Ints(n)     // every entry assigned by the scan
+	recon := scratch.Float64s(n) // every entry assigned by the scan
+	hist := scratch.Uint64sZeroed(q.NumCodes())
+	defer func() {
+		scratch.PutInts(codes)
+		scratch.PutFloat64s(recon)
+		scratch.PutUint64s(hist)
+	}()
 
 	// Outlier values are discovered during the scan but serialized after
-	// the Huffman-coded symbols, so they collect in a side stream.
-	outW := bitstream.NewWriter(256)
+	// the Huffman-coded symbols, so they collect in a side stream. The
+	// hint covers a few percent of outliers at 33 bits each; heavier
+	// escape traffic grows the buffer, which recycles under its grown
+	// size class.
+	outW := bitstream.NewWriterBytes(scratch.Bytes(n/8 + 64))
 	outEnc := binrep.NewEncoder(outW, eb)
 
 	scan := &compressState{
@@ -71,7 +89,15 @@ func compress(a *grid.Array, p Params, kernels bool) ([]byte, *Stats, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: building codebook: %w", err)
 	}
-	payload := bitstream.NewWriter(n/2 + 64)
+	defer cb.Release()
+	// One byte per element covers compression factors down to 4x for
+	// float32 (8x for float64) without growing; the scratch class
+	// rounding gives the buffer further headroom on top.
+	payload := bitstream.NewWriterBytes(scratch.Bytes(n + 64))
+	defer func() {
+		scratch.PutBytes(payload.Bytes())
+		scratch.PutBytes(outW.Bytes())
+	}()
 	cb.Serialize(payload)
 	tableBits := payload.Len()
 	if err := cb.Encode(payload, codes); err != nil {
@@ -90,9 +116,9 @@ func compress(a *grid.Array, p Params, kernels bool) ([]byte, *Stats, error) {
 		NumOutliers:  numOutliers,
 		PayloadBits:  payload.Len(),
 	}
-	stream := appendHeader(nil, h)
+	stream := appendHeader(dst, h)
 	stream = append(stream, payload.Bytes()...)
-	crc := crc32.ChecksumIEEE(stream)
+	crc := crc32.ChecksumIEEE(stream[len(dst):])
 	stream = binary.LittleEndian.AppendUint32(stream, crc)
 
 	st := &Stats{
@@ -100,9 +126,9 @@ func compress(a *grid.Array, p Params, kernels bool) ([]byte, *Stats, error) {
 		Predictable:     n - numOutliers,
 		HitRate:         float64(n-numOutliers) / float64(n),
 		EffAbsBound:     eb,
-		CompressedBytes: len(stream),
+		CompressedBytes: len(stream) - len(dst),
 		OriginalBytes:   n * p.OutputType.Size(),
-		Histogram:       hist,
+		Histogram:       append([]uint64(nil), hist...),
 
 		TableBits:          tableBits,
 		CodeBits:           codeBits,

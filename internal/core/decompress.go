@@ -12,6 +12,7 @@ import (
 	"repro/internal/huffman"
 	"repro/internal/predictor"
 	"repro/internal/quant"
+	"repro/internal/scratch"
 )
 
 // Inspect parses and validates the header of a compressed stream without
@@ -25,14 +26,25 @@ func Inspect(stream []byte) (*Header, error) {
 // Every reconstructed value satisfies |x − x̃| ≤ Header.AbsBound.
 //
 // Like Compress, the reconstruction scan runs through a fused
-// geometry-specialized kernel when one exists (see kernels.go).
+// geometry-specialized kernel when one exists (see kernels.go). Working
+// memory (code array, codebook tables) is recycled through the scratch
+// pools; only the reconstruction itself is newly allocated.
 func Decompress(stream []byte) (*grid.Array, *Header, error) {
-	return decompress(stream, true)
+	return decompress(stream, true, nil)
+}
+
+// DecompressInto is Decompress reconstructing into data when it is large
+// enough for the stream's element count (the returned Array then aliases
+// data's prefix); an undersized or nil data falls back to a fresh
+// allocation. Every element of the used prefix is overwritten, so a
+// recycled buffer needs no clearing.
+func DecompressInto(stream []byte, data []float64) (*grid.Array, *Header, error) {
+	return decompress(stream, true, data)
 }
 
 // decompress is the implementation behind Decompress; kernels=false forces
 // the generic reference scan.
-func decompress(stream []byte, kernels bool) (*grid.Array, *Header, error) {
+func decompress(stream []byte, kernels bool, data []float64) (*grid.Array, *Header, error) {
 	h, off, err := parseHeader(stream)
 	if err != nil {
 		return nil, nil, err
@@ -52,8 +64,10 @@ func decompress(stream []byte, kernels bool) (*grid.Array, *Header, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: codebook: %v", ErrCorrupt, err)
 	}
+	defer cb.Release()
 	n := h.N()
-	codes := make([]int, n)
+	codes := scratch.Ints(n) // DecodeInto assigns every entry
+	defer scratch.PutInts(codes)
 	if err := cb.DecodeInto(r, codes); err != nil {
 		return nil, nil, fmt.Errorf("%w: codes: %v", ErrCorrupt, err)
 	}
@@ -77,7 +91,14 @@ func decompress(stream []byte, kernels bool) (*grid.Array, *Header, error) {
 		}
 	}
 
-	out := grid.New(h.Dims...)
+	var out *grid.Array
+	if len(data) >= n {
+		// The scan assigns every element of the prefix, so the caller's
+		// buffer contents do not matter.
+		out = &grid.Array{Dims: append([]int(nil), h.Dims...), Data: data[:n]}
+	} else {
+		out = grid.New(h.Dims...)
+	}
 	scan := &decompressState{
 		qparams: newQParams(q, h.DType),
 		recon:   out.Data,

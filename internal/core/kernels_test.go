@@ -75,11 +75,11 @@ func TestKernelEquivalence(t *testing.T) {
 
 func checkEquivalence(t *testing.T, a *grid.Array, p Params, dims []int, layers int) {
 	t.Helper()
-	fast, fastStats, err := compress(a, p, true)
+	fast, fastStats, err := compress(nil, a, p, true)
 	if err != nil {
 		t.Fatalf("dims=%v layers=%d: kernel compress: %v", dims, layers, err)
 	}
-	ref, refStats, err := compress(a, p, false)
+	ref, refStats, err := compress(nil, a, p, false)
 	if err != nil {
 		t.Fatalf("dims=%v layers=%d: generic compress: %v", dims, layers, err)
 	}
@@ -91,11 +91,11 @@ func checkEquivalence(t *testing.T, a *grid.Array, p Params, dims []int, layers 
 		t.Fatalf("dims=%v layers=%d: kernel stats differ:\n%+v\nvs\n%+v",
 			dims, layers, fastStats, refStats)
 	}
-	fastOut, fastH, err := decompress(fast, true)
+	fastOut, fastH, err := decompress(fast, true, nil)
 	if err != nil {
 		t.Fatalf("dims=%v layers=%d: kernel decompress: %v", dims, layers, err)
 	}
-	refOut, refH, err := decompress(ref, false)
+	refOut, refH, err := decompress(ref, false, nil)
 	if err != nil {
 		t.Fatalf("dims=%v layers=%d: generic decompress: %v", dims, layers, err)
 	}

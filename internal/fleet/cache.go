@@ -1,0 +1,161 @@
+package fleet
+
+// Per-node response caching and in-flight request coalescing.
+//
+// The router hashes replayable bodies and pins each digest to one ring
+// node, so identical requests always land here with identical answers:
+// decompress, slab, slabs, and inspect responses are pure functions of
+// (input bytes, endpoint, parameters). That makes the router itself the
+// natural cache seat — a hit answers without touching any backend, and
+// the consistent-hash affinity means each router-fronted node set only
+// ever caches its own key range.
+//
+// Coalescing closes the remaining gap: when N identical requests are in
+// flight at once (a fan-out of analysis ranks asking for the same slab),
+// only the first reaches a backend; the rest wait for its buffered
+// response and share it. Both layers serve complete buffered responses,
+// so they apply only to cacheable endpoints with replayable bodies and
+// responses within the per-entry size cap.
+
+import (
+	"container/list"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheEntry is a complete buffered response: everything needed to
+// replay it to another client.
+type cacheEntry struct {
+	status  int
+	header  http.Header
+	body    []byte
+	backend string
+}
+
+func (e *cacheEntry) size() int64 { return int64(len(e.body)) + 256 /* headers, bookkeeping */ }
+
+// writeTo replays the entry. mode tags X-Sz-Cache so clients and tests
+// can tell a served-from-cache response ("hit") from a shared in-flight
+// one ("coalesced").
+func (e *cacheEntry) writeTo(w http.ResponseWriter, mode string) {
+	copyHeaders(w.Header(), e.header)
+	w.Header().Set("X-Sz-Backend", e.backend)
+	w.Header().Set("X-Sz-Cache", mode)
+	w.WriteHeader(e.status)
+	w.Write(e.body)
+}
+
+// respCache is a bounded LRU over cacheEntry keyed by the request
+// identity (endpoint, path, parameters, body digest).
+type respCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheItem struct {
+	key   string
+	entry *cacheEntry
+}
+
+func newRespCache(maxBytes int64) *respCache {
+	return &respCache{maxBytes: maxBytes, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the cached entry for key, promoting it, or nil.
+func (c *respCache) get(key string) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).entry
+}
+
+// put stores an entry, evicting from the LRU tail until the byte budget
+// holds. Entries larger than the whole budget are rejected.
+func (c *respCache) put(key string, e *cacheEntry) {
+	if e.size() > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Identical identity implies identical response; keep the one
+		// already resident and just promote it.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, entry: e})
+	c.bytes += e.size()
+	for c.bytes > c.maxBytes {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		it := el.Value.(*cacheItem)
+		c.ll.Remove(el)
+		delete(c.items, it.key)
+		c.bytes -= it.entry.size()
+		c.evictions++
+	}
+}
+
+// stats snapshots the counters for /metrics.
+func (c *respCache) stats() (bytes, entries, hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes, int64(c.ll.Len()), c.hits, c.misses, c.evictions
+}
+
+// flightGroup deduplicates concurrent identical requests: the first
+// caller for a key becomes the leader and talks to a backend; followers
+// block until the leader finishes and share its buffered response.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{}
+	entry   *cacheEntry  // nil when the leader's response was not shareable
+	waiters atomic.Int64 // followers blocked on done (observability/tests)
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: map[string]*flightCall{}}
+}
+
+// join registers interest in key. The first caller gets leader=true and
+// MUST call leave when its attempt is finished (success or not);
+// followers get the existing call to wait on.
+func (g *flightGroup) join(key string) (c *flightCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		c.waiters.Add(1)
+		return c, false
+	}
+	c = &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// leave publishes the leader's outcome (entry may be nil) and releases
+// the followers.
+func (g *flightGroup) leave(key string, c *flightCall, entry *cacheEntry) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.entry = entry
+	close(c.done)
+}

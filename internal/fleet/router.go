@@ -41,7 +41,25 @@ const (
 	// relayErrBodyLimit bounds how much of a rejection body is stored
 	// for relaying after every candidate failed.
 	relayErrBodyLimit = 4 << 10
+	// defaultCacheBytes is the response cache's byte budget.
+	defaultCacheBytes = 64 << 20
+	// defaultCacheEntryBytes caps a single cacheable response. It is
+	// deliberately larger than the request buffer limit: decompress and
+	// slab responses expand their input.
+	defaultCacheEntryBytes = 16 << 20
 )
+
+// cacheableEndpoint marks the endpoints whose responses are pure
+// functions of (input bytes, parameters) and cheap to replay: the
+// decode-side family. Compression is deterministic too, but its inputs
+// are raw fields — large, rarely repeated — so caching it would only
+// churn the budget.
+var cacheableEndpoint = map[string]bool{
+	"decompress": true,
+	"inspect":    true,
+	"slabs":      true,
+	"slab":       true,
+}
 
 // Config configures a Router.
 type Config struct {
@@ -56,6 +74,14 @@ type Config struct {
 	// HTTPClient overrides the proxy transport (nil = no-timeout client;
 	// streams may legitimately run for minutes).
 	HTTPClient *http.Client
+	// CacheBytes is the response-cache byte budget for the decode-side
+	// endpoints (decompress, slab, slabs, inspect). 0 means the 64 MiB
+	// default; negative disables the cache AND in-flight coalescing.
+	CacheBytes int64
+	// CacheEntryBytes caps a single cached (or coalesced) response;
+	// larger responses stream through uncached. 0 means the 16 MiB
+	// default.
+	CacheEntryBytes int64
 }
 
 // Router is the fleet-mode HTTP proxy.
@@ -68,6 +94,14 @@ type Router struct {
 	rr          atomic.Uint64
 	met         *routerMetrics
 	mux         *http.ServeMux
+
+	// cache and flights implement the zero-recompute path: cache serves
+	// repeated identical requests without a backend round trip, flights
+	// collapses concurrent identical requests onto one backend call.
+	// Both are nil when caching is disabled.
+	cache      *respCache
+	flights    *flightGroup
+	entryLimit int64
 }
 
 // New builds a Router; call Start to begin health polling.
@@ -98,6 +132,18 @@ func New(cfg Config) (*Router, error) {
 		bufferLimit: limit,
 		met:         newRouterMetrics(),
 		mux:         http.NewServeMux(),
+	}
+	if cfg.CacheBytes >= 0 {
+		cacheBytes := cfg.CacheBytes
+		if cacheBytes == 0 {
+			cacheBytes = defaultCacheBytes
+		}
+		rt.entryLimit = cfg.CacheEntryBytes
+		if rt.entryLimit <= 0 {
+			rt.entryLimit = defaultCacheEntryBytes
+		}
+		rt.cache = newRespCache(cacheBytes)
+		rt.flights = newFlightGroup()
 	}
 	rt.mux.HandleFunc("/v1/compress", rt.proxyBody("compress"))
 	rt.mux.HandleFunc("/v1/decompress", rt.proxyBody("decompress"))
@@ -236,8 +282,9 @@ func retryable(status int) bool {
 }
 
 // proxyBody handles the body-carrying endpoints. Bodies within the
-// buffer limit are hashed and routed with failover; larger bodies
-// stream to a single picked backend.
+// buffer limit are hashed and routed with failover — consulting the
+// response cache and coalescing identical in-flight requests on the
+// cacheable endpoints; larger bodies stream to a single picked backend.
 func (rt *Router) proxyBody(endpoint string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		head, err := io.ReadAll(io.LimitReader(r.Body, int64(rt.bufferLimit)+1))
@@ -246,14 +293,89 @@ func (rt *Router) proxyBody(endpoint string) http.HandlerFunc {
 			writeJSONError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err))
 			return
 		}
-		if len(head) <= rt.bufferLimit {
-			digest := sha256.Sum256(head)
-			key := hex.EncodeToString(digest[:])
-			rt.forwardReplayable(w, r, endpoint, rt.candidates(key), head)
+		if len(head) > rt.bufferLimit {
+			rt.forwardStream(w, r, endpoint, head)
 			return
 		}
-		rt.forwardStream(w, r, endpoint, head)
+		digest := sha256.Sum256(head)
+		key := hex.EncodeToString(digest[:])
+		if rt.cache != nil && cacheableEndpoint[endpoint] {
+			rt.serveCacheable(w, r, endpoint, key, head)
+			return
+		}
+		rt.forwardReplayable(w, r, endpoint, rt.candidates(key), head)
 	}
+}
+
+// requestIdentity builds the cache/coalescing key: the endpoint, path,
+// canonicalized query, the X-Sz-* parameter headers, and the body
+// digest. Two requests with equal identity are guaranteed the same
+// response bytes (the decode endpoints are pure functions of input and
+// parameters). X-Sz-Content-Length is excluded — it is an admission
+// hint, not a parameter, and would only split the cache.
+func requestIdentity(endpoint string, r *http.Request, digest string) string {
+	var b strings.Builder
+	b.WriteString(endpoint)
+	b.WriteByte('|')
+	b.WriteString(r.URL.Path)
+	b.WriteByte('|')
+	b.WriteString(r.URL.Query().Encode()) // Encode sorts keys
+	b.WriteByte('|')
+	hkeys := make([]string, 0, 4)
+	for k := range r.Header {
+		if strings.HasPrefix(k, "X-Sz-") && k != "X-Sz-Content-Length" {
+			hkeys = append(hkeys, k)
+		}
+	}
+	sort.Strings(hkeys)
+	for _, k := range hkeys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strings.Join(r.Header.Values(k), ","))
+		b.WriteByte('&')
+	}
+	b.WriteByte('|')
+	b.WriteString(digest)
+	return b.String()
+}
+
+// serveCacheable answers a replayable decode-side request from the
+// response cache when possible, coalesces it onto an identical in-flight
+// request otherwise, and only then forwards — capturing a shareable
+// response for both layers on the way back.
+func (rt *Router) serveCacheable(w http.ResponseWriter, r *http.Request, endpoint, key string, head []byte) {
+	id := requestIdentity(endpoint, r, key)
+	if e := rt.cache.get(id); e != nil {
+		e.writeTo(w, "hit")
+		rt.met.request(endpoint, e.status)
+		return
+	}
+	c, leader := rt.flights.join(id)
+	if leader {
+		var entry *cacheEntry
+		// leave runs deferred so followers are released even if the
+		// forward path fails in an unexpected way.
+		defer func() { rt.flights.leave(id, c, entry) }()
+		entry = rt.forwardCaptured(w, r, endpoint, rt.candidates(key), head)
+		if entry != nil && entry.status == http.StatusOK {
+			rt.cache.put(id, entry)
+		}
+		return
+	}
+	select {
+	case <-c.done:
+	case <-r.Context().Done():
+		return // client gave up while waiting on the leader
+	}
+	if e := c.entry; e != nil {
+		rt.met.coalesced(endpoint)
+		e.writeTo(w, "coalesced")
+		rt.met.request(endpoint, e.status)
+		return
+	}
+	// The leader's response was not shareable (oversized or an internal
+	// error); fall back to an ordinary forward of our own.
+	rt.forwardReplayable(w, r, endpoint, rt.candidates(key), head)
 }
 
 // proxyBodyless handles GET endpoints with no body (the codec listing):
@@ -278,21 +400,34 @@ func (rt *Router) proxyBodyless(endpoint string) http.HandlerFunc {
 // attempt, failing over on shed statuses and transport errors; the last
 // rejection is relayed when no candidate accepts.
 func (rt *Router) forwardReplayable(w http.ResponseWriter, r *http.Request, endpoint string, cands []string, body []byte) {
+	rt.forward(w, r, endpoint, cands, body, false)
+}
+
+// forwardCaptured is forwardReplayable for the cacheable path: a
+// successful response within the entry limit is buffered, served to the
+// client, and returned for the cache and any coalesced followers. A nil
+// return means the response was served but is not shareable (oversized,
+// a relayed rejection, or an internal error).
+func (rt *Router) forwardCaptured(w http.ResponseWriter, r *http.Request, endpoint string, cands []string, body []byte) *cacheEntry {
+	return rt.forward(w, r, endpoint, cands, body, true)
+}
+
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint string, cands []string, body []byte, capture bool) *cacheEntry {
 	var last *storedResp
 	for _, backend := range cands {
 		if r.Context().Err() != nil {
-			return // client went away; stop burning backends
+			return nil // client went away; stop burning backends
 		}
 		req, err := rt.buildRequest(r, backend, bytes.NewReader(body), int64(len(body)))
 		if err != nil {
 			rt.met.request(endpoint, http.StatusInternalServerError)
 			writeJSONError(w, http.StatusInternalServerError, err)
-			return
+			return nil
 		}
 		resp, err := rt.client.Do(req)
 		if err != nil {
 			if r.Context().Err() != nil {
-				return // the client aborted; the backend is not at fault
+				return nil // the client aborted; the backend is not at fault
 			}
 			rt.poller.MarkDead(backend)
 			rt.met.failover(backend)
@@ -304,16 +439,56 @@ func (rt *Router) forwardReplayable(w http.ResponseWriter, r *http.Request, endp
 			rt.met.failover(backend)
 			continue
 		}
+		if capture && resp.StatusCode == http.StatusOK {
+			return rt.relayCaptured(w, resp, backend, endpoint)
+		}
 		rt.relay(w, resp, backend, endpoint)
-		return
+		return nil
 	}
 	if last != nil {
 		last.write(w)
 		rt.met.request(endpoint, last.status)
-		return
+		return nil
 	}
 	rt.met.request(endpoint, http.StatusBadGateway)
 	writeJSONError(w, http.StatusBadGateway, errors.New("no reachable backend"))
+	return nil
+}
+
+// relayCaptured relays a successful backend response while buffering it
+// for reuse. Responses within the entry limit are read fully before the
+// first client byte (so a shared entry is always complete); larger ones
+// fall back to pure streaming and are not shared.
+func (rt *Router) relayCaptured(w http.ResponseWriter, resp *http.Response, backend, endpoint string) *cacheEntry {
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, rt.entryLimit+1))
+	if err != nil {
+		// The backend died mid-response. The client must see a broken
+		// transfer, not a silently truncated body: headers have not been
+		// written yet, so answer 502 outright.
+		rt.met.request(endpoint, http.StatusBadGateway)
+		writeJSONError(w, http.StatusBadGateway, fmt.Errorf("backend %s: %w", backend, err))
+		return nil
+	}
+	if int64(len(buf)) > rt.entryLimit {
+		// Too large to share: stream the prefix plus the rest through.
+		copyHeaders(w.Header(), resp.Header)
+		w.Header().Set("X-Sz-Backend", backend)
+		w.WriteHeader(resp.StatusCode)
+		w.Write(buf)
+		io.CopyBuffer(w, resp.Body, make([]byte, 256<<10))
+		rt.met.request(endpoint, resp.StatusCode)
+		return nil
+	}
+	h := make(http.Header, 8)
+	copyHeaders(h, resp.Header)
+	entry := &cacheEntry{status: resp.StatusCode, header: h, body: buf, backend: backend}
+	copyHeaders(w.Header(), resp.Header)
+	w.Header().Set("X-Sz-Backend", backend)
+	w.WriteHeader(resp.StatusCode)
+	w.Write(buf)
+	rt.met.request(endpoint, resp.StatusCode)
+	return entry
 }
 
 // forwardStream forwards a non-replayable stream in one attempt: head
@@ -393,6 +568,25 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	io.WriteString(w, rt.met.expose(rt.backends, rt.poller))
+	if rt.cache != nil {
+		bytes, entries, hits, misses, evictions := rt.cache.stats()
+		fmt.Fprintf(w, "# HELP szrouter_cache_hits_total Responses served from the router cache.\n"+
+			"# TYPE szrouter_cache_hits_total counter\n"+
+			"szrouter_cache_hits_total %d\n"+
+			"# HELP szrouter_cache_misses_total Cacheable requests that missed the cache.\n"+
+			"# TYPE szrouter_cache_misses_total counter\n"+
+			"szrouter_cache_misses_total %d\n"+
+			"# HELP szrouter_cache_evictions_total Entries evicted to hold the byte budget.\n"+
+			"# TYPE szrouter_cache_evictions_total counter\n"+
+			"szrouter_cache_evictions_total %d\n"+
+			"# HELP szrouter_cache_bytes Bytes currently held by the response cache.\n"+
+			"# TYPE szrouter_cache_bytes gauge\n"+
+			"szrouter_cache_bytes %d\n"+
+			"# HELP szrouter_cache_entries Entries currently held by the response cache.\n"+
+			"# TYPE szrouter_cache_entries gauge\n"+
+			"szrouter_cache_entries %d\n",
+			hits, misses, evictions, bytes, entries)
+	}
 }
 
 func writeJSONError(w http.ResponseWriter, status int, err error) {
@@ -408,6 +602,7 @@ type routerMetrics struct {
 	forwards  map[[2]string]int64 // {backend, endpoint} -> attempts relayed
 	failovers map[string]int64    // backend -> attempts diverted away
 	requests  map[string]map[int]int64
+	coalesces map[string]int64 // endpoint -> requests served off an in-flight twin
 }
 
 func newRouterMetrics() *routerMetrics {
@@ -415,7 +610,14 @@ func newRouterMetrics() *routerMetrics {
 		forwards:  map[[2]string]int64{},
 		failovers: map[string]int64{},
 		requests:  map[string]map[int]int64{},
+		coalesces: map[string]int64{},
 	}
+}
+
+func (m *routerMetrics) coalesced(endpoint string) {
+	m.mu.Lock()
+	m.coalesces[endpoint]++
+	m.mu.Unlock()
 }
 
 func (m *routerMetrics) forward(backend, endpoint string) {
@@ -487,6 +689,17 @@ func (m *routerMetrics) expose(backends []string, p *Poller) string {
 		for _, st := range sts {
 			fmt.Fprintf(&b, "szrouter_requests_total{endpoint=%q,status=\"%d\"} %d\n", ep, st, m.requests[ep][st])
 		}
+	}
+
+	b.WriteString("# HELP szrouter_coalesced_total Requests served off an identical in-flight request's response.\n")
+	b.WriteString("# TYPE szrouter_coalesced_total counter\n")
+	ceps := make([]string, 0, len(m.coalesces))
+	for ep := range m.coalesces {
+		ceps = append(ceps, ep)
+	}
+	sort.Strings(ceps)
+	for _, ep := range ceps {
+		fmt.Fprintf(&b, "szrouter_coalesced_total{endpoint=%q} %d\n", ep, m.coalesces[ep])
 	}
 
 	b.WriteString("# HELP szrouter_backend_state Backend health (0 unknown, 1 healthy, 2 draining, 3 dead).\n")

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"repro/internal/scratch"
 )
 
 // MaxDims is the maximum number of dimensions supported by the compressors.
@@ -238,7 +240,8 @@ func (t DType) String() string {
 // WriteRaw writes the flat data to w as little-endian values of the given
 // type, with no header — the format used for raw scientific data files.
 func (a *Array) WriteRaw(w io.Writer, t DType) error {
-	buf := make([]byte, 8192)
+	buf := scratch.Bytes(8192)
+	defer scratch.PutBytes(buf)
 	es := t.Size()
 	if es == 0 {
 		return fmt.Errorf("grid: unknown dtype %v", t)

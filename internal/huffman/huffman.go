@@ -12,9 +12,9 @@ package huffman
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/bitstream"
+	"repro/internal/scratch"
 )
 
 // MaxSymbols bounds the alphabet size (quantization uses up to 2^16 codes).
@@ -128,15 +128,22 @@ func (h *nodeHeap) pop() int {
 	return x
 }
 
+// nodePool recycles build arenas between codebook constructions; the
+// arena is dead the moment code lengths are extracted.
+var nodePool = scratch.NewPool[node]()
+
 // New builds a canonical Huffman codebook from symbol frequencies.
 // freqs[i] is the count of symbol i; zero-frequency symbols get no code.
 // At least one symbol must have nonzero frequency.
+//
+// The codebook's working slices come from the scratch pools; callers
+// done with a codebook may hand them back with Release.
 func New(freqs []uint64) (*Codebook, error) {
 	n := len(freqs)
 	if n == 0 || n > MaxSymbols {
 		return nil, fmt.Errorf("huffman: alphabet size %d out of range [1,%d]", n, MaxSymbols)
 	}
-	lengths := make([]uint8, n)
+	lengths := scratch.BytesZeroed(n)
 	nz := 0
 	single := -1
 	for s, f := range freqs {
@@ -155,8 +162,11 @@ func New(freqs []uint64) (*Codebook, error) {
 		return fromLengths(n, lengths)
 	}
 
-	arena := make([]node, 0, 2*nz)
-	h := &nodeHeap{arena: arena}
+	h := &nodeHeap{arena: nodePool.Get(2 * nz)[:0], idx: scratch.Ints(nz)[:0]}
+	defer func() {
+		nodePool.Put(h.arena)
+		scratch.PutInts(h.idx)
+	}()
 	for s, f := range freqs {
 		if f == 0 {
 			continue
@@ -183,11 +193,17 @@ func New(freqs []uint64) (*Codebook, error) {
 	root := h.idx[0]
 
 	// Extract code lengths by depth-first walk (iterative to bound stack).
+	// Depth is checked at internal nodes too — every internal node past
+	// the limit has a leaf strictly deeper, so the same trees fail — which
+	// caps the walk depth and lets the frame stack live on the goroutine
+	// stack.
 	type frame struct {
 		node  int
 		depth uint8
 	}
-	stack := []frame{{root, 0}}
+	var stackArr [maxCodeLen + 4]frame
+	stack := stackArr[:0]
+	stack = append(stack, frame{root, 0})
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -199,13 +215,17 @@ func New(freqs []uint64) (*Codebook, error) {
 			lengths[nd.symbol] = f.depth
 			continue
 		}
+		if f.depth >= maxCodeLen {
+			return nil, fmt.Errorf("huffman: code length %d exceeds limit %d", f.depth+1, maxCodeLen)
+		}
 		stack = append(stack, frame{nd.left, f.depth + 1}, frame{nd.right, f.depth + 1})
 	}
 	return fromLengths(n, lengths)
 }
 
 // fromLengths assigns canonical codes given per-symbol lengths and builds
-// the decoding tables. It validates the Kraft sum.
+// the decoding tables. It validates the Kraft sum. lengths must come from
+// the scratch byte pool (Release hands it back there).
 func fromLengths(n int, lengths []uint8) (*Codebook, error) {
 	cb := &Codebook{numSymbols: n, lengths: lengths}
 	for _, l := range lengths {
@@ -219,7 +239,7 @@ func fromLengths(n int, lengths []uint8) (*Codebook, error) {
 	if cb.maxLen > maxCodeLen {
 		return nil, fmt.Errorf("huffman: code length %d exceeds limit %d", cb.maxLen, maxCodeLen)
 	}
-	cb.countByLen = make([]int, cb.maxLen+1)
+	cb.countByLen = scratch.IntsZeroed(int(cb.maxLen) + 1)
 	nz := 0
 	for _, l := range lengths {
 		if l > 0 {
@@ -237,9 +257,11 @@ func fromLengths(n int, lengths []uint8) (*Codebook, error) {
 		return nil, fmt.Errorf("%w: Kraft sum exceeds 1", ErrCorrupt)
 	}
 
-	// Canonical first codes per length.
-	cb.firstCode = make([]uint64, cb.maxLen+2)
-	cb.firstIndex = make([]int, cb.maxLen+2)
+	// Canonical first codes per length. Entries 1..maxLen are assigned
+	// below and are the only ones ever read, so the recycled slices'
+	// leftover contents elsewhere are harmless.
+	cb.firstCode = scratch.Uint64s(int(cb.maxLen) + 2)
+	cb.firstIndex = scratch.Ints(int(cb.maxLen) + 2)
 	code := uint64(0)
 	idx := 0
 	for l := uint8(1); l <= cb.maxLen; l++ {
@@ -249,31 +271,41 @@ func fromLengths(n int, lengths []uint8) (*Codebook, error) {
 		idx += cb.countByLen[l]
 	}
 
-	// Assign codes: symbols sorted by (length, symbol).
-	cb.codes = make([]uint64, n)
-	cb.symByCode = make([]uint32, nz)
-	next := make([]int, cb.maxLen+1)
-	order := make([]int, 0, nz)
+	// Assign codes in (length, symbol) order without sorting: scanning
+	// symbols in ascending order with a per-length placement counter
+	// visits each length class in ascending symbol order, which is
+	// exactly the canonical ordering. codes[s] is read only for symbols
+	// with a nonzero length, all of which are assigned here, so it needs
+	// no clearing.
+	cb.codes = scratch.Uint64s(n)
+	cb.symByCode = scratch.Uint32s(nz)
+	next := scratch.IntsZeroed(int(cb.maxLen) + 1)
+	defer scratch.PutInts(next)
 	for s, l := range lengths {
-		if l > 0 {
-			order = append(order, s)
+		if l == 0 {
+			continue
 		}
-	}
-	sort.Slice(order, func(i, j int) bool {
-		li, lj := lengths[order[i]], lengths[order[j]]
-		if li != lj {
-			return li < lj
-		}
-		return order[i] < order[j]
-	})
-	for _, s := range order {
-		l := lengths[s]
 		off := next[l]
 		next[l]++
 		cb.codes[s] = cb.firstCode[l] + uint64(off)
 		cb.symByCode[cb.firstIndex[l]+off] = uint32(s)
 	}
 	return cb, nil
+}
+
+// Release hands the codebook's working slices back to the scratch pools
+// and zeroes the codebook. It is an optimization for per-slab codebooks
+// on the hot path; a released codebook must not be used again. Releasing
+// is never required — an un-released codebook is ordinary garbage.
+func (cb *Codebook) Release() {
+	scratch.PutBytes(cb.lengths)
+	scratch.PutUint64s(cb.codes)
+	scratch.PutUint64s(cb.firstCode)
+	scratch.PutInts(cb.firstIndex)
+	scratch.PutInts(cb.countByLen)
+	scratch.PutUint32s(cb.symByCode)
+	scratch.PutUint32s(cb.table)
+	*cb = Codebook{}
 }
 
 // decodeTableBits caps the fast decode table at 2^12 entries (16 KiB).
@@ -294,7 +326,9 @@ func (cb *Codebook) buildDecodeTable() {
 		tb = decodeTableBits
 	}
 	cb.tableBits = tb
-	cb.table = make([]uint32, 1<<tb)
+	// Sized to min(maxLen, decodeTableBits): a tiny alphabet gets a tiny
+	// table (a 3-symbol codebook needs 4 entries, not 4096).
+	cb.table = scratch.Uint32sZeroed(1 << tb)
 	for s, l := range cb.lengths {
 		if l == 0 || uint(l) > tb {
 			continue
@@ -486,7 +520,9 @@ func Deserialize(r *bitstream.Reader) (*Codebook, error) {
 		return nil, fmt.Errorf("%w: alphabet size %d", ErrCorrupt, ns)
 	}
 	n := int(ns)
-	lengths := make([]uint8, n)
+	// Every position is assigned by the run decoding below (the loop only
+	// terminates at i == n), so the recycled buffer needs no clearing.
+	lengths := scratch.Bytes(n)
 	i := 0
 	for i < n {
 		run, err := r.ReadEliasGamma()

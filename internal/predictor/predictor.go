@@ -29,7 +29,9 @@
 package predictor
 
 import (
+	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // MaxLayers bounds the supported layer count. Beyond 8 layers the binomial
@@ -37,6 +39,9 @@ import (
 const MaxLayers = 8
 
 // Predictor evaluates the n-layer prediction for a fixed array geometry.
+// Predictors are immutable after construction (the border-stencil memo is
+// internally locked) and may be shared freely across goroutines — New
+// returns one cached instance per (dims, layers) geometry.
 type Predictor struct {
 	dims    []int
 	strides []int
@@ -44,13 +49,40 @@ type Predictor struct {
 	// interior is the precomputed full stencil used when every dimension
 	// has at least n processed layers available.
 	interior []Term
+	// flat is the interior stencil in kernel (structure-of-arrays) form,
+	// built once so the per-slab hot path never re-flattens.
+	flat FlatStencil
 	// borderCache memoizes reduced stencils keyed by the per-dimension
-	// effective layer vector.
+	// effective layer vector. Guarded by borderMu: a cached Predictor is
+	// shared by concurrent slab workers.
+	borderMu    sync.RWMutex
 	borderCache map[string][]Term
 }
 
-// New constructs a Predictor for a row-major array with the given
+// predCache memoizes Predictors by geometry: a blocked container
+// compresses hundreds of identically-shaped slabs, and rebuilding the
+// stencil per slab was a top allocation site. The cache is cleared
+// wholesale if an unusual workload accumulates too many geometries.
+var predCache struct {
+	sync.RWMutex
+	m map[string]*Predictor
+}
+
+const maxCachedPredictors = 512
+
+func predKey(dims []int, n int) string {
+	var b [1 + MaxLayers + 4*binary.MaxVarintLen64]byte
+	b[0] = byte(n)
+	off := 1
+	for _, d := range dims {
+		off += binary.PutUvarint(b[off:], uint64(d))
+	}
+	return string(b[:off])
+}
+
+// New returns the Predictor for a row-major array with the given
 // dimensions (slowest first) and layer count n in [1, MaxLayers].
+// Instances are cached per geometry and shared.
 func New(dims []int, n int) (*Predictor, error) {
 	if n < 1 || n > MaxLayers {
 		return nil, fmt.Errorf("predictor: layers %d out of range [1,%d]", n, MaxLayers)
@@ -63,7 +95,15 @@ func New(dims []int, n int) (*Predictor, error) {
 			return nil, fmt.Errorf("predictor: non-positive dimension in %v", dims)
 		}
 	}
-	p := &Predictor{
+	key := predKey(dims, n)
+	predCache.RLock()
+	p := predCache.m[key]
+	predCache.RUnlock()
+	if p != nil {
+		return p, nil
+	}
+
+	p = &Predictor{
 		dims:        append([]int(nil), dims...),
 		n:           n,
 		borderCache: make(map[string][]Term),
@@ -79,6 +119,18 @@ func New(dims []int, n int) (*Predictor, error) {
 		layers[i] = n
 	}
 	p.interior = buildStencil(layers, p.strides)
+	p.flat = flatten(p.interior)
+
+	predCache.Lock()
+	if predCache.m == nil || len(predCache.m) >= maxCachedPredictors {
+		predCache.m = make(map[string]*Predictor)
+	}
+	if prev := predCache.m[key]; prev != nil {
+		p = prev // lost a build race; converge on one shared instance
+	} else {
+		predCache.m[key] = p
+	}
+	predCache.Unlock()
 	return p, nil
 }
 
@@ -148,10 +200,19 @@ func (p *Predictor) borderStencil(coord []int) []Term {
 		return nil
 	}
 	k := string(key[:len(coord)])
-	if s, ok := p.borderCache[k]; ok {
+	p.borderMu.RLock()
+	s, ok := p.borderCache[k]
+	p.borderMu.RUnlock()
+	if ok {
 		return s
 	}
-	s := buildStencil(layers, p.strides)
-	p.borderCache[k] = s
+	s = buildStencil(layers, p.strides)
+	p.borderMu.Lock()
+	if prev, ok := p.borderCache[k]; ok {
+		s = prev // lost a build race; keep one canonical stencil
+	} else {
+		p.borderCache[k] = s
+	}
+	p.borderMu.Unlock()
 	return s
 }

@@ -25,9 +25,11 @@ type FlatStencil struct {
 	Coefs  []float64
 }
 
-// Flat returns the interior stencil in flat form.
+// Flat returns the interior stencil in flat form. The returned slices
+// are the predictor's own (predictors are shared and cached): callers
+// must treat them as read-only.
 func (p *Predictor) Flat() FlatStencil {
-	return flatten(p.interior)
+	return p.flat
 }
 
 func flatten(terms []Term) FlatStencil {

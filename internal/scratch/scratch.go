@@ -1,0 +1,168 @@
+// Package scratch provides size-classed, sync.Pool-backed recycling of
+// the working slices the hot compression path churns through.
+//
+// The SZ-1.4 pipeline is memory-bandwidth-bound: per slab, the core
+// compressor needs a quantization-code array, a reconstruction array, a
+// histogram, Huffman build arenas, and bitstream buffers — tens of
+// megabytes that all die the moment the slab's stream bytes are emitted.
+// Allocating them fresh per operation makes the garbage collector, not
+// arithmetic, the throughput ceiling once many slabs are in flight (the
+// blocked worker pool, the szd daemon). This package recycles them.
+//
+// Slices are pooled in power-of-two size classes, one sync.Pool per
+// class, so a Get never hands back more than 2x the capacity asked for
+// and slabs of similar geometry reuse each other's buffers. Get returns
+// a slice of exactly the requested length with arbitrary contents (the
+// zeroed variants clear it first); Put recycles any slice, filing it
+// under the largest class its capacity covers. sync.Pool gives
+// per-P caches, so concurrent workers reuse without contention, and the
+// GC still reclaims idle buffers under memory pressure — the pools
+// cannot pin memory a quiet process no longer needs.
+//
+// Correctness note: a recycled slice's contents are garbage. Callers
+// must either overwrite every element they read (the compression scans
+// do — every point is reconstructed) or request the zeroed variant
+// (histograms, Huffman decode tables).
+package scratch
+
+import (
+	"math/bits"
+	"sync"
+	"unsafe"
+)
+
+const (
+	// minClassBits is the smallest pooled class (64 elements): tinier
+	// slices cost less to allocate than to recycle.
+	minClassBits = 6
+	// maxClassBits is the largest pooled class (2^27 elements — 1 GiB
+	// of float64): beyond it, Get falls through to plain make and Put
+	// drops the slice, so a single pathological request cannot park
+	// gigabytes in the pools.
+	maxClassBits = 27
+)
+
+// Pool is a size-classed recycler for []T. The zero value is not ready;
+// use NewPool. Pools are safe for concurrent use.
+type Pool[T any] struct {
+	classes [maxClassBits + 1]sync.Pool
+}
+
+// NewPool returns an empty size-classed pool for []T.
+func NewPool[T any]() *Pool[T] { return &Pool[T]{} }
+
+// classFor returns the pool class whose capacity (1<<class) covers n,
+// or -1 when n is outside the pooled range.
+func classFor(n int) int {
+	if n <= 0 {
+		return minClassBits
+	}
+	c := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if c < minClassBits {
+		return minClassBits
+	}
+	if c > maxClassBits {
+		return -1
+	}
+	return c
+}
+
+// Get returns a []T of length n with arbitrary contents, recycled when
+// a buffer of a suitable class is pooled, freshly allocated otherwise.
+func (p *Pool[T]) Get(n int) []T {
+	c := classFor(n)
+	if c < 0 {
+		return make([]T, n)
+	}
+	if v := p.classes[c].Get(); v != nil {
+		// Pooled entries are stored as their backing-array pointer (a
+		// pointer-shaped interface payload, so Get and Put allocate
+		// nothing); the capacity is implied by the class.
+		return unsafe.Slice((*T)(v.(unsafe.Pointer)), 1<<c)[:n]
+	}
+	return make([]T, n, 1<<c)
+}
+
+// Put recycles s. The slice is filed under the largest class its
+// capacity fully covers (slices that grew past their class still
+// recycle, trimmed to the class size); slices too small or too large to
+// pool are dropped. s must not be used after Put.
+func (p *Pool[T]) Put(s []T) {
+	c := bits.Len(uint(cap(s))) - 1 // floor(log2 cap)
+	if c < minClassBits || c > maxClassBits {
+		return
+	}
+	p.classes[c].Put(unsafe.Pointer(unsafe.SliceData(s[:cap(s)])))
+}
+
+// Shared pools for the element types the compression pipeline uses.
+// Package-level so every layer (core, huffman, blocked, server) draws
+// from the same warm set.
+var (
+	bytePool    = NewPool[byte]()
+	intPool     = NewPool[int]()
+	float64Pool = NewPool[float64]()
+	uint64Pool  = NewPool[uint64]()
+	uint32Pool  = NewPool[uint32]()
+)
+
+// Bytes returns a recycled []byte of length n with arbitrary contents.
+func Bytes(n int) []byte { return bytePool.Get(n) }
+
+// BytesZeroed returns a recycled []byte of length n, cleared.
+func BytesZeroed(n int) []byte {
+	s := bytePool.Get(n)
+	clear(s)
+	return s
+}
+
+// PutBytes recycles a byte slice.
+func PutBytes(s []byte) { bytePool.Put(s) }
+
+// Ints returns a recycled []int of length n with arbitrary contents.
+func Ints(n int) []int { return intPool.Get(n) }
+
+// IntsZeroed returns a recycled []int of length n, cleared.
+func IntsZeroed(n int) []int {
+	s := intPool.Get(n)
+	clear(s)
+	return s
+}
+
+// PutInts recycles an int slice.
+func PutInts(s []int) { intPool.Put(s) }
+
+// Float64s returns a recycled []float64 of length n with arbitrary
+// contents.
+func Float64s(n int) []float64 { return float64Pool.Get(n) }
+
+// PutFloat64s recycles a float64 slice.
+func PutFloat64s(s []float64) { float64Pool.Put(s) }
+
+// Uint64s returns a recycled []uint64 of length n with arbitrary
+// contents.
+func Uint64s(n int) []uint64 { return uint64Pool.Get(n) }
+
+// Uint64sZeroed returns a recycled []uint64 of length n, cleared.
+func Uint64sZeroed(n int) []uint64 {
+	s := uint64Pool.Get(n)
+	clear(s)
+	return s
+}
+
+// PutUint64s recycles a uint64 slice.
+func PutUint64s(s []uint64) { uint64Pool.Put(s) }
+
+// Uint32s returns a recycled []uint32 of length n with arbitrary
+// contents.
+func Uint32s(n int) []uint32 { return uint32Pool.Get(n) }
+
+// Uint32sZeroed returns a recycled []uint32 of length n, cleared.
+func Uint32sZeroed(n int) []uint32 {
+	s := uint32Pool.Get(n)
+	clear(s)
+	return s
+}
+
+// PutUint32s recycles a uint32 slice.
+func PutUint32s(s []uint32) { uint32Pool.Put(s) }

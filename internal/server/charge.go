@@ -1,0 +1,167 @@
+package server
+
+// Admission-charge calibration. The in-flight byte budget is only as
+// good as its per-request memory estimates; these constants replace the
+// original guesswork multipliers with numbers measured from allocation
+// profiles (TestAdmissionChargeCalibration re-measures and fails if the
+// estimates drift outside 2x of reality).
+//
+// Measured 2026-07-28 on linux/amd64 with the scratch-pooled hot path
+// (`go test -run TestAdmissionChargeCalibration -v ./internal/server`),
+// Hurricane-shaped float32 fields:
+//
+//	compress  sz14     measured 11.7x the raw body   (charged 11x = 1+40/4)
+//	compress  gzip     measured 0.81 MiB             (charged 1 MiB)
+//	compress  blocked  measured 31.7 B/cell in the pipeline (charged 36)
+//	decompress sz14    measured 28.4 B/element       (charged 24+esz)
+//	decompress gzip    measured 0.11 MiB             (charged 0.19 MiB)
+import (
+	"runtime"
+
+	"repro/internal/blocked"
+	"repro/internal/codec"
+	"repro/internal/core"
+)
+
+const (
+	// gzipCompressCharge covers the flate window and hash tables
+	// (measured ~0.81 MiB; the stream itself never buffers).
+	gzipCompressCharge = 1 << 20
+	// gzipDecompressCharge covers the inflate window and dictionaries
+	// (measured ~0.11 MiB).
+	gzipDecompressCharge = 192 << 10
+
+	// bufferedCompressOverheadPerElem is what a buffered compress pins
+	// per element beyond the raw body: the widened float64 array (8),
+	// the quantization-code array (8), the reconstruction array (8),
+	// and the bitstream/output buffering tail (measured ~16 together).
+	bufferedCompressOverheadPerElem = 40
+
+	// blockedSlabOverheadPerCell is what each in-flight slab of the
+	// streaming blocked writer pins per cell beyond the raw parse
+	// buffer: the float64 slab (8), codes (8), reconstruction (8), and
+	// payload/stream buffering (~4).
+	blockedSlabOverheadPerCell = 28
+
+	// bufferedDecompressOverheadPerElem is what an sz14 decompress pins
+	// per reconstructed element: the code array (8), the output array
+	// (8), and raw-output serialization buffering (~8 + element size).
+	bufferedDecompressOverheadPerElem = 24
+
+	// bufferedDecompressFallbackMult stands in for buffered codecs whose
+	// headers do not reveal the element count (fpzip, zfp, sz11,
+	// isabela, pwrel): compressed stream plus a several-times-larger
+	// reconstruction.
+	bufferedDecompressFallbackMult = 5
+
+	// blockedDecompressBytesPerCell is the streaming reader's
+	// *adversarial* per-cell bound: the reader tolerates compressed
+	// slabs up to maxSlabStream = 4x raw (32 B/cell for f64) before
+	// calling a container hostile, plus the float64 working copy (8)
+	// and the raw output (<= 8). Deliberately above the well-formed
+	// peak, so it is asserted one-sided in the calibration test.
+	blockedDecompressBytesPerCell = 48
+)
+
+// compressCharge estimates the peak memory a compress request pins,
+// which is what the in-flight byte budget meters. The second return
+// reports whether the path streams (memory independent of body size) —
+// streaming requests are not metered per body byte.
+//
+//   - gzip streams with O(window) memory: flat gzipCompressCharge.
+//   - blocked with an absolute bound streams slab-at-a-time: charge the
+//     pipeline depth (workers+2 slabs in flight) times the calibrated
+//     slab footprint, independent of the total request size — this is
+//     what keeps a saturated daemon's memory bounded even while
+//     petabyte-scale fields flow through.
+//   - every other (buffered) codec holds the raw input plus the
+//     calibrated per-element working set. With no declared length at
+//     all, the flat unknown-length charge stands in for the worst case
+//     (no multiplier on top: it already equals the per-request cap).
+func (s *Server) compressCharge(name string, declared int64, p codec.Params) (int64, bool) {
+	unknown := declared < 0
+	if unknown {
+		declared = s.unknownCharge()
+	}
+	esz := dtypeSize(p)
+	// The streaming-vs-buffered split comes from the codec layer (the
+	// same predicate the adapters act on), so admission never drifts
+	// from the writers' actual memory behavior.
+	if codec.StreamingWriter(name, p) {
+		if name == "blocked" && len(p.Dims) > 0 {
+			rowCells := int64(1)
+			for _, d := range p.Dims[1:] {
+				rowCells = satMul(rowCells, int64(d))
+			}
+			slabRows := int64(blocked.SlabRowsFor(p.Dims[0], p.SlabRows))
+			workers := int64(p.Workers)
+			if workers <= 0 {
+				workers = int64(runtime.GOMAXPROCS(0))
+			}
+			est := satMul(satMul(workers+2, satMul(slabRows, rowCells)), esz+blockedSlabOverheadPerCell)
+			if est < 1<<20 {
+				est = 1 << 20
+			}
+			// Small fields cost less than a full pipeline: cap by the
+			// whole-array footprint, computed from dims — never from
+			// the client-declared length, which a false hint could
+			// shrink to zero and defeat the budget with.
+			if full := satMul(rawBytesFor(p.Dims, esz), 1+bufferedCompressOverheadPerElem/esz); est > full {
+				est = full
+			}
+			return est, true
+		}
+		return gzipCompressCharge, true
+	}
+	if unknown {
+		return declared, false
+	}
+	return satMul(declared, 1+bufferedCompressOverheadPerElem/esz), false
+}
+
+// decompressCharge estimates the peak memory a decompress request pins.
+// gzip streams with O(window); the blocked reader holds one slab at a
+// time, so its charge comes from the slab geometry in the container
+// header (peeked, attacker-supplied, hence validated and saturated) —
+// a single-slab container is charged its whole footprint. An sz14
+// stream's header reveals its element count, so its buffered decode is
+// charged per element regardless of compression factor; the remaining
+// buffered decoders fall back to a flat multiple of the declared size.
+func (s *Server) decompressCharge(name string, declared int64, header []byte) (int64, bool) {
+	if codec.StreamingReader(name) {
+		charge := int64(1 << 20) // gzip O(window); blocked floor
+		if name == "gzip" {
+			return gzipDecompressCharge, true
+		}
+		if name == "blocked" {
+			if dims, slabRows, _, err := blocked.ParseContainerHeader(header); err == nil {
+				rowCells := int64(1)
+				for _, d := range dims[1:] {
+					rowCells = satMul(rowCells, int64(d))
+				}
+				if c := satMul(satMul(int64(slabRows), rowCells), blockedDecompressBytesPerCell); c > charge {
+					charge = c
+				}
+			}
+		}
+		return charge, true
+	}
+	if name == "sz14" && len(header) > 0 {
+		if h, _, err := core.ParseHeaderPrefix(header); err == nil {
+			elems := int64(1)
+			for _, d := range h.Dims {
+				elems = satMul(elems, int64(d))
+			}
+			perElem := int64(bufferedDecompressOverheadPerElem + h.DType.Size())
+			base := declared
+			if base < 0 {
+				base = 0
+			}
+			return base + satMul(elems, perElem), false
+		}
+	}
+	if declared < 0 {
+		return s.unknownCharge(), false
+	}
+	return satMul(declared, bufferedDecompressFallbackMult), false
+}

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/grid"
+)
+
+// measureAllocated returns the bytes op allocates, with the collector
+// disabled so nothing is reclaimed mid-measurement. Two forced GCs first
+// empty the scratch pools (sync.Pool drops its contents across two GC
+// cycles), so the op pays for — and the measurement sees — its full
+// working set. With the hot path pooled, allocation during one op is a
+// faithful stand-in for the peak memory it pins: the working buffers are
+// allocated once and reused, not churned.
+func measureAllocated(t *testing.T, op func()) int64 {
+	t.Helper()
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	runtime.GC()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	op()
+	runtime.ReadMemStats(&after)
+	return int64(after.TotalAlloc - before.TotalAlloc)
+}
+
+// TestAdmissionChargeCalibration pins the admission-charge constants to
+// reality: for each calibrated codec path the charge must stay within 2x
+// of the measured peak in both directions — neither letting real memory
+// exceed the budget the governor thinks it granted, nor rejecting
+// traffic the daemon could easily carry.
+//
+// The blocked *decompress* charge is deliberately not calibrated here:
+// it is an adversarial bound (a hostile container may legally carry
+// compressed slabs up to 4x their raw size), so it intentionally sits
+// above the well-formed-container peak.
+func TestAdmissionChargeCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory calibration is slow")
+	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation inflates allocation accounting; run without -race")
+	}
+	s := New(Config{})
+	a := datagen.Hurricane(32, 192, 192, 7) // ~4.5 MiB as float32
+	var rawBuf bytes.Buffer
+	if err := a.WriteRaw(&rawBuf, grid.Float32); err != nil {
+		t.Fatal(err)
+	}
+	raw := rawBuf.Bytes()
+	dims := []int{32, 192, 192}
+
+	encode := func(name string, p codec.Params) []byte {
+		t.Helper()
+		c, err := codec.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		zw, err := c.NewWriter(&out, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := zw.Write(raw); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes()
+	}
+
+	check := func(path, name string, charge, measured int64) {
+		t.Helper()
+		t.Logf("%-20s charge %10d  measured %10d  ratio %.2f", path+"/"+name, charge, measured, float64(charge)/float64(measured))
+		if charge > 2*measured {
+			t.Errorf("%s %s: charge %d over-estimates measured peak %d by more than 2x", path, name, charge, measured)
+		}
+		if measured > 2*charge {
+			t.Errorf("%s %s: measured peak %d exceeds charge %d by more than 2x (budget can be overrun)", path, name, measured, charge)
+		}
+	}
+
+	compressParams := map[string]codec.Params{
+		"sz14":    {Dims: dims, DType: grid.Float32, Mode: core.BoundAbs, AbsBound: 1e-3},
+		"gzip":    {},
+		"blocked": {Dims: dims, DType: grid.Float32, Mode: core.BoundAbs, AbsBound: 1e-3, SlabRows: 8, Workers: 2},
+	}
+	for _, name := range []string{"sz14", "gzip", "blocked"} {
+		p := compressParams[name]
+		c, err := codec.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured := measureAllocated(t, func() {
+			zw, err := c.NewWriter(io.Discard, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := zw.Write(raw); err != nil {
+				t.Fatal(err)
+			}
+			if err := zw.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		charge, _ := s.compressCharge(name, int64(len(raw)), p)
+		check("compress", name, charge, measured)
+	}
+
+	for _, name := range []string{"sz14", "gzip"} {
+		stream := encode(name, compressParams[name])
+		c, err := codec.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured := measureAllocated(t, func() {
+			zr, err := c.NewReader(bytes.NewReader(stream), codec.Params{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, zr); err != nil {
+				t.Fatal(err)
+			}
+			zr.Close()
+		})
+		// The handler peeks the stream prefix for header-bearing codecs;
+		// hand the charge the same view.
+		charge, _ := s.decompressCharge(name, int64(len(stream)), stream[:blockedHeaderPeek(stream)])
+		check("decompress", name, charge, measured)
+	}
+
+	// Blocked decompress: assert only the safe direction (the charge is
+	// an adversarial upper bound and must never under-cover).
+	stream := encode("blocked", compressParams["blocked"])
+	c, _ := codec.Lookup("blocked")
+	measured := measureAllocated(t, func() {
+		zr, err := c.NewReader(bytes.NewReader(stream), codec.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, zr); err != nil {
+			t.Fatal(err)
+		}
+		zr.Close()
+	})
+	charge, _ := s.decompressCharge("blocked", int64(len(stream)), stream[:blockedHeaderPeek(stream)])
+	t.Logf("%-20s charge %10d  measured %10d  ratio %.2f", "decompress/blocked", charge, measured, float64(charge)/float64(measured))
+	if measured > charge {
+		t.Errorf("decompress blocked: measured peak %d exceeds the adversarial charge %d", measured, charge)
+	}
+}
+
+func blockedHeaderPeek(stream []byte) int {
+	if len(stream) > 64 {
+		return 64
+	}
+	return len(stream)
+}

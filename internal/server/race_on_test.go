@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation inflates allocation accounting, so measurement-based
+// calibration tests skip themselves under -race.
+const raceEnabled = true

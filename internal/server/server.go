@@ -38,7 +38,9 @@ import (
 
 	"repro/internal/blocked"
 	"repro/internal/codec"
+	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/scratch"
 )
 
 // Config sizes the daemon's resource governance.
@@ -234,96 +236,8 @@ func (s *Server) unknownCharge() int64 {
 	return unknownLengthCharge
 }
 
-// compressCharge estimates the peak memory a compress request pins,
-// which is what the in-flight byte budget meters. The second return
-// reports whether the path streams (memory independent of body size) —
-// streaming requests are not metered per body byte.
-//
-//   - gzip streams with O(window) memory: flat 1 MiB.
-//   - blocked with an absolute bound streams slab-at-a-time: charge the
-//     pipeline depth (workers+2 slabs in flight) times the slab footprint
-//     (raw input bytes plus the float64 working copy), independent of
-//     the total request size — this is what keeps a saturated daemon's
-//     memory bounded even while petabyte-scale fields flow through.
-//   - every buffered codec holds the raw input plus a float64 array:
-//     declared x (1 + 8/elemSize). With no declared length at all, the
-//     flat unknown-length charge stands in for the worst case (no
-//     multiplier on top: it already equals the per-request cap).
-func (s *Server) compressCharge(name string, declared int64, p codec.Params) (int64, bool) {
-	unknown := declared < 0
-	if unknown {
-		declared = s.unknownCharge()
-	}
-	esz := dtypeSize(p)
-	// The streaming-vs-buffered split comes from the codec layer (the
-	// same predicate the adapters act on), so admission never drifts
-	// from the writers' actual memory behavior.
-	if codec.StreamingWriter(name, p) {
-		if name == "blocked" && len(p.Dims) > 0 {
-			rowCells := int64(1)
-			for _, d := range p.Dims[1:] {
-				rowCells = satMul(rowCells, int64(d))
-			}
-			slabRows := int64(blocked.SlabRowsFor(p.Dims[0], p.SlabRows))
-			workers := int64(p.Workers)
-			if workers <= 0 {
-				workers = int64(runtime.GOMAXPROCS(0))
-			}
-			est := satMul(satMul(workers+2, satMul(slabRows, rowCells)), esz+8)
-			if est < 1<<20 {
-				est = 1 << 20
-			}
-			// Small fields cost less than a full pipeline: cap by the
-			// whole-array footprint, computed from dims — never from
-			// the client-declared length, which a false hint could
-			// shrink to zero and defeat the budget with.
-			if full := satMul(rawBytesFor(p.Dims, esz), 1+8/esz); est > full {
-				est = full
-			}
-			return est, true
-		}
-		return 1 << 20, true // gzip: O(window)
-	}
-	if unknown {
-		return declared, false
-	}
-	return satMul(declared, 1+8/esz), false
-}
-
-// decompressCharge estimates the peak memory a decompress request pins.
-// gzip streams with O(window); the blocked reader holds one slab at a
-// time, so its charge comes from the slab geometry in the container
-// header (peeked, attacker-supplied, hence validated and saturated) —
-// a single-slab container is charged its whole footprint. Buffered
-// decoders hold the compressed stream plus the reconstruction, which
-// for lossy codecs is several times larger — 5x declared is the
-// heuristic (flat unknown-length charge when no length was declared).
-func (s *Server) decompressCharge(name string, declared int64, header []byte) (int64, bool) {
-	if codec.StreamingReader(name) {
-		charge := int64(1 << 20) // gzip O(window); blocked floor
-		if name == "blocked" {
-			if dims, slabRows, _, err := blocked.ParseContainerHeader(header); err == nil {
-				rowCells := int64(1)
-				for _, d := range dims[1:] {
-					rowCells = satMul(rowCells, int64(d))
-				}
-				// Per slab: the reader tolerates compressed streams up
-				// to maxSlabStream = 4x raw (32 B/cell for f64) before
-				// calling a container hostile, plus the float64 working
-				// copy (8 B) and raw output (<= 8 B): 48 B/cell keeps
-				// the charge honest even for crafted containers.
-				if c := satMul(satMul(int64(slabRows), rowCells), 48); c > charge {
-					charge = c
-				}
-			}
-		}
-		return charge, true
-	}
-	if declared < 0 {
-		return s.unknownCharge(), false
-	}
-	return satMul(declared, 5), false
-}
+// compressCharge and decompressCharge live in charge.go with the
+// calibration constants they are built from.
 
 // admit pre-checks that the charge can ever fit the budget — a request
 // whose memory estimate exceeds the whole budget gets a permanent 413,
@@ -486,7 +400,9 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, "compress", name, http.StatusBadRequest, err, start)
 		return
 	}
-	_, err = io.CopyBuffer(zw, body, make([]byte, streamCopyBuffer))
+	cbuf := scratch.Bytes(streamCopyBuffer)
+	defer scratch.PutBytes(cbuf)
+	_, err = io.CopyBuffer(zw, body, cbuf)
 	if err == nil {
 		err = zw.Close()
 	} else {
@@ -534,9 +450,15 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	}
 	name := c.Name()
 
+	// Peek the stream header for the codecs whose geometry it reveals:
+	// blocked (slab footprint) and sz14 (element count) charges come
+	// from the data's own shape rather than a flat multiplier.
 	var header []byte
-	if name == "blocked" {
+	switch name {
+	case "blocked":
 		header, _ = br.Peek(blocked.MaxHeaderLen)
+	case "sz14":
+		header, _ = br.Peek(core.MaxHeaderLen)
 	}
 	charge, streaming := s.decompressCharge(name, declared, header)
 	gr, status, err := s.admit(charge, 1)
@@ -561,7 +483,9 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, "decompress", name, streamErrStatus(err), err, start)
 		return
 	}
-	_, err = io.CopyBuffer(out, zr, make([]byte, streamCopyBuffer))
+	cbuf := scratch.Bytes(streamCopyBuffer)
+	defer scratch.PutBytes(cbuf)
+	_, err = io.CopyBuffer(out, zr, cbuf)
 	if cerr := zr.Close(); err == nil {
 		err = cerr
 	}
@@ -621,7 +545,8 @@ func (s *Server) handleInspect(w http.ResponseWriter, r *http.Request) {
 	}
 	defer gr.release()
 	body := newMeteredReader(r.Body, gr, declared, charge, s.cfg.MaxRequestBytes, 1, false)
-	stream, err := io.ReadAll(body)
+	stream, err := readAllScratch(body, declared)
+	defer scratch.PutBytes(stream)
 	if err != nil {
 		s.reject(w, "inspect", "", streamErrStatus(err), err, start)
 		return
@@ -655,6 +580,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	io.WriteString(w, s.met.expose(s.gov))
+}
+
+// readAllScratch reads r to EOF into a scratch-pooled buffer, seeded
+// from the declared length when known. The caller owns the result and
+// recycles it with scratch.PutBytes when done (also on error: a partial
+// buffer is still returned).
+func readAllScratch(r io.Reader, declared int64) ([]byte, error) {
+	hint := declared + 1 // +1 so an exact-size body EOFs without a growth step
+	if declared < 0 || declared > 1<<30 {
+		hint = 64 << 10
+	}
+	buf := scratch.Bytes(int(hint))[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
 }
 
 // peekReader is a minimal buffered reader exposing Peek without bulk

@@ -224,9 +224,10 @@ func (tb *trickleBody) Read(p []byte) (int, error) {
 // new request is rejected with 429 well within the deadline instead of
 // queuing, and once the holders finish the server admits work again.
 func TestLoadShedding(t *testing.T) {
-	// f32 sz14 charges 3x declared: two 1 MiB holders reserve 6 MiB of
-	// the 8 MiB budget; a third 1 MiB request needs 3 MiB more -> 429.
-	_, ts := newTestDaemon(t, Config{MaxInflightBytes: 8 << 20, Workers: 64})
+	// f32 sz14 charges 11x declared (1 + 40/4, see charge.go): two
+	// 1 MiB holders reserve 22 MiB of the 24 MiB budget; a third 1 MiB
+	// request needs 11 MiB more -> 429.
+	_, ts := newTestDaemon(t, Config{MaxInflightBytes: 24 << 20, Workers: 64})
 	const n = 1 << 20 / 4 // 1 MiB of f32
 	raw, _ := makeRaw(t, grid.Float32, 64, n/64)
 	url := ts.URL + fmt.Sprintf("/v1/compress?codec=sz14&abs=1e-3&dtype=f32&dims=64,%d", n/64)

@@ -17,13 +17,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"strings"
 	"time"
 
 	"repro/internal/blocked"
 	"repro/internal/codec"
+	"repro/internal/scratch"
 )
 
 // slabCharge estimates the memory a slab-range request pins: the whole
@@ -64,6 +64,7 @@ func (s *Server) handleSlabs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer gr.release()
+	defer scratch.PutBytes(stream)
 	si, err := codec.SlabIndexOf(stream)
 	if err != nil {
 		s.reject(w, "slabs", "", http.StatusBadRequest, err, start)
@@ -99,6 +100,7 @@ func (s *Server) handleSlab(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer gr.release()
+	defer scratch.PutBytes(stream)
 	// One pass: DecompressSlabRange parses and CRC-verifies the
 	// container itself, so no separate index parse runs first (on large
 	// containers the footer walk and checksum dominate non-decode cost).
@@ -150,8 +152,9 @@ func (s *Server) readContainer(w http.ResponseWriter, r *http.Request, endpoint 
 		return nil, nil, false
 	}
 	body := newMeteredReader(br, gr, declared, charge, s.cfg.MaxRequestBytes, 1, false)
-	stream, err := io.ReadAll(body)
+	stream, err := readAllScratch(body, declared)
 	if err != nil {
+		scratch.PutBytes(stream)
 		gr.release()
 		s.reject(w, endpoint, "", streamErrStatus(err), err, start)
 		return nil, nil, false
