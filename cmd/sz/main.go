@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"sync/atomic"
 
@@ -88,6 +89,11 @@ compress flags:
   -slab rows    blocked-container slab thickness (default auto)
   -workers n    blocked-container parallelism (default NumCPU)
   -zfprate r    ZFP fixed-rate bits/value (overrides bounds for -codec zfp)
+  -streams k    interleaved Huffman sub-streams per slab for ILP decode
+                (default auto = 4 for -codec blocked, writing a v3 container;
+                1 keeps the serial layout)
+  -container v  blocked container version: auto|v2|v3 (v2 forces streams=1)
+  -sharedcb     blocked v3: one codebook shared by every slab (one-shot only)
 
 decompress flags:
   -codec name   force a codec (needed for gzip, whose streams have no magic dims)
@@ -208,10 +214,41 @@ func cmdCompress(args []string) error {
 		slab      = fs.Int("slab", 0, "blocked slab rows")
 		workers   = fs.Int("workers", 0, "blocked workers")
 		zfpRate   = fs.Float64("zfprate", 0, "ZFP fixed-rate bits/value")
+		streams   = fs.String("streams", "auto", "interleaved Huffman sub-streams per slab: auto|1..16")
+		container = fs.String("container", "auto", "blocked container version: auto|v2|v3")
+		sharedCB  = fs.Bool("sharedcb", false, "blocked v3: one shared codebook for all slabs")
 		remote    = fs.String("remote", "", "szd daemon address")
 	)
 	fs.Parse(args)
 	in, out := fs.Arg(0), fs.Arg(1)
+
+	containerV := 0
+	switch *container {
+	case "", "auto":
+	case "v2", "2":
+		containerV = 2
+	case "v3", "3":
+		containerV = 3
+	default:
+		return fmt.Errorf("bad -container %q (auto|v2|v3)", *container)
+	}
+	// auto = the ILP-friendly default for the blocked container: v3 with
+	// four interleaved sub-streams per slab — unless the container is
+	// pinned to v2, which only knows the serial layout. Everything else
+	// keeps the single-stream layout unless asked.
+	nStreams := 0
+	switch *streams {
+	case "", "auto":
+		if *codecName == "blocked" && containerV != 2 {
+			nStreams = 4
+		}
+	default:
+		n, err := strconv.Atoi(*streams)
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -streams %q (auto or a count >= 1)", *streams)
+		}
+		nStreams = n
+	}
 
 	// Validate the codec name up front so a typo fails with the list of
 	// registered codecs before any file is created or byte is read.
@@ -235,15 +272,18 @@ func cmdCompress(args []string) error {
 		return err
 	}
 	p := sz.CodecParams{
-		AbsBound:     *absB,
-		RelBound:     *relB,
-		Layers:       *layers,
-		IntervalBits: *mbits,
-		DType:        dt,
-		Dims:         dims,
-		SlabRows:     *slab,
-		Workers:      *workers,
-		Rate:         *zfpRate,
+		AbsBound:       *absB,
+		RelBound:       *relB,
+		Layers:         *layers,
+		IntervalBits:   *mbits,
+		DType:          dt,
+		Dims:           dims,
+		SlabRows:       *slab,
+		Workers:        *workers,
+		Rate:           *zfpRate,
+		Streams:        nStreams,
+		Container:      containerV,
+		SharedCodebook: *sharedCB,
 	}
 	switch {
 	case *absB > 0 && *relB > 0:

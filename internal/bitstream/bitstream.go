@@ -128,6 +128,30 @@ func (w *Writer) WriteEliasGamma(v uint64) {
 	w.WriteBits(x, nb)
 }
 
+// Align pads the stream with zero bits up to the next byte boundary.
+// Aligned positions let a reader hand byte ranges of the stream to
+// independent sub-readers (NewReaderAt), which is how the multi-stream
+// Huffman container frames its sub-streams.
+func (w *Writer) Align() {
+	if rem := w.n % 8; rem != 0 {
+		w.WriteBits(0, uint(8-rem))
+	}
+}
+
+// WriteBytes appends whole bytes to the stream. The writer must be
+// byte-aligned (Align); this is the fast path for embedding an already
+// serialized byte-aligned section (sub-stream bodies, offset tables)
+// without re-shifting every bit.
+func (w *Writer) WriteBytes(b []byte) {
+	if w.n%8 != 0 {
+		panic("bitstream: WriteBytes on unaligned writer")
+	}
+	// nacc is 0 whenever n is a byte multiple (flushFullBytes drains
+	// every complete byte), so the bytes append directly.
+	w.buf = append(w.buf, b...)
+	w.n += uint64(len(b)) * 8
+}
+
 // AppendStream appends the first nbits bits of buf (a buffer produced by
 // another Writer's Bytes) to this writer, preserving bit alignment.
 func (w *Writer) AppendStream(buf []byte, nbits uint64) {
@@ -188,6 +212,43 @@ func NewReaderBits(buf []byte, nbits uint64) *Reader {
 		r.end = nbits
 	}
 	return r
+}
+
+// NewReaderAt returns a Reader over the byte window [off, off+n) of buf.
+// The reader shares buf (no copy, no reslice): its cursor starts at bit
+// off*8 and it may consume exactly n*8 bits. Multi-stream decoders hand
+// each sub-stream of a shared payload its own cursor this way, so the
+// sub-readers can interleave without aliasing each other's state. Out-of
+// -range windows are clamped to buf.
+func NewReaderAt(buf []byte, off, n int) *Reader {
+	if off < 0 {
+		off = 0
+	}
+	if off > len(buf) {
+		off = len(buf)
+	}
+	if n < 0 {
+		n = 0
+	}
+	if off+n > len(buf) {
+		n = len(buf) - off
+	}
+	return &Reader{buf: buf, pos: uint64(off) * 8, end: uint64(off+n) * 8}
+}
+
+// Window exposes the reader's backing buffer together with its absolute
+// bit cursor and bit limit. Fused decoders (huffman.DecodeNInto) lift N
+// reader states into locals with Window, run a branch-light interleaved
+// loop, and write the cursors back with SetPos.
+func (r *Reader) Window() (buf []byte, pos, end uint64) { return r.buf, r.pos, r.end }
+
+// SetPos moves the absolute bit cursor (a value previously derived from
+// Window). Positions past the limit clamp to it.
+func (r *Reader) SetPos(pos uint64) {
+	if pos > r.end {
+		pos = r.end
+	}
+	r.pos = pos
 }
 
 // Remaining returns the number of unread bits.

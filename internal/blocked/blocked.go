@@ -48,17 +48,28 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/bitstream"
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/huffman"
 )
 
 const (
-	magic   = "SZB2"
-	magicV1 = "SZBK"
+	magicPrefix = "SZB" // all container versions share this prefix
+	magicV1     = "SZBK"
+	magicV2     = "SZB2"
+	magicV3     = "SZB3"
 )
 
 // ErrCorrupt is returned for malformed containers.
 var ErrCorrupt = errors.New("blocked: corrupt container")
+
+// ErrUnsupportedVersion is returned for containers that are
+// recognizably SZ-blocked ("SZB?" magic) but of a version this build
+// cannot decode — the legacy v1 layout, or a version newer than the
+// build. Distinct from ErrCorrupt so callers can surface an actionable
+// "upgrade or re-encode" message instead of "bad magic".
+var ErrUnsupportedVersion = errors.New("blocked: unsupported container version")
 
 // ErrSlabRange is returned by the random-access decoders for a slab
 // range outside the container's extent — distinguishable from ErrCorrupt
@@ -69,6 +80,8 @@ var ErrSlabRange = errors.New("slab range beyond container")
 type Params struct {
 	// Core configures the per-slab compressor. A relative bound is
 	// resolved against the whole array's range before slabbing.
+	// Core.Streams > 1 selects interleaved multi-stream slabs, which
+	// require the v3 container.
 	Core core.Params
 	// SlabRows is the slab thickness along the slowest dimension;
 	// 0 picks a thickness targeting ~NumCPU slabs (at least 4 rows).
@@ -76,6 +89,40 @@ type Params struct {
 	// Workers bounds compression/decompression parallelism; 0 means
 	// runtime.NumCPU().
 	Workers int
+	// Container selects the container format version: 0 = auto (v3
+	// when Core.Streams > 1 or SharedCodebook is set, else v2 —
+	// byte-identical to previous releases), or an explicit 2 or 3.
+	Container int
+	// SharedCodebook emits one per-container Huffman codebook built
+	// from the union histogram of every slab, instead of one codebook
+	// per slab — shrinking small-slab overhead at the cost of a second
+	// encode pass. One-shot Compress only; the streaming Writer sees
+	// each slab once and returns ErrSharedCodebookStreaming.
+	SharedCodebook bool
+}
+
+// containerVersion resolves the effective container version for p.
+func (p Params) containerVersion() (int, error) {
+	streams := p.Core.Streams
+	if streams == 0 {
+		streams = 1
+	}
+	switch p.Container {
+	case 0:
+		if streams > 1 || p.SharedCodebook {
+			return 3, nil
+		}
+		return 2, nil
+	case 2:
+		if streams > 1 || p.SharedCodebook {
+			return 0, fmt.Errorf("blocked: multi-stream slabs and shared codebooks require the v3 container (Container=3 or 0)")
+		}
+		return 2, nil
+	case 3:
+		return 3, nil
+	default:
+		return 0, fmt.Errorf("blocked: unknown container version %d", p.Container)
+	}
 }
 
 // Stats aggregates per-slab outcomes.
@@ -95,13 +142,26 @@ type Stats struct {
 type Index struct {
 	Dims     []int
 	SlabRows int
-	// HeaderLen is the container header's byte length; the body (the
-	// first slab stream) starts here.
+	// HeaderLen is the byte offset where the body (the first slab
+	// stream) starts — past the fixed header and, for v3, the shared
+	// codebook section.
 	HeaderLen int
 	// Offsets[i] is the byte offset of slab i's stream within the body;
 	// Offsets[len] is the body length.
 	Offsets []int
+	// Version is the container format version (2 or 3).
+	Version int
+	// Streams is the interleaved Huffman sub-stream count per slab
+	// (1 for v2).
+	Streams int
+	// CodebookLen is the byte length of the shared codebook section
+	// sitting immediately before the body (0 = per-slab codebooks).
+	CodebookLen int
 }
+
+// SharedCodebook reports whether the container carries one shared
+// per-container codebook instead of per-slab codebooks.
+func (ix *Index) SharedCodebook() bool { return ix.CodebookLen > 0 }
 
 // NumSlabs returns the slab count.
 func (ix *Index) NumSlabs() int { return len(ix.Offsets) - 1 }
@@ -133,6 +193,12 @@ func Compress(a *grid.Array, p Params) ([]byte, *Stats, error) {
 		p.Core.AbsBound = eb
 		p.Core.RelBound = 0
 	}
+	if p.SharedCodebook {
+		// A shared codebook needs the union histogram before any slab
+		// can be encoded — a two-pass job the streaming Writer cannot
+		// do. Handled here instead.
+		return compressShared(a, p)
+	}
 	var buf bytes.Buffer
 	w, err := NewWriter(&buf, a.Dims, p)
 	if err != nil {
@@ -159,6 +225,154 @@ func Compress(a *grid.Array, p Params) ([]byte, *Stats, error) {
 	return buf.Bytes(), w.Stats(), nil
 }
 
+// compressShared is the two-pass v3 encode behind Compress when
+// SharedCodebook is set: analyze every slab in parallel, build one
+// codebook from the union histogram (which by construction covers every
+// slab's symbols), then encode every slab against it in parallel. The
+// per-slab streams omit their codebooks; the container carries the one
+// shared copy between header and body.
+func compressShared(a *grid.Array, p Params) ([]byte, *Stats, error) {
+	if _, err := p.containerVersion(); err != nil {
+		return nil, nil, err
+	}
+	rows := a.Dims[0]
+	slabRows := slabRowsFor(rows, p.SlabRows)
+	nSlabs := (rows + slabRows - 1) / slabRows
+	workers := p.Workers
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	if workers > nSlabs {
+		workers = nSlabs
+	}
+	streams := p.Core.Streams
+	if streams == 0 {
+		streams = 1
+	}
+
+	scans := make([]*core.Scan, nSlabs)
+	errs := make([]error, nSlabs)
+	defer func() {
+		for _, s := range scans {
+			if s != nil {
+				s.Release()
+			}
+		}
+	}()
+	parallelSlabs(workers, nSlabs, func(i int) {
+		lo := i * slabRows
+		hi := lo + slabRows
+		if hi > rows {
+			hi = rows
+		}
+		slab, err := a.Slab(lo, hi)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		scans[i], errs[i] = core.Analyze(slab, p.Core)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("blocked: slab %d: %w", i, err)
+		}
+	}
+
+	union := make([]uint64, len(scans[0].Hist()))
+	for _, s := range scans {
+		for c, f := range s.Hist() {
+			union[c] += f
+		}
+	}
+	cb, err := huffman.New(union)
+	if err != nil {
+		return nil, nil, fmt.Errorf("blocked: shared codebook: %w", err)
+	}
+	defer cb.Release()
+
+	slabStreams := make([][]byte, nSlabs)
+	slabStats := make([]*core.Stats, nSlabs)
+	parallelSlabs(workers, nSlabs, func(i int) {
+		slabStreams[i], slabStats[i], errs[i] = scans[i].EncodeAppend(nil, cb)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("blocked: slab %d: %w", i, err)
+		}
+	}
+
+	cbw := bitstream.NewWriter(4096)
+	cb.Serialize(cbw)
+	cbBytes := cbw.Bytes()
+
+	out := make([]byte, 0, containerSize(len(cbBytes), slabStreams))
+	out = append(out, magicV3...)
+	out = append(out, byte(len(a.Dims)))
+	for _, d := range a.Dims {
+		out = binary.AppendUvarint(out, uint64(d))
+	}
+	out = binary.AppendUvarint(out, uint64(slabRows))
+	out = append(out, byte(streams))
+	out = binary.AppendUvarint(out, uint64(len(cbBytes)))
+	out = append(out, cbBytes...)
+	for _, s := range slabStreams {
+		out = append(out, s...)
+	}
+	foot := binary.AppendUvarint(nil, uint64(nSlabs))
+	for _, s := range slabStreams {
+		foot = binary.AppendUvarint(foot, uint64(len(s)))
+	}
+	footLen := len(foot)
+	out = append(out, foot...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(footLen))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+
+	agg := &Stats{
+		N:               a.Len(),
+		Slabs:           nSlabs,
+		EffAbsBound:     p.Core.AbsBound,
+		CompressedBytes: len(out),
+	}
+	for _, st := range slabStats {
+		agg.Predictable += st.Predictable
+		agg.OriginalBytes += st.OriginalBytes
+	}
+	agg.HitRate = float64(agg.Predictable) / float64(agg.N)
+	agg.CompressionFactor = float64(agg.OriginalBytes) / float64(agg.CompressedBytes)
+	agg.BitRate = float64(agg.CompressedBytes) * 8 / float64(agg.N)
+	return out, agg, nil
+}
+
+// containerSize estimates the assembled container length for
+// preallocation.
+func containerSize(cbLen int, slabStreams [][]byte) int {
+	n := MaxHeaderLen + cbLen + 8 + 10
+	for _, s := range slabStreams {
+		n += len(s) + 5
+	}
+	return n
+}
+
+// parallelSlabs runs fn(i) for i in [0, n) across the given worker count.
+func parallelSlabs(workers, n int, fn func(i int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // relToAbs mirrors core's effective-bound resolution for relative modes.
 func relToAbs(p core.Params, valueRange float64) float64 {
 	var eb float64
@@ -178,39 +392,31 @@ func relToAbs(p core.Params, valueRange float64) float64 {
 
 // Inspect parses and verifies the container index from the footer.
 func Inspect(stream []byte) (*Index, error) {
-	if len(stream) < len(magic)+3+9 {
+	if len(stream) < len(magicV2)+3+9 {
+		if _, err := parseMagic(stream); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("%w: too short", ErrCorrupt)
 	}
-	if string(stream[:4]) != magic {
-		if string(stream[:4]) == magicV1 {
-			return nil, fmt.Errorf("%w: v1 container (no footer); re-encode with this version", ErrCorrupt)
-		}
-		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	ci, err := ParseContainerHeader(stream)
+	if err != nil {
+		return nil, err
 	}
 	if crc32.ChecksumIEEE(stream[:len(stream)-4]) != binary.LittleEndian.Uint32(stream[len(stream)-4:]) {
 		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
 	}
-	nd := int(stream[4])
-	if nd < 1 || nd > grid.MaxDims {
-		return nil, fmt.Errorf("%w: bad ndims", ErrCorrupt)
+	if ci.BodyStart() > len(stream)-8 {
+		return nil, fmt.Errorf("%w: codebook section overflows container", ErrCorrupt)
 	}
-	off := 5
-	ix := &Index{Dims: make([]int, nd)}
-	for i := range ix.Dims {
-		v, k := binary.Uvarint(stream[off:])
-		if k <= 0 || v == 0 || v > 1<<40 {
-			return nil, fmt.Errorf("%w: bad dim", ErrCorrupt)
-		}
-		ix.Dims[i] = int(v)
-		off += k
+	ix := &Index{
+		Dims:        ci.Dims,
+		SlabRows:    ci.SlabRows,
+		HeaderLen:   ci.BodyStart(),
+		Version:     ci.Version,
+		Streams:     ci.Streams,
+		CodebookLen: ci.CodebookLen,
 	}
-	v, k := binary.Uvarint(stream[off:])
-	if k <= 0 || v == 0 || v > uint64(ix.Dims[0]) {
-		return nil, fmt.Errorf("%w: bad slab rows", ErrCorrupt)
-	}
-	ix.SlabRows = int(v)
-	off += k
-	ix.HeaderLen = off
+	off := ix.HeaderLen
 
 	footerLen := int(binary.LittleEndian.Uint32(stream[len(stream)-8:]))
 	footStart := len(stream) - 8 - footerLen
@@ -253,6 +459,22 @@ func body(stream []byte, ix *Index) []byte {
 	return stream[end-bodyLen : end]
 }
 
+// sharedCodebook deserializes the container's shared codebook section
+// (nil for containers whose slabs carry their own codebooks). The
+// codebook is immutable once built, so concurrent slab decodes share
+// one instance; the caller releases it after the last decode.
+func sharedCodebook(stream []byte, ix *Index) (*huffman.Codebook, error) {
+	if ix.CodebookLen == 0 {
+		return nil, nil
+	}
+	sec := stream[ix.HeaderLen-ix.CodebookLen : ix.HeaderLen]
+	cb, err := huffman.Deserialize(bitstream.NewReader(sec))
+	if err != nil {
+		return nil, fmt.Errorf("%w: shared codebook: %v", ErrCorrupt, err)
+	}
+	return cb, nil
+}
+
 // Decompress reconstructs the full array, decoding slabs in parallel
 // with p.Workers goroutines (0 = NumCPU). Only p.Workers is consulted;
 // compression parameters live in the stream.
@@ -267,6 +489,13 @@ func Decompress(stream []byte, p Params) (*grid.Array, error) {
 	}
 	out := grid.New(ix.Dims...)
 	b := body(stream, ix)
+	cb, err := sharedCodebook(stream, ix)
+	if err != nil {
+		return nil, err
+	}
+	if cb != nil {
+		defer cb.Release()
+	}
 	nSlabs := ix.NumSlabs()
 	errs := make([]error, nSlabs)
 	dtypes := make([]grid.DType, nSlabs)
@@ -290,7 +519,7 @@ func Decompress(stream []byte, p Params) (*grid.Array, error) {
 				// Decode straight into the output's slab rows: the slabs
 				// tile out.Data disjointly, so the workers never overlap
 				// and the decode-then-copy round trip disappears.
-				dtypes[i], errs[i] = decodeSlabInto(b, ix, i, dst.Data)
+				dtypes[i], errs[i] = decodeSlabInto(b, ix, i, dst.Data, cb)
 			}
 		}()
 	}
@@ -334,6 +563,13 @@ func DecompressSlabRange(stream []byte, lo, hi int) (*grid.Array, grid.DType, er
 	dims[0] = rowHi - rowLo
 	out := grid.New(dims...)
 	b := body(stream, ix)
+	cb, err := sharedCodebook(stream, ix)
+	if err != nil {
+		return nil, 0, err
+	}
+	if cb != nil {
+		defer cb.Release()
+	}
 	n := hi - lo + 1
 	errs := make([]error, n)
 	dtypes := make([]grid.DType, n)
@@ -358,7 +594,7 @@ func DecompressSlabRange(stream []byte, lo, hi int) (*grid.Array, grid.DType, er
 					errs[k] = err
 					continue
 				}
-				dtypes[k], errs[k] = decodeSlabInto(b, ix, lo+k, dst.Data)
+				dtypes[k], errs[k] = decodeSlabInto(b, ix, lo+k, dst.Data, cb)
 			}
 		}()
 	}
@@ -381,12 +617,12 @@ func DecompressSlabRange(stream []byte, lo, hi int) (*grid.Array, grid.DType, er
 // rows the slab covers). When the stream's geometry does not fit dst the
 // core falls back to a private allocation, so a corrupt slab can at
 // worst scribble on rows its caller is about to discard with the error.
-func decodeSlabInto(b []byte, ix *Index, i int, dst []float64) (grid.DType, error) {
+func decodeSlabInto(b []byte, ix *Index, i int, dst []float64, cb *huffman.Codebook) (grid.DType, error) {
 	lo, hi := ix.Offsets[i], ix.Offsets[i+1]
 	if lo > hi || hi > len(b) {
 		return 0, fmt.Errorf("%w: slab %d bounds", ErrCorrupt, i)
 	}
-	slab, h, err := core.DecompressInto(b[lo:hi], dst)
+	slab, h, err := core.DecompressIntoShared(b[lo:hi], dst, cb)
 	if err != nil {
 		return 0, err
 	}

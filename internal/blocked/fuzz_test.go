@@ -25,6 +25,9 @@ func FuzzBlockedDecompress(f *testing.F) {
 		{Core: core.Params{Mode: core.BoundAbs, AbsBound: 1e-3}, SlabRows: 4},
 		{Core: core.Params{Mode: core.BoundAbs, AbsBound: 1e-2, OutputType: grid.Float32}, SlabRows: 7},
 		{Core: core.Params{Mode: core.BoundAbs, AbsBound: 1e-5, Layers: 2, IntervalBits: 4}, SlabRows: 20},
+		// v3 corpora: interleaved sub-streams and a shared codebook.
+		{Core: core.Params{Mode: core.BoundAbs, AbsBound: 1e-3, Streams: 4}, SlabRows: 5},
+		{Core: core.Params{Mode: core.BoundAbs, AbsBound: 1e-2, Streams: 2, OutputType: grid.Float32}, SlabRows: 6, SharedCodebook: true},
 	} {
 		stream, _, err := Compress(a, p)
 		if err != nil {
@@ -37,8 +40,10 @@ func FuzzBlockedDecompress(f *testing.F) {
 		flipped[len(flipped)-10] ^= 0x40 // footer bit flip
 		f.Add(flipped)
 	}
-	f.Add([]byte(magic))
+	f.Add([]byte(magicV2))
+	f.Add([]byte(magicV3))
 	f.Add([]byte(magicV1))
+	f.Add([]byte("SZB4")) // future version: must error, not panic
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		out, derr := Decompress(data, Params{Workers: 1})

@@ -42,22 +42,27 @@ func TestGoldenContainers(t *testing.T) {
 		dims     []int
 		f32      bool
 		slabRows int
+		streams  int
+		shared   bool
 		wantLen  int
 		wantSHA  string
 	}{
-		{"2d/float64/slab16", []int{48, 64}, false, 16, 9853, "39f9fd1fec0f38c5b434c96c6f1f348afdcb39523780de7958e1211698b85888"},
-		{"3d/float32/slab5", []int{12, 24, 16}, true, 5, 15821, "033929fc5088a00cb1c8df43fb87c835966e7b09717aebdaed1d43d411241928"},
-		{"1d/float64/oneslab", []int{1024}, false, 1024, 2682, "0fe00ac47d78636ab6169c9e59e9131256d16fedd802d36b131ac35f22052070"},
+		{"2d/float64/slab16", []int{48, 64}, false, 16, 0, false, 9853, "39f9fd1fec0f38c5b434c96c6f1f348afdcb39523780de7958e1211698b85888"},
+		{"3d/float32/slab5", []int{12, 24, 16}, true, 5, 0, false, 15821, "033929fc5088a00cb1c8df43fb87c835966e7b09717aebdaed1d43d411241928"},
+		{"1d/float64/oneslab", []int{1024}, false, 1024, 0, false, 2682, "0fe00ac47d78636ab6169c9e59e9131256d16fedd802d36b131ac35f22052070"},
+		{"v3/3d/float32/slab5/streams4", []int{12, 24, 16}, true, 5, 4, false, 15856, "65be25efc932a81043d9afa5b6bae5a8fa2340f7a637016cfcf7ef88ce8074f2"},
+		{"v3/2d/float64/slab16/sharedcb", []int{48, 64}, false, 16, 2, true, 9601, "01404cabdca11fc78d1c30e1a325b4f5853dfc736b42f07898aaa28a179b9248"},
 	}
 	for i := range cases {
 		tc := &cases[i]
 		t.Run(tc.name, func(t *testing.T) {
 			a := goldenData(tc.dims, tc.f32)
 			p := Params{
-				Core:     core.Params{Mode: core.BoundAbs, AbsBound: 1e-3},
+				Core:     core.Params{Mode: core.BoundAbs, AbsBound: 1e-3, Streams: tc.streams},
 				SlabRows: tc.slabRows,
 				Workers:  3,
 			}
+			p.SharedCodebook = tc.shared
 			if tc.f32 {
 				p.Core.OutputType = grid.Float32
 			}
@@ -67,8 +72,8 @@ func TestGoldenContainers(t *testing.T) {
 			}
 			sum := sha256.Sum256(stream)
 			got := hex.EncodeToString(sum[:])
-			t.Logf(`{%q, %#v, %v, %d, %d, %q},`,
-				tc.name, tc.dims, tc.f32, tc.slabRows, len(stream), got)
+			t.Logf(`{%q, %#v, %v, %d, %d, %v, %d, %q},`,
+				tc.name, tc.dims, tc.f32, tc.slabRows, tc.streams, tc.shared, len(stream), got)
 			if tc.wantSHA == "" {
 				t.Fatal("golden digest not pinned for this case")
 			}

@@ -12,8 +12,10 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/bitstream"
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/huffman"
 	"repro/internal/scratch"
 )
 
@@ -23,6 +25,13 @@ import (
 // use Compress, which does it for you).
 var ErrNeedsAbsBound = errors.New(
 	"blocked: streaming writer requires an absolute bound (core.BoundAbs)")
+
+// ErrSharedCodebookStreaming is returned by NewWriter when
+// Params.SharedCodebook is set: the shared codebook is built from the
+// union histogram of every slab, which a one-pass streaming writer
+// cannot know. Use the one-shot Compress, which runs two passes.
+var ErrSharedCodebookStreaming = errors.New(
+	"blocked: shared codebook requires the two-pass one-shot Compress, not the streaming writer")
 
 // maxSlabStream bounds a slab's compressed size so a corrupt or hostile
 // length field cannot make the streaming reader allocate unbounded
@@ -68,6 +77,8 @@ type Writer struct {
 	nSlabs   int
 	rowBytes int
 	elemSize int
+	version  int // container format version (2 or 3)
+	streams  int // sub-streams per slab (v3; 1 for v2)
 
 	buf      []byte // raw-byte accumulator for the current slab
 	slabIdx  int    // slabs dispatched so far
@@ -110,6 +121,17 @@ func NewWriter(w io.Writer, dims []int, p Params) (*Writer, error) {
 	if p.Core.Mode != core.BoundAbs {
 		return nil, ErrNeedsAbsBound
 	}
+	if p.SharedCodebook {
+		return nil, ErrSharedCodebookStreaming
+	}
+	version, err := p.containerVersion()
+	if err != nil {
+		return nil, err
+	}
+	streams := p.Core.Streams
+	if streams == 0 {
+		streams = 1
+	}
 	dtype := p.Core.OutputType
 	if dtype == 0 {
 		dtype = grid.Float64
@@ -135,6 +157,8 @@ func NewWriter(w io.Writer, dims []int, p Params) (*Writer, error) {
 		nSlabs:   (rows + slabRows - 1) / slabRows,
 		rowBytes: rowElems * dtype.Size(),
 		elemSize: dtype.Size(),
+		version:  version,
+		streams:  streams,
 		jobs:     make(chan job, workers),
 		order:    make(chan chan result, 2*workers+2),
 		done:     make(chan struct{}),
@@ -169,42 +193,113 @@ func NewWriter(w io.Writer, dims []int, p Params) (*Writer, error) {
 // controller) can estimate per-request streaming memory.
 func SlabRowsFor(rows, requested int) int { return slabRowsFor(rows, requested) }
 
-// MaxHeaderLen bounds the container header: magic (4), ndims (1), up to
-// grid.MaxDims + 1 uvarints of at most 10 bytes each.
-const MaxHeaderLen = 4 + 1 + (grid.MaxDims+1)*10
+// MaxHeaderLen bounds the fixed container header: magic (4), ndims (1),
+// up to grid.MaxDims + 1 uvarints of at most 10 bytes each, plus the v3
+// streams byte (1) and codebook-length uvarint (10). A v3 shared
+// codebook section follows the fixed header and is NOT included — its
+// length is reported by ContainerInfo.CodebookLen.
+const MaxHeaderLen = 4 + 1 + (grid.MaxDims+1)*10 + 1 + 10
 
-// ParseContainerHeader parses dims and slab thickness from the leading
-// bytes of a container stream without consuming it, returning also the
-// header's byte length. It is the one container-header parser: NewReader
-// decodes through it, and admission controllers (szd) can cost a
-// decompression from the peeked prefix alone.
-func ParseContainerHeader(b []byte) (dims []int, slabRows, headerLen int, err error) {
-	if len(b) >= 4 && string(b[:4]) == magicV1 {
-		return nil, 0, 0, fmt.Errorf("%w: v1 container (no footer); re-encode with this version", ErrCorrupt)
+// ContainerInfo is the decoded fixed container header.
+type ContainerInfo struct {
+	// Version is the container format version (2 or 3).
+	Version int
+	// Dims are the full-array dimensions, slowest-varying first.
+	Dims []int
+	// SlabRows is the slab thickness along the slowest dimension.
+	SlabRows int
+	// Streams is the interleaved Huffman sub-stream count the slabs use
+	// (1 for v2 containers).
+	Streams int
+	// CodebookLen is the byte length of the v3 shared codebook section
+	// (0 = every slab carries its own codebook).
+	CodebookLen int
+	// HeaderLen is the fixed header's byte length. The shared codebook
+	// section (CodebookLen bytes, v3 only) follows it; the body (the
+	// first slab stream) starts at BodyStart.
+	HeaderLen int
+}
+
+// BodyStart returns the byte offset of the first slab stream.
+func (ci *ContainerInfo) BodyStart() int { return ci.HeaderLen + ci.CodebookLen }
+
+// parseMagic classifies the leading 4 bytes: container version 2 or 3 on
+// success, ErrUnsupportedVersion for recognizably-SZB containers this
+// build cannot read (v1, or versions newer than it knows), ErrCorrupt
+// otherwise.
+func parseMagic(b []byte) (int, error) {
+	if len(b) < 4 || string(b[:3]) != magicPrefix {
+		return 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	if len(b) < 5 || string(b[:4]) != magic {
-		return nil, 0, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	switch b[3] {
+	case '2':
+		return 2, nil
+	case '3':
+		return 3, nil
+	case magicV1[3]:
+		return 0, fmt.Errorf("%w: v1 container (no footer); re-encode with a current sz build", ErrUnsupportedVersion)
+	default:
+		return 0, fmt.Errorf("%w: container %q is newer than this build supports; upgrade sz to read it", ErrUnsupportedVersion, string(b[:4]))
+	}
+}
+
+// ParseContainerHeader parses the fixed container header from the
+// leading bytes of a stream without consuming it. It is the one
+// container-header parser: NewReader decodes through it, and admission
+// controllers (szd) can cost a decompression from a peeked
+// MaxHeaderLen-byte prefix alone.
+func ParseContainerHeader(b []byte) (*ContainerInfo, error) {
+	version, err := parseMagic(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < 5 {
+		return nil, fmt.Errorf("%w: too short", ErrCorrupt)
 	}
 	nd := int(b[4])
 	if nd < 1 || nd > grid.MaxDims {
-		return nil, 0, 0, fmt.Errorf("%w: bad ndims", ErrCorrupt)
+		return nil, fmt.Errorf("%w: bad ndims", ErrCorrupt)
 	}
 	off := 5
-	dims = make([]int, nd)
-	for i := range dims {
+	ci := &ContainerInfo{Version: version, Dims: make([]int, nd), Streams: 1}
+	for i := range ci.Dims {
 		v, n := binary.Uvarint(b[off:])
 		if n <= 0 || v == 0 || v > 1<<40 {
-			return nil, 0, 0, fmt.Errorf("%w: bad dim", ErrCorrupt)
+			return nil, fmt.Errorf("%w: bad dim", ErrCorrupt)
 		}
-		dims[i] = int(v)
+		ci.Dims[i] = int(v)
 		off += n
 	}
 	v, n := binary.Uvarint(b[off:])
-	if n <= 0 || v == 0 || v > uint64(dims[0]) {
-		return nil, 0, 0, fmt.Errorf("%w: bad slab rows", ErrCorrupt)
+	if n <= 0 || v == 0 || v > uint64(ci.Dims[0]) {
+		return nil, fmt.Errorf("%w: bad slab rows", ErrCorrupt)
 	}
-	return dims, int(v), off + n, nil
+	ci.SlabRows = int(v)
+	off += n
+	if version >= 3 {
+		if len(b) < off+1 {
+			return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+		}
+		ci.Streams = int(b[off])
+		off++
+		if ci.Streams < 1 || ci.Streams > huffman.MaxStreams {
+			return nil, fmt.Errorf("%w: bad stream count %d", ErrCorrupt, ci.Streams)
+		}
+		v, n := binary.Uvarint(b[off:])
+		if n <= 0 || v > maxCodebookSection {
+			return nil, fmt.Errorf("%w: bad codebook length", ErrCorrupt)
+		}
+		ci.CodebookLen = int(v)
+		off += n
+	}
+	ci.HeaderLen = off
+	return ci, nil
 }
+
+// maxCodebookSection bounds the shared codebook section so a hostile
+// length field cannot force an unbounded read: a full 2^16-symbol
+// codebook serializes in well under 64 KiB.
+const maxCodebookSection = 1 << 20
 
 // slabRowsFor resolves the slab thickness (0 targets ~NumCPU slabs, at
 // least 4 rows, capped at the row count).
@@ -223,13 +318,23 @@ func slabRowsFor(rows, requested int) int {
 }
 
 func (w *Writer) writeHeader() error {
-	head := make([]byte, 0, 32)
-	head = append(head, magic...)
+	head := make([]byte, 0, 48)
+	if w.version >= 3 {
+		head = append(head, magicV3...)
+	} else {
+		head = append(head, magicV2...)
+	}
 	head = append(head, byte(len(w.dims)))
 	for _, d := range w.dims {
 		head = binary.AppendUvarint(head, uint64(d))
 	}
 	head = binary.AppendUvarint(head, uint64(w.slabRows))
+	if w.version >= 3 {
+		// Streams byte plus an empty shared-codebook section: the
+		// one-pass writer always emits per-slab codebooks.
+		head = append(head, byte(w.streams))
+		head = binary.AppendUvarint(head, 0)
+	}
 	return w.writeHashed(head)
 }
 
@@ -482,6 +587,9 @@ type Reader struct {
 	slabRows int
 	nSlabs   int
 	dtype    grid.DType
+	version  int
+	streams  int
+	cb       *huffman.Codebook // shared codebook (v3; nil = per-slab)
 
 	slabIdx int
 	cur     []byte // raw bytes of the current slab not yet served
@@ -506,16 +614,29 @@ func NewReader(r io.Reader) (*Reader, error) {
 	rd := &Reader{br: br, crc: crc32.NewIEEE()}
 
 	hdr, _ := br.Peek(MaxHeaderLen) // short reads surface as parse errors
-	dims, slabRows, headerLen, err := ParseContainerHeader(hdr)
+	ci, err := ParseContainerHeader(hdr)
 	if err != nil {
 		return nil, err
 	}
-	if err := rd.readFull(make([]byte, headerLen)); err != nil {
+	if err := rd.readFull(make([]byte, ci.HeaderLen)); err != nil {
 		return nil, fmt.Errorf("%w: header: %w", ErrCorrupt, err)
 	}
-	rd.dims = dims
-	rd.slabRows = slabRows
+	rd.dims = ci.Dims
+	rd.slabRows = ci.SlabRows
+	rd.version = ci.Version
+	rd.streams = ci.Streams
 	rd.nSlabs = (rd.dims[0] + rd.slabRows - 1) / rd.slabRows
+	if ci.CodebookLen > 0 {
+		sec := make([]byte, ci.CodebookLen)
+		if err := rd.readFull(sec); err != nil {
+			return nil, fmt.Errorf("%w: shared codebook: %w", ErrCorrupt, err)
+		}
+		cb, err := huffman.Deserialize(bitstream.NewReader(sec))
+		if err != nil {
+			return nil, fmt.Errorf("%w: shared codebook: %v", ErrCorrupt, err)
+		}
+		rd.cb = cb
+	}
 
 	// Learn the element type from the first slab header (peek only).
 	pk, _ := br.Peek(core.MaxHeaderLen)
@@ -538,6 +659,16 @@ func (r *Reader) NumSlabs() int { return r.nSlabs }
 
 // SlabRows returns the slab thickness along the slowest dimension.
 func (r *Reader) SlabRows() int { return r.slabRows }
+
+// Version returns the container format version (2 or 3).
+func (r *Reader) Version() int { return r.version }
+
+// Streams returns the interleaved Huffman sub-stream count per slab.
+func (r *Reader) Streams() int { return r.streams }
+
+// SharedCodebook reports whether the container carries one shared
+// per-container codebook.
+func (r *Reader) SharedCodebook() bool { return r.cb != nil }
 
 func (r *Reader) readFull(b []byte) error {
 	if _, err := io.ReadFull(r.br, b); err != nil {
@@ -607,6 +738,10 @@ func (r *Reader) Close() error {
 	scratch.PutBytes(r.sbuf)
 	scratch.PutFloat64s(r.recon)
 	scratch.PutBytes(r.curBuf)
+	if r.cb != nil {
+		r.cb.Release()
+		r.cb = nil
+	}
 	r.sbuf, r.recon, r.curBuf, r.cur = nil, nil, nil, nil
 	if r.err == nil {
 		r.err = errors.New("blocked: reader closed")
@@ -650,7 +785,7 @@ func (r *Reader) nextSlab() error {
 		scratch.PutFloat64s(r.recon)
 		r.recon = scratch.Float64s(slabElems)
 	}
-	slab, h, err := core.DecompressInto(r.sbuf, r.recon[:slabElems])
+	slab, h, err := core.DecompressIntoShared(r.sbuf, r.recon[:slabElems], r.cb)
 	if err != nil {
 		return fmt.Errorf("blocked: slab %d: %w", i, err)
 	}

@@ -77,6 +77,39 @@ func BenchmarkBlockedOneShotDecompress(b *testing.B) {
 	}
 }
 
+// BenchmarkBlockedOneShotDecompressV3 is the same decode over a v3
+// container with four interleaved sub-streams per slab — the ILP path.
+// Run both with GOMAXPROCS=1 for the honest single-core v2-vs-v3 A/B.
+func BenchmarkBlockedOneShotDecompressV3(b *testing.B) {
+	a, p, raw := benchField(b)
+	p.Core.Streams = 4
+	stream, _, err := Compress(a, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(stream, Params{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBlockedOneShotV3 compresses with four sub-streams per slab
+// (the encode side of the ILP layout).
+func BenchmarkBlockedOneShotV3(b *testing.B) {
+	a, p, raw := benchField(b)
+	p.Core.Streams = 4
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Compress(a, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkBlockedStreamRead drains the streaming Reader — O(slab)
 // memory, raw bytes out.
 func BenchmarkBlockedStreamRead(b *testing.B) {

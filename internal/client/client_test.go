@@ -142,6 +142,68 @@ func TestRemoteMirrorsLocal(t *testing.T) {
 	}
 }
 
+// TestRemoteV3MirrorsLocal pins the wire mapping of the SZB3 knobs: a
+// remote blocked compress with interleaved sub-streams (and a shared
+// codebook) must emit the byte-identical v3 container the local writer
+// does, and the remote decode of it must match the local reconstruction.
+func TestRemoteV3MirrorsLocal(t *testing.T) {
+	ts := newDaemon(t)
+	raw := makeRaw(t, grid.Float32, 16, 20, 12)
+	for _, tc := range []struct {
+		name string
+		p    codec.Params
+	}{
+		{"streams4", codec.Params{AbsBound: 1e-3, DType: grid.Float32, Dims: []int{16, 20, 12}, SlabRows: 5, Streams: 4}},
+		{"sharedcb", codec.Params{AbsBound: 1e-3, DType: grid.Float32, Dims: []int{16, 20, 12}, SlabRows: 5, Streams: 2, SharedCodebook: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cl, err := New(ts.URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := localStream(t, "blocked", raw, tc.p)
+			if string(want[:4]) != "SZB3" {
+				t.Fatalf("local stream magic %q, want SZB3", want[:4])
+			}
+			var got bytes.Buffer
+			zw, err := cl.NewWriter(context.Background(), &got, "blocked", tc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := zw.Write(raw); err != nil {
+				t.Fatal(err)
+			}
+			if err := zw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Fatalf("remote v3 stream differs from local (%d vs %d bytes)", got.Len(), len(want))
+			}
+			c, _ := codec.Lookup("blocked")
+			lr, err := c.NewReader(bytes.NewReader(want), codec.Params{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRaw, err := io.ReadAll(lr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			zr, err := cl.NewReader(context.Background(), bytes.NewReader(want), int64(len(want)), "", codec.Params{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRaw, err := io.ReadAll(zr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			zr.Close()
+			if !bytes.Equal(gotRaw, wantRaw) {
+				t.Fatalf("remote v3 reconstruction differs from local (%d vs %d bytes)", len(gotRaw), len(wantRaw))
+			}
+		})
+	}
+}
+
 // TestRetryOn429 sheds the first two attempts and verifies the client
 // backs off and lands the third.
 func TestRetryOn429(t *testing.T) {

@@ -37,7 +37,9 @@ func init() {
 		},
 	}, []byte(core.Magic), "sz", "sz-1.4")
 
-	Register(&blockedCodec{}, []byte("SZB2"), "szbk")
+	// The whole "SZB" family routes here; the container layer itself
+	// distinguishes v2, v3, the retired v1, and versions from the future.
+	Register(&blockedCodec{}, []byte("SZB"), "szbk")
 
 	Register(&funcCodec{
 		name: "pwrel",
@@ -181,7 +183,13 @@ type blockedCodec struct{}
 func (blockedCodec) Name() string { return "blocked" }
 
 func (p Params) blocked() blocked.Params {
-	return blocked.Params{Core: p.Core(), SlabRows: p.SlabRows, Workers: p.Workers}
+	return blocked.Params{
+		Core:           p.Core(),
+		SlabRows:       p.SlabRows,
+		Workers:        p.Workers,
+		Container:      p.Container,
+		SharedCodebook: p.SharedCodebook,
+	}
 }
 
 func (c *blockedCodec) Encode(a *grid.Array, p Params) ([]byte, error) {
@@ -193,10 +201,13 @@ func (c *blockedCodec) Decode(stream []byte, p Params) (*grid.Array, error) {
 	return blocked.Decompress(stream, blocked.Params{Workers: p.Workers})
 }
 
-// A relative bound needs the global value range before slabbing, so
-// only the absolute-bound writer can stream.
-func (blockedCodec) streamingWriter(p Params) bool { return p.mode() == core.BoundAbs }
-func (blockedCodec) streamingReader() bool         { return true }
+// A relative bound needs the global value range before slabbing, and a
+// shared codebook needs every slab's histogram before any slab can be
+// encoded, so only the absolute-bound self-contained writer can stream.
+func (blockedCodec) streamingWriter(p Params) bool {
+	return p.mode() == core.BoundAbs && !p.SharedCodebook
+}
+func (blockedCodec) streamingReader() bool { return true }
 
 func (c *blockedCodec) NewWriter(w io.Writer, p Params) (io.WriteCloser, error) {
 	if len(p.Dims) == 0 {

@@ -64,6 +64,17 @@ type Params struct {
 	// Rate, when positive, selects ZFP's fixed-rate mode (bits/value)
 	// instead of fixed-accuracy.
 	Rate float64
+	// Streams is the interleaved Huffman sub-stream count per slab
+	// (0 = codec default of 1; >1 decodes with N independent bitstream
+	// cursors for instruction-level parallelism).
+	Streams int
+	// Container pins the blocked container version: 0 = auto (v3 when
+	// multi-stream or shared-codebook features are in play, else v2),
+	// 2, or 3.
+	Container int
+	// SharedCodebook asks the blocked container for one per-container
+	// Huffman codebook shared by every slab (v3, one-shot only).
+	SharedCodebook bool
 }
 
 // FromCore lifts core compressor parameters into codec form.
@@ -103,6 +114,7 @@ func (p Params) Core() core.Params {
 		IntervalBits:     p.IntervalBits,
 		HitRateThreshold: p.HitRateThreshold,
 		OutputType:       p.dtype(),
+		Streams:          p.Streams,
 	}
 }
 
@@ -218,7 +230,10 @@ func namesLocked() []string {
 var ErrUnknownFormat = errors.New("codec: unrecognized stream format")
 
 // Detect identifies the codec that produced a stream from its leading
-// bytes (4 are enough for every registered format).
+// bytes (4 are enough for every registered format). Version dispatch
+// within a family is the codec's own job: the blocked codec claims the
+// whole "SZB" prefix and reports retired (v1) or too-new container
+// versions itself, with an actionable error instead of "bad magic".
 func Detect(prefix []byte) (Codec, error) {
 	regMu.RLock()
 	defer regMu.RUnlock()
@@ -226,9 +241,6 @@ func Detect(prefix []byte) (Codec, error) {
 		if len(e.magic) > 0 && len(prefix) >= len(e.magic) && bytes.Equal(prefix[:len(e.magic)], e.magic) {
 			return e.codec, nil
 		}
-	}
-	if len(prefix) >= 4 && string(prefix[:4]) == "SZBK" {
-		return nil, fmt.Errorf("%w: v1 blocked container (no footer); re-encode with this version", ErrUnknownFormat)
 	}
 	return nil, ErrUnknownFormat
 }

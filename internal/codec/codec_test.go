@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/blocked"
 	"repro/internal/core"
 	"repro/internal/grid"
 )
@@ -71,12 +72,22 @@ func TestFromCorePreservesValidation(t *testing.T) {
 	}
 }
 
-// TestDetectNamesV1Containers: the retired v1 blocked magic must produce
-// a migration hint, not a bare unknown-format error.
+// TestDetectNamesV1Containers: the retired v1 blocked magic routes to
+// the blocked codec (the whole "SZB" family is its prefix), whose decode
+// then produces a migration hint — not a bare bad-magic error.
 func TestDetectNamesV1Containers(t *testing.T) {
-	_, err := Detect([]byte("SZBKxxxx"))
-	if err == nil || !errors.Is(err, ErrUnknownFormat) || !strings.Contains(err.Error(), "v1") {
-		t.Fatalf("got %v", err)
+	c, err := Detect([]byte("SZBKxxxx"))
+	if err != nil || c.Name() != "blocked" {
+		t.Fatalf("Detect = %v, %v; want the blocked codec", c, err)
+	}
+	_, err = c.Decode([]byte("SZBKxxxx"), Params{})
+	if err == nil || !errors.Is(err, blocked.ErrUnsupportedVersion) || !strings.Contains(err.Error(), "v1") {
+		t.Fatalf("decode of a v1 container: got %v, want ErrUnsupportedVersion naming v1", err)
+	}
+	// A container version from the future must name the upgrade path too.
+	_, err = c.Decode([]byte("SZB4xxxx"), Params{})
+	if err == nil || !errors.Is(err, blocked.ErrUnsupportedVersion) {
+		t.Fatalf("decode of a future container: got %v, want ErrUnsupportedVersion", err)
 	}
 }
 

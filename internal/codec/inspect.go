@@ -30,6 +30,12 @@ type StreamInfo struct {
 	BodyBytes    int     `json:"body_bytes,omitempty"`
 	MinSlabBytes int     `json:"min_slab_bytes,omitempty"`
 	MaxSlabBytes int     `json:"max_slab_bytes,omitempty"`
+	// Container/entropy layout (blocked v3; Streams also set for
+	// multi-stream sz14 single streams).
+	ContainerVersion int  `json:"container_version,omitempty"`
+	Streams          int  `json:"streams,omitempty"`
+	SharedCodebook   bool `json:"shared_codebook,omitempty"`
+	CodebookBytes    int  `json:"codebook_bytes,omitempty"`
 }
 
 // InspectStream detects the codec of a stream and parses the metadata
@@ -54,6 +60,8 @@ func InspectStream(stream []byte) (*StreamInfo, error) {
 		si.Intervals = (1 << h.IntervalBits) - 1
 		si.Points = h.N()
 		si.Outliers = h.NumOutliers
+		si.Streams = h.Streams
+		si.SharedCodebook = h.SharedCodebook
 	case "blocked":
 		ix, err := blocked.Inspect(stream)
 		if err != nil {
@@ -63,6 +71,10 @@ func InspectStream(stream []byte) (*StreamInfo, error) {
 		si.Dims = ix.Dims
 		si.Slabs = ns
 		si.SlabRows = ix.SlabRows
+		si.ContainerVersion = ix.Version
+		si.Streams = ix.Streams
+		si.SharedCodebook = ix.SharedCodebook()
+		si.CodebookBytes = ix.CodebookLen
 		si.BodyBytes = ix.Offsets[ns]
 		minL, maxL := -1, 0
 		for i := 0; i < ns; i++ {
@@ -97,8 +109,19 @@ func (si *StreamInfo) Text() string {
 		fmt.Fprintf(&b, "layers: %d\n", si.Layers)
 		fmt.Fprintf(&b, "m:      %d bits (%d intervals)\n", si.IntervalBits, si.Intervals)
 		fmt.Fprintf(&b, "escapes: %d of %d points\n", si.Outliers, si.Points)
+		if si.Streams > 1 {
+			fmt.Fprintf(&b, "streams: %d interleaved\n", si.Streams)
+		}
 	case "blocked":
 		fmt.Fprintf(&b, "dims:   %v\n", si.Dims)
+		fmt.Fprintf(&b, "format: container v%d\n", si.ContainerVersion)
+		if si.Streams > 0 {
+			fmt.Fprintf(&b, "streams: %d per slab", si.Streams)
+			if si.SharedCodebook {
+				fmt.Fprintf(&b, ", shared codebook (%d bytes)", si.CodebookBytes)
+			}
+			b.WriteByte('\n')
+		}
 		fmt.Fprintf(&b, "slabs:  %d x %d rows\n", si.Slabs, si.SlabRows)
 		fmt.Fprintf(&b, "body:   %d bytes (slab streams %d..%d bytes)\n",
 			si.BodyBytes, si.MinSlabBytes, si.MaxSlabBytes)

@@ -19,7 +19,8 @@ import (
 // prefixed X-Sz-, as a header; keep this list in sync with Values and
 // ParamsFromValues below so the header fallback never drifts.
 var WireKeys = []string{"codec", "mode", "dims", "dtype", "abs", "rel",
-	"layers", "m", "hitrate", "slab", "workers", "zfprate"}
+	"layers", "m", "hitrate", "slab", "workers", "zfprate",
+	"streams", "container", "sharedcb"}
 
 // ParseDims parses a dimension list, "100,500,500" or "100x500x500",
 // slowest-varying first. Empty input yields nil dims.
@@ -114,6 +115,15 @@ func (p Params) Values() url.Values {
 	if p.Rate > 0 {
 		set("zfprate", strconv.FormatFloat(p.Rate, 'g', -1, 64))
 	}
+	if p.Streams > 0 {
+		set("streams", strconv.Itoa(p.Streams))
+	}
+	if p.Container > 0 {
+		set("container", "v"+strconv.Itoa(p.Container))
+	}
+	if p.SharedCodebook {
+		set("sharedcb", "1")
+	}
 	return v
 }
 
@@ -189,6 +199,26 @@ func ParamsFromValues(v url.Values) (Params, error) {
 	}
 	if p.Workers, err = getI("workers"); err != nil {
 		return Params{}, err
+	}
+	if p.Streams, err = getI("streams"); err != nil {
+		return Params{}, err
+	}
+	if s := v.Get("container"); s != "" {
+		switch s {
+		case "v2", "2":
+			p.Container = 2
+		case "v3", "3":
+			p.Container = 3
+		default:
+			return Params{}, fmt.Errorf("bad container %q (v2|v3)", s)
+		}
+	}
+	if s := v.Get("sharedcb"); s != "" {
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return Params{}, fmt.Errorf("bad sharedcb %q", s)
+		}
+		p.SharedCodebook = b
 	}
 	return p, nil
 }

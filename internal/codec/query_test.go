@@ -47,6 +47,9 @@ func TestWireRoundTrip(t *testing.T) {
 		SlabRows:         16,
 		Workers:          4,
 		Rate:             8,
+		Streams:          4,
+		Container:        3,
+		SharedCodebook:   true,
 	}
 	got, err := ParamsFromValues(p.Values())
 	if err != nil {
@@ -70,6 +73,9 @@ func TestWireKeysCoverValues(t *testing.T) {
 		SlabRows:         1,
 		Workers:          1,
 		Rate:             1,
+		Streams:          1,
+		Container:        2,
+		SharedCodebook:   true,
 	}
 	keys := map[string]bool{}
 	for _, k := range WireKeys {
@@ -89,6 +95,9 @@ func TestParamsFromValuesRejectsBad(t *testing.T) {
 		{"dtype": {"f16"}},
 		{"abs": {"-1"}},
 		{"layers": {"x"}},
+		{"streams": {"-2"}},
+		{"container": {"v9"}},
+		{"sharedcb": {"maybe"}},
 	} {
 		if _, err := ParamsFromValues(bad); err == nil {
 			t.Errorf("ParamsFromValues(%v) accepted", bad)

@@ -37,31 +37,63 @@ func CompressAppend(dst []byte, a *grid.Array, p Params) ([]byte, *Stats, error)
 // compress is the implementation behind Compress; kernels=false forces the
 // generic reference scan (used by the equivalence tests and benchmarks).
 func compress(dst []byte, a *grid.Array, p Params, kernels bool) ([]byte, *Stats, error) {
+	s, err := analyze(a, p, kernels)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer s.Release()
+	return s.EncodeAppend(dst, nil)
+}
+
+// Scan holds the products of the predict+quantize pass, split from
+// entropy encoding so a container can run two-pass encodes: analyze
+// every slab, build one shared codebook from the union histogram, then
+// encode each slab against it. Working slices come from the scratch
+// pools — call Release when done.
+type Scan struct {
+	p           Params // defaulted + validated
+	dims        []int
+	eb          float64
+	n           int
+	numOutliers int
+	codes       []int
+	hist        []uint64
+	outW        *bitstream.Writer
+}
+
+// Analyze runs the prediction+quantization scan of a and returns its
+// products (quantization codes, code histogram, outlier side stream)
+// without entropy-encoding them. Follow with EncodeAppend, then Release.
+func Analyze(a *grid.Array, p Params) (*Scan, error) {
+	return analyze(a, p, true)
+}
+
+func analyze(a *grid.Array, p Params, kernels bool) (*Scan, error) {
 	p = p.withDefaults()
 	if err := p.Validate(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	_, _, valueRange := a.Range()
 	eb := p.effectiveBound(valueRange)
 
 	q, err := quant.New(eb, p.IntervalBits)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	pred, err := predictor.New(a.Dims, p.Layers)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	n := a.Len()
 	codes := scratch.Ints(n)     // every entry assigned by the scan
 	recon := scratch.Float64s(n) // every entry assigned by the scan
 	hist := scratch.Uint64sZeroed(q.NumCodes())
-	defer func() {
-		scratch.PutInts(codes)
-		scratch.PutFloat64s(recon)
-		scratch.PutUint64s(hist)
-	}()
+	// The reconstruction is dead once the scan finishes (only the codes
+	// and outliers reach the stream), so it recycles here rather than
+	// living as long as the Scan — two-pass encodes hold one Scan per
+	// slab concurrently.
+	defer scratch.PutFloat64s(recon)
 
 	// Outlier values are discovered during the scan but serialized after
 	// the Huffman-coded symbols, so they collect in a side stream. The
@@ -81,40 +113,125 @@ func compress(dst []byte, a *grid.Array, p Params, kernels bool) ([]byte, *Stats
 		outEnc:  outEnc,
 	}
 	scan.scan(a.Dims, p.Layers, pred, kernels)
-	numOutliers := scan.numOutliers
+	return &Scan{
+		p:           p,
+		dims:        a.Dims,
+		eb:          eb,
+		n:           n,
+		numOutliers: scan.numOutliers,
+		codes:       codes,
+		hist:        hist,
+		outW:        outW,
+	}, nil
+}
 
-	// Variable-length encoding of the quantization codes (Section IV-A).
-	freqs := hist
-	cb, err := huffman.New(freqs)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: building codebook: %w", err)
+// Hist exposes the quantization-code histogram (length 2^m, index 0 =
+// escapes) for union-codebook construction. The slice is owned by the
+// Scan; do not retain it past Release.
+func (s *Scan) Hist() []uint64 { return s.hist }
+
+// Release hands the Scan's working memory back to the scratch pools.
+// The Scan must not be used afterwards.
+func (s *Scan) Release() {
+	scratch.PutInts(s.codes)
+	scratch.PutUint64s(s.hist)
+	scratch.PutBytes(s.outW.Bytes())
+	*s = Scan{}
+}
+
+// EncodeAppend entropy-encodes the scan's products and appends the
+// complete stream to dst. With shared == nil the codebook is built from
+// the scan's own histogram and serialized into the stream; a non-nil
+// shared codebook (covering at least this scan's symbols — e.g. built
+// from a union histogram) is used instead and omitted from the payload,
+// which then decodes only via DecompressIntoShared.
+//
+// Streams == 1 with an internal codebook emits the serial Version-1
+// layout, byte-identical to previous releases. More streams, or a
+// shared codebook, switch to the VersionMulti layout: after the
+// (optional) codebook the payload is byte-aligned and carries a uvarint
+// sub-stream length table, the N independent Huffman sub-streams, and
+// the outlier stream, each section byte-aligned.
+func (s *Scan) EncodeAppend(dst []byte, shared *huffman.Codebook) ([]byte, *Stats, error) {
+	cb := shared
+	if cb == nil {
+		// Variable-length encoding of the quantization codes (Section IV-A).
+		own, err := huffman.New(s.hist)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: building codebook: %w", err)
+		}
+		defer own.Release()
+		cb = own
 	}
-	defer cb.Release()
+	n := s.n
+	k := s.p.Streams
+	version := uint8(Version)
+	if k > 1 || shared != nil {
+		version = VersionMulti
+	}
 	// One byte per element covers compression factors down to 4x for
 	// float32 (8x for float64) without growing; the scratch class
 	// rounding gives the buffer further headroom on top.
 	payload := bitstream.NewWriterBytes(scratch.Bytes(n + 64))
-	defer func() {
-		scratch.PutBytes(payload.Bytes())
-		scratch.PutBytes(outW.Bytes())
-	}()
-	cb.Serialize(payload)
-	tableBits := payload.Len()
-	if err := cb.Encode(payload, codes); err != nil {
-		return nil, nil, fmt.Errorf("core: encoding codes: %w", err)
+	defer func() { scratch.PutBytes(payload.Bytes()) }()
+
+	var tableBits, codeBits uint64
+	if version == Version {
+		cb.Serialize(payload)
+		tableBits = payload.Len()
+		if err := cb.Encode(payload, s.codes); err != nil {
+			return nil, nil, fmt.Errorf("core: encoding codes: %w", err)
+		}
+		codeBits = payload.Len() - tableBits
+		payload.AppendStream(s.outW.Bytes(), s.outW.Len())
+	} else {
+		if shared == nil {
+			cb.Serialize(payload)
+			tableBits = payload.Len()
+			payload.Align()
+		}
+		var subArr [maxStreams]*bitstream.Writer
+		subWs := subArr[:k]
+		for j := range subWs {
+			subWs[j] = bitstream.NewWriterBytes(scratch.Bytes(n/k + 64))
+		}
+		defer func() {
+			for _, w := range subWs {
+				scratch.PutBytes(w.Bytes())
+			}
+		}()
+		if err := cb.EncodeN(subWs, s.codes); err != nil {
+			return nil, nil, fmt.Errorf("core: encoding codes: %w", err)
+		}
+		var subBytes [maxStreams][]byte
+		lenBuf := scratch.Bytes(10 * k)[:0]
+		defer func() { scratch.PutBytes(lenBuf) }()
+		for j, w := range subWs {
+			subBytes[j] = w.Bytes()
+			codeBits += w.Len()
+			lenBuf = binary.AppendUvarint(lenBuf, uint64(len(subBytes[j])))
+		}
+		payload.WriteBytes(lenBuf)
+		for j := range subWs {
+			payload.WriteBytes(subBytes[j])
+		}
+		// The outlier section starts byte-aligned; its padded byte form
+		// copies directly (the decoder stops by outlier count, so the
+		// pad bits inside PayloadBits are harmless).
+		payload.WriteBytes(s.outW.Bytes())
 	}
-	codeBits := payload.Len() - tableBits
-	payload.AppendStream(outW.Bytes(), outW.Len())
 
 	h := &Header{
-		Version:      Version,
-		DType:        p.OutputType,
-		Dims:         a.Dims,
-		AbsBound:     eb,
-		Layers:       p.Layers,
-		IntervalBits: p.IntervalBits,
-		NumOutliers:  numOutliers,
-		PayloadBits:  payload.Len(),
+		Version:        version,
+		DType:          s.p.OutputType,
+		Dims:           s.dims,
+		AbsBound:       s.eb,
+		Layers:         s.p.Layers,
+		IntervalBits:   s.p.IntervalBits,
+		NumOutliers:    s.numOutliers,
+		PayloadBits:    payload.Len(),
+		Streams:        k,
+		SharedCodebook: shared != nil,
 	}
 	stream := appendHeader(dst, h)
 	stream = append(stream, payload.Bytes()...)
@@ -123,21 +240,21 @@ func compress(dst []byte, a *grid.Array, p Params, kernels bool) ([]byte, *Stats
 
 	st := &Stats{
 		N:               n,
-		Predictable:     n - numOutliers,
-		HitRate:         float64(n-numOutliers) / float64(n),
-		EffAbsBound:     eb,
+		Predictable:     n - s.numOutliers,
+		HitRate:         float64(n-s.numOutliers) / float64(n),
+		EffAbsBound:     s.eb,
 		CompressedBytes: len(stream) - len(dst),
-		OriginalBytes:   n * p.OutputType.Size(),
-		Histogram:       append([]uint64(nil), hist...),
+		OriginalBytes:   n * s.p.OutputType.Size(),
+		Histogram:       append([]uint64(nil), s.hist...),
 
 		TableBits:          tableBits,
 		CodeBits:           codeBits,
-		OutlierBits:        outW.Len(),
-		FixedWidthCodeBits: uint64(n) * uint64(p.IntervalBits),
+		OutlierBits:        s.outW.Len(),
+		FixedWidthCodeBits: uint64(n) * uint64(s.p.IntervalBits),
 	}
 	st.CompressionFactor = float64(st.OriginalBytes) / float64(st.CompressedBytes)
 	st.BitRate = float64(st.CompressedBytes) * 8 / float64(n)
-	if advice, _, err := quant.Adapt(hist, p.IntervalBits, p.HitRateThreshold); err == nil {
+	if advice, _, err := quant.Adapt(s.hist, s.p.IntervalBits, s.p.HitRateThreshold); err == nil {
 		st.Advice = advice
 	}
 	return stream, st, nil
@@ -210,6 +327,13 @@ func appendHeader(b []byte, h *Header) []byte {
 	}
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(h.AbsBound))
 	b = append(b, byte(h.Layers), byte(h.IntervalBits))
+	if h.Version == VersionMulti {
+		var flags byte
+		if h.SharedCodebook {
+			flags |= flagSharedCodebook
+		}
+		b = append(b, byte(h.Streams), flags)
+	}
 	b = binary.AppendUvarint(b, uint64(h.NumOutliers))
 	b = binary.AppendUvarint(b, h.PayloadBits)
 	return b

@@ -23,15 +23,36 @@ import (
 	"math"
 
 	"repro/internal/grid"
+	"repro/internal/huffman"
 	"repro/internal/quant"
 )
+
+// maxStreams caps Params.Streams at the entropy layer's limit.
+const maxStreams = huffman.MaxStreams
 
 // Format constants.
 const (
 	// Magic identifies an SZ-Go stream.
 	Magic = "SZGO"
-	// Version is the current stream format version.
+	// Version is the serial stream format version: one Huffman bit
+	// stream, codebook and outliers bit-packed back to back.
 	Version = 1
+	// VersionMulti is the multi-stream format version: the header gains
+	// a sub-stream count and a flags byte, and the payload is framed in
+	// byte-aligned sections (optional codebook, sub-stream length table,
+	// N independent Huffman sub-streams, outliers) so the decoder can
+	// run N interleaved decode states. Streams with Streams == 1 and an
+	// internal codebook are emitted as Version 1, byte-identical to
+	// previous releases.
+	VersionMulti = 2
+)
+
+// Header flag bits (VersionMulti streams only).
+const (
+	// flagSharedCodebook marks a payload that omits the codebook: the
+	// stream decodes only with an externally supplied codebook (the
+	// blocked v3 container's shared per-container codebook section).
+	flagSharedCodebook = 1 << 0
 )
 
 // DefaultLayers is the paper's default prediction layer count (n = 1, the
@@ -90,6 +111,12 @@ type Params struct {
 	// are snapped to it so the bound holds in the source type. 0 means
 	// grid.Float64.
 	OutputType grid.DType
+	// Streams is the number of interleaved Huffman sub-streams per
+	// stream (1..huffman.MaxStreams; 0 means 1). One stream keeps the
+	// serial Version-1 layout byte-identical to previous releases; more
+	// streams switch to the VersionMulti layout, whose decoder overlaps
+	// the sub-streams' decode chains for instruction-level parallelism.
+	Streams int
 }
 
 // withDefaults returns a copy with zero fields replaced by defaults.
@@ -108,6 +135,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.Mode == 0 {
 		p.Mode = BoundRel
+	}
+	if p.Streams == 0 {
+		p.Streams = 1
 	}
 	return p
 }
@@ -147,6 +177,9 @@ func (p Params) Validate() error {
 	if q.OutputType != grid.Float32 && q.OutputType != grid.Float64 {
 		return fmt.Errorf("core: unsupported OutputType %v", q.OutputType)
 	}
+	if q.Streams < 1 || q.Streams > maxStreams {
+		return fmt.Errorf("core: Streams %d out of range [1,%d]", q.Streams, maxStreams)
+	}
 	return nil
 }
 
@@ -180,6 +213,12 @@ type Header struct {
 	IntervalBits int
 	NumOutliers  int
 	PayloadBits  uint64
+	// Streams is the interleaved Huffman sub-stream count (1 for
+	// Version-1 streams).
+	Streams int
+	// SharedCodebook marks a VersionMulti payload that omits its
+	// codebook; decoding requires the container-level codebook.
+	SharedCodebook bool
 }
 
 // N returns the element count.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
@@ -30,7 +31,7 @@ func Inspect(stream []byte) (*Header, error) {
 // memory (code array, codebook tables) is recycled through the scratch
 // pools; only the reconstruction itself is newly allocated.
 func Decompress(stream []byte) (*grid.Array, *Header, error) {
-	return decompress(stream, true, nil)
+	return decompress(stream, true, nil, nil)
 }
 
 // DecompressInto is Decompress reconstructing into data when it is large
@@ -39,12 +40,25 @@ func Decompress(stream []byte) (*grid.Array, *Header, error) {
 // allocation. Every element of the used prefix is overwritten, so a
 // recycled buffer needs no clearing.
 func DecompressInto(stream []byte, data []float64) (*grid.Array, *Header, error) {
-	return decompress(stream, true, data)
+	return decompress(stream, true, data, nil)
 }
+
+// DecompressIntoShared is DecompressInto for streams whose codebook was
+// omitted in favor of a container-level shared codebook (blocked v3):
+// cb must be the deserialized shared codebook. The codebook is only
+// read, so concurrent slab decodes may share one. Streams that carry
+// their own codebook ignore cb.
+func DecompressIntoShared(stream []byte, data []float64, cb *huffman.Codebook) (*grid.Array, *Header, error) {
+	return decompress(stream, true, data, cb)
+}
+
+// ErrNeedsCodebook is returned when a shared-codebook stream is decoded
+// without the container-level codebook it depends on.
+var ErrNeedsCodebook = errors.New("core: stream requires its container's shared codebook (use DecompressIntoShared)")
 
 // decompress is the implementation behind Decompress; kernels=false forces
 // the generic reference scan.
-func decompress(stream []byte, kernels bool, data []float64) (*grid.Array, *Header, error) {
+func decompress(stream []byte, kernels bool, data []float64, ext *huffman.Codebook) (*grid.Array, *Header, error) {
 	h, off, err := parseHeader(stream)
 	if err != nil {
 		return nil, nil, err
@@ -60,15 +74,59 @@ func decompress(stream []byte, kernels bool, data []float64) (*grid.Array, *Head
 	payload := stream[off : off+payloadBytes]
 
 	r := bitstream.NewReaderBits(payload, h.PayloadBits)
-	cb, err := huffman.Deserialize(r)
-	if err != nil {
-		return nil, nil, fmt.Errorf("%w: codebook: %v", ErrCorrupt, err)
+	var cb *huffman.Codebook
+	if h.SharedCodebook {
+		if ext == nil {
+			return nil, nil, ErrNeedsCodebook
+		}
+		cb = ext
+	} else {
+		own, err := huffman.Deserialize(r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: codebook: %v", ErrCorrupt, err)
+		}
+		defer own.Release()
+		cb = own
+		if h.Version == VersionMulti {
+			r.Align()
+		}
 	}
-	defer cb.Release()
 	n := h.N()
 	codes := scratch.Ints(n) // DecodeInto assigns every entry
 	defer scratch.PutInts(codes)
-	if err := cb.DecodeInto(r, codes); err != nil {
+	if h.Version == VersionMulti {
+		// Byte-aligned sections: a uvarint sub-stream length table, then
+		// the sub-streams themselves. Each gets an independent cursor so
+		// the fused decoder can interleave them.
+		k := h.Streams
+		var lens [maxStreams]int
+		for j := 0; j < k; j++ {
+			v, err := readAlignedUvarint(r)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: sub-stream length table: %v", ErrCorrupt, err)
+			}
+			if v > uint64(payloadBytes) {
+				return nil, nil, fmt.Errorf("%w: sub-stream %d length %d exceeds payload", ErrCorrupt, j, v)
+			}
+			lens[j] = int(v)
+		}
+		var subArr [maxStreams]*bitstream.Reader
+		subs := subArr[:k]
+		start := int(r.Pos() >> 3)
+		for j := 0; j < k; j++ {
+			if start+lens[j] > payloadBytes {
+				return nil, nil, fmt.Errorf("%w: sub-stream %d overflows payload", ErrCorrupt, j)
+			}
+			subs[j] = bitstream.NewReaderAt(payload, start, lens[j])
+			start += lens[j]
+		}
+		if err := cb.DecodeNInto(subs, codes); err != nil {
+			return nil, nil, fmt.Errorf("%w: codes: %v", ErrCorrupt, err)
+		}
+		// The outlier section begins at the next byte boundary after the
+		// last sub-stream; move the main cursor there for the scan.
+		r.SetPos(uint64(start) * 8)
+	} else if err := cb.DecodeInto(r, codes); err != nil {
 		return nil, nil, fmt.Errorf("%w: codes: %v", ErrCorrupt, err)
 	}
 
@@ -83,11 +141,21 @@ func decompress(stream []byte, kernels bool, data []float64) (*grid.Array, *Head
 
 	// A well-formed codebook only emits codes < 2^m, but a corrupt stream
 	// can smuggle in a larger alphabet; the generic Reconstruct rejects
-	// such codes, so the kernels must too. Checking once here keeps the
-	// per-point loops branch-free.
-	for _, c := range codes {
-		if c < 0 || c >= q.NumCodes() {
-			return nil, nil, fmt.Errorf("%w: code %d out of range [0,%d)", ErrCorrupt, c, q.NumCodes())
+	// such codes, so the kernels must too. Checking here keeps the
+	// per-point loops branch-free. The decoder can only produce symbols
+	// the codebook assigns codes to, so bounding the alphabet bounds every
+	// decoded value — O(alphabet) instead of O(n). Version 1 predates
+	// that invariant being load-bearing, so its streams keep the
+	// exhaustive per-code sweep.
+	if h.Version == VersionMulti {
+		if m := cb.MaxSymbol(); m >= q.NumCodes() {
+			return nil, nil, fmt.Errorf("%w: code %d out of range [0,%d)", ErrCorrupt, m, q.NumCodes())
+		}
+	} else {
+		for _, c := range codes {
+			if c < 0 || c >= q.NumCodes() {
+				return nil, nil, fmt.Errorf("%w: code %d out of range [0,%d)", ErrCorrupt, c, q.NumCodes())
+			}
 		}
 	}
 
@@ -116,6 +184,27 @@ func decompress(stream []byte, kernels bool, data []float64) (*grid.Array, *Head
 	return out, h, nil
 }
 
+// readAlignedUvarint reads a standard uvarint from a byte-aligned
+// bitstream reader (the VersionMulti sub-stream length table).
+func readAlignedUvarint(r *bitstream.Reader) (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		b, err := r.ReadBits(8)
+		if err != nil {
+			return 0, err
+		}
+		v |= (b & 0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+		shift += 7
+		if shift > 63 {
+			return 0, fmt.Errorf("uvarint overflows 64 bits")
+		}
+	}
+}
+
 // parseHeader reads the header and returns it plus the payload offset.
 func parseHeader(stream []byte) (*Header, int, error) {
 	if len(stream) < len(Magic)+3 {
@@ -125,8 +214,8 @@ func parseHeader(stream []byte) (*Header, int, error) {
 		return nil, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	off := len(Magic)
-	h := &Header{Version: stream[off]}
-	if h.Version != Version {
+	h := &Header{Version: stream[off], Streams: 1}
+	if h.Version != Version && h.Version != VersionMulti {
 		return nil, 0, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, h.Version)
 	}
 	h.DType = grid.DType(stream[off+1])
@@ -168,6 +257,21 @@ func parseHeader(stream []byte) (*Header, int, error) {
 	}
 	if h.IntervalBits < quant.MinBits || h.IntervalBits > quant.MaxBits {
 		return nil, 0, fmt.Errorf("%w: bad interval bits %d", ErrCorrupt, h.IntervalBits)
+	}
+	if h.Version == VersionMulti {
+		if len(stream) < off+2 {
+			return nil, 0, fmt.Errorf("%w: truncated header", ErrCorrupt)
+		}
+		h.Streams = int(stream[off])
+		flags := stream[off+1]
+		off += 2
+		if h.Streams < 1 || h.Streams > maxStreams {
+			return nil, 0, fmt.Errorf("%w: bad stream count %d", ErrCorrupt, h.Streams)
+		}
+		if flags&^byte(flagSharedCodebook) != 0 {
+			return nil, 0, fmt.Errorf("%w: unknown flags %#x", ErrCorrupt, flags)
+		}
+		h.SharedCodebook = flags&flagSharedCodebook != 0
 	}
 	v, k := binary.Uvarint(stream[off:])
 	if k <= 0 || v > uint64(total) {

@@ -47,7 +47,7 @@ func BenchmarkCoreKernels(b *testing.B) {
 			b.Run(fmt.Sprintf("decompress/%s/%s", tc.name, variant.name), func(b *testing.B) {
 				b.SetBytes(int64(a.Len() * 4))
 				for i := 0; i < b.N; i++ {
-					if _, _, err := decompress(stream, variant.kernels, nil); err != nil {
+					if _, _, err := decompress(stream, variant.kernels, nil, nil); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -91,11 +91,11 @@ func checkEquivalence(t *testing.T, a *grid.Array, p Params, dims []int, layers 
 		t.Fatalf("dims=%v layers=%d: kernel stats differ:\n%+v\nvs\n%+v",
 			dims, layers, fastStats, refStats)
 	}
-	fastOut, fastH, err := decompress(fast, true, nil)
+	fastOut, fastH, err := decompress(fast, true, nil, nil)
 	if err != nil {
 		t.Fatalf("dims=%v layers=%d: kernel decompress: %v", dims, layers, err)
 	}
-	refOut, refH, err := decompress(ref, false, nil)
+	refOut, refH, err := decompress(ref, false, nil, nil)
 	if err != nil {
 		t.Fatalf("dims=%v layers=%d: generic decompress: %v", dims, layers, err)
 	}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/datagen"
+	"repro/internal/grid"
+	"repro/internal/huffman"
+)
+
+// TestMultiStreamRoundTrip checks that every stream count reconstructs
+// exactly the same samples as the serial Version-1 layout.
+func TestMultiStreamRoundTrip(t *testing.T) {
+	a := datagen.Hurricane(8, 20, 24, 3)
+	base := Params{Mode: BoundAbs, AbsBound: 1e-3, OutputType: grid.Float32}
+	ref, _, err := Compress(a, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOut, refH, err := Decompress(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refH.Version != Version || refH.Streams != 1 {
+		t.Fatalf("baseline version/streams = %d/%d, want %d/1", refH.Version, refH.Streams, Version)
+	}
+	for _, k := range []int{1, 2, 3, 4, 7, 16} {
+		t.Run(fmt.Sprintf("streams=%d", k), func(t *testing.T) {
+			p := base
+			p.Streams = k
+			stream, _, err := Compress(a, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k == 1 && !bytes.Equal(stream, ref) {
+				t.Fatal("streams=1 must be byte-identical to the default layout")
+			}
+			out, h, err := Decompress(stream)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantVer := uint8(Version)
+			if k > 1 {
+				wantVer = VersionMulti
+			}
+			if h.Version != wantVer || h.Streams != k {
+				t.Fatalf("version/streams = %d/%d, want %d/%d", h.Version, h.Streams, wantVer, k)
+			}
+			if !sameFloat64s(out.Data, refOut.Data) {
+				t.Fatal("multi-stream reconstruction differs from serial")
+			}
+		})
+	}
+}
+
+// TestSharedCodebookRoundTrip exercises the Analyze/EncodeAppend split
+// with an external union codebook and the shared-codebook decode path.
+func TestSharedCodebookRoundTrip(t *testing.T) {
+	a := datagen.Hurricane(6, 16, 18, 3)
+	b := datagen.Hurricane(6, 16, 18, 5)
+	p := Params{Mode: BoundAbs, AbsBound: 1e-3, OutputType: grid.Float32, Streams: 4}
+
+	sa, err := Analyze(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Release()
+	sb, err := Analyze(b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb.Release()
+
+	union := make([]uint64, len(sa.Hist()))
+	for i := range union {
+		union[i] = sa.Hist()[i] + sb.Hist()[i]
+	}
+	cb, err := huffman.New(union)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Release()
+
+	streamA, _, err := sa.EncodeAppend(nil, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamB, _, err := sb.EncodeAppend(nil, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := Inspect(streamA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.SharedCodebook || h.Version != VersionMulti {
+		t.Fatalf("header = %+v, want shared-codebook VersionMulti", h)
+	}
+	if _, _, err := Decompress(streamA); err != ErrNeedsCodebook {
+		t.Fatalf("Decompress without codebook: err = %v, want ErrNeedsCodebook", err)
+	}
+
+	// Decode with a freshly deserialized copy of the shared codebook,
+	// as the container reader would (Deserialize builds the decode table).
+	w := bitstream.NewWriter(256)
+	cb.Serialize(w)
+	dcb, err := huffman.Deserialize(bitstream.NewReaderBits(w.Bytes(), w.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dcb.Release()
+	for i, pair := range []struct {
+		stream []byte
+		orig   *grid.Array
+	}{{streamA, a}, {streamB, b}} {
+		out, _, err := DecompressIntoShared(pair.stream, nil, dcb)
+		if err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+		// Compare against the self-contained encoding of the same data.
+		pp := p
+		pp.Streams = 1
+		plain, _, err := Compress(pair.orig, pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := Decompress(plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameFloat64s(out.Data, want.Data) {
+			t.Fatalf("stream %d: shared-codebook reconstruction differs", i)
+		}
+	}
+}
+
+func sameFloat64s(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

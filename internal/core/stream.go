@@ -8,11 +8,11 @@ package core
 
 // MaxHeaderLen bounds the encoded header size in bytes: magic (4),
 // version/dtype/ndims (3), up to MaxDims varint dims (10 each), the
-// 8-byte bound, layers/interval bits (2), and two more varints (10 each)
-// for the outlier count and payload length. A prefix of MaxHeaderLen
-// bytes (or the whole stream, if shorter) is always enough for
-// ParseHeaderPrefix.
-const MaxHeaderLen = 4 + 3 + 4*10 + 8 + 2 + 10 + 10
+// 8-byte bound, layers/interval bits (2), the VersionMulti streams and
+// flags bytes (2), and two more varints (10 each) for the outlier count
+// and payload length. A prefix of MaxHeaderLen bytes (or the whole
+// stream, if shorter) is always enough for ParseHeaderPrefix.
+const MaxHeaderLen = 4 + 3 + 4*10 + 8 + 2 + 2 + 10 + 10
 
 // ParseHeaderPrefix parses a stream header from a prefix of the stream
 // and returns it together with the total byte length of the full stream

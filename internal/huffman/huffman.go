@@ -351,6 +351,18 @@ func (cb *Codebook) CodeLen(s int) int { return int(cb.lengths[s]) }
 // MaxCodeLen returns the longest code length in the book.
 func (cb *Codebook) MaxCodeLen() int { return int(cb.maxLen) }
 
+// MaxSymbol returns the largest symbol with a code assigned, or -1 for a
+// codebook with no codes. Every decode path resolves symbols through the
+// code tables, so no decoded symbol can exceed this bound.
+func (cb *Codebook) MaxSymbol() int {
+	for s := len(cb.lengths) - 1; s >= 0; s-- {
+		if cb.lengths[s] != 0 {
+			return s
+		}
+	}
+	return -1
+}
+
 // EncodedBits returns the exact number of bits Encode will emit for the
 // given frequency histogram (Σ freq[s]·len[s]).
 func (cb *Codebook) EncodedBits(freqs []uint64) uint64 {

@@ -1,0 +1,235 @@
+package huffman
+
+// Multi-stream (interleaved) Huffman coding. A serial Huffman stream
+// decodes one symbol at a time: the bit position of code i+1 depends on
+// the decoded length of code i, so the CPU pipeline stalls on a chain of
+// table lookups. Splitting a slab's symbols into N independent
+// sub-streams (zstd-style) and decoding them with N interleaved cursor
+// states breaks that chain — while one stream's table load is in flight
+// the decoder advances the next — trading a small framing overhead for
+// instruction-level parallelism on a single core.
+//
+// The split is block-wise: stream j carries symbols
+// [j·chunk, min(n, (j+1)·chunk)) with chunk = ceil(n/N), so the decoder
+// writes each stream's output to a contiguous range and the concatenated
+// result is in original order. Each sub-stream is an ordinary Huffman
+// bit stream over the same codebook; framing (byte alignment and
+// per-stream lengths) belongs to the caller's container format.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/bitstream"
+)
+
+// MaxStreams bounds the sub-stream count of a multi-stream payload. The
+// fused decoder keeps one cursor state per stream in fixed-size locals;
+// past ~8 streams the ILP win flattens while framing overhead keeps
+// growing, so the cap is generous.
+const MaxStreams = 16
+
+// StreamBounds returns the half-open symbol range [lo, hi) that stream j
+// of k covers in an n-symbol slab. Streams partition the slab block-wise
+// in order, so decoded sub-streams concatenate to the original sequence.
+func StreamBounds(n, k, j int) (lo, hi int) {
+	chunk := (n + k - 1) / k
+	lo = j * chunk
+	if lo > n {
+		lo = n
+	}
+	hi = lo + chunk
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// EncodeN splits symbols block-wise across len(ws) sub-streams and
+// Huffman-encodes each partition into its own writer. len(ws) must be in
+// [1, MaxStreams]. The emitted bits of stream j are exactly what Encode
+// would produce for the partition StreamBounds(len(symbols), len(ws), j).
+func (cb *Codebook) EncodeN(ws []*bitstream.Writer, symbols []int) error {
+	k := len(ws)
+	if k < 1 || k > MaxStreams {
+		return fmt.Errorf("huffman: stream count %d out of range [1,%d]", k, MaxStreams)
+	}
+	for j := 0; j < k; j++ {
+		lo, hi := StreamBounds(len(symbols), k, j)
+		if err := cb.Encode(ws[j], symbols[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeNInto decodes len(out) symbols from len(rs) sub-streams written
+// by EncodeN, interleaving one symbol per stream per round so the N
+// decode chains overlap in the CPU pipeline. Stream j fills the range
+// StreamBounds(len(out), len(rs), j) of out.
+//
+// The fast path lifts every reader's cursor into locals (Window/SetPos)
+// and resolves codes of length ≤ tableBits with a single 8-byte
+// big-endian load, shift, and table lookup — no per-symbol calls. Codes
+// longer than tableBits, cursors within 8 bytes of the buffer end, and
+// codebooks without a decode table fall back to the generic per-symbol
+// path for that symbol.
+func (cb *Codebook) DecodeNInto(rs []*bitstream.Reader, out []int) error {
+	k := len(rs)
+	if k < 1 || k > MaxStreams {
+		return fmt.Errorf("huffman: stream count %d out of range [1,%d]", k, MaxStreams)
+	}
+	if k == 1 {
+		return cb.DecodeInto(rs[0], out)
+	}
+	n := len(out)
+	var (
+		bufs       [MaxStreams][]byte
+		pos, end   [MaxStreams]uint64
+		base, cnt  [MaxStreams]int
+		safeByte   [MaxStreams]int // last byte index with 8 loadable bytes (may be negative)
+		maxRounds  int
+		haveTables = cb.table != nil
+	)
+	for j := 0; j < k; j++ {
+		lo, hi := StreamBounds(n, k, j)
+		base[j], cnt[j] = lo, hi-lo
+		if cnt[j] > maxRounds {
+			maxRounds = cnt[j]
+		}
+		bufs[j], pos[j], end[j] = rs[j].Window()
+		safeByte[j] = len(bufs[j]) - 8
+	}
+	if !haveTables {
+		// Encode-side codebooks carry no prefix table; interleaving buys
+		// nothing without the table load to overlap, so decode each
+		// partition with the generic path.
+		for j := 0; j < k; j++ {
+			if err := cb.DecodeInto(rs[j], out[base[j]:base[j]+cnt[j]]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	tb := uint(cb.tableBits)
+	tb64 := uint64(tb)
+	table := cb.table
+	// minRounds is the round count every stream participates in; inside
+	// it the grouped loop needs no per-stream count checks.
+	minRounds := cnt[0]
+	for j := 1; j < k; j++ {
+		if cnt[j] < minRounds {
+			minRounds = cnt[j]
+		}
+	}
+	round := 0
+	// Grouped fast path: one 8-byte load per stream feeds a group of
+	// four table lookups. Short codes are at most tableBits ≤ 12 bits,
+	// so the worst-case bit span of a group is 7 (byte misalignment) +
+	// 4×12 = 55 bits — always inside the loaded word. This quarters the
+	// load traffic while the per-round interleave across streams keeps
+	// the four dependency chains overlapped.
+	ml64 := uint64(cb.maxLen)
+	for ; round+4 <= minRounds; round += 4 {
+		for j := 0; j < k; j++ {
+			p := pos[j]
+			g := 0
+			if int(p>>3) <= safeByte[j] && p+4*tb64 <= end[j] {
+				v := binary.BigEndian.Uint64(bufs[j][p>>3:])
+				sh := p & 7
+				o := base[j] + round
+				for g < 4 {
+					e := table[v<<sh>>(64-tb)]
+					if e == 0 {
+						break
+					}
+					out[o+g] = int(e >> 6)
+					sh += uint64(e & 63)
+					g++
+				}
+				pos[j] = p&^7 + sh
+				if g == 4 {
+					continue
+				}
+			}
+			// Long code or buffer tail mid-group: finish the group one
+			// symbol at a time. A reload at the current position is
+			// byte-aligned (shift ≤ 7), so even a maxLen-bit code fits
+			// the loaded word and resolves without touching the reader.
+			for ; g < 4; g++ {
+				p = pos[j]
+				if int(p>>3) <= safeByte[j] && p+ml64 <= end[j] {
+					v := binary.BigEndian.Uint64(bufs[j][p>>3:])
+					w := v << (p & 7)
+					if e := table[w>>(64-tb)]; e != 0 {
+						pos[j] = p + uint64(e&63)
+						out[base[j]+round+g] = int(e >> 6)
+						continue
+					}
+					if s, l := cb.decodeLong(w); l != 0 {
+						pos[j] = p + l
+						out[base[j]+round+g] = s
+						continue
+					}
+				}
+				rs[j].SetPos(pos[j])
+				s, err := cb.decodeOne(rs[j])
+				if err != nil {
+					return fmt.Errorf("huffman: stream %d/%d symbol %d: %w", j, k, round+g, err)
+				}
+				pos[j] = rs[j].Pos()
+				out[base[j]+round+g] = s
+			}
+		}
+	}
+	// Tail: remaining rounds (group remainder plus any count skew between
+	// streams), one symbol per stream per round.
+	for ; round < maxRounds; round++ {
+		for j := 0; j < k; j++ {
+			if round >= cnt[j] {
+				continue
+			}
+			p := pos[j]
+			if int(p>>3) <= safeByte[j] && p+tb64 <= end[j] {
+				v := binary.BigEndian.Uint64(bufs[j][p>>3:])
+				e := table[v<<(p&7)>>(64-tb)]
+				if e != 0 {
+					pos[j] = p + uint64(e&63)
+					out[base[j]+round] = int(e >> 6)
+					continue
+				}
+			}
+			rs[j].SetPos(p)
+			s, err := cb.decodeOne(rs[j])
+			if err != nil {
+				return fmt.Errorf("huffman: stream %d/%d symbol %d: %w", j, k, round, err)
+			}
+			pos[j] = rs[j].Pos()
+			out[base[j]+round] = s
+		}
+	}
+	for j := 0; j < k; j++ {
+		rs[j].SetPos(pos[j])
+	}
+	return nil
+}
+
+// decodeLong resolves a code longer than tableBits from the top bits of
+// w (the stream's next bits, MSB-aligned) using the canonical per-length
+// tables — the same walk decodeSlow does, minus the per-bit reader
+// calls. Returns the symbol and its code length, or length 0 when no
+// code matches within maxLen bits.
+func (cb *Codebook) decodeLong(w uint64) (int, uint64) {
+	for l := cb.tableBits + 1; l <= uint(cb.maxLen); l++ {
+		cnt := cb.countByLen[l]
+		if cnt == 0 {
+			continue
+		}
+		code := w >> (64 - l)
+		first := cb.firstCode[l]
+		if code >= first && code < first+uint64(cnt) {
+			return int(cb.symByCode[cb.firstIndex[l]+int(code-first)]), uint64(l)
+		}
+	}
+	return 0, 0
+}

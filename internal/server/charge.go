@@ -61,6 +61,16 @@ const (
 	// and the raw output (<= 8). Deliberately above the well-formed
 	// peak, so it is asserted one-sided in the calibration test.
 	blockedDecompressBytesPerCell = 48
+
+	// blockedSharedCodebookCharge covers a v3 shared codebook held for
+	// the life of the decode: the 2^12-entry prefix table (16 KiB) plus
+	// canonical arrays for a full 2^16-symbol alphabet, with headroom.
+	blockedSharedCodebookCharge = 64 << 10
+
+	// blockedStreamStateBytes covers one interleaved sub-stream's decode
+	// state per slab (reader cursor plus framing slack) — tiny, charged
+	// per declared stream so a hostile streams byte still costs.
+	blockedStreamStateBytes = 4 << 10
 )
 
 // compressCharge estimates the peak memory a compress request pins,
@@ -134,12 +144,22 @@ func (s *Server) decompressCharge(name string, declared int64, header []byte) (i
 			return gzipDecompressCharge, true
 		}
 		if name == "blocked" {
-			if dims, slabRows, _, err := blocked.ParseContainerHeader(header); err == nil {
+			if ci, err := blocked.ParseContainerHeader(header); err == nil {
 				rowCells := int64(1)
-				for _, d := range dims[1:] {
+				for _, d := range ci.Dims[1:] {
 					rowCells = satMul(rowCells, int64(d))
 				}
-				if c := satMul(satMul(int64(slabRows), rowCells), blockedDecompressBytesPerCell); c > charge {
+				c := satMul(satMul(int64(ci.SlabRows), rowCells), blockedDecompressBytesPerCell)
+				// v3 footprints: the shared codebook lives for the whole
+				// decode, and each slab keeps one cursor per sub-stream
+				// (v2's single cursor is already inside the per-cell bound).
+				if ci.Version >= 3 {
+					if ci.CodebookLen > 0 {
+						c += blockedSharedCodebookCharge
+					}
+					c += satMul(int64(ci.Streams), blockedStreamStateBytes)
+				}
+				if c > charge {
 					charge = c
 				}
 			}

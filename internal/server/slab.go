@@ -37,17 +37,17 @@ func (s *Server) slabCharge(declared int64, header []byte, lo, hi int) int64 {
 	if base < 0 {
 		base = s.unknownCharge()
 	}
-	dims, slabRows, _, err := blocked.ParseContainerHeader(header)
+	ci, err := blocked.ParseContainerHeader(header)
 	if err != nil {
 		return satMul(base, 2)
 	}
 	rowCells := int64(1)
-	for _, d := range dims[1:] {
+	for _, d := range ci.Dims[1:] {
 		rowCells = satMul(rowCells, int64(d))
 	}
-	rows := satMul(int64(hi-lo+1), int64(slabRows))
-	if rows > int64(dims[0]) {
-		rows = int64(dims[0])
+	rows := satMul(int64(hi-lo+1), int64(ci.SlabRows))
+	if rows > int64(ci.Dims[0]) {
+		rows = int64(ci.Dims[0])
 	}
 	return base + satMul(satMul(rows, rowCells), 24)
 }
