@@ -90,7 +90,8 @@ compress flags:
   -workers n    blocked-container parallelism (default NumCPU)
   -zfprate r    ZFP fixed-rate bits/value (overrides bounds for -codec zfp)
   -streams k    interleaved Huffman sub-streams per slab for ILP decode
-                (default auto = 4 for -codec blocked, writing a v3 container;
+                (default auto = the daemon's advertised preference in -remote
+                mode, else 4, for -codec blocked writing a v3 container;
                 1 keeps the serial layout)
   -container v  blocked container version: auto|v2|v3 (v2 forces streams=1)
   -sharedcb     blocked v3: one codebook shared by every slab (one-shot only)
@@ -100,6 +101,8 @@ decompress flags:
   -dtype t      element type for codecs that do not record it (default f64)
   -dims d0,d1   shape for non-self-describing codecs
   -slab i|lo-hi random-access decode of just that slab range of a blocked container
+  -digest d     read a container from the daemon's store by content address
+                (remote only, no input upload; "sz c -remote" prints the digest)
 
 inspect flags:
   -json         machine-readable output
@@ -232,15 +235,30 @@ func cmdCompress(args []string) error {
 	default:
 		return fmt.Errorf("bad -container %q (auto|v2|v3)", *container)
 	}
+	var cl *client.Client
+	if *remote != "" {
+		var err error
+		if cl, err = client.New(*remote); err != nil {
+			return err
+		}
+	}
 	// auto = the ILP-friendly default for the blocked container: v3 with
 	// four interleaved sub-streams per slab — unless the container is
 	// pinned to v2, which only knows the serial layout. Everything else
-	// keeps the single-stream layout unless asked.
+	// keeps the single-stream layout unless asked. In remote mode the
+	// daemon knows its own decode parallelism better than any client
+	// constant, so auto adopts the preferred count it advertises in
+	// /v1/codecs.
 	nStreams := 0
 	switch *streams {
 	case "", "auto":
 		if *codecName == "blocked" && containerV != 2 {
 			nStreams = 4
+			if cl != nil {
+				if info, err := cl.CodecsInfo(context.Background()); err == nil && info.PreferredStreams > 0 {
+					nStreams = info.PreferredStreams
+				}
+			}
 		}
 	default:
 		n, err := strconv.Atoi(*streams)
@@ -307,12 +325,7 @@ func cmdCompress(args []string) error {
 	}
 	cw := &countingWriter{w: w}
 	var zw io.WriteCloser
-	if *remote != "" {
-		cl, err := client.New(*remote)
-		if err != nil {
-			w.Close()
-			return err
-		}
+	if cl != nil {
 		zw, err = cl.NewWriter(context.Background(), cw, *codecName, p)
 		if err != nil {
 			w.Close()
@@ -350,6 +363,12 @@ func cmdCompress(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "sz c: %s: %d -> %d bytes (CF %.2f)\n",
 		*codecName, nIn, cw.n, float64(nIn)/float64(cw.n))
+	// A store-backed daemon content-addresses the finished container;
+	// surface the digest so later reads can skip the upload entirely
+	// (`sz d -remote ... -digest <digest>`).
+	if dw, ok := zw.(client.Digester); ok && dw.Digest() != "" {
+		fmt.Fprintf(os.Stderr, "sz c: digest %s\n", dw.Digest())
+	}
 	return nil
 }
 
@@ -362,9 +381,17 @@ func cmdDecompress(args []string) error {
 		workers   = fs.Int("workers", 0, "decode parallelism where supported")
 		slabSpec  = fs.String("slab", "", "random-access decode of a blocked container: slab index or lo-hi range")
 		remote    = fs.String("remote", "", "szd daemon address")
+		digest    = fs.String("digest", "", "content address of a container in the daemon's store (remote only): read by digest, no input upload")
 	)
 	fs.Parse(args)
 	in, out := fs.Arg(0), fs.Arg(1)
+	if *digest != "" {
+		if *remote == "" {
+			return fmt.Errorf("-digest needs -remote (the container lives in a daemon's store)")
+		}
+		// No input file travels: arg 0 is the output.
+		in, out = "", fs.Arg(0)
+	}
 
 	dims, err := codec.ParseDims(*dimsStr)
 	if err != nil {
@@ -374,17 +401,49 @@ func cmdDecompress(args []string) error {
 	if err != nil {
 		return err
 	}
-	r, err := openIn(in)
-	if err != nil {
-		return err
+	var br *bufio.Reader
+	if *digest == "" {
+		r, err := openIn(in)
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		br = bufio.NewReaderSize(r, 1<<20)
 	}
-	defer r.Close()
-	br := bufio.NewReaderSize(r, 1<<20)
 	p := sz.CodecParams{Dims: dims, DType: dt, Workers: *workers}
 
 	var zr io.ReadCloser
 	name := *codecName
-	if *slabSpec != "" {
+	if *digest != "" {
+		// Content-addressed read: the daemon serves off its store, the
+		// client uploads nothing. Slab ranges come back as compressed
+		// extents decoded locally — the backend does no decode work.
+		cl, err := client.New(*remote)
+		if err != nil {
+			return err
+		}
+		if *slabSpec != "" {
+			lo, hi, err := codec.ParseSlabSpec(*slabSpec)
+			if err != nil {
+				return err
+			}
+			name = "blocked"
+			ext, err := cl.ReadSlabExtent(context.Background(), *digest, lo, hi)
+			if err != nil {
+				return err
+			}
+			raw, err := ext.Decode()
+			if err != nil {
+				return err
+			}
+			zr = io.NopCloser(bytes.NewReader(raw))
+		} else {
+			name = "auto"
+			if zr, err = cl.DecompressAt(context.Background(), *digest, *codecName, p); err != nil {
+				return err
+			}
+		}
+	} else if *slabSpec != "" {
 		// Random access: only the requested slab range is reconstructed,
 		// locally or by the daemon's /v1/slab endpoint.
 		lo, hi, err := codec.ParseSlabSpec(*slabSpec)

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+func newStoreDaemon(t *testing.T) (string, *store.Store) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(server.Config{Store: st}).Handler())
+	t.Cleanup(ts.Close)
+	return strings.TrimPrefix(ts.URL, "http://"), st
+}
+
+// TestDigestDecodeCLI drives the content-addressed flow end to end:
+// remote compress seeds the store, then `sz d -digest` reads the slab
+// back with no input upload — both the raw path and the full decode.
+func TestDigestDecodeCLI(t *testing.T) {
+	dir := t.TempDir()
+	in, _ := writeInput(t, dir)
+	comp := filepath.Join(dir, "out.szb")
+	addr, st := newStoreDaemon(t)
+
+	if err := cmdCompress([]string{"-codec", "blocked", "-dims", "16,20,12",
+		"-dtype", "f32", "-abs", "1e-3", "-slab", "4", "-remote", addr, in, comp}); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	if stats.Entries != 1 {
+		t.Fatalf("store holds %d entries after remote compress, want 1", stats.Entries)
+	}
+	stream, err := os.ReadFile(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(stream)
+	digest := hex.EncodeToString(sum[:])
+
+	// Digest-referenced slab read vs the local slab decode.
+	local := filepath.Join(dir, "slab_local.f32")
+	if err := cmdDecompress([]string{"-slab", "1-2", comp, local}); err != nil {
+		t.Fatal(err)
+	}
+	byDigest := filepath.Join(dir, "slab_digest.f32")
+	if err := cmdDecompress([]string{"-slab", "1-2", "-remote", addr, "-digest", digest, byDigest}); err != nil {
+		t.Fatal(err)
+	}
+	lb, _ := os.ReadFile(local)
+	db, err := os.ReadFile(byDigest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lb) == 0 || !bytes.Equal(lb, db) {
+		t.Fatalf("-digest slab read: %d bytes vs local %d bytes differ", len(db), len(lb))
+	}
+
+	// Full reconstruction by digest.
+	full := filepath.Join(dir, "full_local.f32")
+	if err := cmdDecompress([]string{comp, full}); err != nil {
+		t.Fatal(err)
+	}
+	fullDigest := filepath.Join(dir, "full_digest.f32")
+	if err := cmdDecompress([]string{"-remote", addr, "-digest", digest, fullDigest}); err != nil {
+		t.Fatal(err)
+	}
+	fb, _ := os.ReadFile(full)
+	fdb, err := os.ReadFile(fullDigest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb) == 0 || !bytes.Equal(fb, fdb) {
+		t.Fatal("-digest full decode differs from local decode")
+	}
+
+	// -digest without -remote is a usage error.
+	if err := cmdDecompress([]string{"-digest", digest, filepath.Join(dir, "x.f32")}); err == nil {
+		t.Fatal("-digest without -remote accepted")
+	}
+}
+
+// TestStreamsAutoAdoptsDaemonPreference: with -streams auto against a
+// daemon advertising a preference, the container must carry that stream
+// count.
+func TestStreamsAutoAdoptsDaemonPreference(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{PreferredStreams: 2}).Handler())
+	t.Cleanup(ts.Close)
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	dir := t.TempDir()
+	in, _ := writeInput(t, dir)
+	comp := filepath.Join(dir, "out.szb")
+	if err := cmdCompress([]string{"-codec", "blocked", "-dims", "16,20,12",
+		"-dtype", "f32", "-abs", "1e-3", "-remote", addr, in, comp}); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := os.ReadFile(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := codec.SlabIndexOf(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.Streams != 2 {
+		t.Fatalf("container streams = %d, want the daemon's preferred 2", si.Streams)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -42,10 +43,13 @@ func main() {
 		writeTimeout = flag.Duration("write-timeout", 0, "max duration writing a response (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight streams on shutdown")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty = disabled")
+		storeDir     = flag.String("store-dir", "", "content-addressed container store directory; empty = store disabled")
+		storeBytes   = flag.Int64("store-bytes", 4<<30, "store byte budget before LRU eviction (0 = unbounded)")
+		prefStreams  = flag.Int("preferred-streams", 0, "interleaved stream count advertised in /v1/codecs (0 = 4)")
 	)
 	flag.Parse()
 	servePprof(*pprofAddr, "szd")
-	if err := run(*addr, *maxInflight, *maxRequest, *workers, *readTimeout, *writeTimeout, *drainTimeout); err != nil {
+	if err := run(*addr, *maxInflight, *maxRequest, *workers, *readTimeout, *writeTimeout, *drainTimeout, *storeDir, *storeBytes, *prefStreams); err != nil {
 		fmt.Fprintln(os.Stderr, "szd:", err)
 		os.Exit(1)
 	}
@@ -67,11 +71,22 @@ func servePprof(addr, name string) {
 	}()
 }
 
-func run(addr string, maxInflight, maxRequest int64, workers int, readTimeout, writeTimeout, drainTimeout time.Duration) error {
+func run(addr string, maxInflight, maxRequest int64, workers int, readTimeout, writeTimeout, drainTimeout time.Duration, storeDir string, storeBytes int64, prefStreams int) error {
+	var st *store.Store
+	if storeDir != "" {
+		var err error
+		if st, err = store.Open(storeDir, storeBytes); err != nil {
+			return fmt.Errorf("opening store: %w", err)
+		}
+		snap := st.Stats()
+		log.Printf("szd: store %s: %d containers, %d bytes (budget %d)", storeDir, snap.Entries, snap.Bytes, storeBytes)
+	}
 	s := server.New(server.Config{
 		MaxInflightBytes: maxInflight,
 		MaxRequestBytes:  maxRequest,
 		Workers:          workers,
+		Store:            st,
+		PreferredStreams: prefStreams,
 	})
 	hs := &http.Server{
 		Addr:              addr,

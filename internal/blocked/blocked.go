@@ -390,8 +390,23 @@ func relToAbs(p core.Params, valueRange float64) float64 {
 	return eb
 }
 
-// Inspect parses and verifies the container index from the footer.
+// Inspect parses and verifies the container index from the footer,
+// including the whole-container CRC.
 func Inspect(stream []byte) (*Index, error) {
+	return inspect(stream, true)
+}
+
+// InspectNoVerify parses the container index without the O(container)
+// CRC pass. For bytes whose integrity is already established out of
+// band — a content-addressed store entry that was digest-verified at
+// write time — the CRC walk is the dominant cost of a random-access
+// read, and skipping it is what makes a store-hit slab serve O(slab).
+// The structural footer checks (offsets, lengths, geometry) still run.
+func InspectNoVerify(stream []byte) (*Index, error) {
+	return inspect(stream, false)
+}
+
+func inspect(stream []byte, verify bool) (*Index, error) {
 	if len(stream) < len(magicV2)+3+9 {
 		if _, err := parseMagic(stream); err != nil {
 			return nil, err
@@ -402,7 +417,7 @@ func Inspect(stream []byte) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	if crc32.ChecksumIEEE(stream[:len(stream)-4]) != binary.LittleEndian.Uint32(stream[len(stream)-4:]) {
+	if verify && crc32.ChecksumIEEE(stream[:len(stream)-4]) != binary.LittleEndian.Uint32(stream[len(stream)-4:]) {
 		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
 	}
 	if ci.BodyStart() > len(stream)-8 {
@@ -449,6 +464,21 @@ func Inspect(stream []byte) (*Index, error) {
 		return nil, fmt.Errorf("%w: body length mismatch", ErrCorrupt)
 	}
 	return ix, nil
+}
+
+// SlabExtent returns the byte range [start, end) within the container
+// that holds the concatenated core streams of slabs lo..hi inclusive.
+// Each core stream is self-delimiting, so the extent is decodable on its
+// own given the container's geometry — unless the container uses a
+// shared codebook (ix.SharedCodebook()), in which case the extent's
+// streams reference a section outside the extent. This is the zero-copy
+// serving primitive: a slab read becomes a byte-slice of an mmap'd
+// container, no entropy decode at all.
+func (ix *Index) SlabExtent(lo, hi int) (start, end int, err error) {
+	if lo < 0 || hi >= ix.NumSlabs() || lo > hi {
+		return 0, 0, fmt.Errorf("blocked: %w: %d-%d of [0,%d)", ErrSlabRange, lo, hi, ix.NumSlabs())
+	}
+	return ix.HeaderLen + ix.Offsets[lo], ix.HeaderLen + ix.Offsets[hi+1], nil
 }
 
 // body returns the container body bytes given its index.
@@ -554,6 +584,14 @@ func DecompressSlabRange(stream []byte, lo, hi int) (*grid.Array, grid.DType, er
 	if err != nil {
 		return nil, 0, err
 	}
+	return DecompressSlabRangeIndexed(stream, ix, lo, hi)
+}
+
+// DecompressSlabRangeIndexed is DecompressSlabRange against an index the
+// caller already parsed — via Inspect, or InspectNoVerify for bytes
+// whose integrity is vouched for elsewhere (a digest-verified store
+// entry). It never re-walks the container.
+func DecompressSlabRangeIndexed(stream []byte, ix *Index, lo, hi int) (*grid.Array, grid.DType, error) {
 	if lo < 0 || hi >= ix.NumSlabs() || lo > hi {
 		return nil, 0, fmt.Errorf("blocked: %w: %d-%d of [0,%d)", ErrSlabRange, lo, hi, ix.NumSlabs())
 	}

@@ -50,6 +50,7 @@ type Client struct {
 	maxAttempts int
 	backoff     time.Duration
 	bufferLimit int
+	slabCache   *slabCache // ReadSlabAt revalidation cache
 }
 
 // Option configures a Client.
@@ -91,6 +92,7 @@ func New(addr string, opts ...Option) (*Client, error) {
 		maxAttempts: 4,
 		backoff:     100 * time.Millisecond,
 		bufferLimit: 4 << 20,
+		slabCache:   newSlabCache(),
 	}
 	for _, o := range opts {
 		o(c)
@@ -139,7 +141,9 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*
 		if err != nil {
 			return nil, err
 		}
-		if resp.StatusCode < 300 {
+		// 304 is a successful revalidation, not a failure: the caller
+		// sent If-None-Match and owns the matching bytes already.
+		if resp.StatusCode < 300 || resp.StatusCode == http.StatusNotModified {
 			return resp, nil
 		}
 		serr := statusError(resp)
@@ -158,20 +162,11 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*
 
 // Codecs lists the codec names registered on the daemon.
 func (c *Client) Codecs(ctx context.Context) ([]string, error) {
-	resp, err := c.do(ctx, func() (*http.Request, error) {
-		return http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/codecs", nil), nil)
-	})
+	info, err := c.CodecsInfo(ctx)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	var body struct {
-		Codecs []string `json:"codecs"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		return nil, fmt.Errorf("client: decoding codec list: %w", err)
-	}
-	return body.Codecs, nil
+	return info.Codecs, nil
 }
 
 // Health checks /healthz; nil means the daemon is accepting work.
@@ -353,7 +348,15 @@ type remoteWriter struct {
 	pw     *io.PipeWriter
 	done   chan error
 	closed bool
+	digest string // container content address from the response ETag
 }
+
+// Digest returns the content address the daemon assigned the finished
+// container (the response ETag trailer), or "" before a successful
+// Close or when the daemon runs without a store. Later reads can
+// reference the container by this digest alone (DecompressAt,
+// ReadSlabAt) instead of re-uploading it.
+func (rw *remoteWriter) Digest() string { return rw.digest }
 
 func (rw *remoteWriter) Write(b []byte) (int, error) {
 	if rw.closed {
@@ -405,6 +408,8 @@ func (rw *remoteWriter) startStreaming() error {
 		resp.Body.Close()
 		if err != nil {
 			pr.CloseWithError(err)
+		} else {
+			rw.digest = etagOf(resp) // trailer, populated once the body drained
 		}
 		rw.done <- err
 	}()
@@ -443,8 +448,11 @@ func (rw *remoteWriter) Close() error {
 			return err
 		}
 		defer resp.Body.Close()
-		_, err = io.Copy(rw.dst, resp.Body)
-		return err
+		if _, err = io.Copy(rw.dst, resp.Body); err != nil {
+			return err
+		}
+		rw.digest = etagOf(resp)
+		return nil
 	}
 	rw.pw.Close()
 	return <-rw.done

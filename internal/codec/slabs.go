@@ -83,6 +83,13 @@ type SlabIndex struct {
 	Slabs       int     `json:"slabs"`
 	HeaderLen   int     `json:"header_len"`
 	SlabLengths []int   `json:"slab_lengths"`
+	// Version/Streams/SharedCodebook describe the container flavor so a
+	// remote reader can decide whether a compressed slab extent is
+	// self-contained (shared-codebook containers reference a section
+	// outside any one slab's extent).
+	Version        int  `json:"version,omitempty"`
+	Streams        int  `json:"streams,omitempty"`
+	SharedCodebook bool `json:"shared_codebook,omitempty"`
 }
 
 // SlabIndexOf parses and verifies a blocked container's footer index
@@ -100,15 +107,26 @@ func SlabIndexOf(stream []byte) (*SlabIndex, error) {
 	if err != nil {
 		return nil, err
 	}
+	return SlabIndexFrom(stream, ix), nil
+}
+
+// SlabIndexFrom renders an already-parsed footer index into the wire
+// shape. Servers holding digest-verified store bytes pair it with
+// blocked.InspectNoVerify to answer /v1/slabs without the O(container)
+// CRC walk.
+func SlabIndexFrom(stream []byte, ix *blocked.Index) *SlabIndex {
 	ns := ix.NumSlabs()
 	si := &SlabIndex{
-		Codec:       "blocked",
-		Bytes:       len(stream),
-		Dims:        ix.Dims,
-		SlabRows:    ix.SlabRows,
-		Slabs:       ns,
-		HeaderLen:   ix.HeaderLen,
-		SlabLengths: make([]int, ns),
+		Codec:          "blocked",
+		Bytes:          len(stream),
+		Dims:           ix.Dims,
+		SlabRows:       ix.SlabRows,
+		Slabs:          ns,
+		HeaderLen:      ix.HeaderLen,
+		SlabLengths:    make([]int, ns),
+		Version:        ix.Version,
+		Streams:        ix.Streams,
+		SharedCodebook: ix.SharedCodebook(),
 	}
 	for i := 0; i < ns; i++ {
 		si.SlabLengths[i] = ix.Offsets[i+1] - ix.Offsets[i]
@@ -117,5 +135,5 @@ func SlabIndexOf(stream []byte) (*SlabIndex, error) {
 		si.DType = h.DType.String()
 		si.AbsBound = h.AbsBound
 	}
-	return si, nil
+	return si
 }

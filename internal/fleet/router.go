@@ -150,6 +150,7 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("/v1/inspect", rt.proxyBody("inspect"))
 	rt.mux.HandleFunc("/v1/slabs", rt.proxyBody("slabs"))
 	rt.mux.HandleFunc("/v1/slab/", rt.proxyBody("slab"))
+	rt.mux.HandleFunc("/v1/container/", rt.proxyBody("container"))
 	rt.mux.HandleFunc("/v1/codecs", rt.proxyBodyless("codecs"))
 	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
@@ -281,10 +282,31 @@ func retryable(status int) bool {
 	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
 }
 
+// requestDigestParam extracts a content-address reference from the
+// request: the ?digest= query value, the X-Sz-Digest header, or (for
+// the container endpoint) the path element. The backend validates the
+// shape; the router only needs it as a ring key.
+func requestDigestParam(r *http.Request, endpoint string) string {
+	if d := r.URL.Query().Get("digest"); d != "" {
+		return d
+	}
+	if d := r.Header.Get("X-Sz-Digest"); d != "" {
+		return d
+	}
+	if endpoint == "container" {
+		return strings.TrimPrefix(r.URL.Path, "/v1/container/")
+	}
+	return ""
+}
+
 // proxyBody handles the body-carrying endpoints. Bodies within the
 // buffer limit are hashed and routed with failover — consulting the
 // response cache and coalescing identical in-flight requests on the
 // cacheable endpoints; larger bodies stream to a single picked backend.
+// Digest-referenced requests (no body, content address in the query,
+// header, or container path) ring-route by the digest itself, which is
+// exactly where earlier body-carrying reads of the same container
+// landed: the backend that stored it on disk.
 func (rt *Router) proxyBody(endpoint string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		head, err := io.ReadAll(io.LimitReader(r.Body, int64(rt.bufferLimit)+1))
@@ -297,13 +319,23 @@ func (rt *Router) proxyBody(endpoint string) http.HandlerFunc {
 			rt.forwardStream(w, r, endpoint, head)
 			return
 		}
-		digest := sha256.Sum256(head)
-		key := hex.EncodeToString(digest[:])
+		key := requestDigestParam(r, endpoint)
+		digestRouted := key != "" && len(head) == 0
+		if !digestRouted {
+			// Body path: the body hash IS the container digest for the
+			// decode-side endpoints, so both paths share ring affinity.
+			sum := sha256.Sum256(head)
+			key = hex.EncodeToString(sum[:])
+		}
+		fillDigest := ""
+		if digestRouted {
+			fillDigest = key
+		}
 		if rt.cache != nil && cacheableEndpoint[endpoint] {
-			rt.serveCacheable(w, r, endpoint, key, head)
+			rt.serveCacheable(w, r, endpoint, key, fillDigest, head)
 			return
 		}
-		rt.forwardReplayable(w, r, endpoint, rt.candidates(key), head)
+		rt.forwardReplayable(w, r, endpoint, rt.candidates(key), fillDigest, head)
 	}
 }
 
@@ -339,13 +371,48 @@ func requestIdentity(endpoint string, r *http.Request, digest string) string {
 	return b.String()
 }
 
+// notModifiedFromCache answers a conditional request whose If-None-Match
+// covers the cached entry's ETag: content-addressed responses are
+// immutable, so a match is always a 304 — no backend, no body bytes.
+func (rt *Router) notModifiedFromCache(w http.ResponseWriter, r *http.Request, endpoint string, e *cacheEntry, mode string) bool {
+	etag := e.header.Get("Etag")
+	if etag == "" || !ifNoneMatchHas(r.Header.Get("If-None-Match"), etag) {
+		return false
+	}
+	w.Header().Set("Etag", etag)
+	w.Header().Set("X-Sz-Backend", e.backend)
+	w.Header().Set("X-Sz-Cache", mode)
+	w.WriteHeader(http.StatusNotModified)
+	rt.met.request(endpoint, http.StatusNotModified)
+	return true
+}
+
+// ifNoneMatchHas reports whether an If-None-Match field value matches
+// etag (comma list, wildcard, weak prefix tolerated).
+func ifNoneMatchHas(inm, etag string) bool {
+	if inm == "" {
+		return false
+	}
+	for _, part := range strings.Split(inm, ",") {
+		part = strings.TrimSpace(part)
+		if part == "*" || part == etag || strings.TrimPrefix(part, "W/") == etag {
+			return true
+		}
+	}
+	return false
+}
+
 // serveCacheable answers a replayable decode-side request from the
 // response cache when possible, coalesces it onto an identical in-flight
 // request otherwise, and only then forwards — capturing a shareable
 // response for both layers on the way back.
-func (rt *Router) serveCacheable(w http.ResponseWriter, r *http.Request, endpoint, key string, head []byte) {
+func (rt *Router) serveCacheable(w http.ResponseWriter, r *http.Request, endpoint, key, fillDigest string, head []byte) {
 	id := requestIdentity(endpoint, r, key)
 	if e := rt.cache.get(id); e != nil {
+		if rt.notModifiedFromCache(w, r, endpoint, e, "hit") {
+			return
+		}
+		rt.met.cacheHitBytes(int64(len(e.body)))
 		e.writeTo(w, "hit")
 		rt.met.request(endpoint, e.status)
 		return
@@ -356,7 +423,7 @@ func (rt *Router) serveCacheable(w http.ResponseWriter, r *http.Request, endpoin
 		// leave runs deferred so followers are released even if the
 		// forward path fails in an unexpected way.
 		defer func() { rt.flights.leave(id, c, entry) }()
-		entry = rt.forwardCaptured(w, r, endpoint, rt.candidates(key), head)
+		entry = rt.forwardCaptured(w, r, endpoint, rt.candidates(key), fillDigest, head)
 		if entry != nil && entry.status == http.StatusOK {
 			rt.cache.put(id, entry)
 		}
@@ -368,6 +435,9 @@ func (rt *Router) serveCacheable(w http.ResponseWriter, r *http.Request, endpoin
 		return // client gave up while waiting on the leader
 	}
 	if e := c.entry; e != nil {
+		if rt.notModifiedFromCache(w, r, endpoint, e, "coalesced") {
+			return
+		}
 		rt.met.coalesced(endpoint)
 		e.writeTo(w, "coalesced")
 		rt.met.request(endpoint, e.status)
@@ -375,7 +445,7 @@ func (rt *Router) serveCacheable(w http.ResponseWriter, r *http.Request, endpoin
 	}
 	// The leader's response was not shareable (oversized or an internal
 	// error); fall back to an ordinary forward of our own.
-	rt.forwardReplayable(w, r, endpoint, rt.candidates(key), head)
+	rt.forwardReplayable(w, r, endpoint, rt.candidates(key), fillDigest, head)
 }
 
 // proxyBodyless handles GET endpoints with no body (the codec listing):
@@ -392,15 +462,15 @@ func (rt *Router) proxyBodyless(endpoint string) http.HandlerFunc {
 		sort.SliceStable(rotated, func(i, j int) bool {
 			return routable[rotated[i]] && !routable[rotated[j]]
 		})
-		rt.forwardReplayable(w, r, endpoint, rotated, nil)
+		rt.forwardReplayable(w, r, endpoint, rotated, "", nil)
 	}
 }
 
 // forwardReplayable tries candidates in order with a fresh body per
 // attempt, failing over on shed statuses and transport errors; the last
 // rejection is relayed when no candidate accepts.
-func (rt *Router) forwardReplayable(w http.ResponseWriter, r *http.Request, endpoint string, cands []string, body []byte) {
-	rt.forward(w, r, endpoint, cands, body, false)
+func (rt *Router) forwardReplayable(w http.ResponseWriter, r *http.Request, endpoint string, cands []string, fillDigest string, body []byte) {
+	rt.forward(w, r, endpoint, cands, fillDigest, body, false)
 }
 
 // forwardCaptured is forwardReplayable for the cacheable path: a
@@ -408,12 +478,13 @@ func (rt *Router) forwardReplayable(w http.ResponseWriter, r *http.Request, endp
 // client, and returned for the cache and any coalesced followers. A nil
 // return means the response was served but is not shareable (oversized,
 // a relayed rejection, or an internal error).
-func (rt *Router) forwardCaptured(w http.ResponseWriter, r *http.Request, endpoint string, cands []string, body []byte) *cacheEntry {
-	return rt.forward(w, r, endpoint, cands, body, true)
+func (rt *Router) forwardCaptured(w http.ResponseWriter, r *http.Request, endpoint string, cands []string, fillDigest string, body []byte) *cacheEntry {
+	return rt.forward(w, r, endpoint, cands, fillDigest, body, true)
 }
 
-func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint string, cands []string, body []byte, capture bool) *cacheEntry {
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint string, cands []string, fillDigest string, body []byte, capture bool) *cacheEntry {
 	var last *storedResp
+	fillTried := false
 	for _, backend := range cands {
 		if r.Context().Err() != nil {
 			return nil // client went away; stop burning backends
@@ -439,6 +510,26 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint strin
 			rt.met.failover(backend)
 			continue
 		}
+		if fillDigest != "" && resp.StatusCode == http.StatusNotFound {
+			// A digest-referenced read missed this backend's store: a
+			// ring-affinity miss (the container was compressed or first
+			// read elsewhere, or the node restarted with an empty disk).
+			// Keep the 404 for relaying, then try to repair the owner by
+			// copying the container over from a peer that has it, and
+			// retry here. Fill runs once per request; if no peer has the
+			// container either, the remaining candidates' own stores are
+			// still probed directly.
+			last = storeResp(resp, backend)
+			if !fillTried {
+				fillTried = true
+				if rt.peerFill(r, fillDigest, backend, cands) {
+					if entry, served := rt.retryAfterFill(w, r, endpoint, backend, body, capture); served {
+						return entry
+					}
+				}
+			}
+			continue
+		}
 		if capture && resp.StatusCode == http.StatusOK {
 			return rt.relayCaptured(w, resp, backend, endpoint)
 		}
@@ -455,10 +546,86 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint strin
 	return nil
 }
 
+// peerFill repairs a ring-affinity miss: when target's store lacks a
+// container some other node holds, the router copies it over through
+// the content-addressed surface (GET /v1/container from a peer, PUT to
+// the target, digest-verified on arrival). The copy streams through —
+// the router never buffers the container.
+func (rt *Router) peerFill(r *http.Request, digest, target string, cands []string) bool {
+	for _, peer := range cands {
+		if peer == target || r.Context().Err() != nil {
+			continue
+		}
+		greq, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+			backendURL(peer)+"/v1/container/"+digest, nil)
+		if err != nil {
+			return false
+		}
+		gresp, err := rt.client.Do(greq)
+		if err != nil {
+			continue
+		}
+		if gresp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, gresp.Body)
+			gresp.Body.Close()
+			continue
+		}
+		preq, err := http.NewRequestWithContext(r.Context(), http.MethodPut,
+			backendURL(target)+"/v1/container/"+digest, gresp.Body)
+		if err != nil {
+			gresp.Body.Close()
+			return false
+		}
+		if gresp.ContentLength >= 0 {
+			preq.ContentLength = gresp.ContentLength
+		}
+		presp, err := rt.client.Do(preq)
+		gresp.Body.Close()
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, presp.Body)
+		presp.Body.Close()
+		if presp.StatusCode == http.StatusNoContent {
+			rt.met.peerFill(target)
+			return true
+		}
+	}
+	return false
+}
+
+// retryAfterFill re-issues the request against the just-filled backend.
+// served=false means the retry still failed and the caller should keep
+// failing over.
+func (rt *Router) retryAfterFill(w http.ResponseWriter, r *http.Request, endpoint, backend string, body []byte, capture bool) (*cacheEntry, bool) {
+	req, err := rt.buildRequest(r, backend, bytes.NewReader(body), int64(len(body)))
+	if err != nil {
+		return nil, false
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	rt.met.forward(backend, endpoint)
+	if retryable(resp.StatusCode) || resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, false
+	}
+	if capture && resp.StatusCode == http.StatusOK {
+		return rt.relayCaptured(w, resp, backend, endpoint), true
+	}
+	rt.relay(w, resp, backend, endpoint)
+	return nil, true
+}
+
 // relayCaptured relays a successful backend response while buffering it
 // for reuse. Responses within the entry limit are read fully before the
 // first client byte (so a shared entry is always complete); larger ones
-// fall back to pure streaming and are not shared.
+// fall back to pure streaming and are not shared. Because the body is
+// fully read before headers go out, backend trailers (the ETag on
+// streaming decompress responses) are promoted to plain headers — they
+// reach the client earlier and travel with the cached entry.
 func (rt *Router) relayCaptured(w http.ResponseWriter, resp *http.Response, backend, endpoint string) *cacheEntry {
 	defer resp.Body.Close()
 	buf, err := io.ReadAll(io.LimitReader(resp.Body, rt.entryLimit+1))
@@ -482,8 +649,10 @@ func (rt *Router) relayCaptured(w http.ResponseWriter, resp *http.Response, back
 	}
 	h := make(http.Header, 8)
 	copyHeaders(h, resp.Header)
+	copyHeaders(h, resp.Trailer) // body fully read; trailers are in
 	entry := &cacheEntry{status: resp.StatusCode, header: h, body: buf, backend: backend}
 	copyHeaders(w.Header(), resp.Header)
+	copyHeaders(w.Header(), resp.Trailer)
 	w.Header().Set("X-Sz-Backend", backend)
 	w.WriteHeader(resp.StatusCode)
 	w.Write(buf)
@@ -543,13 +712,30 @@ func (rt *Router) buildRequest(r *http.Request, backend string, body io.Reader, 
 }
 
 // relay streams a backend response to the client verbatim (headers,
-// status, body), tagged with the serving backend.
+// status, body), tagged with the serving backend. Announced backend
+// trailers — the ETag a streaming compress/decompress response settles
+// on after its last body byte — are re-announced and forwarded as
+// trailers once the copy finishes.
 func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, backend, endpoint string) {
 	defer resp.Body.Close()
 	copyHeaders(w.Header(), resp.Header)
 	w.Header().Set("X-Sz-Backend", backend)
+	tkeys := make([]string, 0, len(resp.Trailer))
+	for k := range resp.Trailer {
+		tkeys = append(tkeys, k)
+	}
+	if len(tkeys) > 0 {
+		sort.Strings(tkeys)
+		w.Header().Set("Trailer", strings.Join(tkeys, ", "))
+	}
 	w.WriteHeader(resp.StatusCode)
 	io.CopyBuffer(w, resp.Body, make([]byte, 256<<10))
+	// resp.Trailer is populated now that the body is drained.
+	for _, k := range tkeys {
+		for _, v := range resp.Trailer.Values(k) {
+			w.Header().Add(k, v)
+		}
+	}
 	rt.met.request(endpoint, resp.StatusCode)
 }
 
@@ -603,6 +789,9 @@ type routerMetrics struct {
 	failovers map[string]int64    // backend -> attempts diverted away
 	requests  map[string]map[int]int64
 	coalesces map[string]int64 // endpoint -> requests served off an in-flight twin
+	fills     map[string]int64 // backend -> containers copied in from a peer
+
+	hitBytes atomic.Int64 // body bytes served from the response cache
 }
 
 func newRouterMetrics() *routerMetrics {
@@ -611,12 +800,21 @@ func newRouterMetrics() *routerMetrics {
 		failovers: map[string]int64{},
 		requests:  map[string]map[int]int64{},
 		coalesces: map[string]int64{},
+		fills:     map[string]int64{},
 	}
 }
 
 func (m *routerMetrics) coalesced(endpoint string) {
 	m.mu.Lock()
 	m.coalesces[endpoint]++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) cacheHitBytes(n int64) { m.hitBytes.Add(n) }
+
+func (m *routerMetrics) peerFill(backend string) {
+	m.mu.Lock()
+	m.fills[backend]++
 	m.mu.Unlock()
 }
 
@@ -700,6 +898,21 @@ func (m *routerMetrics) expose(backends []string, p *Poller) string {
 	sort.Strings(ceps)
 	for _, ep := range ceps {
 		fmt.Fprintf(&b, "szrouter_coalesced_total{endpoint=%q} %d\n", ep, m.coalesces[ep])
+	}
+
+	b.WriteString("# HELP szrouter_cache_hit_bytes_total Body bytes served from the router response cache.\n")
+	b.WriteString("# TYPE szrouter_cache_hit_bytes_total counter\n")
+	fmt.Fprintf(&b, "szrouter_cache_hit_bytes_total %d\n", m.hitBytes.Load())
+
+	b.WriteString("# HELP szrouter_peer_fills_total Containers copied into a backend's store from a peer on a ring-affinity miss.\n")
+	b.WriteString("# TYPE szrouter_peer_fills_total counter\n")
+	pkeys := make([]string, 0, len(m.fills))
+	for k := range m.fills {
+		pkeys = append(pkeys, k)
+	}
+	sort.Strings(pkeys)
+	for _, k := range pkeys {
+		fmt.Fprintf(&b, "szrouter_peer_fills_total{backend=%q} %d\n", k, m.fills[k])
 	}
 
 	b.WriteString("# HELP szrouter_backend_state Backend health (0 unknown, 1 healthy, 2 draining, 3 dead).\n")

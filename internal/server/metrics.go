@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/store"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds (log-spaced
@@ -77,8 +79,9 @@ func (m *metrics) record(endpoint, codec string, status int, in, out int64, d ti
 }
 
 // expose renders the text exposition. The governor supplies the live
-// gauges.
-func (m *metrics) expose(g *governor) string {
+// gauges; st, when non-nil, is the content-addressed store's snapshot
+// (tier 2 of the fleet cache).
+func (m *metrics) expose(g *governor, st *store.Stats) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var b strings.Builder
@@ -127,6 +130,24 @@ func (m *metrics) expose(g *governor) string {
 	fmt.Fprintf(&b, "# HELP szd_workers_busy Worker-pool tokens handed out (pool size %d).\n", g.poolSize)
 	fmt.Fprintf(&b, "# TYPE szd_workers_busy gauge\n")
 	fmt.Fprintf(&b, "szd_workers_busy %d\n", g.busyWorkers())
+
+	if st != nil {
+		fmt.Fprintf(&b, "# HELP szd_store_bytes Payload bytes resident in the content-addressed store.\n")
+		fmt.Fprintf(&b, "# TYPE szd_store_bytes gauge\n")
+		fmt.Fprintf(&b, "szd_store_bytes %d\n", st.Bytes)
+		fmt.Fprintf(&b, "# HELP szd_store_entries Containers resident in the content-addressed store.\n")
+		fmt.Fprintf(&b, "# TYPE szd_store_entries gauge\n")
+		fmt.Fprintf(&b, "szd_store_entries %d\n", st.Entries)
+		fmt.Fprintf(&b, "# HELP szd_store_hits_total Digest-referenced reads served from the store.\n")
+		fmt.Fprintf(&b, "# TYPE szd_store_hits_total counter\n")
+		fmt.Fprintf(&b, "szd_store_hits_total %d\n", st.Hits)
+		fmt.Fprintf(&b, "# HELP szd_store_misses_total Digest-referenced reads the store could not answer.\n")
+		fmt.Fprintf(&b, "# TYPE szd_store_misses_total counter\n")
+		fmt.Fprintf(&b, "szd_store_misses_total %d\n", st.Misses)
+		fmt.Fprintf(&b, "# HELP szd_store_evictions_total Entries evicted to hold the byte budget.\n")
+		fmt.Fprintf(&b, "# TYPE szd_store_evictions_total counter\n")
+		fmt.Fprintf(&b, "szd_store_evictions_total %d\n", st.Evictions)
+	}
 
 	b.WriteString("# HELP szd_request_seconds Request latency by endpoint and codec.\n")
 	b.WriteString("# TYPE szd_request_seconds histogram\n")

@@ -41,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/scratch"
+	"repro/internal/store"
 )
 
 // Config sizes the daemon's resource governance.
@@ -58,6 +59,15 @@ type Config struct {
 	// 4 x GOMAXPROCS (streaming requests spend much of their life in
 	// I/O wait, so modest CPU oversubscription keeps the cores busy).
 	Workers int
+	// Store, when non-nil, persists finished containers content-addressed
+	// by their SHA-256 (the response ETag) and serves digest-referenced
+	// reads from the mmap'd entries. The caller opens it (cmd/szd wires
+	// -store-dir/-store-bytes) and owns its lifetime.
+	Store *store.Store
+	// PreferredStreams is the interleaved sub-stream count /v1/codecs
+	// advertises for `sz c -streams auto` clients; 0 means 4, the
+	// count BENCH_6 found saturating single-core decode ILP.
+	PreferredStreams int
 }
 
 const (
@@ -81,6 +91,9 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 4 * runtime.GOMAXPROCS(0)
 	}
+	if c.PreferredStreams <= 0 {
+		c.PreferredStreams = 4
+	}
 	return c
 }
 
@@ -102,11 +115,12 @@ func New(cfg Config) *Server {
 		mux: http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/compress", s.method(http.MethodPost, s.handleCompress))
-	s.mux.HandleFunc("/v1/decompress", s.method(http.MethodPost, s.handleDecompress))
+	s.mux.HandleFunc("/v1/decompress", s.handleDecompress) // POST; GET for digest-referenced reads
 	s.mux.HandleFunc("/v1/codecs", s.method(http.MethodGet, s.handleCodecs))
 	s.mux.HandleFunc("/v1/inspect", s.handleInspect) // GET-with-body or POST
 	s.mux.HandleFunc("/v1/slabs", s.handleSlabs)     // GET-with-body or POST
 	s.mux.HandleFunc("/v1/slab/", s.handleSlab)      // GET-with-body or POST
+	s.mux.HandleFunc("/v1/container/", s.handleContainer)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.method(http.MethodGet, s.handleMetrics))
 	return s
@@ -395,8 +409,24 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Sz-Codec", name)
 	out := &respWriter{ResponseWriter: w}
-	zw, err := c.NewWriter(out, p)
+	// The finished container is persisted content-addressed as it
+	// streams out, and its digest — unknowable before the last byte —
+	// travels back as an ETag trailer. Repeat readers then reference
+	// the container by digest alone (see store.go).
+	var sink io.Writer = out
+	var tee *bestEffortPut
+	if s.cfg.Store != nil {
+		if put, perr := s.cfg.Store.NewPut(); perr == nil {
+			tee = &bestEffortPut{p: put}
+			sink = io.MultiWriter(out, tee)
+			w.Header().Set("Trailer", "Etag")
+		}
+	}
+	zw, err := c.NewWriter(sink, p)
 	if err != nil {
+		if tee != nil {
+			tee.abort()
+		}
 		s.reject(w, "compress", name, http.StatusBadRequest, err, start)
 		return
 	}
@@ -414,6 +444,15 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		out.discard.Store(true)
 		zw.Close()
 	}
+	if tee != nil {
+		if err == nil {
+			if digest := tee.commit(); digest != "" {
+				w.Header().Set("Etag", etagFor(digest))
+			}
+		} else {
+			tee.abort()
+		}
+	}
 	s.finishStream(w, out, "compress", name, body.n, err, start)
 }
 
@@ -423,6 +462,19 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	p, err := codec.ParamsFromValues(vals)
 	if err != nil {
 		s.reject(w, "decompress", "", http.StatusBadRequest, err, start)
+		return
+	}
+	// A digest-referenced read carries no body: the container comes off
+	// the store's mmap. Plain decompress stays POST-only.
+	if ent, done := s.openStoreEntry(w, r, "decompress", start); done {
+		if ent != nil {
+			s.serveDecompressFromStore(w, ent, p, vals.Get("codec"), start)
+		}
+		return
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST (or GET with ?digest=)"))
 		return
 	}
 	declared := declaredLength(r)
@@ -474,12 +526,27 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	body := newMeteredReader(br, gr, declared, charge, s.cfg.MaxRequestBytes, 5, streaming)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Sz-Codec", name)
+	// Tee the container into the store as the decode consumes it: the
+	// body's digest becomes the response's ETag trailer, and the next
+	// read of this container can reference it with no upload at all.
+	var src io.Reader = body
+	var tee *bestEffortPut
+	if s.cfg.Store != nil {
+		if put, perr := s.cfg.Store.NewPut(); perr == nil {
+			tee = &bestEffortPut{p: put}
+			src = io.TeeReader(body, tee)
+			w.Header().Set("Trailer", "Etag")
+		}
+	}
 	out := &respWriter{ResponseWriter: w}
-	zr, err := c.NewReader(body, p)
+	zr, err := c.NewReader(src, p)
 	if err != nil {
 		// Buffered codecs consume the whole body inside NewReader, so
 		// governance errors (413/429) can surface here — keep their
 		// retry semantics instead of blanketing them as 400.
+		if tee != nil {
+			tee.abort()
+		}
 		s.reject(w, "decompress", name, streamErrStatus(err), err, start)
 		return
 	}
@@ -488,6 +555,23 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	_, err = io.CopyBuffer(out, zr, cbuf)
 	if cerr := zr.Close(); err == nil {
 		err = cerr
+	}
+	if tee != nil {
+		if err == nil {
+			// Capture any container bytes the decoder did not need (the
+			// stream is self-delimiting, trailing footer bytes may be
+			// unread) so the stored digest matches the full body — the
+			// same bytes the router hashed for ring placement.
+			if _, derr := io.CopyBuffer(io.Discard, src, cbuf); derr == nil {
+				if digest := tee.commit(); digest != "" {
+					w.Header().Set("Etag", etagFor(digest))
+				}
+			} else {
+				tee.abort()
+			}
+		} else {
+			tee.abort()
+		}
 	}
 	s.finishStream(w, out, "decompress", name, body.n, err, start)
 }
@@ -518,7 +602,13 @@ func (s *Server) finishStream(w http.ResponseWriter, out *respWriter, endpoint, 
 func (s *Server) handleCodecs(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string][]string{"codecs": codec.Names()})
+	// preferred_streams is the daemon's advice for `sz c -streams auto`:
+	// the interleaved sub-stream count it considers a good default for
+	// containers that will be decoded here.
+	json.NewEncoder(w).Encode(map[string]any{
+		"codecs":            codec.Names(),
+		"preferred_streams": s.cfg.PreferredStreams,
+	})
 	s.met.record("codecs", "", http.StatusOK, 0, 0, time.Since(start))
 }
 
@@ -579,7 +669,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	io.WriteString(w, s.met.expose(s.gov))
+	var st *store.Stats
+	if s.cfg.Store != nil {
+		snap := s.cfg.Store.Stats()
+		st = &snap
+	}
+	io.WriteString(w, s.met.expose(s.gov, st))
 }
 
 // readAllScratch reads r to EOF into a scratch-pooled buffer, seeded

@@ -59,17 +59,37 @@ func (s *Server) handleSlabs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
 		return
 	}
+	// Digest-referenced: serve the index off the store's mmap'd entry.
+	if ent, done := s.openStoreEntry(w, r, "slabs", start); done {
+		if ent != nil {
+			s.serveSlabsFromStore(w, r, ent, start)
+		}
+		return
+	}
 	stream, gr, ok := s.readContainer(w, r, "slabs", nil, start)
 	if !ok {
 		return
 	}
 	defer gr.release()
 	defer scratch.PutBytes(stream)
+	// The body's digest is this response's ETag: a repeat reader that
+	// still holds the index answers in a header round-trip, before any
+	// footer walk happens.
+	etag := etagFor(bodyDigest(stream))
+	if ifNoneMatchHas(r, etag) {
+		s.notModified(w, "slabs", "blocked", etag, start)
+		return
+	}
 	si, err := codec.SlabIndexOf(stream)
 	if err != nil {
 		s.reject(w, "slabs", "", http.StatusBadRequest, err, start)
 		return
 	}
+	// A validated container is worth keeping: persist it so the next
+	// read can reference the digest instead of re-uploading (tier-2
+	// fill through the body path).
+	s.storePut(stream)
+	w.Header().Set("Etag", etag)
 	resp, err := json.Marshal(si)
 	if err != nil {
 		s.reject(w, "slabs", "blocked", http.StatusInternalServerError, err, start)
@@ -94,6 +114,14 @@ func (s *Server) handleSlab(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, "slab", "", http.StatusBadRequest, err, start)
 		return
 	}
+	// Digest-referenced: mmap'd entry, no upload, no CRC walk, and the
+	// compressed extent zero-copy when the client accepts it.
+	if ent, done := s.openStoreEntry(w, r, "slab", start); done {
+		if ent != nil {
+			s.serveSlabFromStore(w, r, ent, lo, hi, start)
+		}
+		return
+	}
 	rng := [2]int{lo, hi}
 	stream, gr, ok := s.readContainer(w, r, "slab", &rng, start)
 	if !ok {
@@ -101,6 +129,31 @@ func (s *Server) handleSlab(w http.ResponseWriter, r *http.Request) {
 	}
 	defer gr.release()
 	defer scratch.PutBytes(stream)
+	// Conditional check before any decode: the body just traveled, but
+	// the decode work (the expensive part) is still skippable.
+	etag := etagFor(bodyDigest(stream))
+	if ifNoneMatchHas(r, etag) {
+		s.notModified(w, "slab", "blocked", etag, start)
+		return
+	}
+	if wantsCompressedSlab(r) {
+		// One pass: Inspect parses and CRC-verifies the container (the
+		// bytes are untrusted on the body path), then the extent is a
+		// pure slice.
+		ix, err := blocked.Inspect(stream)
+		if err != nil {
+			s.reject(w, "slab", "blocked", http.StatusBadRequest, err, start)
+			return
+		}
+		if !ix.SharedCodebook() {
+			s.storePut(stream)
+			w.Header().Set("Etag", etag)
+			s.serveSlabExtent(w, stream, ix, lo, hi, int64(len(stream)), start)
+			return
+		}
+		// Shared-codebook containers have no self-contained extent;
+		// fall through to decoded samples.
+	}
 	// One pass: DecompressSlabRange parses and CRC-verifies the
 	// container itself, so no separate index parse runs first (on large
 	// containers the footer walk and checksum dominate non-decode cost).
@@ -115,14 +168,9 @@ func (s *Server) handleSlab(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, "slab", "blocked", status, err, start)
 		return
 	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("X-Sz-Codec", "blocked")
-	w.Header().Set("X-Sz-Dtype", dt.String())
-	w.Header().Set("X-Sz-Dims", codec.FormatDims(arr.Dims))
-	w.Header().Set("X-Sz-Slabs", codec.FormatSlabSpec(lo, hi))
-	out := &respWriter{ResponseWriter: w}
-	err = arr.WriteRaw(out, dt)
-	s.finishStream(w, out, "slab", "blocked", int64(len(stream)), err, start)
+	s.storePut(stream)
+	w.Header().Set("Etag", etag)
+	s.writeSlabRaw(w, arr, dt, lo, hi, int64(len(stream)), start)
 }
 
 // readContainer admits and buffers the request body for the slab

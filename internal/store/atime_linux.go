@@ -1,0 +1,18 @@
+//go:build linux
+
+package store
+
+import (
+	"os"
+	"syscall"
+	"time"
+)
+
+// atimeOf extracts the access time Linux records, so Get's Chtimes
+// touches feed eviction order across restarts.
+func atimeOf(fi os.FileInfo) time.Time {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return time.Unix(st.Atim.Unix())
+	}
+	return fi.ModTime()
+}

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package store
+
+import (
+	"os"
+	"time"
+)
+
+// atimeOf falls back to mtime where the platform's stat does not expose
+// an access time through the portable interface. Get touches both, so
+// eviction order is still recency order.
+func atimeOf(fi os.FileInfo) time.Time {
+	return fi.ModTime()
+}
