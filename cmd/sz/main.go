@@ -42,6 +42,7 @@ import (
 	"repro/internal/blocked"
 	"repro/internal/client"
 	"repro/internal/codec"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -109,6 +110,8 @@ inspect flags:
 
 every subcommand:
   -remote addr  run against an szd daemon at addr instead of in-process
+  -timing       print the daemon's Server-Timing stage breakdown to stderr
+                (remote only; includes be-* backend stages via szrouter)
 `, sz.DefaultLayers, sz.DefaultIntervalBits)
 }
 
@@ -204,6 +207,19 @@ func inputSize(path string) int64 {
 	return -1
 }
 
+// newRemoteClient builds the daemon client for a subcommand; with
+// -timing, every response's Server-Timing breakdown (the daemon's stage
+// spans, plus be-* backend stages merged by szrouter) prints to stderr.
+func newRemoteClient(addr string, timing bool) (*client.Client, error) {
+	var opts []client.Option
+	if timing {
+		opts = append(opts, client.WithTiming(func(endpoint string, entries []obs.TimingEntry) {
+			fmt.Fprintf(os.Stderr, "sz: %s timing:\n%s", endpoint, obs.FormatTimingTable(entries))
+		}))
+	}
+	return client.New(addr, opts...)
+}
+
 func cmdCompress(args []string) error {
 	fs := flag.NewFlagSet("sz c", flag.ExitOnError)
 	var (
@@ -221,6 +237,7 @@ func cmdCompress(args []string) error {
 		container = fs.String("container", "auto", "blocked container version: auto|v2|v3")
 		sharedCB  = fs.Bool("sharedcb", false, "blocked v3: one shared codebook for all slabs")
 		remote    = fs.String("remote", "", "szd daemon address")
+		timing    = fs.Bool("timing", false, "print the daemon's Server-Timing stage breakdown to stderr")
 	)
 	fs.Parse(args)
 	in, out := fs.Arg(0), fs.Arg(1)
@@ -238,7 +255,7 @@ func cmdCompress(args []string) error {
 	var cl *client.Client
 	if *remote != "" {
 		var err error
-		if cl, err = client.New(*remote); err != nil {
+		if cl, err = newRemoteClient(*remote, *timing); err != nil {
 			return err
 		}
 	}
@@ -382,6 +399,7 @@ func cmdDecompress(args []string) error {
 		slabSpec  = fs.String("slab", "", "random-access decode of a blocked container: slab index or lo-hi range")
 		remote    = fs.String("remote", "", "szd daemon address")
 		digest    = fs.String("digest", "", "content address of a container in the daemon's store (remote only): read by digest, no input upload")
+		timing    = fs.Bool("timing", false, "print the daemon's Server-Timing stage breakdown to stderr")
 	)
 	fs.Parse(args)
 	in, out := fs.Arg(0), fs.Arg(1)
@@ -418,7 +436,7 @@ func cmdDecompress(args []string) error {
 		// Content-addressed read: the daemon serves off its store, the
 		// client uploads nothing. Slab ranges come back as compressed
 		// extents decoded locally — the backend does no decode work.
-		cl, err := client.New(*remote)
+		cl, err := newRemoteClient(*remote, *timing)
 		if err != nil {
 			return err
 		}
@@ -452,7 +470,7 @@ func cmdDecompress(args []string) error {
 		}
 		name = "blocked"
 		if *remote != "" {
-			cl, err := client.New(*remote)
+			cl, err := newRemoteClient(*remote, *timing)
 			if err != nil {
 				return err
 			}
@@ -475,7 +493,7 @@ func cmdDecompress(args []string) error {
 			zr = io.NopCloser(&raw)
 		}
 	} else if *remote != "" {
-		cl, err := client.New(*remote)
+		cl, err := newRemoteClient(*remote, *timing)
 		if err != nil {
 			return err
 		}

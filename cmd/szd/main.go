@@ -46,10 +46,12 @@ func main() {
 		storeDir     = flag.String("store-dir", "", "content-addressed container store directory; empty = store disabled")
 		storeBytes   = flag.Int64("store-bytes", 4<<30, "store byte budget before LRU eviction (0 = unbounded)")
 		prefStreams  = flag.Int("preferred-streams", 0, "interleaved stream count advertised in /v1/codecs (0 = 4)")
+		slowMS       = flag.Int64("slow-ms", 0, "log requests slower than this many milliseconds with their stage breakdown (0 = disabled)")
+		traceRing    = flag.Int("trace-ring", 0, "finished traces retained for /debug/traces (0 = 256)")
 	)
 	flag.Parse()
 	servePprof(*pprofAddr, "szd")
-	if err := run(*addr, *maxInflight, *maxRequest, *workers, *readTimeout, *writeTimeout, *drainTimeout, *storeDir, *storeBytes, *prefStreams); err != nil {
+	if err := run(*addr, *maxInflight, *maxRequest, *workers, *readTimeout, *writeTimeout, *drainTimeout, *storeDir, *storeBytes, *prefStreams, *slowMS, *traceRing); err != nil {
 		fmt.Fprintln(os.Stderr, "szd:", err)
 		os.Exit(1)
 	}
@@ -58,7 +60,8 @@ func main() {
 // servePprof exposes the pprof handlers on their own listener when
 // enabled, so allocation and CPU profiles can be captured from a
 // production daemon without widening the service surface: the main
-// listener never serves /debug/.
+// listener serves only the in-memory trace ring at /debug/traces, never
+// the pprof handlers.
 func servePprof(addr, name string) {
 	if addr == "" {
 		return
@@ -71,7 +74,7 @@ func servePprof(addr, name string) {
 	}()
 }
 
-func run(addr string, maxInflight, maxRequest int64, workers int, readTimeout, writeTimeout, drainTimeout time.Duration, storeDir string, storeBytes int64, prefStreams int) error {
+func run(addr string, maxInflight, maxRequest int64, workers int, readTimeout, writeTimeout, drainTimeout time.Duration, storeDir string, storeBytes int64, prefStreams int, slowMS int64, traceRing int) error {
 	var st *store.Store
 	if storeDir != "" {
 		var err error
@@ -87,6 +90,8 @@ func run(addr string, maxInflight, maxRequest int64, workers int, readTimeout, w
 		Workers:          workers,
 		Store:            st,
 		PreferredStreams: prefStreams,
+		SlowThreshold:    time.Duration(slowMS) * time.Millisecond,
+		TraceRingSize:    traceRing,
 	})
 	hs := &http.Server{
 		Addr:              addr,

@@ -40,17 +40,20 @@ func main() {
 		cacheBytes  = flag.Int64("cache-bytes", 0, "response-cache budget for decode endpoints (0 = 64 MiB, -1 disables cache and coalescing)")
 		cacheEntry  = flag.Int64("cache-entry-bytes", 0, "largest cacheable single response (0 = 16 MiB)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty = disabled")
+		slowMS      = flag.Int64("slow-ms", 0, "log requests slower than this many milliseconds with their stage breakdown (0 = disabled)")
+		traceRing   = flag.Int("trace-ring", 0, "finished traces retained for /debug/traces (0 = 256)")
 	)
 	flag.Parse()
 	servePprof(*pprofAddr)
-	if err := run(*addr, *backends, *poll, *replicas, *bufferLimit, *cacheBytes, *cacheEntry); err != nil {
+	if err := run(*addr, *backends, *poll, *replicas, *bufferLimit, *cacheBytes, *cacheEntry, *slowMS, *traceRing); err != nil {
 		fmt.Fprintln(os.Stderr, "szrouter:", err)
 		os.Exit(1)
 	}
 }
 
 // servePprof exposes the pprof handlers on their own listener when
-// enabled; the routing mux never serves /debug/.
+// enabled; the routing mux serves only the in-memory trace ring at
+// /debug/traces, never the pprof handlers.
 func servePprof(addr string) {
 	if addr == "" {
 		return
@@ -63,7 +66,7 @@ func servePprof(addr string) {
 	}()
 }
 
-func run(addr, backends string, poll time.Duration, replicas, bufferLimit int, cacheBytes, cacheEntry int64) error {
+func run(addr, backends string, poll time.Duration, replicas, bufferLimit int, cacheBytes, cacheEntry int64, slowMS int64, traceRing int) error {
 	var nodes []string
 	for _, b := range strings.Split(backends, ",") {
 		if b = strings.TrimSpace(b); b != "" {
@@ -77,6 +80,8 @@ func run(addr, backends string, poll time.Duration, replicas, bufferLimit int, c
 		PollInterval:    poll,
 		CacheBytes:      cacheBytes,
 		CacheEntryBytes: cacheEntry,
+		SlowThreshold:   time.Duration(slowMS) * time.Millisecond,
+		TraceRingSize:   traceRing,
 	})
 	if err != nil {
 		return err

@@ -22,9 +22,11 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/codec"
+	"repro/internal/obs"
 )
 
 // StatusError is a non-2xx daemon response.
@@ -51,6 +53,7 @@ type Client struct {
 	backoff     time.Duration
 	bufferLimit int
 	slabCache   *slabCache // ReadSlabAt revalidation cache
+	timing      func(endpoint string, entries []obs.TimingEntry)
 }
 
 // Option configures a Client.
@@ -72,6 +75,15 @@ func WithRetry(attempts int, backoff time.Duration) Option {
 // keep a request replayable for retry (default 4 MiB). Bodies beyond it
 // stream chunked in a single attempt.
 func WithBufferLimit(n int) Option { return func(c *Client) { c.bufferLimit = n } }
+
+// WithTiming installs a callback receiving each response's Server-Timing
+// breakdown — the daemon's stage spans, plus any backend stages a router
+// merged under "be-". For streamed responses (decompress, slab reads)
+// the breakdown travels as an HTTP trailer, so the callback fires when
+// the caller drains or closes the body, not when it is opened.
+func WithTiming(fn func(endpoint string, entries []obs.TimingEntry)) Option {
+	return func(c *Client) { c.timing = fn }
+}
 
 // New returns a client for the daemon at addr ("host:port" or a full
 // http:// / https:// URL).
@@ -129,14 +141,17 @@ func statusError(resp *http.Response) error {
 }
 
 // do runs build-request/execute with retry-on-shed. build is called per
-// attempt so the body is fresh each time.
+// attempt so the body is fresh each time. All attempts share one minted
+// traceparent: retries of a logical request belong to one trace.
 func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
 	backoff := c.backoff
+	tp := obs.NewTraceparent()
 	for attempt := 1; ; attempt++ {
 		req, err := build()
 		if err != nil {
 			return nil, err
 		}
+		req.Header.Set("Traceparent", tp)
 		resp, err := c.http.Do(req)
 		if err != nil {
 			return nil, err
@@ -158,6 +173,58 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*
 		}
 		backoff *= 2
 	}
+}
+
+// reportTiming delivers a response's Server-Timing breakdown to the
+// WithTiming callback: the trailer wins (streaming responses settle it
+// after the last body byte), the header covers buffered responses.
+func (c *Client) reportTiming(endpoint string, resp *http.Response) {
+	if c.timing == nil {
+		return
+	}
+	st := resp.Trailer.Get("Server-Timing")
+	if st == "" {
+		st = resp.Header.Get("Server-Timing")
+	}
+	if st == "" {
+		return
+	}
+	c.timing(endpoint, obs.ParseServerTiming(st))
+}
+
+// wrapTiming defers timing delivery until the caller drains or closes a
+// streamed body — the Server-Timing trailer exists only then.
+func (c *Client) wrapTiming(endpoint string, resp *http.Response) io.ReadCloser {
+	if c.timing == nil {
+		return resp.Body
+	}
+	return &timingBody{ReadCloser: resp.Body, c: c, endpoint: endpoint, resp: resp}
+}
+
+type timingBody struct {
+	io.ReadCloser
+	c        *Client
+	endpoint string
+	resp     *http.Response
+	once     sync.Once
+}
+
+func (tb *timingBody) report() {
+	tb.once.Do(func() { tb.c.reportTiming(tb.endpoint, tb.resp) })
+}
+
+func (tb *timingBody) Read(p []byte) (int, error) {
+	n, err := tb.ReadCloser.Read(p)
+	if err == io.EOF {
+		tb.report()
+	}
+	return n, err
+}
+
+func (tb *timingBody) Close() error {
+	err := tb.ReadCloser.Close()
+	tb.report()
+	return err
 }
 
 // Codecs lists the codec names registered on the daemon.
@@ -210,6 +277,7 @@ func (c *Client) Inspect(ctx context.Context, stream io.Reader, size int64) (*co
 	if err := json.NewDecoder(resp.Body).Decode(si); err != nil {
 		return nil, fmt.Errorf("client: decoding inspect response: %w", err)
 	}
+	c.reportTiming("inspect", resp)
 	return si, nil
 }
 
@@ -232,6 +300,7 @@ func (c *Client) bodyRequest(ctx context.Context, path string, q url.Values, src
 	if err != nil {
 		return nil, err
 	}
+	req.Header.Set("Traceparent", obs.NewTraceparent())
 	if size >= 0 {
 		req.Header.Set("X-Sz-Content-Length", fmt.Sprint(size))
 	}
@@ -258,6 +327,7 @@ func (c *Client) SlabIndex(ctx context.Context, stream io.Reader, size int64) (*
 	if err := json.NewDecoder(resp.Body).Decode(si); err != nil {
 		return nil, fmt.Errorf("client: decoding slab index: %w", err)
 	}
+	c.reportTiming("slabs", resp)
 	return si, nil
 }
 
@@ -274,7 +344,7 @@ func (c *Client) ReadSlab(ctx context.Context, src io.Reader, size int64, lo, hi
 	if err != nil {
 		return nil, err
 	}
-	return resp.Body, nil
+	return c.wrapTiming("slab", resp), nil
 }
 
 // NewReader opens a remote decompressor: src supplies a compressed
@@ -292,7 +362,7 @@ func (c *Client) NewReader(ctx context.Context, src io.Reader, size int64, force
 	if err != nil {
 		return nil, err
 	}
-	return resp.Body, nil
+	return c.wrapTiming("decompress", resp), nil
 }
 
 // NewWriter opens a remote compressor mirroring sz.NewWriter: raw
@@ -385,6 +455,7 @@ func (rw *remoteWriter) startStreaming() error {
 		pw.Close()
 		return err
 	}
+	req.Header.Set("Traceparent", obs.NewTraceparent())
 	if rw.rawSize >= 0 {
 		req.ContentLength = rw.rawSize
 	}
@@ -410,6 +481,7 @@ func (rw *remoteWriter) startStreaming() error {
 			pr.CloseWithError(err)
 		} else {
 			rw.digest = etagOf(resp) // trailer, populated once the body drained
+			rw.c.reportTiming("compress", resp)
 		}
 		rw.done <- err
 	}()
@@ -452,6 +524,7 @@ func (rw *remoteWriter) Close() error {
 			return err
 		}
 		rw.digest = etagOf(resp)
+		rw.c.reportTiming("compress", resp)
 		return nil
 	}
 	rw.pw.Close()

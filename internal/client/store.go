@@ -46,6 +46,7 @@ func (c *Client) CodecsInfo(ctx context.Context) (*CodecsInfo, error) {
 	if err := json.NewDecoder(resp.Body).Decode(info); err != nil {
 		return nil, fmt.Errorf("client: decoding codec list: %w", err)
 	}
+	c.reportTiming("codecs", resp)
 	return info, nil
 }
 
@@ -82,7 +83,7 @@ func (c *Client) DecompressAt(ctx context.Context, digest, forceCodec string, p 
 	if err != nil {
 		return nil, err
 	}
-	return resp.Body, nil
+	return c.wrapTiming("decompress", resp), nil
 }
 
 // ReadSlabAt reads slabs lo..hi of a stored container by digest. The
@@ -114,11 +115,12 @@ func (c *Client) ReadSlabAt(ctx context.Context, digest string, lo, hi int) (io.
 	if resp.StatusCode == http.StatusNotModified && cached != nil {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
+		c.reportTiming("slab", resp)
 		return io.NopCloser(bytes.NewReader(cached.body)), nil
 	}
 	etag := etagOf(resp)
 	if etag == "" {
-		return resp.Body, nil
+		return c.wrapTiming("slab", resp), nil
 	}
 	// Buffer cacheable-sized bodies so the next read can revalidate.
 	body, err := io.ReadAll(io.LimitReader(resp.Body, slabCacheEntryLimit+1))
@@ -133,6 +135,7 @@ func (c *Client) ReadSlabAt(ctx context.Context, digest string, lo, hi int) (io.
 		}{io.MultiReader(bytes.NewReader(body), resp.Body), resp.Body}, nil
 	}
 	resp.Body.Close()
+	c.reportTiming("slab", resp)
 	c.slabCache.put(key, `"`+etag+`"`, body)
 	return io.NopCloser(bytes.NewReader(body)), nil
 }
@@ -174,6 +177,7 @@ func (c *Client) ReadSlabExtent(ctx context.Context, digest string, lo, hi int) 
 	if err != nil {
 		return nil, err
 	}
+	c.reportTiming("slab", resp)
 	if resp.Header.Get("Content-Type") != "application/x-sz-slab" {
 		return &SlabExtent{Data: data, Raw: true}, nil
 	}

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/grid"
@@ -75,6 +76,10 @@ type Params struct {
 	// SharedCodebook asks the blocked container for one per-container
 	// Huffman codebook shared by every slab (v3, one-shot only).
 	SharedCodebook bool
+	// Stages, when non-nil, receives named sub-stage timings from deep in
+	// the pipeline (see core.Params.Stages); it rides along into every
+	// codec that lowers to core parameters.
+	Stages func(name string, d time.Duration)
 }
 
 // FromCore lifts core compressor parameters into codec form.
@@ -115,6 +120,7 @@ func (p Params) Core() core.Params {
 		HitRateThreshold: p.HitRateThreshold,
 		OutputType:       p.dtype(),
 		Streams:          p.Streams,
+		Stages:           p.Stages,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
+	"time"
 
 	"repro/internal/binrep"
 	"repro/internal/bitstream"
@@ -156,9 +157,16 @@ func (s *Scan) EncodeAppend(dst []byte, shared *huffman.Codebook) ([]byte, *Stat
 	cb := shared
 	if cb == nil {
 		// Variable-length encoding of the quantization codes (Section IV-A).
+		var t0 time.Time
+		if s.p.Stages != nil {
+			t0 = time.Now()
+		}
 		own, err := huffman.New(s.hist)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: building codebook: %w", err)
+		}
+		if s.p.Stages != nil {
+			s.p.Stages("huffbuild", time.Since(t0))
 		}
 		defer own.Release()
 		cb = own

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/grid"
 	"repro/internal/huffman"
@@ -117,6 +118,11 @@ type Params struct {
 	// streams switch to the VersionMulti layout, whose decoder overlaps
 	// the sub-streams' decode chains for instruction-level parallelism.
 	Streams int
+	// Stages, when non-nil, receives named sub-stage timings from inside
+	// the pipeline (currently "huffbuild" per codebook build). It must be
+	// safe for concurrent use: blocked containers compress slabs from
+	// many workers, each reporting through the same hook.
+	Stages func(name string, d time.Duration)
 }
 
 // withDefaults returns a copy with zero fields replaced by defaults.

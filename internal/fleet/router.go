@@ -16,7 +16,10 @@ package fleet
 //
 // The router adds X-Sz-Backend to every response naming the backend
 // that served (or last rejected) it, and exposes szrouter_* metrics:
-// per-backend forwards, failovers, and request counts by status.
+// per-backend forwards, failovers, and request counts by status. Every
+// request is traced: the router continues an inbound W3C traceparent
+// (or opens a trace), propagates it to the backend, and merges the
+// backend's Server-Timing under a "be-" prefix into its own.
 
 import (
 	"bytes"
@@ -27,10 +30,12 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 const (
@@ -82,6 +87,13 @@ type Config struct {
 	// larger responses stream through uncached. 0 means the 16 MiB
 	// default.
 	CacheEntryBytes int64
+	// SlowThreshold is the total-duration floor above which a finished
+	// request is logged structured with its stage breakdown; <= 0
+	// disables slow-request logging. cmd/szrouter wires -slow-ms.
+	SlowThreshold time.Duration
+	// TraceRingSize is how many finished traces /debug/traces retains
+	// (0 = obs.DefaultRingSize).
+	TraceRingSize int
 }
 
 // Router is the fleet-mode HTTP proxy.
@@ -93,6 +105,7 @@ type Router struct {
 	bufferLimit int
 	rr          atomic.Uint64
 	met         *routerMetrics
+	rec         *obs.Recorder
 	mux         *http.ServeMux
 
 	// cache and flights implement the zero-recompute path: cache serves
@@ -130,7 +143,7 @@ func New(cfg Config) (*Router, error) {
 		backends:    append([]string(nil), cfg.Backends...),
 		client:      hc,
 		bufferLimit: limit,
-		met:         newRouterMetrics(),
+		rec:         obs.NewRecorder(cfg.TraceRingSize, cfg.SlowThreshold, nil),
 		mux:         http.NewServeMux(),
 	}
 	if cfg.CacheBytes >= 0 {
@@ -145,17 +158,75 @@ func New(cfg Config) (*Router, error) {
 		rt.cache = newRespCache(cacheBytes)
 		rt.flights = newFlightGroup()
 	}
-	rt.mux.HandleFunc("/v1/compress", rt.proxyBody("compress"))
-	rt.mux.HandleFunc("/v1/decompress", rt.proxyBody("decompress"))
-	rt.mux.HandleFunc("/v1/inspect", rt.proxyBody("inspect"))
-	rt.mux.HandleFunc("/v1/slabs", rt.proxyBody("slabs"))
-	rt.mux.HandleFunc("/v1/slab/", rt.proxyBody("slab"))
-	rt.mux.HandleFunc("/v1/container/", rt.proxyBody("container"))
-	rt.mux.HandleFunc("/v1/codecs", rt.proxyBodyless("codecs"))
+	rt.met = newRouterMetrics(rt.backends, rt.poller, rt.cache)
+	rt.mux.HandleFunc("/v1/compress", rt.withObs("compress", rt.proxyBody("compress")))
+	rt.mux.HandleFunc("/v1/decompress", rt.withObs("decompress", rt.proxyBody("decompress")))
+	rt.mux.HandleFunc("/v1/inspect", rt.withObs("inspect", rt.proxyBody("inspect")))
+	rt.mux.HandleFunc("/v1/slabs", rt.withObs("slabs", rt.proxyBody("slabs")))
+	rt.mux.HandleFunc("/v1/slab/", rt.withObs("slab", rt.proxyBody("slab")))
+	rt.mux.HandleFunc("/v1/container/", rt.withObs("container", rt.proxyBody("container")))
+	rt.mux.HandleFunc("/v1/codecs", rt.withObs("codecs", rt.proxyBodyless("codecs")))
 	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
+	rt.mux.Handle("/debug/traces", rt.rec.Ring)
 	return rt, nil
 }
+
+// withObs is the router's tracing middleware: it continues (or opens)
+// the request's trace, echoes the request ID, renders Server-Timing —
+// the router's own spans plus the backend's merged under "be-" — as a
+// declared trailer, feeds the stage histograms, and records the trace.
+func (rt *Router) withObs(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t := obs.StartTrace(endpoint, r.Header.Get("Traceparent"), r.Header.Get("X-Sz-Request-Id"))
+		w.Header().Set("X-Sz-Request-Id", t.RequestID)
+		w.Header().Add("Trailer", "Server-Timing")
+		ow := &obsWriter{ResponseWriter: w, t: t}
+		defer func() {
+			status := ow.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			t.Finish(status)
+			w.Header().Set("Server-Timing", t.ServerTiming())
+			rt.met.recordStages(t)
+			rt.rec.Done(t)
+		}()
+		h(ow, r.WithContext(obs.NewContext(r.Context(), t)))
+	}
+}
+
+// obsWriter captures the response status for the trace. Responses that
+// carry a Content-Length (buffered relays) are not chunked, so the
+// declared Server-Timing trailer would be dropped — for those the
+// header is injected with the spans closed so far at WriteHeader time.
+type obsWriter struct {
+	http.ResponseWriter
+	t      *obs.Trace
+	status int
+}
+
+func (ow *obsWriter) WriteHeader(code int) {
+	if ow.status == 0 {
+		ow.status = code
+		if ow.Header().Get("Content-Length") != "" {
+			if v := ow.t.ServerTiming(); v != "" {
+				ow.Header().Set("Server-Timing", v)
+			}
+		}
+	}
+	ow.ResponseWriter.WriteHeader(code)
+}
+
+func (ow *obsWriter) Write(b []byte) (int, error) {
+	if ow.status == 0 {
+		ow.WriteHeader(http.StatusOK)
+	}
+	return ow.ResponseWriter.Write(b)
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (ow *obsWriter) Unwrap() http.ResponseWriter { return ow.ResponseWriter }
 
 // Handler returns the router's HTTP handler.
 func (rt *Router) Handler() http.Handler { return rt.mux }
@@ -175,6 +246,10 @@ var hopByHop = map[string]bool{
 	"Connection": true, "Keep-Alive": true, "Proxy-Authenticate": true,
 	"Proxy-Authorization": true, "Te": true, "Trailer": true,
 	"Transfer-Encoding": true, "Upgrade": true,
+	// Trace-owned headers are re-derived per hop, never copied: the
+	// router sets its own request ID and renders its own Server-Timing
+	// (the backend's is merged under "be-", not relayed verbatim).
+	"Server-Timing": true, "X-Sz-Request-Id": true,
 }
 
 func copyHeaders(dst, src http.Header) {
@@ -309,7 +384,9 @@ func requestDigestParam(r *http.Request, endpoint string) string {
 // landed: the backend that stored it on disk.
 func (rt *Router) proxyBody(endpoint string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		rd := obs.FromContext(r.Context()).StartSpan("read_body")
 		head, err := io.ReadAll(io.LimitReader(r.Body, int64(rt.bufferLimit)+1))
+		rd.End()
 		if err != nil {
 			rt.met.request(endpoint, http.StatusBadRequest)
 			writeJSONError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err))
@@ -335,8 +412,17 @@ func (rt *Router) proxyBody(endpoint string) http.HandlerFunc {
 			rt.serveCacheable(w, r, endpoint, key, fillDigest, head)
 			return
 		}
-		rt.forwardReplayable(w, r, endpoint, rt.candidates(key), fillDigest, head)
+		rt.forwardReplayable(w, r, endpoint, rt.tracedCandidates(r, key), fillDigest, head)
 	}
+}
+
+// tracedCandidates is candidates bracketed by a "ring" span on the
+// request's trace.
+func (rt *Router) tracedCandidates(r *http.Request, key string) []string {
+	sp := obs.FromContext(r.Context()).StartSpan("ring")
+	cands := rt.candidates(key)
+	sp.End()
+	return cands
 }
 
 // requestIdentity builds the cache/coalescing key: the endpoint, path,
@@ -407,8 +493,12 @@ func ifNoneMatchHas(inm, etag string) bool {
 // request otherwise, and only then forwards — capturing a shareable
 // response for both layers on the way back.
 func (rt *Router) serveCacheable(w http.ResponseWriter, r *http.Request, endpoint, key, fillDigest string, head []byte) {
+	tr := obs.FromContext(r.Context())
 	id := requestIdentity(endpoint, r, key)
-	if e := rt.cache.get(id); e != nil {
+	sp := tr.StartSpan("cache")
+	e := rt.cache.get(id)
+	sp.End()
+	if e != nil {
 		if rt.notModifiedFromCache(w, r, endpoint, e, "hit") {
 			return
 		}
@@ -423,17 +513,20 @@ func (rt *Router) serveCacheable(w http.ResponseWriter, r *http.Request, endpoin
 		// leave runs deferred so followers are released even if the
 		// forward path fails in an unexpected way.
 		defer func() { rt.flights.leave(id, c, entry) }()
-		entry = rt.forwardCaptured(w, r, endpoint, rt.candidates(key), fillDigest, head)
+		entry = rt.forwardCaptured(w, r, endpoint, rt.tracedCandidates(r, key), fillDigest, head)
 		if entry != nil && entry.status == http.StatusOK {
 			rt.cache.put(id, entry)
 		}
 		return
 	}
+	wait := tr.StartSpan("coalesce")
 	select {
 	case <-c.done:
 	case <-r.Context().Done():
+		wait.End()
 		return // client gave up while waiting on the leader
 	}
+	wait.End()
 	if e := c.entry; e != nil {
 		if rt.notModifiedFromCache(w, r, endpoint, e, "coalesced") {
 			return
@@ -445,7 +538,7 @@ func (rt *Router) serveCacheable(w http.ResponseWriter, r *http.Request, endpoin
 	}
 	// The leader's response was not shareable (oversized or an internal
 	// error); fall back to an ordinary forward of our own.
-	rt.forwardReplayable(w, r, endpoint, rt.candidates(key), fillDigest, head)
+	rt.forwardReplayable(w, r, endpoint, rt.tracedCandidates(r, key), fillDigest, head)
 }
 
 // proxyBodyless handles GET endpoints with no body (the codec listing):
@@ -483,12 +576,14 @@ func (rt *Router) forwardCaptured(w http.ResponseWriter, r *http.Request, endpoi
 }
 
 func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint string, cands []string, fillDigest string, body []byte, capture bool) *cacheEntry {
+	tr := obs.FromContext(r.Context())
 	var last *storedResp
 	fillTried := false
 	for _, backend := range cands {
 		if r.Context().Err() != nil {
 			return nil // client went away; stop burning backends
 		}
+		attempt := time.Now()
 		req, err := rt.buildRequest(r, backend, bytes.NewReader(body), int64(len(body)))
 		if err != nil {
 			rt.met.request(endpoint, http.StatusInternalServerError)
@@ -502,12 +597,17 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint strin
 			}
 			rt.poller.MarkDead(backend)
 			rt.met.failover(backend)
+			tr.Observe("failover", time.Since(attempt))
 			continue
 		}
+		// Request send + backend time-to-first-header. The relay span picks
+		// up from here, so upstream+relay brackets the whole backend call.
+		tr.Observe("upstream", time.Since(attempt))
 		rt.met.forward(backend, endpoint)
 		if retryable(resp.StatusCode) {
 			last = storeResp(resp, backend)
 			rt.met.failover(backend)
+			tr.Observe("failover", time.Since(attempt))
 			continue
 		}
 		if fillDigest != "" && resp.StatusCode == http.StatusNotFound {
@@ -522,7 +622,10 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint strin
 			last = storeResp(resp, backend)
 			if !fillTried {
 				fillTried = true
-				if rt.peerFill(r, fillDigest, backend, cands) {
+				fill := tr.StartSpan("peer_fill")
+				filled := rt.peerFill(r, fillDigest, backend, cands)
+				fill.End()
+				if filled {
 					if entry, served := rt.retryAfterFill(w, r, endpoint, backend, body, capture); served {
 						return entry
 					}
@@ -531,9 +634,9 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint strin
 			continue
 		}
 		if capture && resp.StatusCode == http.StatusOK {
-			return rt.relayCaptured(w, resp, backend, endpoint)
+			return rt.relayCaptured(w, tr, resp, backend, endpoint)
 		}
-		rt.relay(w, resp, backend, endpoint)
+		rt.relay(w, tr, resp, backend, endpoint)
 		return nil
 	}
 	if last != nil {
@@ -598,6 +701,8 @@ func (rt *Router) peerFill(r *http.Request, digest, target string, cands []strin
 // served=false means the retry still failed and the caller should keep
 // failing over.
 func (rt *Router) retryAfterFill(w http.ResponseWriter, r *http.Request, endpoint, backend string, body []byte, capture bool) (*cacheEntry, bool) {
+	tr := obs.FromContext(r.Context())
+	attempt := time.Now()
 	req, err := rt.buildRequest(r, backend, bytes.NewReader(body), int64(len(body)))
 	if err != nil {
 		return nil, false
@@ -606,6 +711,7 @@ func (rt *Router) retryAfterFill(w http.ResponseWriter, r *http.Request, endpoin
 	if err != nil {
 		return nil, false
 	}
+	tr.Observe("upstream", time.Since(attempt))
 	rt.met.forward(backend, endpoint)
 	if retryable(resp.StatusCode) || resp.StatusCode == http.StatusNotFound {
 		io.Copy(io.Discard, resp.Body)
@@ -613,9 +719,9 @@ func (rt *Router) retryAfterFill(w http.ResponseWriter, r *http.Request, endpoin
 		return nil, false
 	}
 	if capture && resp.StatusCode == http.StatusOK {
-		return rt.relayCaptured(w, resp, backend, endpoint), true
+		return rt.relayCaptured(w, tr, resp, backend, endpoint), true
 	}
-	rt.relay(w, resp, backend, endpoint)
+	rt.relay(w, tr, resp, backend, endpoint)
 	return nil, true
 }
 
@@ -626,10 +732,13 @@ func (rt *Router) retryAfterFill(w http.ResponseWriter, r *http.Request, endpoin
 // fully read before headers go out, backend trailers (the ETag on
 // streaming decompress responses) are promoted to plain headers — they
 // reach the client earlier and travel with the cached entry.
-func (rt *Router) relayCaptured(w http.ResponseWriter, resp *http.Response, backend, endpoint string) *cacheEntry {
+func (rt *Router) relayCaptured(w http.ResponseWriter, tr *obs.Trace, resp *http.Response, backend, endpoint string) *cacheEntry {
 	defer resp.Body.Close()
+	tr.MergeServerTiming("be-", resp.Header.Get("Server-Timing"))
+	sp := tr.StartSpan("relay")
 	buf, err := io.ReadAll(io.LimitReader(resp.Body, rt.entryLimit+1))
 	if err != nil {
+		sp.End()
 		// The backend died mid-response. The client must see a broken
 		// transfer, not a silently truncated body: headers have not been
 		// written yet, so answer 502 outright.
@@ -644,18 +753,24 @@ func (rt *Router) relayCaptured(w http.ResponseWriter, resp *http.Response, back
 		w.WriteHeader(resp.StatusCode)
 		w.Write(buf)
 		io.CopyBuffer(w, resp.Body, make([]byte, 256<<10))
+		sp.End()
+		tr.MergeServerTiming("be-", resp.Trailer.Get("Server-Timing"))
 		rt.met.request(endpoint, resp.StatusCode)
 		return nil
 	}
+	// The body is fully read, so the backend's trailers — including its
+	// Server-Timing — are in before the first client byte goes out.
+	tr.MergeServerTiming("be-", resp.Trailer.Get("Server-Timing"))
 	h := make(http.Header, 8)
 	copyHeaders(h, resp.Header)
-	copyHeaders(h, resp.Trailer) // body fully read; trailers are in
+	copyHeaders(h, resp.Trailer)
 	entry := &cacheEntry{status: resp.StatusCode, header: h, body: buf, backend: backend}
 	copyHeaders(w.Header(), resp.Header)
 	copyHeaders(w.Header(), resp.Trailer)
 	w.Header().Set("X-Sz-Backend", backend)
 	w.WriteHeader(resp.StatusCode)
 	w.Write(buf)
+	sp.End()
 	rt.met.request(endpoint, resp.StatusCode)
 	return entry
 }
@@ -690,7 +805,7 @@ func (rt *Router) forwardStream(w http.ResponseWriter, r *http.Request, endpoint
 		return
 	}
 	rt.met.forward(backend, endpoint)
-	rt.relay(w, resp, backend, endpoint)
+	rt.relay(w, obs.FromContext(r.Context()), resp, backend, endpoint)
 }
 
 // buildRequest clones the inbound request toward a backend.
@@ -705,6 +820,12 @@ func (rt *Router) buildRequest(r *http.Request, backend string, body io.Reader, 
 	}
 	copyHeaders(req.Header, r.Header)
 	req.Header.Del("Host")
+	if t := obs.FromContext(r.Context()); t != nil {
+		// Propagate the router's trace so the backend's spans join it,
+		// and its logs/ring carry the same request ID.
+		req.Header.Set("Traceparent", t.Traceparent())
+		req.Header.Set("X-Sz-Request-Id", t.RequestID)
+	}
 	if length >= 0 {
 		req.ContentLength = length
 	}
@@ -716,21 +837,31 @@ func (rt *Router) buildRequest(r *http.Request, backend string, body io.Reader, 
 // trailers — the ETag a streaming compress/decompress response settles
 // on after its last body byte — are re-announced and forwarded as
 // trailers once the copy finishes.
-func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, backend, endpoint string) {
+func (rt *Router) relay(w http.ResponseWriter, tr *obs.Trace, resp *http.Response, backend, endpoint string) {
 	defer resp.Body.Close()
+	tr.MergeServerTiming("be-", resp.Header.Get("Server-Timing"))
 	copyHeaders(w.Header(), resp.Header)
 	w.Header().Set("X-Sz-Backend", backend)
 	tkeys := make([]string, 0, len(resp.Trailer))
 	for k := range resp.Trailer {
-		tkeys = append(tkeys, k)
+		// Trace-owned trailers are merged into the router's own trace,
+		// not relayed verbatim (see hopByHop).
+		if !hopByHop[k] {
+			tkeys = append(tkeys, k)
+		}
 	}
 	if len(tkeys) > 0 {
 		sort.Strings(tkeys)
-		w.Header().Set("Trailer", strings.Join(tkeys, ", "))
+		// Add, not Set: the tracing middleware already declared its own
+		// Server-Timing trailer.
+		w.Header().Add("Trailer", strings.Join(tkeys, ", "))
 	}
 	w.WriteHeader(resp.StatusCode)
+	sp := tr.StartSpan("relay")
 	io.CopyBuffer(w, resp.Body, make([]byte, 256<<10))
+	sp.End()
 	// resp.Trailer is populated now that the body is drained.
+	tr.MergeServerTiming("be-", resp.Trailer.Get("Server-Timing"))
 	for _, k := range tkeys {
 		for _, v := range resp.Trailer.Values(k) {
 			w.Header().Add(k, v)
@@ -753,26 +884,7 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	io.WriteString(w, rt.met.expose(rt.backends, rt.poller))
-	if rt.cache != nil {
-		bytes, entries, hits, misses, evictions := rt.cache.stats()
-		fmt.Fprintf(w, "# HELP szrouter_cache_hits_total Responses served from the router cache.\n"+
-			"# TYPE szrouter_cache_hits_total counter\n"+
-			"szrouter_cache_hits_total %d\n"+
-			"# HELP szrouter_cache_misses_total Cacheable requests that missed the cache.\n"+
-			"# TYPE szrouter_cache_misses_total counter\n"+
-			"szrouter_cache_misses_total %d\n"+
-			"# HELP szrouter_cache_evictions_total Entries evicted to hold the byte budget.\n"+
-			"# TYPE szrouter_cache_evictions_total counter\n"+
-			"szrouter_cache_evictions_total %d\n"+
-			"# HELP szrouter_cache_bytes Bytes currently held by the response cache.\n"+
-			"# TYPE szrouter_cache_bytes gauge\n"+
-			"szrouter_cache_bytes %d\n"+
-			"# HELP szrouter_cache_entries Entries currently held by the response cache.\n"+
-			"# TYPE szrouter_cache_entries gauge\n"+
-			"szrouter_cache_entries %d\n",
-			hits, misses, evictions, bytes, entries)
-	}
+	io.WriteString(w, rt.met.expose())
 }
 
 func writeJSONError(w http.ResponseWriter, status int, err error) {
@@ -781,149 +893,99 @@ func writeJSONError(w http.ResponseWriter, status int, err error) {
 	fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
 }
 
-// routerMetrics counts the router's own traffic; backend health gauges
-// are rendered live from the poller at exposition time.
+// routerMetrics counts the router's own traffic on the shared obs
+// registry; backend health and response-cache gauges are sampled live at
+// exposition time. The szrouter_* family names and label orders predate
+// the registry and are scrape-contract for CI and dashboards — only the
+// emitter moved.
 type routerMetrics struct {
-	mu        sync.Mutex
-	forwards  map[[2]string]int64 // {backend, endpoint} -> attempts relayed
-	failovers map[string]int64    // backend -> attempts diverted away
-	requests  map[string]map[int]int64
-	coalesces map[string]int64 // endpoint -> requests served off an in-flight twin
-	fills     map[string]int64 // backend -> containers copied in from a peer
-
-	hitBytes atomic.Int64 // body bytes served from the response cache
+	reg       *obs.Registry
+	forwards  *obs.Vec
+	failovers *obs.Vec
+	requests  *obs.Vec
+	coalesces *obs.Vec
+	hitBytes  *obs.Vec
+	fills     *obs.Vec
+	stages    *obs.HistVec
 }
 
-func newRouterMetrics() *routerMetrics {
-	return &routerMetrics{
-		forwards:  map[[2]string]int64{},
-		failovers: map[string]int64{},
-		requests:  map[string]map[int]int64{},
-		coalesces: map[string]int64{},
-		fills:     map[string]int64{},
+func newRouterMetrics(backends []string, p *Poller, cache *respCache) *routerMetrics {
+	r := obs.NewRegistry()
+	m := &routerMetrics{
+		reg: r,
+		forwards: r.Counter("szrouter_forwards_total",
+			"Attempts forwarded, by backend and endpoint.", "backend", "endpoint"),
+		failovers: r.Counter("szrouter_failovers_total",
+			"Attempts diverted away from a backend (shed or unreachable).", "backend"),
+		requests: r.Counter("szrouter_requests_total",
+			"Client requests by endpoint and final status.", "endpoint", "status"),
+		coalesces: r.Counter("szrouter_coalesced_total",
+			"Requests served off an identical in-flight request's response.", "endpoint"),
+		hitBytes: r.Counter("szrouter_cache_hit_bytes_total",
+			"Body bytes served from the router response cache."),
+		fills: r.Counter("szrouter_peer_fills_total",
+			"Containers copied into a backend's store from a peer on a ring-affinity miss.", "backend"),
 	}
+	bks := append([]string(nil), backends...)
+	r.Func("szrouter_backend_state", "Backend health (0 unknown, 1 healthy, 2 draining, 3 dead).",
+		"gauge", []string{"backend"}, func(emit func(float64, ...string)) {
+			for _, bk := range bks {
+				emit(float64(p.Health(bk).State), bk)
+			}
+		})
+	r.Func("szrouter_backend_inflight_bytes", "Last-scraped reserved budget per backend.",
+		"gauge", []string{"backend"}, func(emit func(float64, ...string)) {
+			for _, bk := range bks {
+				emit(float64(p.Health(bk).InflightBytes), bk)
+			}
+		})
+	if cache != nil {
+		stat := func(pick func(bytes, entries, hits, misses, evictions int64) int64) func(func(float64, ...string)) {
+			return func(emit func(float64, ...string)) {
+				emit(float64(pick(cache.stats())))
+			}
+		}
+		r.Func("szrouter_cache_hits_total", "Responses served from the router cache.",
+			"counter", nil, stat(func(_, _, h, _, _ int64) int64 { return h }))
+		r.Func("szrouter_cache_misses_total", "Cacheable requests that missed the cache.",
+			"counter", nil, stat(func(_, _, _, mi, _ int64) int64 { return mi }))
+		r.Func("szrouter_cache_evictions_total", "Entries evicted to hold the byte budget.",
+			"counter", nil, stat(func(_, _, _, _, ev int64) int64 { return ev }))
+		r.Func("szrouter_cache_bytes", "Bytes currently held by the response cache.",
+			"gauge", nil, stat(func(by, _, _, _, _ int64) int64 { return by }))
+		r.Func("szrouter_cache_entries", "Entries currently held by the response cache.",
+			"gauge", nil, stat(func(_, en, _, _, _ int64) int64 { return en }))
+	}
+	m.stages = r.Histogram("szrouter_stage_seconds",
+		"Per-stage latency from request traces, by endpoint and stage.",
+		obs.StageBuckets, "endpoint", "stage")
+	obs.RegisterRuntime(r, "szrouter")
+	return m
 }
 
-func (m *routerMetrics) coalesced(endpoint string) {
-	m.mu.Lock()
-	m.coalesces[endpoint]++
-	m.mu.Unlock()
-}
+func (m *routerMetrics) coalesced(endpoint string) { m.coalesces.Inc(endpoint) }
 
-func (m *routerMetrics) cacheHitBytes(n int64) { m.hitBytes.Add(n) }
+func (m *routerMetrics) cacheHitBytes(n int64) { m.hitBytes.Add(float64(n)) }
 
-func (m *routerMetrics) peerFill(backend string) {
-	m.mu.Lock()
-	m.fills[backend]++
-	m.mu.Unlock()
-}
+func (m *routerMetrics) peerFill(backend string) { m.fills.Inc(backend) }
 
-func (m *routerMetrics) forward(backend, endpoint string) {
-	m.mu.Lock()
-	m.forwards[[2]string{backend, endpoint}]++
-	m.mu.Unlock()
-}
+func (m *routerMetrics) forward(backend, endpoint string) { m.forwards.Inc(backend, endpoint) }
 
-func (m *routerMetrics) failover(backend string) {
-	m.mu.Lock()
-	m.failovers[backend]++
-	m.mu.Unlock()
-}
+func (m *routerMetrics) failover(backend string) { m.failovers.Inc(backend) }
 
 func (m *routerMetrics) request(endpoint string, status int) {
-	m.mu.Lock()
-	if m.requests[endpoint] == nil {
-		m.requests[endpoint] = map[int]int64{}
-	}
-	m.requests[endpoint][status]++
-	m.mu.Unlock()
+	m.requests.Inc(endpoint, strconv.Itoa(status))
 }
 
-func (m *routerMetrics) expose(backends []string, p *Poller) string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var b strings.Builder
-
-	b.WriteString("# HELP szrouter_forwards_total Attempts forwarded, by backend and endpoint.\n")
-	b.WriteString("# TYPE szrouter_forwards_total counter\n")
-	fkeys := make([][2]string, 0, len(m.forwards))
-	for k := range m.forwards {
-		fkeys = append(fkeys, k)
+// recordStages feeds a finished trace's spans into the per-stage
+// histograms; aggregated spans observe their summed duration once.
+func (m *routerMetrics) recordStages(t *obs.Trace) {
+	if t == nil {
+		return
 	}
-	sort.Slice(fkeys, func(i, j int) bool {
-		if fkeys[i][0] != fkeys[j][0] {
-			return fkeys[i][0] < fkeys[j][0]
-		}
-		return fkeys[i][1] < fkeys[j][1]
-	})
-	for _, k := range fkeys {
-		fmt.Fprintf(&b, "szrouter_forwards_total{backend=%q,endpoint=%q} %d\n", k[0], k[1], m.forwards[k])
+	for _, sp := range t.Spans() {
+		m.stages.ObserveDuration(sp.Dur, t.Endpoint, sp.Name)
 	}
-
-	b.WriteString("# HELP szrouter_failovers_total Attempts diverted away from a backend (shed or unreachable).\n")
-	b.WriteString("# TYPE szrouter_failovers_total counter\n")
-	bkeys := make([]string, 0, len(m.failovers))
-	for k := range m.failovers {
-		bkeys = append(bkeys, k)
-	}
-	sort.Strings(bkeys)
-	for _, k := range bkeys {
-		fmt.Fprintf(&b, "szrouter_failovers_total{backend=%q} %d\n", k, m.failovers[k])
-	}
-
-	b.WriteString("# HELP szrouter_requests_total Client requests by endpoint and final status.\n")
-	b.WriteString("# TYPE szrouter_requests_total counter\n")
-	eps := make([]string, 0, len(m.requests))
-	for ep := range m.requests {
-		eps = append(eps, ep)
-	}
-	sort.Strings(eps)
-	for _, ep := range eps {
-		sts := make([]int, 0, len(m.requests[ep]))
-		for st := range m.requests[ep] {
-			sts = append(sts, st)
-		}
-		sort.Ints(sts)
-		for _, st := range sts {
-			fmt.Fprintf(&b, "szrouter_requests_total{endpoint=%q,status=\"%d\"} %d\n", ep, st, m.requests[ep][st])
-		}
-	}
-
-	b.WriteString("# HELP szrouter_coalesced_total Requests served off an identical in-flight request's response.\n")
-	b.WriteString("# TYPE szrouter_coalesced_total counter\n")
-	ceps := make([]string, 0, len(m.coalesces))
-	for ep := range m.coalesces {
-		ceps = append(ceps, ep)
-	}
-	sort.Strings(ceps)
-	for _, ep := range ceps {
-		fmt.Fprintf(&b, "szrouter_coalesced_total{endpoint=%q} %d\n", ep, m.coalesces[ep])
-	}
-
-	b.WriteString("# HELP szrouter_cache_hit_bytes_total Body bytes served from the router response cache.\n")
-	b.WriteString("# TYPE szrouter_cache_hit_bytes_total counter\n")
-	fmt.Fprintf(&b, "szrouter_cache_hit_bytes_total %d\n", m.hitBytes.Load())
-
-	b.WriteString("# HELP szrouter_peer_fills_total Containers copied into a backend's store from a peer on a ring-affinity miss.\n")
-	b.WriteString("# TYPE szrouter_peer_fills_total counter\n")
-	pkeys := make([]string, 0, len(m.fills))
-	for k := range m.fills {
-		pkeys = append(pkeys, k)
-	}
-	sort.Strings(pkeys)
-	for _, k := range pkeys {
-		fmt.Fprintf(&b, "szrouter_peer_fills_total{backend=%q} %d\n", k, m.fills[k])
-	}
-
-	b.WriteString("# HELP szrouter_backend_state Backend health (0 unknown, 1 healthy, 2 draining, 3 dead).\n")
-	b.WriteString("# TYPE szrouter_backend_state gauge\n")
-	for _, bk := range backends {
-		fmt.Fprintf(&b, "szrouter_backend_state{backend=%q} %d\n", bk, p.Health(bk).State)
-	}
-	b.WriteString("# HELP szrouter_backend_inflight_bytes Last-scraped reserved budget per backend.\n")
-	b.WriteString("# TYPE szrouter_backend_inflight_bytes gauge\n")
-	for _, bk := range backends {
-		fmt.Fprintf(&b, "szrouter_backend_inflight_bytes{backend=%q} %d\n", bk, p.Health(bk).InflightBytes)
-	}
-	return b.String()
 }
+
+func (m *routerMetrics) expose() string { return m.reg.Expose() }

@@ -1,0 +1,149 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/obs"
+)
+
+// fetchTraces reads a tier's /debug/traces ring.
+func fetchTraces(t *testing.T, base string) []obs.TraceRecord {
+	t.Helper()
+	resp, err := http.Get(base + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Traces []obs.TraceRecord `json:"traces"`
+	}
+	if err := json.Unmarshal(readAllClose(t, resp), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Traces
+}
+
+// TestTracePropagatesAcrossTiers: one routed compress is one trace. The
+// router opens it, the backend continues it via traceparent, the client
+// sees the router's request ID and a Server-Timing breakdown spanning
+// both tiers (backend stages under "be-"), and both rings record the
+// same trace ID.
+func TestTracePropagatesAcrossTiers(t *testing.T) {
+	backends := []string{newSzd(t), newSzd(t)}
+	_, ts := newRouter(t, Config{Backends: backends})
+
+	raw := makeRaw(t, grid.Float32, 16, 20, 12)
+	resp := post(t, ts.URL+"/v1/compress?codec=blocked&abs=1e-3&dtype=f32&dims=16,20,12", raw)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress status %d: %s", resp.StatusCode, readAllClose(t, resp))
+	}
+	reqID := resp.Header.Get("X-Sz-Request-Id")
+	if reqID == "" {
+		t.Fatal("router did not echo X-Sz-Request-Id")
+	}
+	backend := resp.Header.Get("X-Sz-Backend")
+	readAllClose(t, resp) // drain: the Server-Timing trailer settles after the body
+	st := resp.Trailer.Get("Server-Timing")
+	if st == "" {
+		st = resp.Header.Get("Server-Timing")
+	}
+	for _, want := range []string{"relay;dur=", "be-encode;dur=", "be-total;dur=", "total;dur="} {
+		if !strings.Contains(st, want) {
+			t.Errorf("merged Server-Timing missing %q: %q", want, st)
+		}
+	}
+
+	var routerRec *obs.TraceRecord
+	for _, rec := range fetchTraces(t, ts.URL) {
+		if rec.RequestID == reqID {
+			routerRec = &rec
+			break
+		}
+	}
+	if routerRec == nil {
+		t.Fatalf("request %s not in the router ring", reqID)
+	}
+	names := map[string]bool{}
+	for _, sp := range routerRec.Spans {
+		names[sp.Name] = true
+	}
+	if !names["ring"] || !names["upstream"] || !names["relay"] {
+		t.Errorf("router spans missing ring/upstream/relay: %+v", routerRec.Spans)
+	}
+	if len(routerRec.Remote) == 0 {
+		t.Error("router trace carries no merged backend (be-) timings")
+	}
+
+	var backendRec *obs.TraceRecord
+	for _, rec := range fetchTraces(t, "http://"+backend) {
+		if rec.TraceID == routerRec.TraceID {
+			backendRec = &rec
+			break
+		}
+	}
+	if backendRec == nil {
+		t.Fatalf("trace %s not in backend %s ring", routerRec.TraceID, backend)
+	}
+	if backendRec.RequestID != reqID {
+		t.Errorf("backend request ID %s != router %s", backendRec.RequestID, reqID)
+	}
+	if backendRec.ParentID != routerRec.SpanID {
+		t.Errorf("backend parent %s != router span %s", backendRec.ParentID, routerRec.SpanID)
+	}
+	names = map[string]bool{}
+	for _, sp := range backendRec.Spans {
+		names[sp.Name] = true
+	}
+	if !names["admission"] || !names["encode"] {
+		t.Errorf("backend spans missing admission/encode: %+v", backendRec.Spans)
+	}
+}
+
+// TestRouterMetricsScrapeValid: the router's /metrics must parse and
+// validate as a whole (histogram invariants included), keep the
+// established family names, and show trace-fed stage histograms.
+func TestRouterMetricsScrapeValid(t *testing.T) {
+	backends := []string{newSzd(t)}
+	_, ts := newRouter(t, Config{Backends: backends})
+
+	raw := makeRaw(t, grid.Float32, 16, 20, 12)
+	readAllClose(t, post(t, ts.URL+"/v1/compress?codec=blocked&abs=1e-3&dtype=f32&dims=16,20,12", raw))
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(readAllClose(t, resp))
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("scrape invalid: %v\n%s", err, body)
+	}
+	exp, err := obs.ParseExposition(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := exp.Value("szrouter_forwards_total",
+		map[string]string{"backend": backends[0], "endpoint": "compress"}); !ok || v != 1 {
+		t.Errorf("szrouter_forwards_total = %v, %v; want 1", v, ok)
+	}
+	if v, ok := exp.Value("szrouter_requests_total",
+		map[string]string{"endpoint": "compress", "status": "200"}); !ok || v != 1 {
+		t.Errorf("szrouter_requests_total = %v, %v; want 1", v, ok)
+	}
+	if v, ok := exp.Value("szrouter_stage_seconds_count",
+		map[string]string{"endpoint": "compress", "stage": "relay"}); !ok || v < 1 {
+		t.Errorf("szrouter_stage_seconds{stage=relay} not populated (%v, %v)", v, ok)
+	}
+	for _, fam := range []string{
+		`szrouter_forwards_total{backend=`,
+		"# TYPE szrouter_backend_state gauge",
+		"# TYPE szrouter_cache_hits_total counter",
+		"# TYPE szrouter_goroutines gauge",
+	} {
+		if !strings.Contains(body, fam) {
+			t.Errorf("scrape missing %q", fam)
+		}
+	}
+}

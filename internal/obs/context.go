@@ -1,0 +1,21 @@
+package obs
+
+// Context plumbing: the HTTP middleware stores the request's *Trace in
+// the context so handlers and anything they call can bracket spans
+// without new parameters on every signature.
+
+import "context"
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying t.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil — and since all
+// *Trace methods are nil-safe, callers never need to check.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,274 @@
+package obs
+
+// A small Prometheus text-exposition parser used by tests to validate
+// whole scrapes: every sample line must parse, every series must belong
+// to a declared family, and histograms must carry a +Inf bucket with
+// _count equal to its cumulative value (satellite 3 of ISSUE 8 — the
+// old hand-rolled writers could drift).
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Exposition is a parsed scrape: family types by name plus all samples.
+type Exposition struct {
+	Types   map[string]string // family name -> counter|gauge|histogram
+	Samples []Sample
+}
+
+// ParseExposition parses Prometheus text format. It is strict about the
+// subset this repo emits (HELP/TYPE comments, quoted label values, one
+// value per line, no timestamps).
+func ParseExposition(text string) (*Exposition, error) {
+	exp := &Exposition{Types: map[string]string{}}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("line %d: malformed TYPE comment %q", ln+1, line)
+			}
+			switch fields[3] {
+			case typeCounter, typeGauge, typeHistogram:
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", ln+1, fields[3])
+			}
+			exp.Types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // HELP and other comments
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		exp.Samples = append(exp.Samples, s)
+	}
+	return exp, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		body := rest[1:end]
+		rest = rest[end+1:]
+		for body != "" {
+			eq := strings.Index(body, "=")
+			if eq < 0 {
+				return s, fmt.Errorf("malformed label in %q", line)
+			}
+			name := body[:eq]
+			if !validMetricName(name) {
+				return s, fmt.Errorf("invalid label name %q", name)
+			}
+			val, err := strconv.QuotedPrefix(body[eq+1:])
+			if err != nil {
+				return s, fmt.Errorf("invalid label value in %q: %v", line, err)
+			}
+			q, err := strconv.Unquote(val)
+			if err != nil {
+				return s, fmt.Errorf("invalid label value in %q: %v", line, err)
+			}
+			s.Labels[name] = q
+			body = strings.TrimPrefix(body[eq+1+len(val):], ",")
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	v, err := parsePromValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("invalid value %q: %v", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parsePromValue(v string) (float64, error) {
+	switch v {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+func validMetricName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || i > 0 && c >= '0' && c <= '9'
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// baseFamily strips histogram sample suffixes to recover the family a
+// series belongs to.
+func (e *Exposition) baseFamily(name string) (string, bool) {
+	if _, ok := e.Types[name]; ok {
+		return name, true
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if e.Types[base] == typeHistogram {
+				return base, true
+			}
+		}
+	}
+	return "", false
+}
+
+// Validate checks structural invariants over the whole scrape: every
+// sample belongs to a declared family; counters and histogram buckets
+// are non-negative; every histogram series has a +Inf bucket,
+// monotonically non-decreasing buckets, and _count equal to its +Inf
+// cumulative count; a histogram with observations has a _sum.
+func (e *Exposition) Validate() error {
+	type histState struct {
+		inf      float64
+		hasInf   bool
+		count    float64
+		hasCount bool
+		hasSum   bool
+		lastLe   float64
+		lastCum  float64
+	}
+	hists := map[string]*histState{}
+	histKey := func(s Sample, base string) string {
+		var parts []string
+		for k, v := range s.Labels {
+			if k != "le" {
+				parts = append(parts, k+"="+v)
+			}
+		}
+		// Small label sets; insertion order of a map range is unstable, so
+		// sort via a simple insertion pass.
+		for i := 1; i < len(parts); i++ {
+			for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+				parts[j], parts[j-1] = parts[j-1], parts[j]
+			}
+		}
+		return base + "{" + strings.Join(parts, ",") + "}"
+	}
+	for _, s := range e.Samples {
+		base, ok := e.baseFamily(s.Name)
+		if !ok {
+			return fmt.Errorf("sample %s has no TYPE declaration", s.Name)
+		}
+		typ := e.Types[base]
+		if typ == typeCounter && s.Value < 0 {
+			return fmt.Errorf("counter %s is negative (%v)", s.Name, s.Value)
+		}
+		if typ != typeHistogram {
+			continue
+		}
+		h := hists[histKey(s, base)]
+		if h == nil {
+			h = &histState{lastLe: math.Inf(-1)}
+			hists[histKey(s, base)] = h
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			le, err := parsePromValue(s.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q", s.Name, s.Labels["le"])
+			}
+			if s.Value < h.lastCum {
+				return fmt.Errorf("%s{le=%q}: bucket count decreased (%v < %v)",
+					s.Name, s.Labels["le"], s.Value, h.lastCum)
+			}
+			if le <= h.lastLe {
+				return fmt.Errorf("%s: le %q out of order", s.Name, s.Labels["le"])
+			}
+			h.lastLe, h.lastCum = le, s.Value
+			if math.IsInf(le, 1) {
+				h.hasInf, h.inf = true, s.Value
+			}
+		case strings.HasSuffix(s.Name, "_sum"):
+			h.hasSum = true
+		case strings.HasSuffix(s.Name, "_count"):
+			h.hasCount, h.count = true, s.Value
+		}
+	}
+	for key, h := range hists {
+		if !h.hasInf {
+			return fmt.Errorf("histogram %s has no +Inf bucket", key)
+		}
+		if !h.hasCount {
+			return fmt.Errorf("histogram %s has no _count", key)
+		}
+		if !h.hasSum {
+			return fmt.Errorf("histogram %s has no _sum", key)
+		}
+		if h.count != h.inf {
+			return fmt.Errorf("histogram %s: _count %v != +Inf bucket %v", key, h.count, h.inf)
+		}
+	}
+	return nil
+}
+
+// Value returns the value of the sample with the given name whose
+// labels all match want (extra labels on the sample are allowed), and
+// whether such a sample exists.
+func (e *Exposition) Value(name string, want map[string]string) (float64, bool) {
+	for _, s := range e.Samples {
+		if s.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// ValidateExposition parses and validates a scrape in one call.
+func ValidateExposition(text string) error {
+	exp, err := ParseExposition(text)
+	if err != nil {
+		return err
+	}
+	return exp.Validate()
+}

@@ -1,0 +1,296 @@
+package obs
+
+// A shared, dependency-free Prometheus-text metrics registry. szd and
+// szrouter previously each hand-rolled an exposition writer; both now
+// register counters, gauges, and histograms here and serve one
+// deterministic scrape. Metric names are free-form (the daemons keep
+// their established szd_* / szrouter_* series verbatim), families
+// render in registration order, and series within a family render in
+// sorted label order so scrapes diff cleanly.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefBuckets are the latency histogram bounds in seconds (log-spaced
+// from 1 ms to 10 s; compression requests span ~4 decades). They are
+// the same bounds szd has always scraped.
+var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// StageBuckets extend DefBuckets downward: stages like a cache lookup
+// or ring walk finish in microseconds, and a histogram that lumps
+// everything under 1 ms would hide exactly the spread BENCH_7 measured
+// (3 µs warm hits vs 20 ms cold recomputes).
+var StageBuckets = []float64{0.000005, 0.000025, 0.0001, 0.0005, 0.001,
+	0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// labelSep joins label values into series keys; 0xff never appears in
+// well-formed label values (they are short ASCII names and statuses).
+const labelSep = "\xff"
+
+type series struct {
+	labelVals []string
+	value     float64 // counter/gauge value
+	buckets   []int64 // histogram bucket counts (len(bounds)+1, +Inf last)
+	sum       float64
+	count     int64
+}
+
+type family struct {
+	name    string
+	help    string
+	typ     string
+	labels  []string
+	bounds  []float64 // histogram upper bounds
+	mu      sync.Mutex
+	series  map[string]*series
+	collect func(emit func(v float64, labelVals ...string)) // live families
+}
+
+// Registry holds metric families and renders the text exposition.
+type Registry struct {
+	mu   sync.Mutex
+	fams []*family
+	idx  map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{idx: map[string]*family{}}
+}
+
+func (r *Registry) add(f *family) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.idx[f.name]; ok {
+		return prev // idempotent re-registration keeps the first family
+	}
+	r.idx[f.name] = f
+	r.fams = append(r.fams, f)
+	return f
+}
+
+// Vec is a counter or gauge family handle.
+type Vec struct{ f *family }
+
+// Counter registers (or returns) a counter family with the given label
+// names.
+func (r *Registry) Counter(name, help string, labels ...string) *Vec {
+	return &Vec{r.add(&family{name: name, help: help, typ: typeCounter,
+		labels: labels, series: map[string]*series{}})}
+}
+
+// Gauge registers (or returns) a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *Vec {
+	return &Vec{r.add(&family{name: name, help: help, typ: typeGauge,
+		labels: labels, series: map[string]*series{}})}
+}
+
+// Func registers a live family whose samples are produced at scrape
+// time by collect (governor gauges, store stats, runtime stats). typ is
+// "counter" or "gauge".
+func (r *Registry) Func(name, help, typ string, labels []string,
+	collect func(emit func(v float64, labelVals ...string))) {
+	r.add(&family{name: name, help: help, typ: typ, labels: labels, collect: collect})
+}
+
+// GaugeFunc registers a single-series live gauge.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	r.Func(name, help, typeGauge, nil, func(emit func(float64, ...string)) { emit(f()) })
+}
+
+func (f *family) get(labelVals []string) *series {
+	key := strings.Join(labelVals, labelSep)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelVals: append([]string(nil), labelVals...)}
+		if f.typ == typeHistogram {
+			s.buckets = make([]int64, len(f.bounds)+1)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Add increments the labeled series by n (counters must only go up).
+func (v *Vec) Add(n float64, labelVals ...string) {
+	v.f.mu.Lock()
+	v.f.get(labelVals).value += n
+	v.f.mu.Unlock()
+}
+
+// Inc adds one.
+func (v *Vec) Inc(labelVals ...string) { v.Add(1, labelVals...) }
+
+// Set sets the labeled gauge.
+func (v *Vec) Set(n float64, labelVals ...string) {
+	v.f.mu.Lock()
+	v.f.get(labelVals).value = n
+	v.f.mu.Unlock()
+}
+
+// HistVec is a histogram family handle.
+type HistVec struct{ f *family }
+
+// Histogram registers (or returns) a histogram family over the given
+// upper bounds (nil uses DefBuckets). The rendered exposition always
+// carries the +Inf bucket, and _count always equals the +Inf cumulative
+// count so _sum/_count stay consistent.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *HistVec {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	return &HistVec{r.add(&family{name: name, help: help, typ: typeHistogram,
+		labels: labels, bounds: bounds, series: map[string]*series{}})}
+}
+
+// Observe records v into the labeled series.
+func (h *HistVec) Observe(v float64, labelVals ...string) {
+	h.f.mu.Lock()
+	s := h.f.get(labelVals)
+	i := sort.SearchFloat64s(h.f.bounds, v)
+	s.buckets[i]++
+	s.sum += v
+	s.count++
+	h.f.mu.Unlock()
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *HistVec) ObserveDuration(d time.Duration, labelVals ...string) {
+	h.Observe(d.Seconds(), labelVals...)
+}
+
+// formatValue renders integral values as integers (scrape-compatible
+// with the old %d emitters — a 1 GiB gauge must print 1073741824, not
+// 1.073741824e+09) and everything else in shortest-float form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1<<53 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeLabels(b *strings.Builder, names, vals []string, extra ...string) {
+	if len(names) == 0 && len(extra) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(vals) {
+			v = vals[i]
+		}
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(v))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		if len(names) > 0 || i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra[i])
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(extra[i+1]))
+	}
+	b.WriteByte('}')
+}
+
+func (f *family) write(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+
+	var rows []*series
+	if f.collect != nil {
+		f.collect(func(v float64, labelVals ...string) {
+			rows = append(rows, &series{labelVals: labelVals, value: v})
+		})
+	} else {
+		f.mu.Lock()
+		for _, s := range f.series {
+			copied := *s
+			copied.buckets = append([]int64(nil), s.buckets...)
+			rows = append(rows, &copied)
+		}
+		f.mu.Unlock()
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		return strings.Join(rows[i].labelVals, labelSep) < strings.Join(rows[j].labelVals, labelSep)
+	})
+
+	for _, s := range rows {
+		if f.typ != typeHistogram {
+			b.WriteString(f.name)
+			writeLabels(b, f.labels, s.labelVals)
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.value))
+			b.WriteByte('\n')
+			continue
+		}
+		cum := int64(0)
+		for i, ub := range f.bounds {
+			cum += s.buckets[i]
+			b.WriteString(f.name)
+			b.WriteString("_bucket")
+			writeLabels(b, f.labels, s.labelVals, "le", strconv.FormatFloat(ub, 'g', -1, 64))
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatInt(cum, 10))
+			b.WriteByte('\n')
+		}
+		cum += s.buckets[len(f.bounds)]
+		b.WriteString(f.name)
+		b.WriteString("_bucket")
+		writeLabels(b, f.labels, s.labelVals, "le", "+Inf")
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(cum, 10))
+		b.WriteByte('\n')
+		b.WriteString(f.name)
+		b.WriteString("_sum")
+		writeLabels(b, f.labels, s.labelVals)
+		b.WriteByte(' ')
+		b.WriteString(formatValue(s.sum))
+		b.WriteByte('\n')
+		b.WriteString(f.name)
+		b.WriteString("_count")
+		writeLabels(b, f.labels, s.labelVals)
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(cum, 10))
+		b.WriteByte('\n')
+	}
+}
+
+// Expose renders the full text exposition.
+func (r *Registry) Expose() string {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range fams {
+		f.write(&b)
+	}
+	return b.String()
+}
+
+// Handler serves the exposition with the Prometheus text content type.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		io.WriteString(w, r.Expose())
+	})
+}

@@ -1,0 +1,169 @@
+package obs
+
+// The trace ring and the Recorder: finished traces land in a bounded
+// in-memory ring served as JSON on /debug/traces, and requests slower
+// than a threshold are logged structured through log/slog — the "why
+// was this request slow" surface when no collector is attached.
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// DefaultRingSize is how many finished traces /debug/traces retains.
+const DefaultRingSize = 256
+
+// TraceRecord is the ring's immutable snapshot of a finished trace.
+type TraceRecord struct {
+	TraceID   string        `json:"trace_id"`
+	SpanID    string        `json:"span_id"`
+	ParentID  string        `json:"parent_id,omitempty"`
+	RequestID string        `json:"request_id"`
+	Endpoint  string        `json:"endpoint"`
+	Status    int           `json:"status"`
+	Start     time.Time     `json:"start"`
+	Total     time.Duration `json:"total_ns"`
+	Spans     []SpanData    `json:"spans"`
+	Remote    []TimingEntry `json:"downstream,omitempty"`
+}
+
+func snapshot(t *Trace) TraceRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec := TraceRecord{
+		TraceID:   t.TraceID,
+		SpanID:    t.SpanID,
+		ParentID:  t.ParentID,
+		RequestID: t.RequestID,
+		Endpoint:  t.Endpoint,
+		Status:    t.status,
+		Start:     t.start,
+		Total:     t.total,
+		Spans:     append([]SpanData(nil), t.spans...),
+	}
+	if len(t.remote) > 0 {
+		rec.Remote = append([]TimingEntry(nil), t.remote...)
+	}
+	return rec
+}
+
+// Ring is a bounded buffer of recent trace records.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []TraceRecord
+	next int
+	full bool
+}
+
+// NewRing returns a ring holding the last n traces (n <= 0 uses
+// DefaultRingSize).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &Ring{buf: make([]TraceRecord, n)}
+}
+
+// Add records a snapshot.
+func (rg *Ring) Add(rec TraceRecord) {
+	rg.mu.Lock()
+	rg.buf[rg.next] = rec
+	rg.next++
+	if rg.next == len(rg.buf) {
+		rg.next, rg.full = 0, true
+	}
+	rg.mu.Unlock()
+}
+
+// Snapshot returns the retained traces, newest first.
+func (rg *Ring) Snapshot() []TraceRecord {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	n := rg.next
+	if rg.full {
+		n = len(rg.buf)
+	}
+	out := make([]TraceRecord, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, rg.buf[(rg.next-1-i+len(rg.buf))%len(rg.buf)])
+	}
+	return out
+}
+
+// ServeHTTP serves the ring as JSON: {"traces":[...]} newest first.
+// ?limit=N bounds the count; ?trace_id=<hex> filters to one trace (the
+// cross-tier debugging entry point: the same ID appears on router and
+// backend).
+func (rg *Ring) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	recs := rg.Snapshot()
+	if want := r.URL.Query().Get("trace_id"); want != "" {
+		kept := recs[:0]
+		for _, rec := range recs {
+			if rec.TraceID == want {
+				kept = append(kept, rec)
+			}
+		}
+		recs = kept
+	}
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		if n, err := strconv.Atoi(ls); err == nil && n >= 0 && n < len(recs) {
+			recs = recs[:n]
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{"traces": recs})
+}
+
+// Recorder fans a finished trace out to the ring and, above the slow
+// threshold, to the structured log.
+type Recorder struct {
+	Ring *Ring
+	// SlowThreshold is the total-duration floor for slow-request logs;
+	// <= 0 disables them.
+	SlowThreshold time.Duration
+	// Log receives slow-request records (nil uses slog.Default).
+	Log *slog.Logger
+}
+
+// NewRecorder builds a Recorder with a fresh ring of ringSize.
+func NewRecorder(ringSize int, slow time.Duration, log *slog.Logger) *Recorder {
+	return &Recorder{Ring: NewRing(ringSize), SlowThreshold: slow, Log: log}
+}
+
+// Done seals nothing (call Trace.Finish first); it snapshots the trace
+// into the ring and emits a slow-request log line when warranted.
+func (rec *Recorder) Done(t *Trace) {
+	if rec == nil || t == nil {
+		return
+	}
+	snap := snapshot(t)
+	if rec.Ring != nil {
+		rec.Ring.Add(snap)
+	}
+	if rec.SlowThreshold > 0 && snap.Total >= rec.SlowThreshold {
+		lg := rec.Log
+		if lg == nil {
+			lg = slog.Default()
+		}
+		attrs := []any{
+			slog.String("trace_id", snap.TraceID),
+			slog.String("request_id", snap.RequestID),
+			slog.String("endpoint", snap.Endpoint),
+			slog.Int("status", snap.Status),
+			slog.Duration("total", snap.Total),
+		}
+		for _, sp := range snap.Spans {
+			attrs = append(attrs, slog.Duration("stage."+sp.Name, sp.Dur))
+		}
+		for _, e := range snap.Remote {
+			attrs = append(attrs, slog.Duration("stage."+e.Name, e.Dur))
+		}
+		lg.Warn("slow request", attrs...)
+	}
+}

@@ -1,0 +1,35 @@
+package obs
+
+// Runtime gauges every daemon wants on its scrape: goroutine count,
+// heap, and GC behavior. Registered once per registry; sampled live at
+// scrape time so there is no background goroutine to manage.
+
+import (
+	"runtime"
+)
+
+// RegisterRuntime adds process runtime gauges to the registry under the
+// given metric prefix ("szd" -> szd_goroutines, szd_heap_alloc_bytes,
+// szd_gc_pause_total_seconds, szd_gc_cycles_total).
+func RegisterRuntime(r *Registry, prefix string) {
+	r.GaugeFunc(prefix+"_goroutines", "Current number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.Func(prefix+"_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		typeGauge, nil, func(emit func(float64, ...string)) {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			emit(float64(m.HeapAlloc))
+		})
+	r.Func(prefix+"_gc_pause_total_seconds", "Cumulative GC stop-the-world pause time.",
+		typeCounter, nil, func(emit func(float64, ...string)) {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			emit(float64(m.PauseTotalNs) / 1e9)
+		})
+	r.Func(prefix+"_gc_cycles_total", "Completed GC cycles.",
+		typeCounter, nil, func(emit func(float64, ...string)) {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			emit(float64(m.NumGC))
+		})
+}

@@ -28,6 +28,7 @@ package scratch
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 	"unsafe"
 )
 
@@ -41,6 +42,43 @@ const (
 	// gigabytes in the pools.
 	maxClassBits = 27
 )
+
+// Per-class traffic counters, shared across all Pool instances (the
+// interesting signal is "does class c recycle or allocate", not which
+// element type asked). Atomics keep the hot path lock-free; a miss is
+// a Get that had to fall back to make.
+var (
+	classHits   [maxClassBits + 1]atomic.Int64
+	classMisses [maxClassBits + 1]atomic.Int64
+	classPuts   [maxClassBits + 1]atomic.Int64
+)
+
+// ClassStats is one size class's cumulative traffic.
+type ClassStats struct {
+	// Size is the class capacity in elements (1 << class bits).
+	Size int
+	// Hits counts Gets served from the pool, Misses counts Gets that
+	// allocated, Puts counts slices recycled into the class.
+	Hits, Misses, Puts int64
+}
+
+// Stats returns cumulative per-class counters for every class that has
+// seen any traffic, smallest class first.
+func Stats() []ClassStats {
+	var out []ClassStats
+	for c := minClassBits; c <= maxClassBits; c++ {
+		s := ClassStats{
+			Size:   1 << c,
+			Hits:   classHits[c].Load(),
+			Misses: classMisses[c].Load(),
+			Puts:   classPuts[c].Load(),
+		}
+		if s.Hits|s.Misses|s.Puts != 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
 
 // Pool is a size-classed recycler for []T. The zero value is not ready;
 // use NewPool. Pools are safe for concurrent use.
@@ -78,8 +116,10 @@ func (p *Pool[T]) Get(n int) []T {
 		// Pooled entries are stored as their backing-array pointer (a
 		// pointer-shaped interface payload, so Get and Put allocate
 		// nothing); the capacity is implied by the class.
+		classHits[c].Add(1)
 		return unsafe.Slice((*T)(v.(unsafe.Pointer)), 1<<c)[:n]
 	}
+	classMisses[c].Add(1)
 	return make([]T, n, 1<<c)
 }
 
@@ -92,6 +132,7 @@ func (p *Pool[T]) Put(s []T) {
 	if c < minClassBits || c > maxClassBits {
 		return
 	}
+	classPuts[c].Add(1)
 	p.classes[c].Put(unsafe.Pointer(unsafe.SliceData(s[:cap(s)])))
 }
 

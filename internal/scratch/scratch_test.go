@@ -140,3 +140,31 @@ func TestConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestStatsCountTraffic(t *testing.T) {
+	const n = 5000 // class 13 (8192), unlikely to collide with other tests' classes
+	before := statsFor(1 << 13)
+	b := Bytes(n)
+	PutBytes(b)
+	b = Bytes(n) // should be a hit now that one buffer is pooled
+	PutBytes(b)
+	after := statsFor(1 << 13)
+	if after.Puts-before.Puts != 2 {
+		t.Errorf("puts delta = %d, want 2", after.Puts-before.Puts)
+	}
+	if d := (after.Hits + after.Misses) - (before.Hits + before.Misses); d != 2 {
+		t.Errorf("gets delta = %d, want 2", d)
+	}
+	if after.Hits == before.Hits {
+		t.Errorf("no pool hit recorded after a put: %+v -> %+v", before, after)
+	}
+}
+
+func statsFor(size int) ClassStats {
+	for _, s := range Stats() {
+		if s.Size == size {
+			return s
+		}
+	}
+	return ClassStats{Size: size}
+}

@@ -1,175 +1,107 @@
 package server
 
-// Request telemetry with a Prometheus-style text exposition. Kept
-// dependency-free on purpose: counters, gauges, and fixed-bucket latency
-// histograms cover what operating a compression fleet needs (request
-// rates by status, shed rates, byte throughput, tail latency per codec).
+// Request telemetry on the shared obs registry. The szd_* series names
+// and label orders predate the registry and are scrape-contract: the
+// router's load poller parses szd_inflight_bytes / szd_workers_busy
+// lines (fleet/health.go), and CI greps exact sample lines — only the
+// emitter moved, not the exposition.
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-	"sync"
+	"strconv"
 	"time"
 
+	"repro/internal/obs"
+	"repro/internal/scratch"
 	"repro/internal/store"
 )
 
-// latencyBuckets are the histogram upper bounds in seconds (log-spaced
-// from 1 ms to 10 s; compression requests span ~4 decades).
-var latencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
-	0.1, 0.25, 0.5, 1, 2.5, 5, 10}
-
-type histogram struct {
-	counts []int64 // len(latencyBuckets)+1; +Inf overflow at the end
-	sum    float64
-	n      int64
-}
-
-func newHistogram() *histogram {
-	return &histogram{counts: make([]int64, len(latencyBuckets)+1)}
-}
-
-func (h *histogram) observe(d time.Duration) {
-	s := d.Seconds()
-	i := sort.SearchFloat64s(latencyBuckets, s)
-	h.counts[i]++
-	h.sum += s
-	h.n++
-}
-
-// reqKey labels one counter/histogram series.
-type reqKey struct {
-	endpoint string // compress, decompress, inspect, codecs, ...
-	codec    string // "" when no codec applies
-	status   int
-}
-
 type metrics struct {
-	mu       sync.Mutex
-	requests map[reqKey]int64
-	bytesIn  map[string]int64 // by endpoint
-	bytesOut map[string]int64
-	latency  map[string]*histogram // by "endpoint\x00codec"
+	reg      *obs.Registry
+	requests *obs.Vec
+	bytesIn  *obs.Vec
+	bytesOut *obs.Vec
+	latency  *obs.HistVec
+	stages   *obs.HistVec
 }
 
-func newMetrics() *metrics {
-	return &metrics{
-		requests: map[reqKey]int64{},
-		bytesIn:  map[string]int64{},
-		bytesOut: map[string]int64{},
-		latency:  map[string]*histogram{},
+func newMetrics(g *governor, st *store.Store) *metrics {
+	r := obs.NewRegistry()
+	m := &metrics{
+		reg: r,
+		requests: r.Counter("szd_requests_total",
+			"Requests by endpoint, codec, and HTTP status.",
+			"endpoint", "codec", "status"),
+		bytesIn: r.Counter("szd_bytes_in_total",
+			"Request body bytes consumed.", "endpoint"),
+		bytesOut: r.Counter("szd_bytes_out_total",
+			"Response body bytes produced.", "endpoint"),
 	}
+	r.GaugeFunc("szd_inflight_requests", "Admitted requests currently being served.",
+		func() float64 { return float64(g.requests.Load()) })
+	r.GaugeFunc("szd_inflight_bytes", "Reserved in-flight byte budget.",
+		func() float64 { return float64(g.inflight.Load()) })
+	r.GaugeFunc("szd_workers_busy",
+		"Worker-pool tokens handed out (pool size "+strconv.Itoa(g.poolSize)+").",
+		func() float64 { return float64(g.busyWorkers()) })
+	if st != nil {
+		r.GaugeFunc("szd_store_bytes", "Payload bytes resident in the content-addressed store.",
+			func() float64 { return float64(st.Stats().Bytes) })
+		r.GaugeFunc("szd_store_entries", "Containers resident in the content-addressed store.",
+			func() float64 { return float64(st.Stats().Entries) })
+		r.Func("szd_store_hits_total", "Digest-referenced reads served from the store.",
+			"counter", nil, func(emit func(float64, ...string)) { emit(float64(st.Stats().Hits)) })
+		r.Func("szd_store_misses_total", "Digest-referenced reads the store could not answer.",
+			"counter", nil, func(emit func(float64, ...string)) { emit(float64(st.Stats().Misses)) })
+		r.Func("szd_store_evictions_total", "Entries evicted to hold the byte budget.",
+			"counter", nil, func(emit func(float64, ...string)) { emit(float64(st.Stats().Evictions)) })
+	}
+	m.latency = r.Histogram("szd_request_seconds",
+		"Request latency by endpoint and codec.", nil, "endpoint", "codec")
+	m.stages = r.Histogram("szd_stage_seconds",
+		"Per-stage latency from request traces, by endpoint and stage.",
+		obs.StageBuckets, "endpoint", "stage")
+	registerScratch(r)
+	obs.RegisterRuntime(r, "szd")
+	return m
+}
+
+// registerScratch exposes the scratch pools' per-size-class traffic as
+// szd_scratch_* gauges sampled live at scrape time.
+func registerScratch(r *obs.Registry) {
+	each := func(pick func(scratch.ClassStats) int64) func(func(float64, ...string)) {
+		return func(emit func(float64, ...string)) {
+			for _, cs := range scratch.Stats() {
+				emit(float64(pick(cs)), strconv.Itoa(cs.Size))
+			}
+		}
+	}
+	r.Func("szd_scratch_hits", "Scratch-pool Gets served from the pool, by size class (elements).",
+		"gauge", []string{"class"}, each(func(c scratch.ClassStats) int64 { return c.Hits }))
+	r.Func("szd_scratch_misses", "Scratch-pool Gets that had to allocate, by size class (elements).",
+		"gauge", []string{"class"}, each(func(c scratch.ClassStats) int64 { return c.Misses }))
+	r.Func("szd_scratch_puts", "Slices recycled into the scratch pools, by size class (elements).",
+		"gauge", []string{"class"}, each(func(c scratch.ClassStats) int64 { return c.Puts }))
 }
 
 // record logs one finished (or rejected) request.
 func (m *metrics) record(endpoint, codec string, status int, in, out int64, d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.requests[reqKey{endpoint, codec, status}]++
-	m.bytesIn[endpoint] += in
-	m.bytesOut[endpoint] += out
-	hk := endpoint + "\x00" + codec
-	h := m.latency[hk]
-	if h == nil {
-		h = newHistogram()
-		m.latency[hk] = h
-	}
-	h.observe(d)
+	m.requests.Inc(endpoint, codec, strconv.Itoa(status))
+	m.bytesIn.Add(float64(in), endpoint)
+	m.bytesOut.Add(float64(out), endpoint)
+	m.latency.ObserveDuration(d, endpoint, codec)
 }
 
-// expose renders the text exposition. The governor supplies the live
-// gauges; st, when non-nil, is the content-addressed store's snapshot
-// (tier 2 of the fleet cache).
-func (m *metrics) expose(g *governor, st *store.Stats) string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var b strings.Builder
-
-	b.WriteString("# HELP szd_requests_total Requests by endpoint, codec, and HTTP status.\n")
-	b.WriteString("# TYPE szd_requests_total counter\n")
-	keys := make([]reqKey, 0, len(m.requests))
-	for k := range m.requests {
-		keys = append(keys, k)
+// recordStages feeds a finished trace's spans into the per-stage
+// histograms. Aggregated spans (e.g. per-slab huffbuild) observe their
+// summed duration once — the histogram answers "how long did this stage
+// take per request", not per invocation.
+func (m *metrics) recordStages(t *obs.Trace) {
+	if t == nil {
+		return
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, c := keys[i], keys[j]
-		if a.endpoint != c.endpoint {
-			return a.endpoint < c.endpoint
-		}
-		if a.codec != c.codec {
-			return a.codec < c.codec
-		}
-		return a.status < c.status
-	})
-	for _, k := range keys {
-		fmt.Fprintf(&b, "szd_requests_total{endpoint=%q,codec=%q,status=\"%d\"} %d\n",
-			k.endpoint, k.codec, k.status, m.requests[k])
+	for _, sp := range t.Spans() {
+		m.stages.ObserveDuration(sp.Dur, t.Endpoint, sp.Name)
 	}
-
-	writeByEndpoint := func(name, help string, vals map[string]int64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
-		eps := make([]string, 0, len(vals))
-		for ep := range vals {
-			eps = append(eps, ep)
-		}
-		sort.Strings(eps)
-		for _, ep := range eps {
-			fmt.Fprintf(&b, "%s{endpoint=%q} %d\n", name, ep, vals[ep])
-		}
-	}
-	writeByEndpoint("szd_bytes_in_total", "Request body bytes consumed.", m.bytesIn)
-	writeByEndpoint("szd_bytes_out_total", "Response body bytes produced.", m.bytesOut)
-
-	fmt.Fprintf(&b, "# HELP szd_inflight_requests Admitted requests currently being served.\n")
-	fmt.Fprintf(&b, "# TYPE szd_inflight_requests gauge\n")
-	fmt.Fprintf(&b, "szd_inflight_requests %d\n", g.requests.Load())
-	fmt.Fprintf(&b, "# HELP szd_inflight_bytes Reserved in-flight byte budget.\n")
-	fmt.Fprintf(&b, "# TYPE szd_inflight_bytes gauge\n")
-	fmt.Fprintf(&b, "szd_inflight_bytes %d\n", g.inflight.Load())
-	fmt.Fprintf(&b, "# HELP szd_workers_busy Worker-pool tokens handed out (pool size %d).\n", g.poolSize)
-	fmt.Fprintf(&b, "# TYPE szd_workers_busy gauge\n")
-	fmt.Fprintf(&b, "szd_workers_busy %d\n", g.busyWorkers())
-
-	if st != nil {
-		fmt.Fprintf(&b, "# HELP szd_store_bytes Payload bytes resident in the content-addressed store.\n")
-		fmt.Fprintf(&b, "# TYPE szd_store_bytes gauge\n")
-		fmt.Fprintf(&b, "szd_store_bytes %d\n", st.Bytes)
-		fmt.Fprintf(&b, "# HELP szd_store_entries Containers resident in the content-addressed store.\n")
-		fmt.Fprintf(&b, "# TYPE szd_store_entries gauge\n")
-		fmt.Fprintf(&b, "szd_store_entries %d\n", st.Entries)
-		fmt.Fprintf(&b, "# HELP szd_store_hits_total Digest-referenced reads served from the store.\n")
-		fmt.Fprintf(&b, "# TYPE szd_store_hits_total counter\n")
-		fmt.Fprintf(&b, "szd_store_hits_total %d\n", st.Hits)
-		fmt.Fprintf(&b, "# HELP szd_store_misses_total Digest-referenced reads the store could not answer.\n")
-		fmt.Fprintf(&b, "# TYPE szd_store_misses_total counter\n")
-		fmt.Fprintf(&b, "szd_store_misses_total %d\n", st.Misses)
-		fmt.Fprintf(&b, "# HELP szd_store_evictions_total Entries evicted to hold the byte budget.\n")
-		fmt.Fprintf(&b, "# TYPE szd_store_evictions_total counter\n")
-		fmt.Fprintf(&b, "szd_store_evictions_total %d\n", st.Evictions)
-	}
-
-	b.WriteString("# HELP szd_request_seconds Request latency by endpoint and codec.\n")
-	b.WriteString("# TYPE szd_request_seconds histogram\n")
-	hks := make([]string, 0, len(m.latency))
-	for hk := range m.latency {
-		hks = append(hks, hk)
-	}
-	sort.Strings(hks)
-	for _, hk := range hks {
-		parts := strings.SplitN(hk, "\x00", 2)
-		ep, codec := parts[0], parts[1]
-		h := m.latency[hk]
-		cum := int64(0)
-		for i, ub := range latencyBuckets {
-			cum += h.counts[i]
-			fmt.Fprintf(&b, "szd_request_seconds_bucket{endpoint=%q,codec=%q,le=\"%g\"} %d\n",
-				ep, codec, ub, cum)
-		}
-		cum += h.counts[len(latencyBuckets)]
-		fmt.Fprintf(&b, "szd_request_seconds_bucket{endpoint=%q,codec=%q,le=\"+Inf\"} %d\n", ep, codec, cum)
-		fmt.Fprintf(&b, "szd_request_seconds_sum{endpoint=%q,codec=%q} %g\n", ep, codec, h.sum)
-		fmt.Fprintf(&b, "szd_request_seconds_count{endpoint=%q,codec=%q} %d\n", ep, codec, h.n)
-	}
-	return b.String()
 }
+
+func (m *metrics) expose() string { return m.reg.Expose() }

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/obs"
+)
+
+// TestTraceAndServerTiming: a compress request must continue an inbound
+// traceparent, echo a request ID, deliver its stage breakdown as a
+// Server-Timing trailer once the body drains, and land in the
+// /debug/traces ring with its spans.
+func TestTraceAndServerTiming(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{})
+	raw, _ := makeRaw(t, grid.Float32, 16, 20, 12)
+
+	const traceID = "0af7651916cd43dd8448eb211c80319c"
+	req, err := http.NewRequest(http.MethodPost,
+		ts.URL+"/v1/compress?codec=blocked&abs=1e-3&dtype=f32&dims=16,20,12",
+		bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Traceparent", "00-"+traceID+"-b7ad6b7169203331-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqID := resp.Header.Get("X-Sz-Request-Id")
+	if reqID == "" {
+		t.Error("no X-Sz-Request-Id header")
+	}
+	readAllClose(t, resp) // drain: the Server-Timing trailer settles after the last byte
+	st := resp.Trailer.Get("Server-Timing")
+	if st == "" {
+		t.Fatalf("no Server-Timing trailer; trailer=%v", resp.Trailer)
+	}
+	for _, stage := range []string{"admission;dur=", "encode;dur=", "total;dur="} {
+		if !strings.Contains(st, stage) {
+			t.Errorf("Server-Timing missing %q: %q", stage, st)
+		}
+	}
+
+	dresp, err := http.Get(ts.URL + "/debug/traces?trace_id=" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Traces []obs.TraceRecord `json:"traces"`
+	}
+	if err := json.Unmarshal(readAllClose(t, dresp), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Traces) != 1 {
+		t.Fatalf("want 1 ring trace for %s, got %d", traceID, len(out.Traces))
+	}
+	rec := out.Traces[0]
+	if rec.RequestID != reqID || rec.Status != http.StatusOK || rec.Endpoint != "compress" {
+		t.Errorf("ring record mismatch: %+v (want request %s)", rec, reqID)
+	}
+	names := map[string]bool{}
+	for _, sp := range rec.Spans {
+		names[sp.Name] = true
+	}
+	if !names["admission"] || !names["encode"] {
+		t.Errorf("ring spans missing stages: %+v", rec.Spans)
+	}
+}
+
+// TestMetricsScrapeValid parses the entire /metrics exposition and
+// validates its structure (declared families, +Inf buckets, _count
+// consistency), then checks the trace-fed stage histograms and the
+// scratch-pool gauges are populated.
+func TestMetricsScrapeValid(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{})
+	raw, _ := makeRaw(t, grid.Float32, 16, 20, 12)
+	resp := post(t, ts.URL+"/v1/compress?codec=blocked&abs=1e-3&dtype=f32&dims=16,20,12", raw)
+	readAllClose(t, resp)
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(readAllClose(t, mresp))
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("scrape invalid: %v\n%s", err, body)
+	}
+	exp, err := obs.ParseExposition(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{"admission", "encode"} {
+		v, ok := exp.Value("szd_stage_seconds_count",
+			map[string]string{"endpoint": "compress", "stage": stage})
+		if !ok || v < 1 {
+			t.Errorf("szd_stage_seconds{stage=%q} not populated (%v, %v)", stage, v, ok)
+		}
+	}
+	for _, fam := range []string{
+		"# TYPE szd_scratch_hits gauge",
+		"# TYPE szd_scratch_puts gauge",
+		"# TYPE szd_goroutines gauge",
+		"# TYPE szd_gc_pause_total_seconds counter",
+	} {
+		if !strings.Contains(body, fam) {
+			t.Errorf("scrape missing %q", fam)
+		}
+	}
+	// The blocked path pools slab buffers, so compress traffic must show
+	// up as scratch puts.
+	var puts float64
+	for _, s := range exp.Samples {
+		if s.Name == "szd_scratch_puts" {
+			puts += s.Value
+		}
+	}
+	if puts == 0 {
+		t.Error("szd_scratch_puts all zero after a blocked compress")
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/scratch"
 	"repro/internal/store"
 )
@@ -68,6 +69,13 @@ type Config struct {
 	// advertises for `sz c -streams auto` clients; 0 means 4, the
 	// count BENCH_6 found saturating single-core decode ILP.
 	PreferredStreams int
+	// SlowThreshold is the total-duration floor above which a finished
+	// request is logged structured (slog) with its stage breakdown;
+	// <= 0 disables slow-request logging. cmd/szd wires -slow-ms.
+	SlowThreshold time.Duration
+	// TraceRingSize is how many finished traces /debug/traces retains
+	// (0 = obs.DefaultRingSize).
+	TraceRingSize int
 }
 
 const (
@@ -97,34 +105,107 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the szd daemon's HTTP surface plus its governor and metrics.
+// Server is the szd daemon's HTTP surface plus its governor, metrics,
+// and trace recorder.
 type Server struct {
 	cfg Config
 	gov *governor
 	met *metrics
+	rec *obs.Recorder
 	mux *http.ServeMux
 }
 
 // New builds a Server from cfg (zero value = defaults).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	gov := newGovernor(cfg.MaxInflightBytes, cfg.Workers)
 	s := &Server{
 		cfg: cfg,
-		gov: newGovernor(cfg.MaxInflightBytes, cfg.Workers),
-		met: newMetrics(),
+		gov: gov,
+		met: newMetrics(gov, cfg.Store),
+		rec: obs.NewRecorder(cfg.TraceRingSize, cfg.SlowThreshold, nil),
 		mux: http.NewServeMux(),
 	}
-	s.mux.HandleFunc("/v1/compress", s.method(http.MethodPost, s.handleCompress))
-	s.mux.HandleFunc("/v1/decompress", s.handleDecompress) // POST; GET for digest-referenced reads
-	s.mux.HandleFunc("/v1/codecs", s.method(http.MethodGet, s.handleCodecs))
-	s.mux.HandleFunc("/v1/inspect", s.handleInspect) // GET-with-body or POST
-	s.mux.HandleFunc("/v1/slabs", s.handleSlabs)     // GET-with-body or POST
-	s.mux.HandleFunc("/v1/slab/", s.handleSlab)      // GET-with-body or POST
-	s.mux.HandleFunc("/v1/container/", s.handleContainer)
+	// Streaming endpoints deliver Server-Timing as a declared trailer
+	// (the timings do not exist when the response header flushes);
+	// buffered ones carry it as a plain header.
+	s.mux.HandleFunc("/v1/compress", s.method(http.MethodPost, s.withObs("compress", true, s.handleCompress)))
+	s.mux.HandleFunc("/v1/decompress", s.withObs("decompress", true, s.handleDecompress)) // POST; GET for digest-referenced reads
+	s.mux.HandleFunc("/v1/codecs", s.method(http.MethodGet, s.withObs("codecs", false, s.handleCodecs)))
+	s.mux.HandleFunc("/v1/inspect", s.withObs("inspect", false, s.handleInspect)) // GET-with-body or POST
+	s.mux.HandleFunc("/v1/slabs", s.withObs("slabs", false, s.handleSlabs))       // GET-with-body or POST
+	s.mux.HandleFunc("/v1/slab/", s.withObs("slab", true, s.handleSlab))          // GET-with-body or POST
+	s.mux.HandleFunc("/v1/container/", s.withObs("container", false, s.handleContainer))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.method(http.MethodGet, s.handleMetrics))
+	s.mux.Handle("/debug/traces", s.rec.Ring)
 	return s
 }
+
+// withObs is the tracing middleware: it opens (or continues, via an
+// inbound traceparent from the router) the request's trace, echoes the
+// request ID, exports the finished trace as Server-Timing, feeds the
+// per-stage histograms, and hands the trace to the recorder (ring +
+// slow-request log). Handlers reach the trace through the context.
+func (s *Server) withObs(endpoint string, streaming bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t := obs.StartTrace(endpoint, r.Header.Get("Traceparent"), r.Header.Get("X-Sz-Request-Id"))
+		w.Header().Set("X-Sz-Request-Id", t.RequestID)
+		if streaming {
+			w.Header().Add("Trailer", "Server-Timing")
+		}
+		ow := &obsWriter{ResponseWriter: w, t: t, streaming: streaming}
+		// Deferred so an aborted stream (http.ErrAbortHandler) still
+		// records its trace on the way out.
+		defer func() {
+			status := ow.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			t.Finish(status)
+			if streaming {
+				w.Header().Set("Server-Timing", t.ServerTiming())
+			}
+			s.met.recordStages(t)
+			s.rec.Done(t)
+		}()
+		h(ow, r.WithContext(obs.NewContext(r.Context(), t)))
+	}
+}
+
+// obsWriter captures the response status for the trace and, on buffered
+// routes, injects the Server-Timing header at WriteHeader time (every
+// span is closed by then — buffered handlers do all their work before
+// the first response byte).
+type obsWriter struct {
+	http.ResponseWriter
+	t         *obs.Trace
+	status    int
+	streaming bool
+}
+
+func (ow *obsWriter) WriteHeader(code int) {
+	if ow.status == 0 {
+		ow.status = code
+		if !ow.streaming {
+			if v := ow.t.ServerTiming(); v != "" {
+				ow.Header().Set("Server-Timing", v)
+			}
+		}
+	}
+	ow.ResponseWriter.WriteHeader(code)
+}
+
+func (ow *obsWriter) Write(b []byte) (int, error) {
+	if ow.status == 0 {
+		ow.WriteHeader(http.StatusOK)
+	}
+	return ow.ResponseWriter.Write(b)
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer
+// (handlers enable full duplex through this wrapper).
+func (ow *obsWriter) Unwrap() http.ResponseWriter { return ow.ResponseWriter }
 
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -256,8 +337,10 @@ func (s *Server) unknownCharge() int64 {
 // admit pre-checks that the charge can ever fit the budget — a request
 // whose memory estimate exceeds the whole budget gets a permanent 413,
 // not a retryable 429 that clients would back off against forever —
-// then takes the grant from the governor.
-func (s *Server) admit(charge int64, wantWorkers int) (*grant, int, error) {
+// then takes the grant from the governor. The "admission" span covers
+// both the budget reservation and the worker-token acquisition.
+func (s *Server) admit(t *obs.Trace, charge int64, wantWorkers int) (*grant, int, error) {
+	defer t.StartSpan("admission").End()
 	if s.cfg.MaxInflightBytes > 0 && charge > s.cfg.MaxInflightBytes {
 		return nil, http.StatusRequestEntityTooLarge,
 			fmt.Errorf("%w: estimated memory %d exceeds the in-flight budget %d",
@@ -345,6 +428,7 @@ func (rw *respWriter) Write(b []byte) (int, error) {
 
 func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	tr := obs.FromContext(r.Context())
 	vals := requestValues(r)
 	name := vals.Get("codec")
 	if name == "" {
@@ -388,7 +472,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 			want = runtime.GOMAXPROCS(0)
 		}
 	}
-	gr, status, err := s.admit(charge, want)
+	gr, status, err := s.admit(tr, charge, want)
 	if err != nil {
 		s.reject(w, "compress", name, status, err, start)
 		return
@@ -398,6 +482,11 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		// Share the pool: the container's internal parallelism is
 		// clamped to the tokens this request was actually granted.
 		p.Workers = gr.workers
+	}
+	if tr != nil {
+		// Deep pipeline stages (per-slab Huffman codebook builds) report
+		// into the trace; concurrent slab workers aggregate by name.
+		p.Stages = tr.Observe
 	}
 
 	// Streaming codecs write response bytes while the request body is
@@ -417,9 +506,9 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	var tee *bestEffortPut
 	if s.cfg.Store != nil {
 		if put, perr := s.cfg.Store.NewPut(); perr == nil {
-			tee = &bestEffortPut{p: put}
+			tee = &bestEffortPut{p: put, t: tr}
 			sink = io.MultiWriter(out, tee)
-			w.Header().Set("Trailer", "Etag")
+			w.Header().Add("Trailer", "Etag")
 		}
 	}
 	zw, err := c.NewWriter(sink, p)
@@ -432,6 +521,10 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	}
 	cbuf := scratch.Bytes(streamCopyBuffer)
 	defer scratch.PutBytes(cbuf)
+	// The encode span covers the whole streaming copy: body read,
+	// compression, and response writes (they interleave and cannot be
+	// separated without buffering the stream).
+	sp := tr.StartSpan("encode")
 	_, err = io.CopyBuffer(zw, body, cbuf)
 	if err == nil {
 		err = zw.Close()
@@ -444,6 +537,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		out.discard.Store(true)
 		zw.Close()
 	}
+	sp.End()
 	if tee != nil {
 		if err == nil {
 			if digest := tee.commit(); digest != "" {
@@ -458,6 +552,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	tr := obs.FromContext(r.Context())
 	vals := requestValues(r)
 	p, err := codec.ParamsFromValues(vals)
 	if err != nil {
@@ -468,7 +563,7 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	// the store's mmap. Plain decompress stays POST-only.
 	if ent, done := s.openStoreEntry(w, r, "decompress", start); done {
 		if ent != nil {
-			s.serveDecompressFromStore(w, ent, p, vals.Get("codec"), start)
+			s.serveDecompressFromStore(w, tr, ent, p, vals.Get("codec"), start)
 		}
 		return
 	}
@@ -513,7 +608,7 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 		header, _ = br.Peek(core.MaxHeaderLen)
 	}
 	charge, streaming := s.decompressCharge(name, declared, header)
-	gr, status, err := s.admit(charge, 1)
+	gr, status, err := s.admit(tr, charge, 1)
 	if err != nil {
 		s.reject(w, "decompress", name, status, err, start)
 		return
@@ -533,9 +628,9 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	var tee *bestEffortPut
 	if s.cfg.Store != nil {
 		if put, perr := s.cfg.Store.NewPut(); perr == nil {
-			tee = &bestEffortPut{p: put}
+			tee = &bestEffortPut{p: put, t: tr}
 			src = io.TeeReader(body, tee)
-			w.Header().Set("Trailer", "Etag")
+			w.Header().Add("Trailer", "Etag")
 		}
 	}
 	out := &respWriter{ResponseWriter: w}
@@ -552,10 +647,12 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	}
 	cbuf := scratch.Bytes(streamCopyBuffer)
 	defer scratch.PutBytes(cbuf)
+	sp := tr.StartSpan("decode")
 	_, err = io.CopyBuffer(out, zr, cbuf)
 	if cerr := zr.Close(); err == nil {
 		err = cerr
 	}
+	sp.End()
 	if tee != nil {
 		if err == nil {
 			// Capture any container bytes the decoder did not need (the
@@ -628,7 +725,7 @@ func (s *Server) handleInspect(w http.ResponseWriter, r *http.Request) {
 	if charge < 0 {
 		charge = s.unknownCharge()
 	}
-	gr, status, err := s.admit(charge, 1)
+	gr, status, err := s.admit(obs.FromContext(r.Context()), charge, 1)
 	if err != nil {
 		s.reject(w, "inspect", "", status, err, start)
 		return
@@ -669,12 +766,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	var st *store.Stats
-	if s.cfg.Store != nil {
-		snap := s.cfg.Store.Stats()
-		st = &snap
-	}
-	io.WriteString(w, s.met.expose(s.gov, st))
+	io.WriteString(w, s.met.expose())
 }
 
 // readAllScratch reads r to EOF into a scratch-pooled buffer, seeded

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/blocked"
 	"repro/internal/codec"
+	"repro/internal/obs"
 	"repro/internal/scratch"
 )
 
@@ -148,7 +149,7 @@ func (s *Server) handleSlab(w http.ResponseWriter, r *http.Request) {
 		if !ix.SharedCodebook() {
 			s.storePut(stream)
 			w.Header().Set("Etag", etag)
-			s.serveSlabExtent(w, stream, ix, lo, hi, int64(len(stream)), start)
+			s.serveSlabExtent(w, obs.FromContext(r.Context()), stream, ix, lo, hi, int64(len(stream)), start)
 			return
 		}
 		// Shared-codebook containers have no self-contained extent;
@@ -157,7 +158,9 @@ func (s *Server) handleSlab(w http.ResponseWriter, r *http.Request) {
 	// One pass: DecompressSlabRange parses and CRC-verifies the
 	// container itself, so no separate index parse runs first (on large
 	// containers the footer walk and checksum dominate non-decode cost).
+	sp := obs.FromContext(r.Context()).StartSpan("decode")
 	arr, dt, err := blocked.DecompressSlabRange(stream, lo, hi)
+	sp.End()
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, blocked.ErrSlabRange) {
@@ -194,7 +197,7 @@ func (s *Server) readContainer(w http.ResponseWriter, r *http.Request, endpoint 
 		header, _ := br.Peek(blocked.MaxHeaderLen)
 		charge = s.slabCharge(declared, header, rng[0], rng[1])
 	}
-	gr, status, err := s.admit(charge, 1)
+	gr, status, err := s.admit(obs.FromContext(r.Context()), charge, 1)
 	if err != nil {
 		s.reject(w, endpoint, "", status, err, start)
 		return nil, nil, false

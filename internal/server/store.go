@@ -32,6 +32,7 @@ import (
 	"repro/internal/blocked"
 	"repro/internal/codec"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/scratch"
 	"repro/internal/store"
 )
@@ -113,14 +114,22 @@ func (s *Server) storePut(payload []byte) string {
 // tee degrades to a no-op.
 type bestEffortPut struct {
 	p      *store.Putter
+	t      *obs.Trace // when set, store writes aggregate as "store_write"
 	failed bool
 }
 
 func (b *bestEffortPut) Write(d []byte) (int, error) {
 	if !b.failed {
+		var t0 time.Time
+		if b.t != nil {
+			t0 = time.Now()
+		}
 		if _, err := b.p.Write(d); err != nil {
 			b.failed = true
 			b.p.Abort()
+		}
+		if b.t != nil {
+			b.t.Observe("store_write", time.Since(t0))
 		}
 	}
 	return len(d), nil
@@ -132,7 +141,14 @@ func (b *bestEffortPut) commit() string {
 	if b.failed {
 		return ""
 	}
+	var t0 time.Time
+	if b.t != nil {
+		t0 = time.Now()
+	}
 	d, err := b.p.Commit("")
+	if b.t != nil {
+		b.t.Observe("store_write", time.Since(t0))
+	}
 	if err != nil {
 		return ""
 	}
@@ -172,7 +188,9 @@ func (s *Server) openStoreEntry(w http.ResponseWriter, r *http.Request, endpoint
 			fmt.Errorf("digest-referenced reads need a store (-store-dir)"), start)
 		return nil, true
 	}
+	sp := obs.FromContext(r.Context()).StartSpan("store_read")
 	ent, err := s.cfg.Store.Get(digest)
+	sp.End()
 	if err != nil {
 		w.Header().Set("X-Sz-Store", "miss")
 		status := http.StatusNotFound
@@ -190,7 +208,7 @@ func (s *Server) openStoreEntry(w http.ResponseWriter, r *http.Request, endpoint
 // serveDecompressFromStore answers a digest-referenced decompress off
 // the mmap'd entry: no upload, no buffered container copy for the
 // streaming codecs — the charge is the decode window alone.
-func (s *Server) serveDecompressFromStore(w http.ResponseWriter, ent *store.Entry, p codec.Params, forced string, start time.Time) {
+func (s *Server) serveDecompressFromStore(w http.ResponseWriter, tr *obs.Trace, ent *store.Entry, p codec.Params, forced string, start time.Time) {
 	defer ent.Release()
 	stream := ent.Bytes()
 	var c codec.Codec
@@ -208,7 +226,7 @@ func (s *Server) serveDecompressFromStore(w http.ResponseWriter, ent *store.Entr
 	// The header parsers read a bounded prefix; handing them the whole
 	// mapped stream skips the peek-reader dance of the body path.
 	charge, _ := s.decompressCharge(name, int64(len(stream)), stream)
-	gr, status, err := s.admit(charge, 1)
+	gr, status, err := s.admit(tr, charge, 1)
 	if err != nil {
 		s.reject(w, "decompress", name, status, err, start)
 		return
@@ -224,10 +242,12 @@ func (s *Server) serveDecompressFromStore(w http.ResponseWriter, ent *store.Entr
 	}
 	cbuf := scratch.Bytes(streamCopyBuffer)
 	defer scratch.PutBytes(cbuf)
+	sp := tr.StartSpan("decode")
 	_, err = io.CopyBuffer(out, zr, cbuf)
 	if cerr := zr.Close(); err == nil {
 		err = cerr
 	}
+	sp.End()
 	s.finishStream(w, out, "decompress", name, 0, err, start)
 }
 
@@ -235,7 +255,7 @@ func (s *Server) serveDecompressFromStore(w http.ResponseWriter, ent *store.Entr
 // container: footer-index JSON from the mmap'd entry, no CRC walk.
 func (s *Server) serveSlabsFromStore(w http.ResponseWriter, r *http.Request, ent *store.Entry, start time.Time) {
 	defer ent.Release()
-	gr, status, err := s.admit(mmapReadCharge, 1)
+	gr, status, err := s.admit(obs.FromContext(r.Context()), mmapReadCharge, 1)
 	if err != nil {
 		s.reject(w, "slabs", "", status, err, start)
 		return
@@ -293,26 +313,29 @@ func (s *Server) serveSlabFromStore(w http.ResponseWriter, r *http.Request, ent 
 		s.reject(w, "slab", "", http.StatusBadRequest, err, start)
 		return
 	}
+	tr := obs.FromContext(r.Context())
 	if wantsCompressedSlab(r) && !ix.SharedCodebook() {
-		gr, status, err := s.admit(mmapReadCharge, 1)
+		gr, status, err := s.admit(tr, mmapReadCharge, 1)
 		if err != nil {
 			s.reject(w, "slab", "blocked", status, err, start)
 			return
 		}
 		defer gr.release()
-		s.serveSlabExtent(w, ent.Bytes(), ix, lo, hi, 0, start)
+		s.serveSlabExtent(w, tr, ent.Bytes(), ix, lo, hi, 0, start)
 		return
 	}
 	// Raw samples: charge the decode footprint only — the container
 	// itself is mmap'd, so unlike the body path no buffered copy pins
 	// the budget.
-	gr, status, err := s.admit(s.slabDecodeCharge(ix, lo, hi), 1)
+	gr, status, err := s.admit(tr, s.slabDecodeCharge(ix, lo, hi), 1)
 	if err != nil {
 		s.reject(w, "slab", "blocked", status, err, start)
 		return
 	}
 	defer gr.release()
+	sp := tr.StartSpan("decode")
 	arr, dt, err := blocked.DecompressSlabRangeIndexed(ent.Bytes(), ix, lo, hi)
+	sp.End()
 	if err != nil {
 		s.rejectSlabErr(w, err, start)
 		return
@@ -323,7 +346,7 @@ func (s *Server) serveSlabFromStore(w http.ResponseWriter, r *http.Request, ent 
 // serveSlabExtent writes the compressed byte extent of slabs lo..hi —
 // a pure slice of the container, the zero-copy fast path. The caller
 // holds the admission grant.
-func (s *Server) serveSlabExtent(w http.ResponseWriter, stream []byte, ix *blocked.Index, lo, hi int, bytesIn int64, start time.Time) {
+func (s *Server) serveSlabExtent(w http.ResponseWriter, tr *obs.Trace, stream []byte, ix *blocked.Index, lo, hi int, bytesIn int64, start time.Time) {
 	off, end, err := ix.SlabExtent(lo, hi)
 	if err != nil {
 		s.rejectSlabErr(w, err, start)
@@ -339,7 +362,9 @@ func (s *Server) serveSlabExtent(w http.ResponseWriter, stream []byte, ix *block
 	w.Header().Set("X-Sz-Slabs", codec.FormatSlabSpec(lo, hi))
 	w.Header().Set("X-Sz-Slab-Lengths", formatSlabLengths(ix, lo, hi))
 	out := &respWriter{ResponseWriter: w}
+	sp := tr.StartSpan("mmap_serve")
 	_, err = out.Write(stream[off:end])
+	sp.End()
 	s.finishStream(w, out, "slab", "blocked", bytesIn, err, start)
 }
 
@@ -426,14 +451,16 @@ func (s *Server) handleContainer(w http.ResponseWriter, r *http.Request) {
 			s.notModified(w, "container", "", etag, start)
 			return
 		}
+		sp := obs.FromContext(r.Context()).StartSpan("store_read")
 		ent, err := s.cfg.Store.Get(digest)
+		sp.End()
 		if err != nil {
 			w.Header().Set("X-Sz-Store", "miss")
 			s.reject(w, "container", "", http.StatusNotFound, fmt.Errorf("container %s not in store", digest), start)
 			return
 		}
 		defer ent.Release()
-		gr, status, err := s.admit(mmapReadCharge, 1)
+		gr, status, err := s.admit(obs.FromContext(r.Context()), mmapReadCharge, 1)
 		if err != nil {
 			s.reject(w, "container", "", status, err, start)
 			return
@@ -452,7 +479,7 @@ func (s *Server) handleContainer(w http.ResponseWriter, r *http.Request) {
 			s.reject(w, "container", "", http.StatusRequestEntityTooLarge, errTooLarge, start)
 			return
 		}
-		gr, status, err := s.admit(storePutCharge, 1)
+		gr, status, err := s.admit(obs.FromContext(r.Context()), storePutCharge, 1)
 		if err != nil {
 			s.reject(w, "container", "", status, err, start)
 			return
@@ -470,7 +497,9 @@ func (s *Server) handleContainer(w http.ResponseWriter, r *http.Request) {
 		}
 		body := newMeteredReader(r.Body, gr, declared, storePutCharge, s.cfg.MaxRequestBytes, 1, true)
 		cbuf := scratch.Bytes(streamCopyBuffer)
+		sp := obs.FromContext(r.Context()).StartSpan("store_write")
 		n, err := io.CopyBuffer(put, body, cbuf)
+		sp.End()
 		scratch.PutBytes(cbuf)
 		if err != nil {
 			put.Abort()
