@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 
 	sz "repro"
+	"repro/internal/api"
 	"repro/internal/blocked"
 	"repro/internal/client"
 	"repro/internal/codec"
@@ -112,6 +113,12 @@ every subcommand:
   -remote addr  run against an szd daemon at addr instead of in-process
   -timing       print the daemon's Server-Timing stage breakdown to stderr
                 (remote only; includes be-* backend stages via szrouter)
+
+c and d additionally (remote only):
+  -tenant key   API key for per-tenant admission; the tenant is the
+                key's prefix up to the first "." (no key = "default")
+  -priority p   admission class: interactive (default) or batch
+                (batch sheds first when the daemon is loaded)
 `, sz.DefaultLayers, sz.DefaultIntervalBits)
 }
 
@@ -210,12 +217,24 @@ func inputSize(path string) int64 {
 // newRemoteClient builds the daemon client for a subcommand; with
 // -timing, every response's Server-Timing breakdown (the daemon's stage
 // spans, plus be-* backend stages merged by szrouter) prints to stderr.
-func newRemoteClient(addr string, timing bool) (*client.Client, error) {
+// apiKey and priority thread the -tenant/-priority flags through to the
+// daemon's per-tenant admission control.
+func newRemoteClient(addr string, timing bool, apiKey, priority string) (*client.Client, error) {
 	var opts []client.Option
 	if timing {
 		opts = append(opts, client.WithTiming(func(endpoint string, entries []obs.TimingEntry) {
 			fmt.Fprintf(os.Stderr, "sz: %s timing:\n%s", endpoint, obs.FormatTimingTable(entries))
 		}))
+	}
+	if apiKey != "" {
+		opts = append(opts, client.WithTenant(apiKey))
+	}
+	if priority != "" {
+		p, err := api.ParsePriority(priority)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, client.WithPriority(p))
 	}
 	return client.New(addr, opts...)
 }
@@ -238,6 +257,8 @@ func cmdCompress(args []string) error {
 		sharedCB  = fs.Bool("sharedcb", false, "blocked v3: one shared codebook for all slabs")
 		remote    = fs.String("remote", "", "szd daemon address")
 		timing    = fs.Bool("timing", false, "print the daemon's Server-Timing stage breakdown to stderr")
+		tenant    = fs.String("tenant", "", "API key for per-tenant admission (tenant = prefix up to the first '.')")
+		priority  = fs.String("priority", "", "admission class: interactive (default) or batch (sheds first under load)")
 	)
 	fs.Parse(args)
 	in, out := fs.Arg(0), fs.Arg(1)
@@ -255,7 +276,7 @@ func cmdCompress(args []string) error {
 	var cl *client.Client
 	if *remote != "" {
 		var err error
-		if cl, err = newRemoteClient(*remote, *timing); err != nil {
+		if cl, err = newRemoteClient(*remote, *timing, *tenant, *priority); err != nil {
 			return err
 		}
 	}
@@ -400,6 +421,8 @@ func cmdDecompress(args []string) error {
 		remote    = fs.String("remote", "", "szd daemon address")
 		digest    = fs.String("digest", "", "content address of a container in the daemon's store (remote only): read by digest, no input upload")
 		timing    = fs.Bool("timing", false, "print the daemon's Server-Timing stage breakdown to stderr")
+		tenant    = fs.String("tenant", "", "API key for per-tenant admission (tenant = prefix up to the first '.')")
+		priority  = fs.String("priority", "", "admission class: interactive (default) or batch (sheds first under load)")
 	)
 	fs.Parse(args)
 	in, out := fs.Arg(0), fs.Arg(1)
@@ -436,7 +459,7 @@ func cmdDecompress(args []string) error {
 		// Content-addressed read: the daemon serves off its store, the
 		// client uploads nothing. Slab ranges come back as compressed
 		// extents decoded locally — the backend does no decode work.
-		cl, err := newRemoteClient(*remote, *timing)
+		cl, err := newRemoteClient(*remote, *timing, *tenant, *priority)
 		if err != nil {
 			return err
 		}
@@ -470,7 +493,7 @@ func cmdDecompress(args []string) error {
 		}
 		name = "blocked"
 		if *remote != "" {
-			cl, err := newRemoteClient(*remote, *timing)
+			cl, err := newRemoteClient(*remote, *timing, *tenant, *priority)
 			if err != nil {
 				return err
 			}
@@ -493,7 +516,7 @@ func cmdDecompress(args []string) error {
 			zr = io.NopCloser(&raw)
 		}
 	} else if *remote != "" {
-		cl, err := newRemoteClient(*remote, *timing)
+		cl, err := newRemoteClient(*remote, *timing, *tenant, *priority)
 		if err != nil {
 			return err
 		}

@@ -26,6 +26,8 @@ import (
 	_ "net/http/pprof" // registered on the DefaultServeMux, served only via -pprof
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,13 +50,42 @@ func main() {
 		prefStreams  = flag.Int("preferred-streams", 0, "interleaved stream count advertised in /v1/codecs (0 = 4)")
 		slowMS       = flag.Int64("slow-ms", 0, "log requests slower than this many milliseconds with their stage breakdown (0 = disabled)")
 		traceRing    = flag.Int("trace-ring", 0, "finished traces retained for /debug/traces (0 = 256)")
+		qosInterval  = flag.Duration("qos-interval", time.Second, "QoS control-loop cadence adapting the admission budget and worker clamp (0 = fixed limits)")
+		tenantWts    = flag.String("tenant-weights", "", "weighted-fair tenant shares as name=weight pairs, comma separated (e.g. acme=3,default=1); unlisted tenants weigh 1")
 	)
 	flag.Parse()
 	servePprof(*pprofAddr, "szd")
-	if err := run(*addr, *maxInflight, *maxRequest, *workers, *readTimeout, *writeTimeout, *drainTimeout, *storeDir, *storeBytes, *prefStreams, *slowMS, *traceRing); err != nil {
+	weights, err := parseWeights(*tenantWts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "szd: -tenant-weights:", err)
+		os.Exit(2)
+	}
+	if err := run(*addr, *maxInflight, *maxRequest, *workers, *readTimeout, *writeTimeout, *drainTimeout, *storeDir, *storeBytes, *prefStreams, *slowMS, *traceRing, *qosInterval, weights); err != nil {
 		fmt.Fprintln(os.Stderr, "szd:", err)
 		os.Exit(1)
 	}
+}
+
+// parseWeights parses "name=weight,name=weight" into the tenant weight
+// map. Weights must be positive; the zero map (no flag) leaves every
+// tenant at weight 1.
+func parseWeights(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, f := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(f), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad pair %q (want name=weight)", f)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad weight %q for tenant %q (want a positive number)", val, name)
+		}
+		out[name] = w
+	}
+	return out, nil
 }
 
 // servePprof exposes the pprof handlers on their own listener when
@@ -74,7 +105,7 @@ func servePprof(addr, name string) {
 	}()
 }
 
-func run(addr string, maxInflight, maxRequest int64, workers int, readTimeout, writeTimeout, drainTimeout time.Duration, storeDir string, storeBytes int64, prefStreams int, slowMS int64, traceRing int) error {
+func run(addr string, maxInflight, maxRequest int64, workers int, readTimeout, writeTimeout, drainTimeout time.Duration, storeDir string, storeBytes int64, prefStreams int, slowMS int64, traceRing int, qosInterval time.Duration, weights map[string]float64) error {
 	var st *store.Store
 	if storeDir != "" {
 		var err error
@@ -92,7 +123,12 @@ func run(addr string, maxInflight, maxRequest int64, workers int, readTimeout, w
 		PreferredStreams: prefStreams,
 		SlowThreshold:    time.Duration(slowMS) * time.Millisecond,
 		TraceRingSize:    traceRing,
+		TenantWeights:    weights,
 	})
+	if qosInterval > 0 {
+		stop := s.StartQoS(qosInterval)
+		defer stop()
+	}
 	hs := &http.Server{
 		Addr:              addr,
 		Handler:           s.Handler(),

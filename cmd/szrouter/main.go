@@ -10,7 +10,13 @@
 // Clients need no changes: `sz -remote <router>` and the Go client work
 // against the router exactly as against a single daemon; backend
 // rejections (including Retry-After) are relayed unchanged when the
-// whole fleet is saturated.
+// whole fleet is saturated. Tenant identity resolves at this edge: the
+// X-Sz-Api-Key header is validated and mapped to its tenant before any
+// backend work (malformed keys are 400 bad_tenant envelopes here),
+// inbound X-Sz-Tenant spoofs are stripped, per-tenant request counts
+// are exported as szrouter_tenant_requests_total, and GET /v1/limits
+// aggregates the fleet's live QoS state across the backends. The full
+// wire contract lives in internal/api and API.md.
 package main
 
 import (

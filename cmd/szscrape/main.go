@@ -1,0 +1,65 @@
+// Command szscrape validates a Prometheus text exposition with the
+// repository's strict parser (internal/obs): every sample must parse,
+// every series must belong to a declared family, histograms must be
+// internally consistent. Positional arguments name families that must
+// additionally be present in the scrape, so CI can require the
+// szd_qos_* surface in one call instead of grepping sample lines:
+//
+//	szscrape -url http://127.0.0.1:7071/metrics szd_qos_budget_bytes szd_qos_workers
+//	curl -s http://127.0.0.1:7071/metrics | szscrape szd_qos_congested
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	url := flag.String("url", "", "scrape this URL; empty = read the exposition from stdin")
+	timeout := flag.Duration("timeout", 10*time.Second, "scrape timeout")
+	flag.Parse()
+	if err := run(*url, *timeout, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "szscrape:", err)
+		os.Exit(1)
+	}
+}
+
+func run(url string, timeout time.Duration, required []string) error {
+	var src io.Reader = os.Stdin
+	if url != "" {
+		c := &http.Client{Timeout: timeout}
+		resp, err := c.Get(url)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("scrape returned %d", resp.StatusCode)
+		}
+		src = resp.Body
+	}
+	text, err := io.ReadAll(src)
+	if err != nil {
+		return err
+	}
+	exp, err := obs.ParseExposition(string(text))
+	if err != nil {
+		return fmt.Errorf("invalid exposition: %w", err)
+	}
+	if err := obs.ValidateExposition(string(text)); err != nil {
+		return fmt.Errorf("invalid exposition: %w", err)
+	}
+	for _, fam := range required {
+		if _, ok := exp.Types[fam]; !ok {
+			return fmt.Errorf("required family %q missing from scrape", fam)
+		}
+	}
+	fmt.Printf("ok: %d families, %d samples\n", len(exp.Types), len(exp.Samples))
+	return nil
+}

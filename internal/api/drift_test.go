@@ -1,0 +1,87 @@
+package api
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoRawWireLiterals walks every .go file in the repository outside
+// internal/api and fails on any raw "X-Sz- string literal: the wire
+// surface lives here, and a header that bypasses the constants table
+// is exactly the drift this package exists to stop.
+func TestNoRawWireLiterals(t *testing.T) {
+	root := repoRoot(t)
+	var offenders []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			base := info.Name()
+			if base == ".git" || base == "testdata" {
+				return filepath.SkipDir
+			}
+			if path == filepath.Join(root, "internal", "api") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if strings.Contains(line, `"X-Sz-`) {
+				rel, _ := filepath.Rel(root, path)
+				offenders = append(offenders, rel+":"+itoa(i+1)+": "+strings.TrimSpace(line))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking tree: %v", err)
+	}
+	if len(offenders) > 0 {
+		t.Errorf("raw \"X-Sz- literals outside internal/api (use the api package constants):\n  %s",
+			strings.Join(offenders, "\n  "))
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// repoRoot climbs from the test's working directory to the directory
+// holding go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}

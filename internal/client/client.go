@@ -4,12 +4,14 @@
 // sz.NewWriter/sz.NewReader but run the codec on a remote daemon — plus
 // wrappers for the daemon's metadata endpoints.
 //
-// Overload handling: szd sheds load with 429 (budget or worker pool
-// exhausted) and 503 (draining). Requests whose bodies fit the client's
-// buffer limit are replayable and are retried with exponential backoff;
-// larger bodies stream chunked in one attempt and surface a StatusError
-// instead, so the caller decides whether re-generating the stream is
-// worth it.
+// Overload handling: szd sheds load with 429 (budget, worker pool, or
+// tenant fair share exhausted) and 503 (draining). Every non-2xx
+// response decodes into the shared *api.Error envelope — status, stable
+// code, message, and the server's retry_after_ms hint. Requests whose
+// bodies fit the client's buffer limit are replayable and are retried
+// with exponential backoff that honors the server hint; larger bodies
+// stream chunked in one attempt and surface the error instead, so the
+// caller decides whether re-generating the stream is worth it.
 package client
 
 import (
@@ -25,33 +27,19 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/codec"
 	"repro/internal/obs"
 )
 
-// StatusError is a non-2xx daemon response.
-type StatusError struct {
-	Code    int
-	Message string
-}
-
-func (e *StatusError) Error() string {
-	return fmt.Sprintf("szd: %d %s: %s", e.Code, http.StatusText(e.Code), e.Message)
-}
-
-// Temporary reports whether the request may succeed if retried (the
-// daemon shed it rather than rejected it).
-func (e *StatusError) Temporary() bool {
-	return e.Code == http.StatusTooManyRequests || e.Code == http.StatusServiceUnavailable
-}
-
-// Client talks to one szd daemon.
+// Client talks to one szd daemon (or a szrouter fronting several).
 type Client struct {
 	base        string
 	http        *http.Client
-	maxAttempts int
-	backoff     time.Duration
+	retry       RetryPolicy
 	bufferLimit int
+	apiKey      string
+	priority    api.Priority
 	slabCache   *slabCache // ReadSlabAt revalidation cache
 	timing      func(endpoint string, entries []obs.TimingEntry)
 }
@@ -62,14 +50,49 @@ type Option func(*Client)
 // WithHTTPClient substitutes the transport (default http.DefaultClient).
 func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h } }
 
+// RetryPolicy shapes the shed-retry loop for replayable requests.
+type RetryPolicy struct {
+	// MaxAttempts bounds tries per logical request (min 1).
+	MaxAttempts int
+	// Backoff is the first retry delay; it doubles per attempt.
+	Backoff time.Duration
+	// MaxBackoff caps a single wait, including server Retry-After
+	// hints. 0 means no cap.
+	MaxBackoff time.Duration
+	// IgnoreRetryAfter disables stretching a wait to the server's
+	// retry_after_ms hint. The default (false) honors the hint: the
+	// QoS controller raises it under pressure precisely so clients
+	// arrive after the squeeze, not during it.
+	IgnoreRetryAfter bool
+}
+
+// WithRetryPolicy replaces the whole retry policy.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p }
+}
+
 // WithRetry sets the attempt budget and initial backoff for replayable
 // requests shed with 429/503 (defaults: 4 attempts, 100 ms doubling).
+//
+// Deprecated: use WithRetryPolicy, which also controls the backoff cap
+// and Retry-After handling.
 func WithRetry(attempts int, backoff time.Duration) Option {
 	return func(c *Client) {
-		c.maxAttempts = attempts
-		c.backoff = backoff
+		c.retry.MaxAttempts = attempts
+		c.retry.Backoff = backoff
 	}
 }
+
+// WithTenant attaches an API key to every request. The daemon resolves
+// the tenant as the key's prefix up to the first '.', and holds each
+// tenant to its weighted-fair share of the admission budget under
+// contention. No key means the shared "default" tenant.
+func WithTenant(apiKey string) Option { return func(c *Client) { c.apiKey = apiKey } }
+
+// WithPriority sets the admission class for every request. Batch
+// requests shed first under pressure; Interactive (the default) may use
+// the full budget.
+func WithPriority(p api.Priority) Option { return func(c *Client) { c.priority = p } }
 
 // WithBufferLimit sets how many body bytes the client will buffer to
 // keep a request replayable for retry (default 4 MiB). Bodies beyond it
@@ -101,18 +124,29 @@ func New(addr string, opts ...Option) (*Client, error) {
 	c := &Client{
 		base:        strings.TrimRight(u.String(), "/"),
 		http:        http.DefaultClient,
-		maxAttempts: 4,
-		backoff:     100 * time.Millisecond,
+		retry:       RetryPolicy{MaxAttempts: 4, Backoff: 100 * time.Millisecond},
 		bufferLimit: 4 << 20,
 		slabCache:   newSlabCache(),
 	}
 	for _, o := range opts {
 		o(c)
 	}
-	if c.maxAttempts < 1 {
-		c.maxAttempts = 1
+	if c.retry.MaxAttempts < 1 {
+		c.retry.MaxAttempts = 1
 	}
 	return c, nil
+}
+
+// applyHeaders stamps the tenant identity on an outbound request. Every
+// request-building site calls it, so the daemon accounts streamed and
+// replayable traffic to the same tenant.
+func (c *Client) applyHeaders(h http.Header) {
+	if c.apiKey != "" {
+		h.Set(api.HeaderAPIKey, c.apiKey)
+	}
+	if c.priority != api.Interactive {
+		h.Set(api.HeaderPriority, c.priority.String())
+	}
 }
 
 func (c *Client) url(path string, q url.Values) string {
@@ -123,28 +157,22 @@ func (c *Client) url(path string, q url.Values) string {
 	return u
 }
 
-// statusError turns a non-2xx response into a StatusError, consuming
+// statusError turns a non-2xx response into an *api.Error, consuming
 // and closing the body.
 func statusError(resp *http.Response) error {
 	defer resp.Body.Close()
-	msg := ""
-	var body struct {
-		Error string `json:"error"`
-	}
-	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-	if err := json.Unmarshal(raw, &body); err == nil && body.Error != "" {
-		msg = body.Error
-	} else {
-		msg = strings.TrimSpace(string(raw))
-	}
-	return &StatusError{Code: resp.StatusCode, Message: msg}
+	e := api.ReadError(resp)
+	io.Copy(io.Discard, resp.Body)
+	return e
 }
 
 // do runs build-request/execute with retry-on-shed. build is called per
 // attempt so the body is fresh each time. All attempts share one minted
-// traceparent: retries of a logical request belong to one trace.
+// traceparent: retries of a logical request belong to one trace. A wait
+// stretches to the server's retry_after_ms hint unless the policy says
+// otherwise — the hint tracks the daemon's live congestion state.
 func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
-	backoff := c.backoff
+	backoff := c.retry.Backoff
 	tp := obs.NewTraceparent()
 	for attempt := 1; ; attempt++ {
 		req, err := build()
@@ -152,6 +180,7 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*
 			return nil, err
 		}
 		req.Header.Set("Traceparent", tp)
+		c.applyHeaders(req.Header)
 		resp, err := c.http.Do(req)
 		if err != nil {
 			return nil, err
@@ -162,14 +191,23 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*
 			return resp, nil
 		}
 		serr := statusError(resp)
-		var se *StatusError
-		if attempt >= c.maxAttempts || !errors.As(serr, &se) || !se.Temporary() {
+		var ae *api.Error
+		if attempt >= c.retry.MaxAttempts || !errors.As(serr, &ae) || !ae.Temporary() {
 			return nil, serr
+		}
+		wait := backoff
+		if !c.retry.IgnoreRetryAfter {
+			if hint := ae.RetryAfter(); hint > wait {
+				wait = hint
+			}
+		}
+		if c.retry.MaxBackoff > 0 && wait > c.retry.MaxBackoff {
+			wait = c.retry.MaxBackoff
 		}
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(backoff):
+		case <-time.After(wait):
 		}
 		backoff *= 2
 	}
@@ -238,21 +276,34 @@ func (c *Client) Codecs(ctx context.Context) ([]string, error) {
 
 // Health checks /healthz; nil means the daemon is accepting work.
 func (c *Client) Health(ctx context.Context) error {
-	resp, err := c.http.Do(mustRequest(ctx, http.MethodGet, c.url("/healthz", nil), nil))
+	resp, err := c.http.Do(mustRequest(ctx, http.MethodGet, c.url(api.PathHealthz, nil), nil))
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return statusErrorKeepOpen(resp)
+		return api.ReadError(resp)
 	}
 	io.Copy(io.Discard, resp.Body)
 	return nil
 }
 
-func statusErrorKeepOpen(resp *http.Response) error {
-	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-	return &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+// Limits fetches the daemon's live QoS state: the adaptive admission
+// budget, worker clamp, backoff hint, and the per-tenant shares. A
+// batch caller can read it before deciding how hard to push.
+func (c *Client) Limits(ctx context.Context) (*api.Limits, error) {
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.url(api.PathLimits, nil), nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	lim := &api.Limits{}
+	if err := json.NewDecoder(resp.Body).Decode(lim); err != nil {
+		return nil, fmt.Errorf("client: decoding limits: %w", err)
+	}
+	return lim, nil
 }
 
 func mustRequest(ctx context.Context, method, url string, body io.Reader) *http.Request {
@@ -268,7 +319,7 @@ func mustRequest(ctx context.Context, method, url string, body io.Reader) *http.
 // length when known (it becomes the admission hint for streams too big
 // to buffer), -1 otherwise.
 func (c *Client) Inspect(ctx context.Context, stream io.Reader, size int64) (*codec.StreamInfo, error) {
-	resp, err := c.bodyRequest(ctx, "/v1/inspect", nil, stream, size)
+	resp, err := c.bodyRequest(ctx, api.PathInspect, nil, stream, size)
 	if err != nil {
 		return nil, err
 	}
@@ -301,8 +352,9 @@ func (c *Client) bodyRequest(ctx context.Context, path string, q url.Values, src
 		return nil, err
 	}
 	req.Header.Set("Traceparent", obs.NewTraceparent())
+	c.applyHeaders(req.Header)
 	if size >= 0 {
-		req.Header.Set("X-Sz-Content-Length", fmt.Sprint(size))
+		req.Header.Set(api.HeaderContentLength, fmt.Sprint(size))
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -318,7 +370,7 @@ func (c *Client) bodyRequest(ctx context.Context, path string, q url.Values, src
 // the random-access map a caller needs to plan ReadSlab requests. size
 // is the container length when known, -1 otherwise.
 func (c *Client) SlabIndex(ctx context.Context, stream io.Reader, size int64) (*codec.SlabIndex, error) {
-	resp, err := c.bodyRequest(ctx, "/v1/slabs", nil, stream, size)
+	resp, err := c.bodyRequest(ctx, api.PathSlabs, nil, stream, size)
 	if err != nil {
 		return nil, err
 	}
@@ -340,7 +392,7 @@ func (c *Client) ReadSlab(ctx context.Context, src io.Reader, size int64, lo, hi
 	if lo < 0 || hi < lo {
 		return nil, fmt.Errorf("client: bad slab range %d-%d", lo, hi)
 	}
-	resp, err := c.bodyRequest(ctx, "/v1/slab/"+codec.FormatSlabSpec(lo, hi), nil, src, size)
+	resp, err := c.bodyRequest(ctx, api.PathSlabPrefix+codec.FormatSlabSpec(lo, hi), nil, src, size)
 	if err != nil {
 		return nil, err
 	}
@@ -358,7 +410,7 @@ func (c *Client) NewReader(ctx context.Context, src io.Reader, size int64, force
 	if forceCodec != "" {
 		q.Set("codec", forceCodec)
 	}
-	resp, err := c.bodyRequest(ctx, "/v1/decompress", q, src, size)
+	resp, err := c.bodyRequest(ctx, api.PathDecompress, q, src, size)
 	if err != nil {
 		return nil, err
 	}
@@ -397,7 +449,7 @@ func (c *Client) NewWriter(ctx context.Context, dst io.Writer, codecName string,
 		c:       c,
 		ctx:     ctx,
 		dst:     dst,
-		url:     c.url("/v1/compress", q),
+		url:     c.url(api.PathCompress, q),
 		rawSize: rawSize,
 		buf:     &bytes.Buffer{},
 	}, nil
@@ -456,6 +508,7 @@ func (rw *remoteWriter) startStreaming() error {
 		return err
 	}
 	req.Header.Set("Traceparent", obs.NewTraceparent())
+	rw.c.applyHeaders(req.Header)
 	if rw.rawSize >= 0 {
 		req.ContentLength = rw.rawSize
 	}

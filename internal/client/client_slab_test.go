@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"testing"
 
+	"repro/internal/api"
 	"repro/internal/blocked"
 	"repro/internal/codec"
 	"repro/internal/grid"
@@ -57,13 +58,13 @@ func TestSlabEndpointsViaClient(t *testing.T) {
 		}
 	}
 
-	// Out-of-range surfaces the daemon's 416 as a StatusError.
+	// Out-of-range surfaces the daemon's 416 as an api.Error.
 	if _, err := cl.ReadSlab(ctx, bytes.NewReader(stream), int64(len(stream)), 7, 9); err == nil {
 		t.Fatal("out-of-range slab read accepted")
 	} else {
-		var se *StatusError
-		if !errors.As(err, &se) || se.Code != http.StatusRequestedRangeNotSatisfiable {
-			t.Fatalf("error = %v, want a 416 StatusError", err)
+		var se *api.Error
+		if !errors.As(err, &se) || se.Status != http.StatusRequestedRangeNotSatisfiable {
+			t.Fatalf("error = %v, want a 416 api.Error", err)
 		}
 	}
 

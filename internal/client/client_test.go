@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/codec"
 	"repro/internal/grid"
 	"repro/internal/server"
@@ -263,9 +264,9 @@ func TestRetryExhausted(t *testing.T) {
 	}
 	zw.Write(make([]byte, 64))
 	err = zw.Close()
-	var se *StatusError
-	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
-		t.Fatalf("err = %v, want StatusError 429", err)
+	var se *api.Error
+	if !errors.As(err, &se) || se.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want api.Error 429", err)
 	}
 	if !se.Temporary() {
 		t.Error("429 should be Temporary")
@@ -361,5 +362,98 @@ func TestAbortDoesNotSend(t *testing.T) {
 	}
 	if n := hits.Load(); n != 0 {
 		t.Errorf("aborted writer still sent %d request(s)", n)
+	}
+}
+
+// TestTenantOptionsAndLimits: WithTenant/WithPriority ride every
+// request as wire headers, and Limits decodes the daemon's live QoS
+// document — including the tenant account the keyed traffic created.
+func TestTenantOptionsAndLimits(t *testing.T) {
+	ts := newDaemon(t)
+	cl, err := New(ts.URL, WithTenant("acme.ci-1"), WithPriority(api.Batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw := makeRaw(t, grid.Float32, 8, 10)
+	p := codec.Params{AbsBound: 1e-3, DType: grid.Float32, Dims: []int{8, 10}}
+	zw, err := cl.NewWriter(context.Background(), io.Discard, "sz14", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lim, err := cl.Limits(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lim.BudgetBytes <= 0 || lim.Workers <= 0 {
+		t.Fatalf("limits = %+v, want positive budget and workers", lim)
+	}
+	acct, ok := lim.Tenants["acme"]
+	if !ok {
+		t.Fatalf("tenant acme missing from limits after keyed compress: %+v", lim.Tenants)
+	}
+	if acct.Admitted < 1 {
+		t.Errorf("tenant acme admitted = %d, want >= 1", acct.Admitted)
+	}
+}
+
+// TestRetryAfterHintHonored: a 429 carrying retry_after_ms must not be
+// retried before the hinted delay — unless IgnoreRetryAfter opts out.
+func TestRetryAfterHintHonored(t *testing.T) {
+	var calls atomic.Int64
+	shed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			api.WriteError(w, &api.Error{
+				Status: http.StatusTooManyRequests, Code: api.CodeOverloaded,
+				Message: "shed", RetryAfterMS: 300,
+			})
+			return
+		}
+		io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer shed.Close()
+
+	cl, err := New(shed.URL, WithRetryPolicy(RetryPolicy{MaxAttempts: 3, Backoff: time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(cl *Client) error {
+		resp, err := cl.do(context.Background(), func() (*http.Request, error) {
+			return http.NewRequest(http.MethodGet, shed.URL+api.PathCodecs, nil)
+		})
+		if err == nil {
+			resp.Body.Close()
+		}
+		return err
+	}
+	start := time.Now()
+	if err := get(cl); err != nil {
+		t.Fatal(err)
+	}
+	if wait := time.Since(start); wait < 300*time.Millisecond {
+		t.Errorf("retried after %v, server hinted 300ms", wait)
+	}
+
+	calls.Store(0)
+	cl, err = New(shed.URL, WithRetryPolicy(RetryPolicy{
+		MaxAttempts: 3, Backoff: time.Millisecond, IgnoreRetryAfter: true,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	if err := get(cl); err != nil {
+		t.Fatal(err)
+	}
+	if wait := time.Since(start); wait > 250*time.Millisecond {
+		t.Errorf("IgnoreRetryAfter still waited %v", wait)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/api"
 	"repro/internal/codec"
 	"repro/internal/core"
 )
@@ -36,7 +37,7 @@ type CodecsInfo struct {
 // CodecsInfo fetches the daemon's codec listing and tuning hints.
 func (c *Client) CodecsInfo(ctx context.Context) (*CodecsInfo, error) {
 	resp, err := c.do(ctx, func() (*http.Request, error) {
-		return http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/codecs", nil), nil)
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.url(api.PathCodecs, nil), nil)
 	})
 	if err != nil {
 		return nil, err
@@ -76,9 +77,9 @@ func (c *Client) DecompressAt(ctx context.Context, digest, forceCodec string, p 
 	if forceCodec != "" {
 		q.Set("codec", forceCodec)
 	}
-	q.Set("digest", digest)
+	q.Set(api.QueryDigest, digest)
 	resp, err := c.do(ctx, func() (*http.Request, error) {
-		return http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/decompress", q), nil)
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.url(api.PathDecompress, q), nil)
 	})
 	if err != nil {
 		return nil, err
@@ -98,9 +99,9 @@ func (c *Client) ReadSlabAt(ctx context.Context, digest string, lo, hi int) (io.
 	spec := codec.FormatSlabSpec(lo, hi)
 	key := digest + "|" + spec
 	cached := c.slabCache.get(key)
-	q := url.Values{"digest": {digest}}
+	q := url.Values{api.QueryDigest: {digest}}
 	resp, err := c.do(ctx, func() (*http.Request, error) {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/slab/"+spec, q), nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(api.PathSlabPrefix+spec, q), nil)
 		if err != nil {
 			return nil, err
 		}
@@ -159,14 +160,14 @@ func (c *Client) ReadSlabExtent(ctx context.Context, digest string, lo, hi int) 
 	if lo < 0 || hi < lo {
 		return nil, fmt.Errorf("client: bad slab range %d-%d", lo, hi)
 	}
-	q := url.Values{"digest": {digest}}
+	q := url.Values{api.QueryDigest: {digest}}
 	resp, err := c.do(ctx, func() (*http.Request, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-			c.url("/v1/slab/"+codec.FormatSlabSpec(lo, hi), q), nil)
+			c.url(api.PathSlabPrefix+codec.FormatSlabSpec(lo, hi), q), nil)
 		if err != nil {
 			return nil, err
 		}
-		req.Header.Set("Accept", "application/x-sz-slab")
+		req.Header.Set("Accept", api.MediaTypeSlabExtent)
 		return req, nil
 	})
 	if err != nil {
@@ -178,15 +179,15 @@ func (c *Client) ReadSlabExtent(ctx context.Context, digest string, lo, hi int) 
 		return nil, err
 	}
 	c.reportTiming("slab", resp)
-	if resp.Header.Get("Content-Type") != "application/x-sz-slab" {
+	if resp.Header.Get("Content-Type") != api.MediaTypeSlabExtent {
 		return &SlabExtent{Data: data, Raw: true}, nil
 	}
 	var lengths []int
 	total := 0
-	for _, f := range strings.Split(resp.Header.Get("X-Sz-Slab-Lengths"), ",") {
+	for _, f := range strings.Split(resp.Header.Get(api.HeaderSlabLengths), ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || n < 0 {
-			return nil, fmt.Errorf("client: bad X-Sz-Slab-Lengths %q", resp.Header.Get("X-Sz-Slab-Lengths"))
+			return nil, fmt.Errorf("client: bad %s %q", api.HeaderSlabLengths, resp.Header.Get(api.HeaderSlabLengths))
 		}
 		lengths = append(lengths, n)
 		total += n

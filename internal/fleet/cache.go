@@ -22,6 +22,8 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/api"
 )
 
 // cacheEntry is a complete buffered response: everything needed to
@@ -40,8 +42,8 @@ func (e *cacheEntry) size() int64 { return int64(len(e.body)) + 256 /* headers, 
 // one ("coalesced").
 func (e *cacheEntry) writeTo(w http.ResponseWriter, mode string) {
 	copyHeaders(w.Header(), e.header)
-	w.Header().Set("X-Sz-Backend", e.backend)
-	w.Header().Set("X-Sz-Cache", mode)
+	w.Header().Set(api.HeaderBackend, e.backend)
+	w.Header().Set(api.HeaderCache, mode)
 	w.WriteHeader(e.status)
 	w.Write(e.body)
 }

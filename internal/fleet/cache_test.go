@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/api"
 )
 
 func entry(status int, body string) *cacheEntry {
@@ -63,7 +65,7 @@ func countingBackend(t *testing.T, hits *atomic.Int64, block chan struct{}) stri
 			<-block
 		}
 		body, _ := io.ReadAll(r.Body)
-		w.Header().Set("X-Sz-Codec", "blocked")
+		w.Header().Set(api.HeaderCodec, "blocked")
 		fmt.Fprintf(w, "decoded:%d:%s", len(body), r.URL.RawQuery)
 	}))
 	t.Cleanup(ts.Close)
@@ -92,24 +94,24 @@ func TestRouterCacheServesRepeatWithoutBackend(t *testing.T) {
 	if r1.StatusCode != 200 || hits.Load() != 1 {
 		t.Fatalf("first: status %d, backend hits %d", r1.StatusCode, hits.Load())
 	}
-	if got := r1.Header.Get("X-Sz-Cache"); got != "" {
+	if got := r1.Header.Get(api.HeaderCache); got != "" {
 		t.Fatalf("first response should not be cache-tagged, got %q", got)
 	}
 	r2, b2 := post()
 	if hits.Load() != 1 {
 		t.Fatalf("repeat hit the backend: %d forwards", hits.Load())
 	}
-	if r2.Header.Get("X-Sz-Cache") != "hit" {
-		t.Fatalf("X-Sz-Cache = %q, want hit", r2.Header.Get("X-Sz-Cache"))
+	if r2.Header.Get(api.HeaderCache) != "hit" {
+		t.Fatalf("cache tag = %q, want hit", r2.Header.Get(api.HeaderCache))
 	}
 	if b1 != b2 {
 		t.Fatalf("cached body differs: %q vs %q", b1, b2)
 	}
-	if r2.Header.Get("X-Sz-Codec") != "blocked" {
+	if r2.Header.Get(api.HeaderCodec) != "blocked" {
 		t.Fatal("cached response must replay backend headers")
 	}
-	if r2.Header.Get("X-Sz-Backend") != b {
-		t.Fatalf("X-Sz-Backend = %q, want %q", r2.Header.Get("X-Sz-Backend"), b)
+	if r2.Header.Get(api.HeaderBackend) != b {
+		t.Fatalf("backend tag = %q, want %q", r2.Header.Get(api.HeaderBackend), b)
 	}
 }
 
@@ -137,7 +139,7 @@ func TestRouterCacheKeyedByParams(t *testing.T) {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
-		if resp.Header.Get("X-Sz-Cache") != "hit" {
+		if resp.Header.Get(api.HeaderCache) != "hit" {
 			t.Fatalf("%s: expected a cache hit", path)
 		}
 	}
@@ -207,7 +209,7 @@ func TestRouterCoalescesConcurrentIdentical(t *testing.T) {
 			body, _ := io.ReadAll(resp.Body)
 			resp.Body.Close()
 			bodies[i] = string(body)
-			cacheTags[i] = resp.Header.Get("X-Sz-Cache")
+			cacheTags[i] = resp.Header.Get(api.HeaderCache)
 		}(i)
 	}
 
@@ -255,8 +257,8 @@ func TestRouterCoalescesConcurrentIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if hits.Load() != 1 || resp.Header.Get("X-Sz-Cache") != "hit" {
-		t.Fatalf("post-coalesce request: %d forwards, tag %q", hits.Load(), resp.Header.Get("X-Sz-Cache"))
+	if hits.Load() != 1 || resp.Header.Get(api.HeaderCache) != "hit" {
+		t.Fatalf("post-coalesce request: %d forwards, tag %q", hits.Load(), resp.Header.Get(api.HeaderCache))
 	}
 }
 
@@ -287,7 +289,7 @@ func TestRouterOversizedResponseNotCached(t *testing.T) {
 		if len(body) != 4096 {
 			t.Fatalf("request %d: body %d bytes", i, len(body))
 		}
-		if resp.Header.Get("X-Sz-Cache") != "" {
+		if resp.Header.Get(api.HeaderCache) != "" {
 			t.Fatalf("oversized response must not be cache-tagged")
 		}
 		if hits.Load() != int64(i) {

@@ -25,6 +25,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -35,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/obs"
 )
 
@@ -159,16 +161,17 @@ func New(cfg Config) (*Router, error) {
 		rt.flights = newFlightGroup()
 	}
 	rt.met = newRouterMetrics(rt.backends, rt.poller, rt.cache)
-	rt.mux.HandleFunc("/v1/compress", rt.withObs("compress", rt.proxyBody("compress")))
-	rt.mux.HandleFunc("/v1/decompress", rt.withObs("decompress", rt.proxyBody("decompress")))
-	rt.mux.HandleFunc("/v1/inspect", rt.withObs("inspect", rt.proxyBody("inspect")))
-	rt.mux.HandleFunc("/v1/slabs", rt.withObs("slabs", rt.proxyBody("slabs")))
-	rt.mux.HandleFunc("/v1/slab/", rt.withObs("slab", rt.proxyBody("slab")))
-	rt.mux.HandleFunc("/v1/container/", rt.withObs("container", rt.proxyBody("container")))
-	rt.mux.HandleFunc("/v1/codecs", rt.withObs("codecs", rt.proxyBodyless("codecs")))
-	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
-	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
-	rt.mux.Handle("/debug/traces", rt.rec.Ring)
+	rt.mux.HandleFunc(api.PathCompress, rt.withObs("compress", rt.proxyBody("compress")))
+	rt.mux.HandleFunc(api.PathDecompress, rt.withObs("decompress", rt.proxyBody("decompress")))
+	rt.mux.HandleFunc(api.PathInspect, rt.withObs("inspect", rt.proxyBody("inspect")))
+	rt.mux.HandleFunc(api.PathSlabs, rt.withObs("slabs", rt.proxyBody("slabs")))
+	rt.mux.HandleFunc(api.PathSlabPrefix, rt.withObs("slab", rt.proxyBody("slab")))
+	rt.mux.HandleFunc(api.PathContainerPrefix, rt.withObs("container", rt.proxyBody("container")))
+	rt.mux.HandleFunc(api.PathCodecs, rt.withObs("codecs", rt.proxyBodyless("codecs")))
+	rt.mux.HandleFunc(api.PathLimits, rt.handleLimits)
+	rt.mux.HandleFunc(api.PathHealthz, rt.handleHealthz)
+	rt.mux.HandleFunc(api.PathMetrics, rt.handleMetrics)
+	rt.mux.Handle(api.PathDebugTraces, rt.rec.Ring)
 	return rt, nil
 }
 
@@ -178,9 +181,23 @@ func New(cfg Config) (*Router, error) {
 // declared trailer, feeds the stage histograms, and records the trace.
 func (rt *Router) withObs(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		t := obs.StartTrace(endpoint, r.Header.Get("Traceparent"), r.Header.Get("X-Sz-Request-Id"))
-		w.Header().Set("X-Sz-Request-Id", t.RequestID)
+		t := obs.StartTrace(endpoint, r.Header.Get("Traceparent"), r.Header.Get(api.HeaderRequestID))
+		w.Header().Set(api.HeaderRequestID, t.RequestID)
 		w.Header().Add("Trailer", "Server-Timing")
+		// Tenant identity resolves at the edge and is never trusted from
+		// the wire: any inbound X-Sz-Tenant is stripped, and a malformed
+		// credential is answered here — before a backend burns admission
+		// work on it. The resolved name rides to the backend as
+		// X-Sz-Tenant (the backend still re-derives from the API key; the
+		// header is for symmetry and logs, not trust).
+		r.Header.Del(api.HeaderTenant)
+		tenant, terr := api.TenantFromKey(r.Header.Get(api.HeaderAPIKey))
+		if terr == nil {
+			_, terr = api.ParsePriority(r.Header.Get(api.HeaderPriority))
+		}
+		if terr != nil {
+			tenant = "invalid" // fixed label: hostile keys must not mint metric series
+		}
 		ow := &obsWriter{ResponseWriter: w, t: t}
 		defer func() {
 			status := ow.status
@@ -189,9 +206,17 @@ func (rt *Router) withObs(endpoint string, h http.HandlerFunc) http.HandlerFunc 
 			}
 			t.Finish(status)
 			w.Header().Set("Server-Timing", t.ServerTiming())
+			rt.met.tenantRequest(tenant, status)
 			rt.met.recordStages(t)
 			rt.rec.Done(t)
 		}()
+		if terr != nil {
+			rt.met.request(endpoint, http.StatusBadRequest)
+			rt.writeError(ow, http.StatusBadRequest,
+				&api.Error{Code: api.CodeBadTenant, Message: terr.Error()})
+			return
+		}
+		r.Header.Set(api.HeaderTenant, tenant)
 		h(ow, r.WithContext(obs.NewContext(r.Context(), t)))
 	}
 }
@@ -249,7 +274,7 @@ var hopByHop = map[string]bool{
 	// Trace-owned headers are re-derived per hop, never copied: the
 	// router sets its own request ID and renders its own Server-Timing
 	// (the backend's is merged under "be-", not relayed verbatim).
-	"Server-Timing": true, "X-Sz-Request-Id": true,
+	"Server-Timing": true, api.HeaderRequestID: true,
 }
 
 func copyHeaders(dst, src http.Header) {
@@ -345,7 +370,7 @@ func (sr *storedResp) write(w http.ResponseWriter) {
 	// Retry-After travels in sr.header verbatim: the backend's own
 	// backoff hint must reach the client unchanged.
 	copyHeaders(w.Header(), sr.header)
-	w.Header().Set("X-Sz-Backend", sr.backend)
+	w.Header().Set(api.HeaderBackend, sr.backend)
 	w.WriteHeader(sr.status)
 	w.Write(sr.body)
 }
@@ -362,14 +387,14 @@ func retryable(status int) bool {
 // the container endpoint) the path element. The backend validates the
 // shape; the router only needs it as a ring key.
 func requestDigestParam(r *http.Request, endpoint string) string {
-	if d := r.URL.Query().Get("digest"); d != "" {
+	if d := r.URL.Query().Get(api.QueryDigest); d != "" {
 		return d
 	}
-	if d := r.Header.Get("X-Sz-Digest"); d != "" {
+	if d := r.Header.Get(api.HeaderDigest); d != "" {
 		return d
 	}
 	if endpoint == "container" {
-		return strings.TrimPrefix(r.URL.Path, "/v1/container/")
+		return strings.TrimPrefix(r.URL.Path, api.PathContainerPrefix)
 	}
 	return ""
 }
@@ -389,7 +414,7 @@ func (rt *Router) proxyBody(endpoint string) http.HandlerFunc {
 		rd.End()
 		if err != nil {
 			rt.met.request(endpoint, http.StatusBadRequest)
-			writeJSONError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err))
+			rt.writeError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err))
 			return
 		}
 		if len(head) > rt.bufferLimit {
@@ -425,12 +450,23 @@ func (rt *Router) tracedCandidates(r *http.Request, key string) []string {
 	return cands
 }
 
+// identityExempt marks X-Sz-* headers that do not parameterize the
+// response bytes: the admission hint and the tenant identity trio.
+// Including them would split the cache per caller for byte-identical
+// responses (and hand a flooding tenant a cache-eviction lever).
+var identityExempt = map[string]bool{
+	api.HeaderContentLength: true,
+	api.HeaderAPIKey:        true,
+	api.HeaderPriority:      true,
+	api.HeaderTenant:        true,
+}
+
 // requestIdentity builds the cache/coalescing key: the endpoint, path,
 // canonicalized query, the X-Sz-* parameter headers, and the body
 // digest. Two requests with equal identity are guaranteed the same
 // response bytes (the decode endpoints are pure functions of input and
-// parameters). X-Sz-Content-Length is excluded — it is an admission
-// hint, not a parameter, and would only split the cache.
+// parameters). identityExempt headers are skipped — they shape
+// admission and accounting, never the payload.
 func requestIdentity(endpoint string, r *http.Request, digest string) string {
 	var b strings.Builder
 	b.WriteString(endpoint)
@@ -441,7 +477,7 @@ func requestIdentity(endpoint string, r *http.Request, digest string) string {
 	b.WriteByte('|')
 	hkeys := make([]string, 0, 4)
 	for k := range r.Header {
-		if strings.HasPrefix(k, "X-Sz-") && k != "X-Sz-Content-Length" {
+		if strings.HasPrefix(k, api.ParamHeaderPrefix) && !identityExempt[k] {
 			hkeys = append(hkeys, k)
 		}
 	}
@@ -466,8 +502,8 @@ func (rt *Router) notModifiedFromCache(w http.ResponseWriter, r *http.Request, e
 		return false
 	}
 	w.Header().Set("Etag", etag)
-	w.Header().Set("X-Sz-Backend", e.backend)
-	w.Header().Set("X-Sz-Cache", mode)
+	w.Header().Set(api.HeaderBackend, e.backend)
+	w.Header().Set(api.HeaderCache, mode)
 	w.WriteHeader(http.StatusNotModified)
 	rt.met.request(endpoint, http.StatusNotModified)
 	return true
@@ -587,7 +623,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint strin
 		req, err := rt.buildRequest(r, backend, bytes.NewReader(body), int64(len(body)))
 		if err != nil {
 			rt.met.request(endpoint, http.StatusInternalServerError)
-			writeJSONError(w, http.StatusInternalServerError, err)
+			rt.writeError(w, http.StatusInternalServerError, err)
 			return nil
 		}
 		resp, err := rt.client.Do(req)
@@ -645,7 +681,8 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint strin
 		return nil
 	}
 	rt.met.request(endpoint, http.StatusBadGateway)
-	writeJSONError(w, http.StatusBadGateway, errors.New("no reachable backend"))
+	rt.writeError(w, http.StatusBadGateway,
+		&api.Error{Code: api.CodeNoBackend, Message: "no reachable backend"})
 	return nil
 }
 
@@ -660,7 +697,7 @@ func (rt *Router) peerFill(r *http.Request, digest, target string, cands []strin
 			continue
 		}
 		greq, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
-			backendURL(peer)+"/v1/container/"+digest, nil)
+			backendURL(peer)+api.PathContainerPrefix+digest, nil)
 		if err != nil {
 			return false
 		}
@@ -674,7 +711,7 @@ func (rt *Router) peerFill(r *http.Request, digest, target string, cands []strin
 			continue
 		}
 		preq, err := http.NewRequestWithContext(r.Context(), http.MethodPut,
-			backendURL(target)+"/v1/container/"+digest, gresp.Body)
+			backendURL(target)+api.PathContainerPrefix+digest, gresp.Body)
 		if err != nil {
 			gresp.Body.Close()
 			return false
@@ -743,13 +780,13 @@ func (rt *Router) relayCaptured(w http.ResponseWriter, tr *obs.Trace, resp *http
 		// transfer, not a silently truncated body: headers have not been
 		// written yet, so answer 502 outright.
 		rt.met.request(endpoint, http.StatusBadGateway)
-		writeJSONError(w, http.StatusBadGateway, fmt.Errorf("backend %s: %w", backend, err))
+		rt.writeError(w, http.StatusBadGateway, fmt.Errorf("backend %s: %w", backend, err))
 		return nil
 	}
 	if int64(len(buf)) > rt.entryLimit {
 		// Too large to share: stream the prefix plus the rest through.
 		copyHeaders(w.Header(), resp.Header)
-		w.Header().Set("X-Sz-Backend", backend)
+		w.Header().Set(api.HeaderBackend, backend)
 		w.WriteHeader(resp.StatusCode)
 		w.Write(buf)
 		io.CopyBuffer(w, resp.Body, make([]byte, 256<<10))
@@ -767,7 +804,7 @@ func (rt *Router) relayCaptured(w http.ResponseWriter, tr *obs.Trace, resp *http
 	entry := &cacheEntry{status: resp.StatusCode, header: h, body: buf, backend: backend}
 	copyHeaders(w.Header(), resp.Header)
 	copyHeaders(w.Header(), resp.Trailer)
-	w.Header().Set("X-Sz-Backend", backend)
+	w.Header().Set(api.HeaderBackend, backend)
 	w.WriteHeader(resp.StatusCode)
 	w.Write(buf)
 	sp.End()
@@ -787,7 +824,7 @@ func (rt *Router) forwardStream(w http.ResponseWriter, r *http.Request, endpoint
 	req, err := rt.buildRequest(r, backend, io.MultiReader(bytes.NewReader(head), r.Body), -1)
 	if err != nil {
 		rt.met.request(endpoint, http.StatusInternalServerError)
-		writeJSONError(w, http.StatusInternalServerError, err)
+		rt.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	resp, err := rt.client.Do(req)
@@ -801,7 +838,7 @@ func (rt *Router) forwardStream(w http.ResponseWriter, r *http.Request, endpoint
 			rt.met.failover(backend)
 		}
 		rt.met.request(endpoint, http.StatusBadGateway)
-		writeJSONError(w, http.StatusBadGateway, fmt.Errorf("backend %s: %w", backend, err))
+		rt.writeError(w, http.StatusBadGateway, fmt.Errorf("backend %s: %w", backend, err))
 		return
 	}
 	rt.met.forward(backend, endpoint)
@@ -824,7 +861,7 @@ func (rt *Router) buildRequest(r *http.Request, backend string, body io.Reader, 
 		// Propagate the router's trace so the backend's spans join it,
 		// and its logs/ring carry the same request ID.
 		req.Header.Set("Traceparent", t.Traceparent())
-		req.Header.Set("X-Sz-Request-Id", t.RequestID)
+		req.Header.Set(api.HeaderRequestID, t.RequestID)
 	}
 	if length >= 0 {
 		req.ContentLength = length
@@ -841,7 +878,7 @@ func (rt *Router) relay(w http.ResponseWriter, tr *obs.Trace, resp *http.Respons
 	defer resp.Body.Close()
 	tr.MergeServerTiming("be-", resp.Header.Get("Server-Timing"))
 	copyHeaders(w.Header(), resp.Header)
-	w.Header().Set("X-Sz-Backend", backend)
+	w.Header().Set(api.HeaderBackend, backend)
 	tkeys := make([]string, 0, len(resp.Trailer))
 	for k := range resp.Trailer {
 		// Trace-owned trailers are merged into the router's own trace,
@@ -887,10 +924,58 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, rt.met.expose())
 }
 
-func writeJSONError(w http.ResponseWriter, status int, err error) {
+// handleLimits aggregates GET /v1/limits across the fleet: every
+// routable backend's live QoS state, fetched in sequence (the fleet is
+// small and the endpoint cheap), plus the summed budget. Backends that
+// fail to answer are simply absent — a partial view beats a 502 when
+// one node is mid-restart.
+func (rt *Router) handleLimits(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		rt.writeError(w, http.StatusMethodNotAllowed,
+			&api.Error{Code: api.CodeBadRequest, Message: "method not allowed"})
+		return
+	}
+	fl := api.FleetLimits{Backends: map[string]api.Limits{}}
+	for _, b := range rt.backends {
+		if !rt.poller.Routable(b) {
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+			backendURL(b)+api.PathLimits, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			continue
+		}
+		var lim api.Limits
+		derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&lim)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || derr != nil {
+			continue
+		}
+		fl.Backends[b] = lim
+		fl.BudgetBytes += lim.BudgetBytes
+	}
+	if len(fl.Backends) == 0 {
+		rt.writeError(w, http.StatusServiceUnavailable,
+			&api.Error{Code: api.CodeNoBackend, Message: "no routable backend answered /v1/limits"})
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+	json.NewEncoder(w).Encode(fl)
+}
+
+// writeError renders err as the shared JSON envelope, stamping the
+// request ID the tracing middleware already placed on the response.
+func (rt *Router) writeError(w http.ResponseWriter, status int, err error) {
+	e := api.Wrap(status, err)
+	if e.RequestID == "" {
+		e.RequestID = w.Header().Get(api.HeaderRequestID)
+	}
+	api.WriteError(w, e)
 }
 
 // routerMetrics counts the router's own traffic on the shared obs
@@ -906,6 +991,7 @@ type routerMetrics struct {
 	coalesces *obs.Vec
 	hitBytes  *obs.Vec
 	fills     *obs.Vec
+	tenants   *obs.Vec
 	stages    *obs.HistVec
 }
 
@@ -959,8 +1045,17 @@ func newRouterMetrics(backends []string, p *Poller, cache *respCache) *routerMet
 	m.stages = r.Histogram("szrouter_stage_seconds",
 		"Per-stage latency from request traces, by endpoint and stage.",
 		obs.StageBuckets, "endpoint", "stage")
+	// Registered after every pre-existing family so their exposition
+	// positions hold (scrape-compat); malformed credentials count under
+	// the fixed "invalid" tenant.
+	m.tenants = r.Counter("szrouter_tenant_requests_total",
+		"Client requests by resolved tenant and final status.", "tenant", "status")
 	obs.RegisterRuntime(r, "szrouter")
 	return m
+}
+
+func (m *routerMetrics) tenantRequest(tenant string, status int) {
+	m.tenants.Inc(tenant, strconv.Itoa(status))
 }
 
 func (m *routerMetrics) coalesced(endpoint string) { m.coalesces.Inc(endpoint) }

@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/codec"
 	"repro/internal/grid"
 	"repro/internal/server"
@@ -133,8 +134,8 @@ func TestRouterRoundTripMatchesLocal(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("compress status %d: %s", resp.StatusCode, readAllClose(t, resp))
 	}
-	if b := resp.Header.Get("X-Sz-Backend"); b != backends[0] && b != backends[1] {
-		t.Errorf("X-Sz-Backend = %q, not a configured backend", b)
+	if b := resp.Header.Get(api.HeaderBackend); b != backends[0] && b != backends[1] {
+		t.Errorf("backend tag = %q, not a configured backend", b)
 	}
 	stream := readAllClose(t, resp)
 	if !bytes.Equal(stream, want) {
@@ -170,7 +171,7 @@ func TestRouterAffinity(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("status %d", resp.StatusCode)
 		}
-		b := resp.Header.Get("X-Sz-Backend")
+		b := resp.Header.Get(api.HeaderBackend)
 		readAllClose(t, resp)
 		if first == "" {
 			first = b
@@ -214,7 +215,7 @@ func TestRouterFailoverOn429(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d, want 200 via failover", resp.StatusCode)
 	}
-	if b := resp.Header.Get("X-Sz-Backend"); b != healthy {
+	if b := resp.Header.Get(api.HeaderBackend); b != healthy {
 		t.Errorf("served by %q, want the healthy backend %q", b, healthy)
 	}
 	readAllClose(t, resp)
@@ -266,7 +267,7 @@ func TestRouterConnectFailover(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d, want 200 via failover", resp.StatusCode)
 	}
-	if b := resp.Header.Get("X-Sz-Backend"); b != healthy {
+	if b := resp.Header.Get(api.HeaderBackend); b != healthy {
 		t.Errorf("served by %q, want %q", b, healthy)
 	}
 	readAllClose(t, resp)

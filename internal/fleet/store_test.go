@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/api"
 	"repro/internal/codec"
 	"repro/internal/grid"
 	"repro/internal/server"
@@ -109,8 +110,8 @@ func TestRouterDigestReadsAndCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	got2 := readAllClose(t, r2)
-	if r2.Header.Get("X-Sz-Cache") != "hit" {
-		t.Fatalf("repeat digest read not served from cache (X-Sz-Cache=%q)", r2.Header.Get("X-Sz-Cache"))
+	if r2.Header.Get(api.HeaderCache) != "hit" {
+		t.Fatalf("repeat digest read not served from cache (X-Sz-Cache=%q)", r2.Header.Get(api.HeaderCache))
 	}
 	if !bytes.Equal(got2, want) {
 		t.Fatal("cached response differs")
@@ -158,8 +159,8 @@ func TestRouterCache304(t *testing.T) {
 	if len(body) != 0 {
 		t.Fatalf("304 carried %d body bytes", len(body))
 	}
-	if r2.Header.Get("X-Sz-Cache") != "hit" {
-		t.Fatalf("304 not served from cache (X-Sz-Cache=%q)", r2.Header.Get("X-Sz-Cache"))
+	if r2.Header.Get(api.HeaderCache) != "hit" {
+		t.Fatalf("304 not served from cache (X-Sz-Cache=%q)", r2.Header.Get(api.HeaderCache))
 	}
 }
 
@@ -201,7 +202,7 @@ func TestRouterPeerFill(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("digest read status %d: %s", resp.StatusCode, body)
 	}
-	if b := resp.Header.Get("X-Sz-Backend"); b != owner {
+	if b := resp.Header.Get(api.HeaderBackend); b != owner {
 		t.Errorf("served by %q, want ring owner %q after fill", b, owner)
 	}
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/api"
 	"repro/internal/grid"
 	"repro/internal/obs"
 )
@@ -40,11 +41,11 @@ func TestTracePropagatesAcrossTiers(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("compress status %d: %s", resp.StatusCode, readAllClose(t, resp))
 	}
-	reqID := resp.Header.Get("X-Sz-Request-Id")
+	reqID := resp.Header.Get(api.HeaderRequestID)
 	if reqID == "" {
 		t.Fatal("router did not echo X-Sz-Request-Id")
 	}
-	backend := resp.Header.Get("X-Sz-Backend")
+	backend := resp.Header.Get(api.HeaderBackend)
 	readAllClose(t, resp) // drain: the Server-Timing trailer settles after the body
 	st := resp.Trailer.Get("Server-Timing")
 	if st == "" {

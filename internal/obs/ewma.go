@@ -1,0 +1,50 @@
+package obs
+
+// EWMA is a concurrency-safe exponentially weighted moving average —
+// the datapath half of the QoS signal tap. Handlers Observe per-
+// request latencies inline (one mutex'd multiply-add, no allocation);
+// the off-path control loop reads Value at its own cadence. A
+// fast/slow pair of these over the same stream is a cheap trend
+// detector: fast >> slow means latency is climbing right now.
+
+import "sync"
+
+// EWMA holds an exponentially weighted moving average with smoothing
+// factor alpha in (0, 1]: higher alpha tracks faster, lower remembers
+// longer.
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	value float64
+	seen  bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor. Alpha
+// outside (0, 1] is clamped to 1 (no smoothing).
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 1
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds one sample in. The first sample seeds the average
+// directly so the estimate is meaningful from the start instead of
+// climbing from zero.
+func (e *EWMA) Observe(v float64) {
+	e.mu.Lock()
+	if !e.seen {
+		e.value, e.seen = v, true
+	} else {
+		e.value += e.alpha * (v - e.value)
+	}
+	e.mu.Unlock()
+}
+
+// Value returns the current average, zero before any sample.
+func (e *EWMA) Value() float64 {
+	e.mu.Lock()
+	v := e.value
+	e.mu.Unlock()
+	return v
+}

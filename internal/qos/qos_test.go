@@ -1,0 +1,205 @@
+package qos
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// plant simulates the daemon the controller steers: a service with a
+// true concurrency capacity of capBytes. While admitted load stays
+// under capacity, latency sits at base; past it, latency scales with
+// the overcommit ratio (queueing). Offered load always saturates the
+// budget, so the budget is the only thing deciding how hard the plant
+// is pushed.
+type plant struct {
+	capBytes int64
+	base     float64
+	fast     *obs.EWMA
+	slow     *obs.EWMA
+}
+
+func newPlant(capBytes int64) *plant {
+	return &plant{capBytes: capBytes, base: 0.010, fast: obs.NewEWMA(0.5), slow: obs.NewEWMA(0.05)}
+}
+
+func (p *plant) tick(budget int64) Signals {
+	inflight := budget // flood: offered load saturates whatever is admitted
+	lat := p.base
+	if inflight > p.capBytes {
+		lat = p.base * float64(inflight) / float64(p.capBytes)
+	}
+	p.fast.Observe(lat)
+	p.slow.Observe(lat)
+	return Signals{
+		InflightBytes: inflight,
+		ShedDelta:     8, // flood: always rejecting surplus
+		FastLatency:   p.fast.Value(),
+		SlowLatency:   p.slow.Value(),
+	}
+}
+
+// TestBudgetConverges drives the controller against the plant for 400
+// ticks and asserts the ISSUE's convergence criterion: the second half
+// of the run stays inside a ±15% band around its own mean — the loop
+// parks near the knee instead of sawtoothing across it — and the knee
+// it finds is the latency-tolerance point, not a rail.
+func TestBudgetConverges(t *testing.T) {
+	const capacity = int64(256 << 20)
+	cfg := Config{
+		MinBudget:     32 << 20,
+		MaxBudget:     2 << 30,
+		InitialBudget: 64 << 20,
+		Increase:      8 << 20,
+	}
+	c := New(cfg)
+	p := newPlant(capacity)
+
+	budget := c.State().BudgetBytes
+	var trace []int64
+	for i := 0; i < 400; i++ {
+		st := c.Tick(p.tick(budget))
+		budget = st.BudgetBytes
+		trace = append(trace, budget)
+	}
+
+	half := trace[len(trace)/2:]
+	var sum int64
+	for _, b := range half {
+		sum += b
+	}
+	mean := sum / int64(len(half))
+	for i, b := range half {
+		dev := float64(b-mean) / float64(mean)
+		if dev < -0.15 || dev > 0.15 {
+			t.Fatalf("tick %d: budget %d deviates %.1f%% from settled mean %d (±15%% band)",
+				len(trace)/2+i, b, 100*dev, mean)
+		}
+	}
+	// The settled point must be a real operating point: above the
+	// plant's capacity floor, far below the configured max rail.
+	if mean < capacity || mean > cfg.MaxBudget/2 {
+		t.Fatalf("settled mean %d outside plausible knee range (capacity %d, max %d)",
+			mean, capacity, cfg.MaxBudget)
+	}
+	st := c.State()
+	if st.Cuts == 0 || st.Grows == 0 {
+		t.Fatalf("controller never exercised both directions: %+v", st)
+	}
+}
+
+// TestHysteresisIgnoresNoise: a single congested tick between healthy
+// ones must not cut the budget, and alternating signals must not move
+// it at all — that is the oscillation failure mode the streak
+// thresholds exist to prevent.
+func TestHysteresisIgnoresNoise(t *testing.T) {
+	cfg := Config{MinBudget: 1 << 20, MaxBudget: 1 << 30, InitialBudget: 512 << 20, CongestedTicks: 3}
+	c := New(cfg)
+	start := c.State().BudgetBytes
+
+	healthy := Signals{InflightBytes: 1 << 20, FastLatency: 0.01, SlowLatency: 0.01}
+	// Seed the baseline with healthy latency first.
+	for i := 0; i < 5; i++ {
+		c.Tick(healthy)
+	}
+	congested := Signals{InflightBytes: 500 << 20, FastLatency: 0.10, SlowLatency: 0.01}
+	for i := 0; i < 20; i++ {
+		if i%2 == 0 {
+			c.Tick(congested)
+		} else {
+			c.Tick(healthy)
+		}
+	}
+	if got := c.State().BudgetBytes; got != start {
+		t.Fatalf("alternating noise moved budget %d -> %d; hysteresis should hold it", start, got)
+	}
+	if c.State().Cuts != 0 {
+		t.Fatalf("noise produced %d cuts", c.State().Cuts)
+	}
+
+	// A sustained congested run must cut.
+	for i := 0; i < cfg.CongestedTicks; i++ {
+		c.Tick(congested)
+	}
+	if got := c.State().BudgetBytes; got >= start {
+		t.Fatalf("sustained congestion did not cut budget (still %d)", got)
+	}
+	if !c.State().Congested {
+		t.Fatal("state not marked congested after a cut")
+	}
+}
+
+// TestIdleHolds: a healthy, mostly idle daemon must not grow its
+// budget to the max rail — growth requires the budget to be binding.
+func TestIdleHolds(t *testing.T) {
+	cfg := Config{MinBudget: 1 << 20, MaxBudget: 1 << 30, InitialBudget: 128 << 20}
+	c := New(cfg)
+	idle := Signals{InflightBytes: 1 << 20, FastLatency: 0.01, SlowLatency: 0.01}
+	for i := 0; i < 50; i++ {
+		c.Tick(idle)
+	}
+	if got := c.State().BudgetBytes; got != 128<<20 {
+		t.Fatalf("idle daemon moved budget to %d", got)
+	}
+}
+
+// TestRetryAfterTracksPressure: the hint doubles under sustained
+// congestion, decays when clear, and respects both clamps.
+func TestRetryAfterTracksPressure(t *testing.T) {
+	cfg := Config{
+		MinBudget: 1 << 20, MaxBudget: 1 << 30, InitialBudget: 512 << 20,
+		MinRetryAfter: 100 * time.Millisecond, MaxRetryAfter: 2 * time.Second,
+	}
+	c := New(cfg)
+	healthy := Signals{InflightBytes: 1 << 20, FastLatency: 0.01, SlowLatency: 0.01}
+	for i := 0; i < 5; i++ {
+		c.Tick(healthy)
+	}
+	congested := Signals{InflightBytes: 500 << 20, FastLatency: 0.10, SlowLatency: 0.01}
+	for i := 0; i < 40; i++ {
+		c.Tick(congested)
+	}
+	if got := c.State().RetryAfter; got != cfg.MaxRetryAfter {
+		t.Fatalf("sustained congestion RetryAfter = %v, want clamped %v", got, cfg.MaxRetryAfter)
+	}
+	for i := 0; i < 60; i++ {
+		c.Tick(healthy)
+	}
+	if got := c.State().RetryAfter; got != cfg.MinRetryAfter {
+		t.Fatalf("recovered RetryAfter = %v, want decayed to %v", got, cfg.MinRetryAfter)
+	}
+	if c.State().Congested {
+		t.Fatal("still marked congested after a long healthy run")
+	}
+}
+
+// TestWorkerClampRecovers: workers step down under congestion and
+// climb back when clear.
+func TestWorkerClampRecovers(t *testing.T) {
+	cfg := Config{
+		MinBudget: 1 << 20, MaxBudget: 1 << 30, InitialBudget: 512 << 20,
+		MinWorkers: 2, MaxWorkers: 8,
+	}
+	c := New(cfg)
+	if got := c.State().Workers; got != 8 {
+		t.Fatalf("initial workers = %d, want 8", got)
+	}
+	healthy := Signals{InflightBytes: 1 << 20, FastLatency: 0.01, SlowLatency: 0.01}
+	for i := 0; i < 5; i++ {
+		c.Tick(healthy)
+	}
+	congested := Signals{InflightBytes: 500 << 20, FastLatency: 0.10, SlowLatency: 0.01}
+	for i := 0; i < 100; i++ {
+		c.Tick(congested)
+	}
+	if got := c.State().Workers; got != cfg.MinWorkers {
+		t.Fatalf("workers under sustained congestion = %d, want floor %d", got, cfg.MinWorkers)
+	}
+	for i := 0; i < 100; i++ {
+		c.Tick(healthy)
+	}
+	if got := c.State().Workers; got != cfg.MaxWorkers {
+		t.Fatalf("workers after recovery = %d, want %d", got, cfg.MaxWorkers)
+	}
+}

@@ -14,104 +14,229 @@ package server
 // exhausted the request is rejected immediately (429) instead of queuing,
 // so saturation degrades into fast rejections rather than a convoy of
 // half-served streams.
+//
+// Neither limit is a constant anymore. The byte budget and a worker
+// clamp are atomics the QoS control loop (internal/qos) rewrites at
+// its own cadence; admission reads whatever is current. On top of the
+// global budget the governor runs weighted-fair tenant accounting:
+// every admit is charged to a tenant, and once the daemon is past a
+// contention watermark each tenant is held to its weighted share of
+// the budget — below the watermark admission is work-conserving and
+// any tenant may use idle capacity. Batch-priority requests shed
+// before interactive ones by admitting only under a headroom
+// watermark.
 
 import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/api"
 )
 
 var (
-	errDraining = errors.New("server is draining")
-	errBudget   = errors.New("in-flight byte budget exhausted")
-	errWorkers  = errors.New("worker pool exhausted")
-	errTooLarge = errors.New("request exceeds the per-request size limit")
+	errDraining    = errors.New("server is draining")
+	errBudget      = errors.New("in-flight byte budget exhausted")
+	errWorkers     = errors.New("worker pool exhausted")
+	errTooLarge    = errors.New("request exceeds the per-request size limit")
+	errTenantShare = errors.New("tenant exceeded its weighted-fair share")
+)
+
+const (
+	// fairShareWatermark: fraction of the budget in use before
+	// per-tenant shares are enforced. Below it admission is
+	// work-conserving.
+	fairShareWatermark = 0.5
+	// batchWatermark: batch requests are admitted only while total
+	// in-flight stays under this fraction of the budget, so batch
+	// load sheds first and interactive traffic keeps headroom.
+	batchWatermark = 0.9
 )
 
 type governor struct {
-	maxInflight int64 // byte budget; <= 0 means unlimited
-	poolSize    int   // worker tokens
+	poolSize int // worker tokens backing the pool
 
 	draining atomic.Bool
-	inflight atomic.Int64 // reserved bytes
+	budget   atomic.Int64 // live byte budget; <= 0 means unlimited
+	clamp    atomic.Int64 // live worker clamp, 1..poolSize
+	inflight atomic.Int64 // reserved bytes (mirror for lock-free gauges)
 	requests atomic.Int64 // admitted, not yet released
+	sheds    atomic.Int64 // cumulative load-shed rejections (QoS signal)
 
-	mu   sync.Mutex
-	free int // worker tokens not handed out
+	mu      sync.Mutex
+	free    int                    // worker tokens not handed out
+	weights map[string]float64     // configured tenant weights (read-only)
+	tenants map[string]*tenantAcct // live per-tenant accounting
 }
 
-func newGovernor(maxInflightBytes int64, workers int) *governor {
-	return &governor{maxInflight: maxInflightBytes, poolSize: workers, free: workers}
+// tenantAcct is one tenant's admission state. Entries persist once
+// created so the admitted/rejected counters survive idle periods.
+type tenantAcct struct {
+	weight   float64
+	inflight int64
+	admitted int64
+	rejected int64
+}
+
+func newGovernor(maxInflightBytes int64, workers int, weights map[string]float64) *governor {
+	g := &governor{
+		poolSize: workers,
+		free:     workers,
+		weights:  weights,
+		tenants:  map[string]*tenantAcct{},
+	}
+	g.budget.Store(maxInflightBytes)
+	g.clamp.Store(int64(workers))
+	return g
+}
+
+// setBudget publishes a new byte budget. In-flight charges above a
+// shrunken budget drain naturally; only new admissions see the cut.
+func (g *governor) setBudget(n int64) { g.budget.Store(n) }
+
+// setWorkerClamp publishes a new worker clamp in [1, poolSize].
+func (g *governor) setWorkerClamp(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > g.poolSize {
+		n = g.poolSize
+	}
+	g.clamp.Store(int64(n))
+}
+
+// acct returns (creating if needed) the tenant's accounting entry.
+// Caller holds mu.
+func (g *governor) acct(tenant string) *tenantAcct {
+	a := g.tenants[tenant]
+	if a == nil {
+		w := g.weights[tenant]
+		if w <= 0 {
+			w = 1
+		}
+		a = &tenantAcct{weight: w}
+		g.tenants[tenant] = a
+	}
+	return a
+}
+
+// shareBytes computes tenant a's weighted-fair byte share given the
+// currently active tenants (those with in-flight charge, plus a
+// itself). Caller holds mu.
+func (g *governor) shareBytes(a *tenantAcct, budget int64) int64 {
+	sumW := a.weight
+	for _, t := range g.tenants {
+		if t != a && t.inflight > 0 {
+			sumW += t.weight
+		}
+	}
+	return int64(float64(budget) * a.weight / sumW)
 }
 
 // grant is one admitted request's hold on the governed resources.
 type grant struct {
 	g        *governor
+	acct     *tenantAcct
 	bytes    int64
 	workers  int
 	released atomic.Bool
 }
 
 // admit reserves charge bytes of budget and up to wantWorkers worker
-// tokens (at least one). It never blocks: exhaustion of either resource
-// is an immediate error.
-func (g *governor) admit(charge int64, wantWorkers int) (*grant, error) {
+// tokens (at least one) on behalf of tenant. It never blocks:
+// exhaustion of any resource — the global budget, the tenant's fair
+// share under contention, or the worker pool — is an immediate error.
+func (g *governor) admit(tenant string, pri api.Priority, charge int64, wantWorkers int) (*grant, error) {
 	if g.draining.Load() {
 		return nil, errDraining
 	}
-	if !g.tryReserve(charge) {
+	if charge < 0 {
 		return nil, errBudget
+	}
+	budget := g.budget.Load()
+
+	g.mu.Lock()
+	a := g.acct(tenant)
+	if budget > 0 {
+		cur := g.inflight.Load()
+		if cur+charge > budget {
+			a.rejected++
+			g.mu.Unlock()
+			g.sheds.Add(1)
+			return nil, errBudget
+		}
+		if pri == api.Batch && float64(cur+charge) > batchWatermark*float64(budget) {
+			a.rejected++
+			g.mu.Unlock()
+			g.sheds.Add(1)
+			return nil, errBudget
+		}
+		if float64(cur+charge) > fairShareWatermark*float64(budget) {
+			if a.inflight+charge > g.shareBytes(a, budget) {
+				a.rejected++
+				g.mu.Unlock()
+				g.sheds.Add(1)
+				return nil, errTenantShare
+			}
+		}
 	}
 	if wantWorkers < 1 {
 		wantWorkers = 1
 	}
-	if wantWorkers > g.poolSize {
-		wantWorkers = g.poolSize
+	clamp := int(g.clamp.Load())
+	if wantWorkers > clamp {
+		wantWorkers = clamp
 	}
-	g.mu.Lock()
+	// The clamp may sit below the pool: tokens beyond it are parked
+	// even when free.
+	avail := clamp - (g.poolSize - g.free)
 	granted := wantWorkers
-	if granted > g.free {
-		granted = g.free
+	if granted > avail {
+		granted = avail
 	}
-	g.free -= granted
-	g.mu.Unlock()
-	if granted == 0 {
-		g.inflight.Add(-charge)
+	if granted <= 0 {
+		a.rejected++
+		g.mu.Unlock()
+		g.sheds.Add(1)
 		return nil, errWorkers
 	}
-	g.requests.Add(1)
-	return &grant{g: g, bytes: charge, workers: granted}, nil
-}
+	g.free -= granted
+	a.inflight += charge
+	a.admitted++
+	g.mu.Unlock()
 
-// tryReserve adds n bytes to the in-flight reservation if the budget
-// allows it. Negative reservations are refused outright: they would
-// add budget headroom, so a caller computing one has a bug upstream.
-func (g *governor) tryReserve(n int64) bool {
-	if n < 0 {
-		return false
-	}
-	if g.maxInflight <= 0 {
-		g.inflight.Add(n)
-		return true
-	}
-	for {
-		cur := g.inflight.Load()
-		if cur+n > g.maxInflight {
-			return false
-		}
-		if g.inflight.CompareAndSwap(cur, cur+n) {
-			return true
-		}
-	}
+	g.inflight.Add(charge)
+	g.requests.Add(1)
+	return &grant{g: g, acct: a, bytes: charge, workers: granted}, nil
 }
 
 // grow extends the grant's byte reservation mid-request (a stream that
 // exceeded its declared size). Non-blocking; on refusal the caller must
-// abort the request.
+// abort the request. Growth is held to the global budget but not the
+// fair share: the request was admitted under its share, and aborting
+// half-served streams on a share breach wastes more than it protects.
 func (gr *grant) grow(n int64) bool {
-	if !gr.g.tryReserve(n) {
+	if n < 0 {
 		return false
 	}
+	g := gr.g
+	budget := g.budget.Load()
+	if budget > 0 {
+		for {
+			cur := g.inflight.Load()
+			if cur+n > budget {
+				return false
+			}
+			if g.inflight.CompareAndSwap(cur, cur+n) {
+				break
+			}
+		}
+	} else {
+		g.inflight.Add(n)
+	}
+	g.mu.Lock()
+	gr.acct.inflight += n
+	g.mu.Unlock()
 	gr.bytes += n
 	return true
 }
@@ -121,11 +246,13 @@ func (gr *grant) release() {
 	if gr.released.Swap(true) {
 		return
 	}
-	gr.g.inflight.Add(-gr.bytes)
-	gr.g.mu.Lock()
-	gr.g.free += gr.workers
-	gr.g.mu.Unlock()
-	gr.g.requests.Add(-1)
+	g := gr.g
+	g.inflight.Add(-gr.bytes)
+	g.mu.Lock()
+	g.free += gr.workers
+	gr.acct.inflight -= gr.bytes
+	g.mu.Unlock()
+	g.requests.Add(-1)
 }
 
 // busyWorkers reports handed-out worker tokens.
@@ -133,4 +260,38 @@ func (g *governor) busyWorkers() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.poolSize - g.free
+}
+
+// tenantSnapshot is one tenant's externally visible admission state.
+type tenantSnapshot struct {
+	name     string
+	weight   float64
+	share    int64
+	inflight int64
+	admitted int64
+	rejected int64
+}
+
+// snapshotTenants returns the per-tenant view plus the current budget,
+// for /v1/limits, /debug/qos, and the szd_qos_* gauges. Configured-
+// but-idle tenants are included so operators can see their weights.
+func (g *governor) snapshotTenants() []tenantSnapshot {
+	budget := g.budget.Load()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for name := range g.weights {
+		g.acct(name)
+	}
+	out := make([]tenantSnapshot, 0, len(g.tenants))
+	for name, a := range g.tenants {
+		out = append(out, tenantSnapshot{
+			name:     name,
+			weight:   a.weight,
+			share:    g.shareBytes(a, budget),
+			inflight: a.inflight,
+			admitted: a.admitted,
+			rejected: a.rejected,
+		})
+	}
+	return out
 }

@@ -22,6 +22,11 @@ type metrics struct {
 	bytesOut *obs.Vec
 	latency  *obs.HistVec
 	stages   *obs.HistVec
+	// fastLat/slowLat are the QoS signal tap: two EWMAs over served-
+	// request latency at different smoothing factors. The control loop
+	// reads them off-path; recording is one multiply-add per request.
+	fastLat *obs.EWMA
+	slowLat *obs.EWMA
 }
 
 func newMetrics(g *governor, st *store.Store) *metrics {
@@ -35,6 +40,8 @@ func newMetrics(g *governor, st *store.Store) *metrics {
 			"Request body bytes consumed.", "endpoint"),
 		bytesOut: r.Counter("szd_bytes_out_total",
 			"Response body bytes produced.", "endpoint"),
+		fastLat: obs.NewEWMA(0.3),
+		slowLat: obs.NewEWMA(0.02),
 	}
 	r.GaugeFunc("szd_inflight_requests", "Admitted requests currently being served.",
 		func() float64 { return float64(g.requests.Load()) })
@@ -83,12 +90,64 @@ func registerScratch(r *obs.Registry) {
 		"gauge", []string{"class"}, each(func(c scratch.ClassStats) int64 { return c.Puts }))
 }
 
-// record logs one finished (or rejected) request.
+// record logs one finished (or rejected) request. Only served requests
+// feed the QoS latency tap — rejections finish in microseconds and
+// would mask real service latency climbing.
 func (m *metrics) record(endpoint, codec string, status int, in, out int64, d time.Duration) {
 	m.requests.Inc(endpoint, codec, strconv.Itoa(status))
 	m.bytesIn.Add(float64(in), endpoint)
 	m.bytesOut.Add(float64(out), endpoint)
 	m.latency.ObserveDuration(d, endpoint, codec)
+	if status >= 200 && status < 300 {
+		m.fastLat.Observe(d.Seconds())
+		m.slowLat.Observe(d.Seconds())
+	}
+}
+
+// registerQoS adds the szd_qos_* families: the controller's live
+// decisions and the per-tenant admission view, sampled at scrape time.
+// Registered last so every pre-existing family keeps its position in
+// the exposition (scrape-compat).
+func (m *metrics) registerQoS(s *Server) {
+	r := m.reg
+	r.GaugeFunc("szd_qos_budget_bytes", "Adaptive admission byte budget currently in force.",
+		func() float64 { return float64(s.gov.budget.Load()) })
+	r.GaugeFunc("szd_qos_workers", "Adaptive worker clamp currently in force.",
+		func() float64 { return float64(s.gov.clamp.Load()) })
+	r.GaugeFunc("szd_qos_retry_after_seconds", "Backoff hint currently attached to load sheds.",
+		func() float64 { return float64(s.retryAfterMS.Load()) / 1000 })
+	r.GaugeFunc("szd_qos_congested", "1 while the QoS controller sees sustained pressure.",
+		func() float64 {
+			if s.qosState().Congested {
+				return 1
+			}
+			return 0
+		})
+	r.Func("szd_qos_sheds_total", "Load-shed rejections (budget, share, or worker exhaustion).",
+		"counter", nil, func(emit func(float64, ...string)) { emit(float64(s.gov.sheds.Load())) })
+	r.Func("szd_qos_ticks_total", "QoS control-loop iterations.",
+		"counter", nil, func(emit func(float64, ...string)) { emit(float64(s.qosState().Ticks)) })
+	r.Func("szd_qos_cuts_total", "Multiplicative budget cuts taken by the controller.",
+		"counter", nil, func(emit func(float64, ...string)) { emit(float64(s.qosState().Cuts)) })
+	r.Func("szd_qos_grows_total", "Additive budget increases taken by the controller.",
+		"counter", nil, func(emit func(float64, ...string)) { emit(float64(s.qosState().Grows)) })
+	perTenant := func(pick func(tenantSnapshot) float64) func(func(float64, ...string)) {
+		return func(emit func(float64, ...string)) {
+			for _, t := range s.gov.snapshotTenants() {
+				emit(pick(t), t.name)
+			}
+		}
+	}
+	r.Func("szd_qos_tenant_weight", "Configured admission weight by tenant.",
+		"gauge", []string{"tenant"}, perTenant(func(t tenantSnapshot) float64 { return t.weight }))
+	r.Func("szd_qos_tenant_share_bytes", "Current weighted-fair byte share by tenant.",
+		"gauge", []string{"tenant"}, perTenant(func(t tenantSnapshot) float64 { return float64(t.share) }))
+	r.Func("szd_qos_tenant_inflight_bytes", "Admitted in-flight bytes by tenant.",
+		"gauge", []string{"tenant"}, perTenant(func(t tenantSnapshot) float64 { return float64(t.inflight) }))
+	r.Func("szd_qos_tenant_admitted_total", "Admitted requests by tenant.",
+		"counter", []string{"tenant"}, perTenant(func(t tenantSnapshot) float64 { return float64(t.admitted) }))
+	r.Func("szd_qos_tenant_rejected_total", "Admission rejections by tenant.",
+		"counter", []string{"tenant"}, perTenant(func(t tenantSnapshot) float64 { return float64(t.rejected) }))
 }
 
 // recordStages feeds a finished trace's spans into the per-stage

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/api"
 	"repro/internal/grid"
 	"repro/internal/obs"
 )
@@ -31,7 +32,7 @@ func TestTraceAndServerTiming(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reqID := resp.Header.Get("X-Sz-Request-Id")
+	reqID := resp.Header.Get(api.HeaderRequestID)
 	if reqID == "" {
 		t.Error("no X-Sz-Request-Id header")
 	}

@@ -24,6 +24,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -33,14 +34,17 @@ import (
 	"net/url"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/blocked"
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/obs"
+	"repro/internal/qos"
 	"repro/internal/scratch"
 	"repro/internal/store"
 )
@@ -76,6 +80,17 @@ type Config struct {
 	// TraceRingSize is how many finished traces /debug/traces retains
 	// (0 = obs.DefaultRingSize).
 	TraceRingSize int
+	// TenantWeights assigns admission weights to tenant names (the
+	// API-key prefix up to the first '.'). Unlisted tenants weigh 1.
+	// Under contention each tenant is held to budget x w/sum(active w);
+	// below the contention watermark admission is work-conserving.
+	TenantWeights map[string]float64
+	// QoS tunes the adaptive admission controller; zero-valued fields
+	// derive from MaxInflightBytes and Workers. The controller only
+	// acts when its loop runs — StartQoS (cmd/szd wires -qos-interval)
+	// or explicit TickQoS calls; otherwise the budget and worker pool
+	// stay at their configured values.
+	QoS qos.Config
 }
 
 const (
@@ -105,41 +120,128 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the szd daemon's HTTP surface plus its governor, metrics,
-// and trace recorder.
+// Server is the szd daemon's HTTP surface plus its governor, QoS
+// controller, metrics, and trace recorder.
 type Server struct {
 	cfg Config
 	gov *governor
 	met *metrics
 	rec *obs.Recorder
 	mux *http.ServeMux
+
+	// qosc is the adaptive admission controller; qosMu serializes
+	// Tick against State reads (/debug/qos, /v1/limits, gauges).
+	// adaptive is false when the byte budget is disabled — there is
+	// nothing to steer.
+	qosc         *qos.Controller
+	qosMu        sync.Mutex
+	prevSheds    int64
+	adaptive     bool
+	retryAfterMS atomic.Int64
 }
 
 // New builds a Server from cfg (zero value = defaults).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	gov := newGovernor(cfg.MaxInflightBytes, cfg.Workers)
-	s := &Server{
-		cfg: cfg,
-		gov: gov,
-		met: newMetrics(gov, cfg.Store),
-		rec: obs.NewRecorder(cfg.TraceRingSize, cfg.SlowThreshold, nil),
-		mux: http.NewServeMux(),
+	gov := newGovernor(cfg.MaxInflightBytes, cfg.Workers, cfg.TenantWeights)
+	qcfg := cfg.QoS
+	if qcfg.MaxBudget <= 0 && cfg.MaxInflightBytes > 0 {
+		qcfg.MaxBudget = cfg.MaxInflightBytes
 	}
+	if qcfg.InitialBudget <= 0 && cfg.MaxInflightBytes > 0 {
+		qcfg.InitialBudget = cfg.MaxInflightBytes
+	}
+	if qcfg.MaxWorkers <= 0 {
+		qcfg.MaxWorkers = cfg.Workers
+	}
+	if qcfg.MinWorkers <= 0 {
+		qcfg.MinWorkers = cfg.Workers / 4
+	}
+	s := &Server{
+		cfg:      cfg,
+		gov:      gov,
+		met:      newMetrics(gov, cfg.Store),
+		rec:      obs.NewRecorder(cfg.TraceRingSize, cfg.SlowThreshold, nil),
+		mux:      http.NewServeMux(),
+		qosc:     qos.New(qcfg),
+		adaptive: cfg.MaxInflightBytes > 0,
+	}
+	s.retryAfterMS.Store(1000) // static default until the QoS loop ticks
 	// Streaming endpoints deliver Server-Timing as a declared trailer
 	// (the timings do not exist when the response header flushes);
 	// buffered ones carry it as a plain header.
-	s.mux.HandleFunc("/v1/compress", s.method(http.MethodPost, s.withObs("compress", true, s.handleCompress)))
-	s.mux.HandleFunc("/v1/decompress", s.withObs("decompress", true, s.handleDecompress)) // POST; GET for digest-referenced reads
-	s.mux.HandleFunc("/v1/codecs", s.method(http.MethodGet, s.withObs("codecs", false, s.handleCodecs)))
-	s.mux.HandleFunc("/v1/inspect", s.withObs("inspect", false, s.handleInspect)) // GET-with-body or POST
-	s.mux.HandleFunc("/v1/slabs", s.withObs("slabs", false, s.handleSlabs))       // GET-with-body or POST
-	s.mux.HandleFunc("/v1/slab/", s.withObs("slab", true, s.handleSlab))          // GET-with-body or POST
-	s.mux.HandleFunc("/v1/container/", s.withObs("container", false, s.handleContainer))
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/metrics", s.method(http.MethodGet, s.handleMetrics))
-	s.mux.Handle("/debug/traces", s.rec.Ring)
+	s.mux.HandleFunc(api.PathCompress, s.method(http.MethodPost, s.withObs("compress", true, s.handleCompress)))
+	s.mux.HandleFunc(api.PathDecompress, s.withObs("decompress", true, s.handleDecompress)) // POST; GET for digest-referenced reads
+	s.mux.HandleFunc(api.PathCodecs, s.method(http.MethodGet, s.withObs("codecs", false, s.handleCodecs)))
+	s.mux.HandleFunc(api.PathInspect, s.withObs("inspect", false, s.handleInspect)) // GET-with-body or POST
+	s.mux.HandleFunc(api.PathSlabs, s.withObs("slabs", false, s.handleSlabs))       // GET-with-body or POST
+	s.mux.HandleFunc(api.PathSlabPrefix, s.withObs("slab", true, s.handleSlab))     // GET-with-body or POST
+	s.mux.HandleFunc(api.PathContainerPrefix, s.withObs("container", false, s.handleContainer))
+	s.mux.HandleFunc(api.PathLimits, s.method(http.MethodGet, s.handleLimits))
+	s.mux.HandleFunc(api.PathHealthz, s.handleHealthz)
+	s.mux.HandleFunc(api.PathMetrics, s.method(http.MethodGet, s.handleMetrics))
+	s.mux.Handle(api.PathDebugTraces, s.rec.Ring)
+	s.mux.HandleFunc(api.PathDebugQOS, s.method(http.MethodGet, s.handleDebugQoS))
+	s.met.registerQoS(s)
 	return s
+}
+
+// TickQoS runs one control-loop iteration: it snapshots the signal
+// taps (in-flight bytes, shed delta, worker saturation, the fast/slow
+// latency EWMAs), folds them through the AIMD controller, and writes
+// the resulting budget, worker clamp, and Retry-After back into the
+// admission path. Exposed so tests can drive the loop deterministically;
+// production pacing comes from StartQoS.
+func (s *Server) TickQoS() qos.State {
+	s.qosMu.Lock()
+	defer s.qosMu.Unlock()
+	if !s.adaptive {
+		return s.qosc.State()
+	}
+	sheds := s.gov.sheds.Load()
+	st := s.qosc.Tick(qos.Signals{
+		InflightBytes: s.gov.inflight.Load(),
+		ShedDelta:     sheds - s.prevSheds,
+		BusyWorkers:   s.gov.busyWorkers(),
+		PoolSize:      s.gov.poolSize,
+		FastLatency:   s.met.fastLat.Value(),
+		SlowLatency:   s.met.slowLat.Value(),
+	})
+	s.prevSheds = sheds
+	s.gov.setBudget(st.BudgetBytes)
+	s.gov.setWorkerClamp(st.Workers)
+	s.retryAfterMS.Store(st.RetryAfter.Milliseconds())
+	return st
+}
+
+// StartQoS runs the control loop at the given cadence until the
+// returned stop function is called. interval <= 0 starts nothing.
+func (s *Server) StartQoS(interval time.Duration) (stop func()) {
+	if interval <= 0 || !s.adaptive {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				s.TickQoS()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// qosState reads the controller's last output without ticking it.
+func (s *Server) qosState() qos.State {
+	s.qosMu.Lock()
+	defer s.qosMu.Unlock()
+	return s.qosc.State()
 }
 
 // withObs is the tracing middleware: it opens (or continues, via an
@@ -149,8 +251,8 @@ func New(cfg Config) *Server {
 // slow-request log). Handlers reach the trace through the context.
 func (s *Server) withObs(endpoint string, streaming bool, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		t := obs.StartTrace(endpoint, r.Header.Get("Traceparent"), r.Header.Get("X-Sz-Request-Id"))
-		w.Header().Set("X-Sz-Request-Id", t.RequestID)
+		t := obs.StartTrace(endpoint, r.Header.Get("Traceparent"), r.Header.Get(api.HeaderRequestID))
+		w.Header().Set(api.HeaderRequestID, t.RequestID)
 		if streaming {
 			w.Header().Add("Trailer", "Server-Timing")
 		}
@@ -169,8 +271,57 @@ func (s *Server) withObs(endpoint string, streaming bool, h http.HandlerFunc) ht
 			s.met.recordStages(t)
 			s.rec.Done(t)
 		}()
-		h(ow, r.WithContext(obs.NewContext(r.Context(), t)))
+		// Tenant identity is derived from the API key, never from the
+		// tenant header itself — an inbound X-Sz-Tenant is stripped so
+		// a client cannot spoof its way into another tenant's share.
+		r.Header.Del(api.HeaderTenant)
+		ti, err := tenantFromRequest(r)
+		if err != nil {
+			s.reject(ow, endpoint, "", http.StatusBadRequest, err, time.Now())
+			return
+		}
+		ctx := obs.NewContext(r.Context(), t)
+		ctx = context.WithValue(ctx, tenantCtxKey{}, ti)
+		h(ow, r.WithContext(ctx))
 	}
+}
+
+// tenantInfo is a request's resolved admission identity.
+type tenantInfo struct {
+	name string
+	pri  api.Priority
+}
+
+type tenantCtxKey struct{}
+
+// tenantFromRequest validates the API key and priority headers.
+// Malformed values are a 400 with code bad_tenant — rejected before
+// any admission work, so oversized or hostile keys cost nothing.
+func tenantFromRequest(r *http.Request) (tenantInfo, error) {
+	tenant, err := api.TenantFromKey(r.Header.Get(api.HeaderAPIKey))
+	if err != nil {
+		return tenantInfo{}, &api.Error{
+			Status: http.StatusBadRequest, Code: api.CodeBadTenant,
+			Message: "invalid " + api.HeaderAPIKey + ": " + err.Error(),
+		}
+	}
+	pri, err := api.ParsePriority(r.Header.Get(api.HeaderPriority))
+	if err != nil {
+		return tenantInfo{}, &api.Error{
+			Status: http.StatusBadRequest, Code: api.CodeBadTenant,
+			Message: "invalid " + api.HeaderPriority + ": " + err.Error(),
+		}
+	}
+	return tenantInfo{name: tenant, pri: pri}, nil
+}
+
+// tenantOf returns the request's admission identity (default tenant,
+// interactive) when the middleware did not attach one.
+func tenantOf(ctx context.Context) tenantInfo {
+	if ti, ok := ctx.Value(tenantCtxKey{}).(tenantInfo); ok {
+		return ti
+	}
+	return tenantInfo{name: api.DefaultTenant}
 }
 
 // obsWriter captures the response status for the trace and, on buffered
@@ -223,22 +374,32 @@ func (s *Server) method(want string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != want {
 			w.Header().Set("Allow", want)
-			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use %s", want))
+			s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use %s", want))
 			return
 		}
 		h(w, r)
 	}
 }
 
-// writeError emits a JSON error body. Safe only before the response
-// body has started streaming.
-func writeError(w http.ResponseWriter, status int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+// writeError emits the unified api.Error envelope. Safe only before
+// the response body has started streaming. Retryable rejections carry
+// the QoS controller's current Retry-After hint; the request ID rides
+// along when the tracing middleware already stamped the response.
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	e := api.Wrap(status, err)
+	switch {
+	case errors.Is(err, errTenantShare):
+		e.Code = api.CodeTenantOverShare
+	case errors.Is(err, errDraining):
+		e.Code = api.CodeDraining
 	}
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	if e.Temporary() && e.RetryAfterMS == 0 {
+		e.RetryAfterMS = s.retryAfterMS.Load()
+	}
+	if e.RequestID == "" {
+		e.RequestID = w.Header().Get(api.HeaderRequestID)
+	}
+	api.WriteError(w, e)
 }
 
 func admitStatus(err error) int {
@@ -247,7 +408,7 @@ func admitStatus(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, errTooLarge):
 		return http.StatusRequestEntityTooLarge
-	default: // errBudget, errWorkers
+	default: // errBudget, errWorkers, errTenantShare
 		return http.StatusTooManyRequests
 	}
 }
@@ -271,7 +432,7 @@ func requestValues(r *http.Request) url.Values {
 		if v.Get(key) != "" {
 			continue
 		}
-		if hv := r.Header.Get("X-Sz-" + key); hv != "" {
+		if hv := r.Header.Get(api.ParamHeaderPrefix + key); hv != "" {
 			v.Set(key, hv)
 		}
 	}
@@ -285,7 +446,7 @@ func declaredLength(r *http.Request) int64 {
 	if r.ContentLength >= 0 {
 		return r.ContentLength
 	}
-	if h := r.Header.Get("X-Sz-Content-Length"); h != "" {
+	if h := r.Header.Get(api.HeaderContentLength); h != "" {
 		if n, err := strconv.ParseInt(h, 10, 64); err == nil && n >= 0 {
 			return n
 		}
@@ -337,16 +498,20 @@ func (s *Server) unknownCharge() int64 {
 // admit pre-checks that the charge can ever fit the budget — a request
 // whose memory estimate exceeds the whole budget gets a permanent 413,
 // not a retryable 429 that clients would back off against forever —
-// then takes the grant from the governor. The "admission" span covers
-// both the budget reservation and the worker-token acquisition.
-func (s *Server) admit(t *obs.Trace, charge int64, wantWorkers int) (*grant, int, error) {
+// then takes the grant from the governor on behalf of the request's
+// tenant. The pre-check uses the configured ceiling, not the live
+// adaptive budget: a request that fits the configured budget but not
+// the current one is a retryable 429. The "admission" span covers both
+// the budget reservation and the worker-token acquisition.
+func (s *Server) admit(ctx context.Context, t *obs.Trace, charge int64, wantWorkers int) (*grant, int, error) {
 	defer t.StartSpan("admission").End()
 	if s.cfg.MaxInflightBytes > 0 && charge > s.cfg.MaxInflightBytes {
 		return nil, http.StatusRequestEntityTooLarge,
 			fmt.Errorf("%w: estimated memory %d exceeds the in-flight budget %d",
 				errTooLarge, charge, s.cfg.MaxInflightBytes)
 	}
-	gr, err := s.gov.admit(charge, wantWorkers)
+	ti := tenantOf(ctx)
+	gr, err := s.gov.admit(ti.name, ti.pri, charge, wantWorkers)
 	if err != nil {
 		return nil, admitStatus(err), err
 	}
@@ -472,7 +637,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 			want = runtime.GOMAXPROCS(0)
 		}
 	}
-	gr, status, err := s.admit(tr, charge, want)
+	gr, status, err := s.admit(r.Context(), tr, charge, want)
 	if err != nil {
 		s.reject(w, "compress", name, status, err, start)
 		return
@@ -496,7 +661,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	http.NewResponseController(w).EnableFullDuplex()
 	body := newMeteredReader(r.Body, gr, declared, charge, s.cfg.MaxRequestBytes, 1+8/dtypeSize(p), streaming)
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("X-Sz-Codec", name)
+	w.Header().Set(api.HeaderCodec, name)
 	out := &respWriter{ResponseWriter: w}
 	// The finished container is persisted content-addressed as it
 	// streams out, and its digest — unknowable before the last byte —
@@ -563,13 +728,13 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	// the store's mmap. Plain decompress stays POST-only.
 	if ent, done := s.openStoreEntry(w, r, "decompress", start); done {
 		if ent != nil {
-			s.serveDecompressFromStore(w, tr, ent, p, vals.Get("codec"), start)
+			s.serveDecompressFromStore(w, r, tr, ent, p, vals.Get("codec"), start)
 		}
 		return
 	}
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST (or GET with ?digest=)"))
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST (or GET with ?digest=)"))
 		return
 	}
 	declared := declaredLength(r)
@@ -608,7 +773,7 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 		header, _ = br.Peek(core.MaxHeaderLen)
 	}
 	charge, streaming := s.decompressCharge(name, declared, header)
-	gr, status, err := s.admit(tr, charge, 1)
+	gr, status, err := s.admit(r.Context(), tr, charge, 1)
 	if err != nil {
 		s.reject(w, "decompress", name, status, err, start)
 		return
@@ -620,7 +785,7 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	http.NewResponseController(w).EnableFullDuplex()
 	body := newMeteredReader(br, gr, declared, charge, s.cfg.MaxRequestBytes, 5, streaming)
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("X-Sz-Codec", name)
+	w.Header().Set(api.HeaderCodec, name)
 	// Tee the container into the store as the decode consumes it: the
 	// body's digest becomes the response's ETag trailer, and the next
 	// read of this container can reference it with no upload at all.
@@ -677,7 +842,7 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 // body started.
 func (s *Server) reject(w http.ResponseWriter, endpoint, codecName string, status int, err error, start time.Time) {
 	s.met.record(endpoint, codecName, status, 0, 0, time.Since(start))
-	writeError(w, status, err)
+	s.writeError(w, status, err)
 }
 
 // finishStream settles a streaming request: a clean finish records 200;
@@ -713,7 +878,7 @@ func (s *Server) handleInspect(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		w.Header().Set("Allow", "GET, POST")
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
 		return
 	}
 	declared := declaredLength(r)
@@ -725,7 +890,7 @@ func (s *Server) handleInspect(w http.ResponseWriter, r *http.Request) {
 	if charge < 0 {
 		charge = s.unknownCharge()
 	}
-	gr, status, err := s.admit(obs.FromContext(r.Context()), charge, 1)
+	gr, status, err := s.admit(r.Context(), obs.FromContext(r.Context()), charge, 1)
 	if err != nil {
 		s.reject(w, "inspect", "", status, err, start)
 		return
@@ -767,6 +932,65 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	io.WriteString(w, s.met.expose())
+}
+
+// limits assembles the live QoS state as the documented api.Limits
+// shape (shared with the router's fleet aggregation).
+func (s *Server) limits() api.Limits {
+	st := s.qosState()
+	lim := api.Limits{
+		BudgetBytes:     s.gov.budget.Load(),
+		MaxRequestBytes: s.cfg.MaxRequestBytes,
+		Workers:         int(s.gov.clamp.Load()),
+		RetryAfterMS:    s.retryAfterMS.Load(),
+		Congested:       st.Congested,
+		Priorities:      []string{api.Interactive.String(), api.Batch.String()},
+		Tenants:         map[string]api.TenantLimits{},
+	}
+	for _, t := range s.gov.snapshotTenants() {
+		lim.Tenants[t.name] = api.TenantLimits{
+			Weight:        t.weight,
+			ShareBytes:    t.share,
+			InflightBytes: t.inflight,
+			Admitted:      t.admitted,
+			Rejected:      t.rejected,
+		}
+	}
+	return lim
+}
+
+// handleLimits serves GET /v1/limits: the admission state a client can
+// read before deciding how hard to push.
+func (s *Server) handleLimits(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.limits())
+}
+
+// handleDebugQoS serves GET /debug/qos: the controller's full state —
+// counters, baseline, bounds — for operators chasing a misbehaving
+// control loop, a superset of what /v1/limits documents for clients.
+func (s *Server) handleDebugQoS(w http.ResponseWriter, r *http.Request) {
+	st := s.qosState()
+	cfg := s.qosc.Config()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"adaptive": s.adaptive,
+		"state":    st,
+		"bounds": map[string]any{
+			"min_budget_bytes":   cfg.MinBudget,
+			"max_budget_bytes":   cfg.MaxBudget,
+			"increase_bytes":     cfg.Increase,
+			"decrease_factor":    cfg.Decrease,
+			"congested_ticks":    cfg.CongestedTicks,
+			"clear_ticks":        cfg.ClearTicks,
+			"latency_ratio":      cfg.LatencyRatio,
+			"min_workers":        cfg.MinWorkers,
+			"max_workers":        cfg.MaxWorkers,
+			"min_retry_after_ms": cfg.MinRetryAfter.Milliseconds(),
+			"max_retry_after_ms": cfg.MaxRetryAfter.Milliseconds(),
+		},
+		"limits": s.limits(),
+	})
 }
 
 // readAllScratch reads r to EOF into a scratch-pooled buffer, seeded

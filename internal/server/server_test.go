@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/codec"
 	"repro/internal/grid"
 )
@@ -103,8 +104,8 @@ func TestRoundTripByteIdentical(t *testing.T) {
 			if resp.StatusCode != http.StatusOK {
 				t.Fatalf("compress status %d: %s", resp.StatusCode, readAllClose(t, resp))
 			}
-			if got := resp.Header.Get("X-Sz-Codec"); got != name {
-				t.Errorf("X-Sz-Codec = %q, want %q", got, name)
+			if got := resp.Header.Get(api.HeaderCodec); got != name {
+				t.Errorf("codec header = %q, want %q", got, name)
 			}
 			stream := readAllClose(t, resp)
 			if !bytes.Equal(stream, want) {
@@ -168,10 +169,10 @@ func TestHeaderFallbackParams(t *testing.T) {
 	want := localStream(t, "sz14", raw, p)
 
 	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/compress", bytes.NewReader(raw))
-	req.Header.Set("X-Sz-Codec", "sz14")
-	req.Header.Set("X-Sz-Dims", "8,10")
-	req.Header.Set("X-Sz-Dtype", "f32")
-	req.Header.Set("X-Sz-Abs", "1e-3")
+	req.Header.Set(api.HeaderCodec, "sz14")
+	req.Header.Set(api.HeaderDims, "8,10")
+	req.Header.Set(api.HeaderDtype, "f32")
+	req.Header.Set(api.ParamHeaderPrefix+"Abs", "1e-3")
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/blocked"
 	"repro/internal/codec"
 	"repro/internal/obs"
@@ -57,7 +58,7 @@ func (s *Server) handleSlabs(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		w.Header().Set("Allow", "GET, POST")
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
 		return
 	}
 	// Digest-referenced: serve the index off the store's mmap'd entry.
@@ -106,10 +107,10 @@ func (s *Server) handleSlab(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		w.Header().Set("Allow", "GET, POST")
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
 		return
 	}
-	spec := strings.TrimPrefix(r.URL.Path, "/v1/slab/")
+	spec := strings.TrimPrefix(r.URL.Path, api.PathSlabPrefix)
 	lo, hi, err := codec.ParseSlabSpec(spec)
 	if err != nil {
 		s.reject(w, "slab", "", http.StatusBadRequest, err, start)
@@ -197,7 +198,7 @@ func (s *Server) readContainer(w http.ResponseWriter, r *http.Request, endpoint 
 		header, _ := br.Peek(blocked.MaxHeaderLen)
 		charge = s.slabCharge(declared, header, rng[0], rng[1])
 	}
-	gr, status, err := s.admit(obs.FromContext(r.Context()), charge, 1)
+	gr, status, err := s.admit(r.Context(), obs.FromContext(r.Context()), charge, 1)
 	if err != nil {
 		s.reject(w, endpoint, "", status, err, start)
 		return nil, nil, false

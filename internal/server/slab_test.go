@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/api"
 	"repro/internal/blocked"
 	"repro/internal/codec"
 	"repro/internal/grid"
@@ -87,7 +88,7 @@ func TestSlabEndpointMatchesLocal(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("slab %s: status %d: %s", spec.path, resp.StatusCode, readAllClose(t, resp))
 		}
-		if dt := resp.Header.Get("X-Sz-Dtype"); dt != "float32" {
+		if dt := resp.Header.Get(api.HeaderDtype); dt != "float32" {
 			t.Errorf("slab %s: X-Sz-Dtype = %q", spec.path, dt)
 		}
 		got := readAllClose(t, resp)

@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/blocked"
 	"repro/internal/codec"
 	"repro/internal/grid"
@@ -40,7 +41,7 @@ import (
 // SlabContentType is the media type for compressed slab extents: the
 // concatenated core streams of the requested slab range, exactly as
 // they sit in the container body.
-const SlabContentType = "application/x-sz-slab"
+const SlabContentType = api.MediaTypeSlabExtent
 
 const (
 	// mmapReadCharge is the admission charge for responses served as
@@ -55,9 +56,9 @@ const (
 // requestDigest extracts a content-address reference from the request
 // (?digest= query value or X-Sz-Digest header), validating its shape.
 func requestDigest(r *http.Request) (string, error) {
-	d := r.URL.Query().Get("digest")
+	d := r.URL.Query().Get(api.QueryDigest)
 	if d == "" {
-		d = r.Header.Get("X-Sz-Digest")
+		d = r.Header.Get(api.HeaderDigest)
 	}
 	if d == "" {
 		return "", nil
@@ -192,7 +193,7 @@ func (s *Server) openStoreEntry(w http.ResponseWriter, r *http.Request, endpoint
 	ent, err := s.cfg.Store.Get(digest)
 	sp.End()
 	if err != nil {
-		w.Header().Set("X-Sz-Store", "miss")
+		w.Header().Set(api.HeaderStore, "miss")
 		status := http.StatusNotFound
 		if !errors.Is(err, store.ErrNotFound) {
 			status = http.StatusInternalServerError
@@ -200,7 +201,7 @@ func (s *Server) openStoreEntry(w http.ResponseWriter, r *http.Request, endpoint
 		s.reject(w, endpoint, "", status, fmt.Errorf("container %s not in store", digest), start)
 		return nil, true
 	}
-	w.Header().Set("X-Sz-Store", "hit")
+	w.Header().Set(api.HeaderStore, "hit")
 	w.Header().Set("Etag", etag)
 	return ent, true
 }
@@ -208,7 +209,7 @@ func (s *Server) openStoreEntry(w http.ResponseWriter, r *http.Request, endpoint
 // serveDecompressFromStore answers a digest-referenced decompress off
 // the mmap'd entry: no upload, no buffered container copy for the
 // streaming codecs — the charge is the decode window alone.
-func (s *Server) serveDecompressFromStore(w http.ResponseWriter, tr *obs.Trace, ent *store.Entry, p codec.Params, forced string, start time.Time) {
+func (s *Server) serveDecompressFromStore(w http.ResponseWriter, r *http.Request, tr *obs.Trace, ent *store.Entry, p codec.Params, forced string, start time.Time) {
 	defer ent.Release()
 	stream := ent.Bytes()
 	var c codec.Codec
@@ -226,14 +227,14 @@ func (s *Server) serveDecompressFromStore(w http.ResponseWriter, tr *obs.Trace, 
 	// The header parsers read a bounded prefix; handing them the whole
 	// mapped stream skips the peek-reader dance of the body path.
 	charge, _ := s.decompressCharge(name, int64(len(stream)), stream)
-	gr, status, err := s.admit(tr, charge, 1)
+	gr, status, err := s.admit(r.Context(), tr, charge, 1)
 	if err != nil {
 		s.reject(w, "decompress", name, status, err, start)
 		return
 	}
 	defer gr.release()
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("X-Sz-Codec", name)
+	w.Header().Set(api.HeaderCodec, name)
 	out := &respWriter{ResponseWriter: w}
 	zr, err := c.NewReader(bytes.NewReader(stream), p)
 	if err != nil {
@@ -255,7 +256,7 @@ func (s *Server) serveDecompressFromStore(w http.ResponseWriter, tr *obs.Trace, 
 // container: footer-index JSON from the mmap'd entry, no CRC walk.
 func (s *Server) serveSlabsFromStore(w http.ResponseWriter, r *http.Request, ent *store.Entry, start time.Time) {
 	defer ent.Release()
-	gr, status, err := s.admit(obs.FromContext(r.Context()), mmapReadCharge, 1)
+	gr, status, err := s.admit(r.Context(), obs.FromContext(r.Context()), mmapReadCharge, 1)
 	if err != nil {
 		s.reject(w, "slabs", "", status, err, start)
 		return
@@ -315,7 +316,7 @@ func (s *Server) serveSlabFromStore(w http.ResponseWriter, r *http.Request, ent 
 	}
 	tr := obs.FromContext(r.Context())
 	if wantsCompressedSlab(r) && !ix.SharedCodebook() {
-		gr, status, err := s.admit(tr, mmapReadCharge, 1)
+		gr, status, err := s.admit(r.Context(), tr, mmapReadCharge, 1)
 		if err != nil {
 			s.reject(w, "slab", "blocked", status, err, start)
 			return
@@ -327,7 +328,7 @@ func (s *Server) serveSlabFromStore(w http.ResponseWriter, r *http.Request, ent 
 	// Raw samples: charge the decode footprint only — the container
 	// itself is mmap'd, so unlike the body path no buffered copy pins
 	// the budget.
-	gr, status, err := s.admit(tr, s.slabDecodeCharge(ix, lo, hi), 1)
+	gr, status, err := s.admit(r.Context(), tr, s.slabDecodeCharge(ix, lo, hi), 1)
 	if err != nil {
 		s.reject(w, "slab", "blocked", status, err, start)
 		return
@@ -357,10 +358,10 @@ func (s *Server) serveSlabExtent(w http.ResponseWriter, tr *obs.Trace, stream []
 	dims := append([]int(nil), ix.Dims...)
 	dims[0] = rowHi - rowLo
 	w.Header().Set("Content-Type", SlabContentType)
-	w.Header().Set("X-Sz-Codec", "blocked")
-	w.Header().Set("X-Sz-Dims", codec.FormatDims(dims))
-	w.Header().Set("X-Sz-Slabs", codec.FormatSlabSpec(lo, hi))
-	w.Header().Set("X-Sz-Slab-Lengths", formatSlabLengths(ix, lo, hi))
+	w.Header().Set(api.HeaderCodec, "blocked")
+	w.Header().Set(api.HeaderDims, codec.FormatDims(dims))
+	w.Header().Set(api.HeaderSlabs, codec.FormatSlabSpec(lo, hi))
+	w.Header().Set(api.HeaderSlabLengths, formatSlabLengths(ix, lo, hi))
 	out := &respWriter{ResponseWriter: w}
 	sp := tr.StartSpan("mmap_serve")
 	_, err = out.Write(stream[off:end])
@@ -414,10 +415,10 @@ func (s *Server) rejectSlabErr(w http.ResponseWriter, err error, start time.Time
 // writeSlabRaw streams a decoded slab range as raw samples.
 func (s *Server) writeSlabRaw(w http.ResponseWriter, arr *grid.Array, dt grid.DType, lo, hi int, bytesIn int64, start time.Time) {
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("X-Sz-Codec", "blocked")
-	w.Header().Set("X-Sz-Dtype", dt.String())
-	w.Header().Set("X-Sz-Dims", codec.FormatDims(arr.Dims))
-	w.Header().Set("X-Sz-Slabs", codec.FormatSlabSpec(lo, hi))
+	w.Header().Set(api.HeaderCodec, "blocked")
+	w.Header().Set(api.HeaderDtype, dt.String())
+	w.Header().Set(api.HeaderDims, codec.FormatDims(arr.Dims))
+	w.Header().Set(api.HeaderSlabs, codec.FormatSlabSpec(lo, hi))
 	out := &respWriter{ResponseWriter: w}
 	err := arr.WriteRaw(out, dt)
 	s.finishStream(w, out, "slab", "blocked", bytesIn, err, start)
@@ -433,7 +434,7 @@ func (s *Server) writeSlabRaw(w http.ResponseWriter, arr *grid.Array, dt grid.DT
 // from a peer's disk instead of recomputing.
 func (s *Server) handleContainer(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	digest := strings.TrimPrefix(r.URL.Path, "/v1/container/")
+	digest := strings.TrimPrefix(r.URL.Path, api.PathContainerPrefix)
 	if !store.ValidDigest(digest) {
 		s.reject(w, "container", "", http.StatusBadRequest,
 			fmt.Errorf("malformed digest %q", digest), start)
@@ -455,18 +456,18 @@ func (s *Server) handleContainer(w http.ResponseWriter, r *http.Request) {
 		ent, err := s.cfg.Store.Get(digest)
 		sp.End()
 		if err != nil {
-			w.Header().Set("X-Sz-Store", "miss")
+			w.Header().Set(api.HeaderStore, "miss")
 			s.reject(w, "container", "", http.StatusNotFound, fmt.Errorf("container %s not in store", digest), start)
 			return
 		}
 		defer ent.Release()
-		gr, status, err := s.admit(obs.FromContext(r.Context()), mmapReadCharge, 1)
+		gr, status, err := s.admit(r.Context(), obs.FromContext(r.Context()), mmapReadCharge, 1)
 		if err != nil {
 			s.reject(w, "container", "", status, err, start)
 			return
 		}
 		defer gr.release()
-		w.Header().Set("X-Sz-Store", "hit")
+		w.Header().Set(api.HeaderStore, "hit")
 		w.Header().Set("Etag", etag)
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("Content-Length", fmt.Sprintf("%d", ent.Size()))
@@ -479,7 +480,7 @@ func (s *Server) handleContainer(w http.ResponseWriter, r *http.Request) {
 			s.reject(w, "container", "", http.StatusRequestEntityTooLarge, errTooLarge, start)
 			return
 		}
-		gr, status, err := s.admit(obs.FromContext(r.Context()), storePutCharge, 1)
+		gr, status, err := s.admit(r.Context(), obs.FromContext(r.Context()), storePutCharge, 1)
 		if err != nil {
 			s.reject(w, "container", "", status, err, start)
 			return
@@ -516,7 +517,7 @@ func (s *Server) handleContainer(w http.ResponseWriter, r *http.Request) {
 		s.met.record("container", "", http.StatusNoContent, n, 0, time.Since(start))
 	default:
 		w.Header().Set("Allow", "GET, PUT")
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or PUT"))
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or PUT"))
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/api"
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/grid"
@@ -90,8 +91,8 @@ func TestDigestReferencedSlabRead(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("digest slab status %d: %s", resp.StatusCode, readAllClose(t, resp))
 	}
-	if got := resp.Header.Get("X-Sz-Store"); got != "hit" {
-		t.Errorf("X-Sz-Store = %q, want hit", got)
+	if got := resp.Header.Get(api.HeaderStore); got != "hit" {
+		t.Errorf("store tag = %q, want hit", got)
 	}
 	if got := resp.Header.Get("Etag"); got != etagFor(digest) {
 		t.Errorf("Etag = %q, want %q", got, etagFor(digest))
@@ -103,13 +104,13 @@ func TestDigestReferencedSlabRead(t *testing.T) {
 
 	// The header fallback must work too.
 	req, _ := http.NewRequest(http.MethodGet, base+"/v1/slab/1", nil)
-	req.Header.Set("X-Sz-Digest", digest)
+	req.Header.Set(api.HeaderDigest, digest)
 	resp, err = http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := readAllClose(t, resp); !bytes.Equal(got, want) {
-		t.Fatal("X-Sz-Digest fallback differs")
+		t.Fatal("digest-header fallback differs")
 	}
 }
 
@@ -156,7 +157,7 @@ func TestCompressedSlabExtent(t *testing.T) {
 
 		// X-Sz-Slab-Lengths must let the client split the extent.
 		var lens []int
-		for _, f := range strings.Split(resp.Header.Get("X-Sz-Slab-Lengths"), ",") {
+		for _, f := range strings.Split(resp.Header.Get(api.HeaderSlabLengths), ",") {
 			n, err := strconv.Atoi(f)
 			if err != nil {
 				t.Fatalf("spec %s: bad X-Sz-Slab-Lengths: %v", spec, err)
@@ -248,8 +249,8 @@ func TestDigestMissIs404(t *testing.T) {
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("status %d, want 404", resp.StatusCode)
 	}
-	if got := resp.Header.Get("X-Sz-Store"); got != "miss" {
-		t.Fatalf("X-Sz-Store = %q, want miss", got)
+	if got := resp.Header.Get(api.HeaderStore); got != "miss" {
+		t.Fatalf("store tag = %q, want miss", got)
 	}
 
 	// Malformed digests are 400, not 404.
