@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"crypto/tls"
 	"errors"
 	"flag"
 	"fmt"
@@ -33,6 +34,7 @@ import (
 
 	"repro/internal/server"
 	"repro/internal/store"
+	"repro/internal/tlsconf"
 )
 
 func main() {
@@ -52,6 +54,9 @@ func main() {
 		traceRing    = flag.Int("trace-ring", 0, "finished traces retained for /debug/traces (0 = 256)")
 		qosInterval  = flag.Duration("qos-interval", time.Second, "QoS control-loop cadence adapting the admission budget and worker clamp (0 = fixed limits)")
 		tenantWts    = flag.String("tenant-weights", "", "weighted-fair tenant shares as name=weight pairs, comma separated (e.g. acme=3,default=1); unlisted tenants weigh 1")
+		tlsCert      = flag.String("tls-cert", "", "serve TLS with this PEM certificate (requires -tls-key)")
+		tlsKey       = flag.String("tls-key", "", "PEM private key for -tls-cert")
+		tlsClientCA  = flag.String("tls-client-ca", "", "require and verify client certificates signed by this PEM CA (mTLS); empty = no client certs")
 	)
 	flag.Parse()
 	servePprof(*pprofAddr, "szd")
@@ -60,10 +65,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "szd: -tenant-weights:", err)
 		os.Exit(2)
 	}
-	if err := run(*addr, *maxInflight, *maxRequest, *workers, *readTimeout, *writeTimeout, *drainTimeout, *storeDir, *storeBytes, *prefStreams, *slowMS, *traceRing, *qosInterval, weights); err != nil {
+	tlsCfg, err := listenerTLS(*tlsCert, *tlsKey, *tlsClientCA)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "szd:", err)
+		os.Exit(2)
+	}
+	if err := run(*addr, *maxInflight, *maxRequest, *workers, *readTimeout, *writeTimeout, *drainTimeout, *storeDir, *storeBytes, *prefStreams, *slowMS, *traceRing, *qosInterval, weights, tlsCfg); err != nil {
 		fmt.Fprintln(os.Stderr, "szd:", err)
 		os.Exit(1)
 	}
+}
+
+// listenerTLS validates and builds the listener TLS config from the
+// flag trio; nil config means plaintext.
+func listenerTLS(cert, key, clientCA string) (*tls.Config, error) {
+	if cert == "" && key == "" {
+		if clientCA != "" {
+			return nil, errors.New("-tls-client-ca requires -tls-cert and -tls-key")
+		}
+		return nil, nil
+	}
+	if cert == "" || key == "" {
+		return nil, errors.New("-tls-cert and -tls-key must both be set")
+	}
+	return tlsconf.Server(cert, key, clientCA)
 }
 
 // parseWeights parses "name=weight,name=weight" into the tenant weight
@@ -105,7 +130,7 @@ func servePprof(addr, name string) {
 	}()
 }
 
-func run(addr string, maxInflight, maxRequest int64, workers int, readTimeout, writeTimeout, drainTimeout time.Duration, storeDir string, storeBytes int64, prefStreams int, slowMS int64, traceRing int, qosInterval time.Duration, weights map[string]float64) error {
+func run(addr string, maxInflight, maxRequest int64, workers int, readTimeout, writeTimeout, drainTimeout time.Duration, storeDir string, storeBytes int64, prefStreams int, slowMS int64, traceRing int, qosInterval time.Duration, weights map[string]float64, tlsCfg *tls.Config) error {
 	var st *store.Store
 	if storeDir != "" {
 		var err error
@@ -132,6 +157,7 @@ func run(addr string, maxInflight, maxRequest int64, workers int, readTimeout, w
 	hs := &http.Server{
 		Addr:              addr,
 		Handler:           s.Handler(),
+		TLSConfig:         tlsCfg,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       readTimeout,
 		WriteTimeout:      writeTimeout,
@@ -141,6 +167,17 @@ func run(addr string, maxInflight, maxRequest int64, workers int, readTimeout, w
 
 	errc := make(chan error, 1)
 	go func() {
+		if tlsCfg != nil {
+			mode := "tls"
+			if tlsCfg.ClientAuth == tls.RequireAndVerifyClientCert {
+				mode = "mtls"
+			}
+			log.Printf("szd: listening on %s (%s)", addr, mode)
+			// Certificates come from TLSConfig, so the file arguments
+			// stay empty.
+			errc <- hs.ListenAndServeTLS("", "")
+			return
+		}
 		log.Printf("szd: listening on %s", addr)
 		errc <- hs.ListenAndServe()
 	}()

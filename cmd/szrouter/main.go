@@ -17,6 +17,23 @@
 // are exported as szrouter_tenant_requests_total, and GET /v1/limits
 // aggregates the fleet's live QoS state across the backends. The full
 // wire contract lives in internal/api and API.md.
+//
+// Fleet robustness:
+//
+//   - -membership-file names a watched backend list (one address per
+//     line, '#' comments); edits apply live — on SIGHUP or the mtime
+//     poll — through the add → warm-up → in-ring and drain-then-remove
+//     lifecycles. -backends is then only the seed used when the file
+//     does not exist yet.
+//   - -replication R copies every validated container to its digest's
+//     ring owner and R-1 successors, and digest reads fail over from
+//     the owner through the replicas, so any single backend can die
+//     without data loss. An anti-entropy sweep re-replicates after
+//     membership changes.
+//   - -tls-cert/-tls-key/-tls-client-ca serve the client-facing
+//     listener over TLS (optionally mTLS); -backend-ca/-backend-cert/
+//     -backend-key dial the backends over TLS with a client
+//     certificate (backend addresses must then be https:// URLs).
 package main
 
 import (
@@ -29,29 +46,61 @@ import (
 	_ "net/http/pprof" // registered on the DefaultServeMux, served only via -pprof
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/membership"
+	"repro/internal/tlsconf"
 )
 
+// options carries the parsed flags into run.
+type options struct {
+	addr           string
+	backends       string
+	membershipFile string
+	memberPoll     time.Duration
+	poll           time.Duration
+	replicas       int
+	replication    int
+	drainGrace     time.Duration
+	antiEntropy    time.Duration
+	bufferLimit    int
+	cacheBytes     int64
+	cacheEntry     int64
+	slowMS         int64
+	traceRing      int
+
+	tlsCert, tlsKey, tlsClientCA       string
+	backendCA, backendCert, backendKey string
+}
+
 func main() {
-	var (
-		addr        = flag.String("addr", ":7070", "listen address")
-		backends    = flag.String("backends", "", "comma-separated szd backends (host:port or URLs); required")
-		poll        = flag.Duration("poll", 2*time.Second, "health-poll interval")
-		replicas    = flag.Int("replicas", 0, "consistent-hash vnodes per backend (0 = 128)")
-		bufferLimit = flag.Int("buffer-limit", 0, "replayable-body cap in bytes (0 = 4 MiB)")
-		cacheBytes  = flag.Int64("cache-bytes", 0, "response-cache budget for decode endpoints (0 = 64 MiB, -1 disables cache and coalescing)")
-		cacheEntry  = flag.Int64("cache-entry-bytes", 0, "largest cacheable single response (0 = 16 MiB)")
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty = disabled")
-		slowMS      = flag.Int64("slow-ms", 0, "log requests slower than this many milliseconds with their stage breakdown (0 = disabled)")
-		traceRing   = flag.Int("trace-ring", 0, "finished traces retained for /debug/traces (0 = 256)")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":7070", "listen address")
+	flag.StringVar(&o.backends, "backends", "", "comma-separated szd backends (host:port or URLs); required unless -membership-file exists")
+	flag.StringVar(&o.membershipFile, "membership-file", "", "watched backend list (one address per line, '#' comments); edits apply live on SIGHUP or the poll; empty = static -backends")
+	flag.DurationVar(&o.memberPoll, "membership-poll", 2*time.Second, "membership-file mtime poll cadence (<= 0 disables polling; SIGHUP still reloads)")
+	flag.DurationVar(&o.poll, "poll", 2*time.Second, "health-poll interval")
+	flag.IntVar(&o.replicas, "replicas", 0, "consistent-hash vnodes per backend (0 = 128)")
+	flag.IntVar(&o.replication, "replication", 1, "container replication factor R: ring owner plus R-1 successors hold every validated container (1 = owner only)")
+	flag.DurationVar(&o.drainGrace, "drain-grace", 0, "how long a removed backend lingers as a drain/repair source (0 = 10s)")
+	flag.DurationVar(&o.antiEntropy, "anti-entropy", 0, "periodic anti-entropy sweep cadence (0 = sweep only on membership changes, < 0 disables)")
+	flag.IntVar(&o.bufferLimit, "buffer-limit", 0, "replayable-body cap in bytes (0 = 4 MiB)")
+	flag.Int64Var(&o.cacheBytes, "cache-bytes", 0, "response-cache budget for decode endpoints (0 = 64 MiB, -1 disables cache and coalescing)")
+	flag.Int64Var(&o.cacheEntry, "cache-entry-bytes", 0, "largest cacheable single response (0 = 16 MiB)")
+	flag.Int64Var(&o.slowMS, "slow-ms", 0, "log requests slower than this many milliseconds with their stage breakdown (0 = disabled)")
+	flag.IntVar(&o.traceRing, "trace-ring", 0, "finished traces retained for /debug/traces (0 = 256)")
+	flag.StringVar(&o.tlsCert, "tls-cert", "", "serve TLS with this PEM certificate (requires -tls-key)")
+	flag.StringVar(&o.tlsKey, "tls-key", "", "PEM private key for -tls-cert")
+	flag.StringVar(&o.tlsClientCA, "tls-client-ca", "", "require and verify client certificates signed by this PEM CA (mTLS); empty = no client certs")
+	flag.StringVar(&o.backendCA, "backend-ca", "", "PEM CA anchoring backend server verification; setting any -backend-* flag dials backends over TLS")
+	flag.StringVar(&o.backendCert, "backend-cert", "", "PEM client certificate presented to mTLS backends (requires -backend-key)")
+	flag.StringVar(&o.backendKey, "backend-key", "", "PEM private key for -backend-cert")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty = disabled")
 	flag.Parse()
 	servePprof(*pprofAddr)
-	if err := run(*addr, *backends, *poll, *replicas, *bufferLimit, *cacheBytes, *cacheEntry, *slowMS, *traceRing); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "szrouter:", err)
 		os.Exit(1)
 	}
@@ -72,40 +121,120 @@ func servePprof(addr string) {
 	}()
 }
 
-func run(addr, backends string, poll time.Duration, replicas, bufferLimit int, cacheBytes, cacheEntry int64, slowMS int64, traceRing int) error {
-	var nodes []string
-	for _, b := range strings.Split(backends, ",") {
-		if b = strings.TrimSpace(b); b != "" {
-			nodes = append(nodes, b)
-		}
+// backendClient builds the proxy HTTP client: plain when no -backend-*
+// flag is set, TLS (with an optional client certificate for mTLS
+// backends) otherwise.
+func backendClient(o options) (*http.Client, error) {
+	if o.backendCA == "" && o.backendCert == "" && o.backendKey == "" {
+		return &http.Client{}, nil
 	}
-	rt, err := fleet.New(fleet.Config{
-		Backends:        nodes,
-		Replicas:        replicas,
-		BufferLimit:     bufferLimit,
-		PollInterval:    poll,
-		CacheBytes:      cacheBytes,
-		CacheEntryBytes: cacheEntry,
-		SlowThreshold:   time.Duration(slowMS) * time.Millisecond,
-		TraceRingSize:   traceRing,
+	cfg, err := tlsconf.Client(o.backendCA, o.backendCert, o.backendKey, "")
+	if err != nil {
+		return nil, err
+	}
+	return &http.Client{Transport: &http.Transport{TLSClientConfig: cfg}}, nil
+}
+
+func run(o options) error {
+	// Membership edits flow file -> watcher -> router. The watcher fires
+	// only on real set changes; a bad edit (empty file, duplicates) is
+	// logged and the previous membership keeps serving. rt is assigned
+	// before the watcher starts, so the nil check only covers the
+	// construction window.
+	var rt *fleet.Router
+	watcher, err := membership.NewWatcher(membership.Config{
+		Path:     o.membershipFile,
+		Seed:     membership.ParseList(o.backends),
+		Interval: o.memberPoll,
+		OnChange: func(nodes []string) {
+			if rt == nil {
+				return
+			}
+			if err := rt.SetBackends(nodes); err != nil {
+				log.Printf("szrouter: membership change rejected: %v", err)
+				return
+			}
+			log.Printf("szrouter: membership now %v", nodes)
+		},
 	})
 	if err != nil {
 		return err
 	}
+	hc, err := backendClient(o)
+	if err != nil {
+		return err
+	}
+	var listenerTLS = func() (ok bool, err error) {
+		if o.tlsCert == "" && o.tlsKey == "" {
+			if o.tlsClientCA != "" {
+				return false, errors.New("-tls-client-ca requires -tls-cert and -tls-key")
+			}
+			return false, nil
+		}
+		if o.tlsCert == "" || o.tlsKey == "" {
+			return false, errors.New("-tls-cert and -tls-key must both be set")
+		}
+		return true, nil
+	}
+	serveTLS, err := listenerTLS()
+	if err != nil {
+		return err
+	}
+
+	rt, err = fleet.New(fleet.Config{
+		Backends:            watcher.Nodes(),
+		Replicas:            o.replicas,
+		Replication:         o.replication,
+		DrainGrace:          o.drainGrace,
+		AntiEntropyInterval: o.antiEntropy,
+		BufferLimit:         o.bufferLimit,
+		PollInterval:        o.poll,
+		HTTPClient:          hc,
+		CacheBytes:          o.cacheBytes,
+		CacheEntryBytes:     o.cacheEntry,
+		SlowThreshold:       time.Duration(o.slowMS) * time.Millisecond,
+		TraceRingSize:       o.traceRing,
+	})
+	if err != nil {
+		return err
+	}
+	watcher.Start()
+	defer watcher.Stop()
 	rt.Start()
 	defer rt.Stop()
 
 	hs := &http.Server{
-		Addr:              addr,
+		Addr:              o.addr,
 		Handler:           rt.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 		ErrorLog:          log.New(os.Stderr, "szrouter: ", log.LstdFlags),
 	}
+	if serveTLS {
+		if hs.TLSConfig, err = tlsconf.Server(o.tlsCert, o.tlsKey, o.tlsClientCA); err != nil {
+			return err
+		}
+	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("szrouter: listening on %s, backends %v", addr, nodes)
+		if serveTLS {
+			log.Printf("szrouter: listening on %s (tls), backends %v", o.addr, watcher.Nodes())
+			errc <- hs.ListenAndServeTLS("", "")
+			return
+		}
+		log.Printf("szrouter: listening on %s, backends %v", o.addr, watcher.Nodes())
 		errc <- hs.ListenAndServe()
+	}()
+
+	hupc := make(chan os.Signal, 1)
+	signal.Notify(hupc, syscall.SIGHUP)
+	go func() {
+		for range hupc {
+			log.Printf("szrouter: SIGHUP: reloading membership")
+			if err := watcher.Reload(); err != nil {
+				log.Printf("szrouter: membership reload: %v", err)
+			}
+		}
 	}()
 
 	sigc := make(chan os.Signal, 1)

@@ -7,6 +7,11 @@
 //
 //	szscrape -url http://127.0.0.1:7071/metrics szd_qos_budget_bytes szd_qos_workers
 //	curl -s http://127.0.0.1:7071/metrics | szscrape szd_qos_congested
+//
+// At least one required family must be named: a scrape of a dead or
+// misrouted endpoint can be a syntactically valid empty exposition, so
+// a bare invocation would pass vacuously. Callers that really only
+// want syntax validation must opt in with -validate-only.
 package main
 
 import (
@@ -23,14 +28,18 @@ import (
 func main() {
 	url := flag.String("url", "", "scrape this URL; empty = read the exposition from stdin")
 	timeout := flag.Duration("timeout", 10*time.Second, "scrape timeout")
+	validateOnly := flag.Bool("validate-only", false, "accept a scrape with no required families (syntax validation only)")
 	flag.Parse()
-	if err := run(*url, *timeout, flag.Args()); err != nil {
+	if err := run(*url, *timeout, flag.Args(), *validateOnly); err != nil {
 		fmt.Fprintln(os.Stderr, "szscrape:", err)
 		os.Exit(1)
 	}
 }
 
-func run(url string, timeout time.Duration, required []string) error {
+func run(url string, timeout time.Duration, required []string, validateOnly bool) error {
+	if len(required) == 0 && !validateOnly {
+		return fmt.Errorf("no required families listed; an empty exposition would pass vacuously (use -validate-only for syntax-only checks)")
+	}
 	var src io.Reader = os.Stdin
 	if url != "" {
 		c := &http.Client{Timeout: timeout}

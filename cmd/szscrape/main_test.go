@@ -1,0 +1,47 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+const exposition = "# HELP foo_total test counter\n# TYPE foo_total counter\nfoo_total 1\n"
+
+func scrapeServer(t *testing.T, body string) string {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		w.Write([]byte(body))
+	}))
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func TestRunRequiresFamilies(t *testing.T) {
+	url := scrapeServer(t, exposition)
+
+	// A bare invocation must fail even against a valid exposition: an
+	// empty scrape from a dead endpoint would otherwise pass vacuously.
+	err := run(url, time.Second, nil, false)
+	if err == nil {
+		t.Fatal("run with no required families succeeded")
+	}
+	if !strings.Contains(err.Error(), "no required families") {
+		t.Fatalf("error %q does not name the missing-families cause", err)
+	}
+
+	// -validate-only is the explicit opt-in for syntax-only checks.
+	if err := run(url, time.Second, nil, true); err != nil {
+		t.Fatalf("validate-only scrape failed: %v", err)
+	}
+
+	if err := run(url, time.Second, []string{"foo_total"}, false); err != nil {
+		t.Fatalf("scrape with present family failed: %v", err)
+	}
+	if err := run(url, time.Second, []string{"missing_total"}, false); err == nil {
+		t.Fatal("scrape with absent family succeeded")
+	}
+}

@@ -23,6 +23,7 @@ const (
 	PathSlabs           = "/v1/slabs"
 	PathSlabPrefix      = "/v1/slab/"
 	PathContainerPrefix = "/v1/container/"
+	PathContainers      = "/v1/containers"
 	PathLimits          = "/v1/limits"
 	PathHealthz         = "/healthz"
 	PathMetrics         = "/metrics"

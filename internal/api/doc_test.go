@@ -29,6 +29,7 @@ func TestAPIDocCoversConstants(t *testing.T) {
 		"PathSlabs":           PathSlabs,
 		"PathSlabPrefix":      PathSlabPrefix,
 		"PathContainerPrefix": PathContainerPrefix,
+		"PathContainers":      PathContainers,
 		"PathLimits":          PathLimits,
 		"PathHealthz":         PathHealthz,
 		"PathMetrics":         PathMetrics,
@@ -65,6 +66,8 @@ func TestAPIDocCoversConstants(t *testing.T) {
 		"CodeBadRequest":      CodeBadRequest,
 		"CodeBadTenant":       CodeBadTenant,
 		"CodeNotFound":        CodeNotFound,
+		"CodeNoReplica":       CodeNoReplica,
+		"CodeTLSRequired":     CodeTLSRequired,
 		"CodeInternal":        CodeInternal,
 	}
 	for name, value := range constants {

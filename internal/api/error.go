@@ -23,6 +23,8 @@ const (
 	CodeBadRequest      = "bad_request"       // 400: malformed parameters or body
 	CodeBadTenant       = "bad_tenant"        // 400: malformed or oversized API key / priority
 	CodeNotFound        = "not_found"         // 404: unknown path or missing digest
+	CodeNoReplica       = "no_replica"        // 404: digest found on no ring node (owner, replicas, full walk)
+	CodeTLSRequired     = "tls_required"      // 400: plaintext request hit a TLS listener
 	CodeInternal        = "internal"          // 5xx: unexpected server-side failure
 )
 
@@ -140,6 +142,14 @@ func ReadError(resp *http.Response) *Error {
 	}
 	if e.Code == "" {
 		e.Code = defaultCode(resp.StatusCode)
+	}
+	// A Go TLS listener answers plaintext HTTP with this fixed 400 body.
+	// Surface it as its own code so callers fail fast (no retry, clear
+	// remedy: configure client TLS) instead of treating it as a generic
+	// bad request.
+	if resp.StatusCode == http.StatusBadRequest &&
+		strings.Contains(e.Message, "HTTP request to an HTTPS server") {
+		e.Code = CodeTLSRequired
 	}
 	if e.RetryAfterMS == 0 {
 		if ra := resp.Header.Get("Retry-After"); ra != "" {

@@ -1,0 +1,251 @@
+// Package chaos injects transport-level faults for fleet testing:
+// connection resets, latency spikes, truncated response bodies, and
+// 5xx bursts, each fired with a configured probability from a seeded
+// PRNG so a failing run replays exactly. The two entry points wrap
+// the two places faults can live — NewRoundTripper corrupts a
+// client's view of the network (the router's view of its backends in
+// the fleet tests), WrapListener corrupts a server's accept path.
+//
+// The faults are deliberately the ones a fault-tolerant fleet must
+// absorb: a reset before any response byte is indistinguishable from
+// a dead backend and must trigger failover, not an error; a truncated
+// body is a torn read the digest layer must catch; a 5xx burst is a
+// crashing process the health poller must route around. Faults are
+// counted per kind so tests can assert the run actually exercised the
+// machinery ("zero failures" is vacuous if zero faults fired).
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjectedReset is the error a reset fault surfaces. It satisfies
+// net.Error (temporary, not timeout) so retry layers classify it like
+// a real ECONNRESET.
+var ErrInjectedReset = &resetError{}
+
+type resetError struct{}
+
+func (*resetError) Error() string   { return "chaos: injected connection reset" }
+func (*resetError) Timeout() bool   { return false }
+func (*resetError) Temporary() bool { return true }
+
+var _ net.Error = (*resetError)(nil)
+
+// Config sets the per-request fault probabilities (each in [0, 1],
+// independently evaluated; at most one fault fires per request, tried
+// in the order reset, 5xx, latency, truncate).
+type Config struct {
+	Seed int64 // PRNG seed; the same seed replays the same fault schedule
+
+	Reset      float64       // fail before any response bytes (connection reset)
+	Err5xx     float64       // synthesize a 502 with no upstream work
+	Latency    float64       // delay the response by LatencyDur
+	LatencyDur time.Duration // spike size; 0 = 50ms
+	Truncate   float64       // cut the response body at half its length
+
+	// Match limits injection to matching requests (nil = every request).
+	// Use it to aim faults at one backend or one path.
+	Match func(*http.Request) bool
+}
+
+// Counts is a snapshot of fired faults by kind.
+type Counts struct {
+	Resets    int64
+	Err5xx    int64
+	Latencies int64
+	Truncates int64
+}
+
+// Total is the number of faults fired across all kinds.
+func (c Counts) Total() int64 { return c.Resets + c.Err5xx + c.Latencies + c.Truncates }
+
+// RoundTripper injects faults into an http.RoundTripper chain.
+type RoundTripper struct {
+	base http.RoundTripper
+	cfg  Config
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	counts Counts
+}
+
+// NewRoundTripper wraps base (nil = http.DefaultTransport) with fault
+// injection per cfg.
+func NewRoundTripper(base http.RoundTripper, cfg Config) *RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if cfg.LatencyDur <= 0 {
+		cfg.LatencyDur = 50 * time.Millisecond
+	}
+	return &RoundTripper{base: base, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Injected returns the faults fired so far.
+func (t *RoundTripper) Injected() Counts {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counts
+}
+
+// roll draws the fault decision for one request under the mutex, so
+// concurrent requests see a deterministic (if interleaving-dependent)
+// schedule and the rng is never raced.
+func (t *RoundTripper) roll() (reset, e5xx, latency, truncate bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch {
+	case t.rng.Float64() < t.cfg.Reset:
+		t.counts.Resets++
+		return true, false, false, false
+	case t.rng.Float64() < t.cfg.Err5xx:
+		t.counts.Err5xx++
+		return false, true, false, false
+	case t.rng.Float64() < t.cfg.Latency:
+		t.counts.Latencies++
+		return false, false, true, false
+	case t.rng.Float64() < t.cfg.Truncate:
+		t.counts.Truncates++
+		return false, false, false, true
+	}
+	return
+}
+
+func (t *RoundTripper) RoundTrip(r *http.Request) (*http.Response, error) {
+	if t.cfg.Match != nil && !t.cfg.Match(r) {
+		return t.base.RoundTrip(r)
+	}
+	reset, e5xx, latency, truncate := t.roll()
+	switch {
+	case reset:
+		// Before any upstream work: the caller sees a connection-level
+		// failure with no response, exactly like a SIGKILLed peer. The
+		// request body is closed so callers' replay accounting stays sane.
+		if r.Body != nil {
+			r.Body.Close()
+		}
+		return nil, fmt.Errorf("chaos: %s %s: %w", r.Method, r.URL.Path, ErrInjectedReset)
+	case e5xx:
+		if r.Body != nil {
+			io.Copy(io.Discard, r.Body)
+			r.Body.Close()
+		}
+		return &http.Response{
+			Status:     "502 Bad Gateway",
+			StatusCode: http.StatusBadGateway,
+			Proto:      r.Proto, ProtoMajor: r.ProtoMajor, ProtoMinor: r.ProtoMinor,
+			Header:  http.Header{"Content-Type": []string{"text/plain"}},
+			Body:    io.NopCloser(strings.NewReader("chaos: injected 502")),
+			Request: r,
+		}, nil
+	case latency:
+		timer := time.NewTimer(t.cfg.LatencyDur)
+		select {
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			if r.Body != nil {
+				r.Body.Close()
+			}
+			return nil, r.Context().Err()
+		}
+		return t.base.RoundTrip(r)
+	case truncate:
+		resp, err := t.base.RoundTrip(r)
+		if err != nil || resp.Body == nil {
+			return resp, err
+		}
+		n := resp.ContentLength
+		if n <= 0 {
+			n = 64 << 10 // unknown length: cut somewhere plausible
+		}
+		resp.Body = &truncatedBody{rc: resp.Body, remaining: n / 2}
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
+		return resp, nil
+	}
+	return t.base.RoundTrip(r)
+}
+
+// truncatedBody yields the first half of a response body, then fails
+// the way a torn connection does.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	if err == nil && b.remaining <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	if errors.Is(err, io.EOF) {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }
+
+// Listener wraps a net.Listener, resetting a fraction of accepted
+// connections before the server reads a byte — the server-side twin of
+// the RoundTripper's Reset fault.
+type Listener struct {
+	net.Listener
+	prob float64
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	resets int64
+}
+
+// WrapListener resets accepted connections with probability prob,
+// drawn from a PRNG seeded with seed.
+func WrapListener(ln net.Listener, prob float64, seed int64) *Listener {
+	return &Listener{Listener: ln, prob: prob, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Resets returns how many accepted connections were dropped.
+func (l *Listener) Resets() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.resets
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		drop := l.rng.Float64() < l.prob
+		if drop {
+			l.resets++
+		}
+		l.mu.Unlock()
+		if !drop {
+			return c, nil
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetLinger(0) // RST, not FIN: a crash, not a close
+		}
+		c.Close()
+	}
+}

@@ -1,0 +1,160 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newEcho(t *testing.T) *httptest.Server {
+	t.Helper()
+	// 1 KiB stays under the server's chunking threshold, so the
+	// response carries a Content-Length for the truncator to halve.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.Repeat("x", 1024))
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestResetSurfacesAsNetError(t *testing.T) {
+	ts := newEcho(t)
+	rt := NewRoundTripper(nil, Config{Seed: 1, Reset: 1})
+	hc := &http.Client{Transport: rt}
+	_, err := hc.Get(ts.URL)
+	if err == nil {
+		t.Fatal("reset fault did not fail the request")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || ne.Timeout() {
+		t.Fatalf("want a non-timeout net.Error, got %v", err)
+	}
+	if got := rt.Injected(); got.Resets != 1 || got.Total() != 1 {
+		t.Fatalf("counts %+v", got)
+	}
+}
+
+func TestErr5xxSynthesized(t *testing.T) {
+	// Base transport is never reached: point it at a dead URL.
+	rt := NewRoundTripper(nil, Config{Seed: 1, Err5xx: 1})
+	hc := &http.Client{Transport: rt}
+	resp, err := hc.Get("http://127.0.0.1:1/unreachable")
+	if err != nil {
+		t.Fatalf("5xx fault must answer, not error: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502", resp.StatusCode)
+	}
+	if got := rt.Injected(); got.Err5xx != 1 {
+		t.Fatalf("counts %+v", got)
+	}
+}
+
+func TestTruncateTearsBody(t *testing.T) {
+	ts := newEcho(t)
+	rt := NewRoundTripper(nil, Config{Seed: 1, Truncate: 1})
+	hc := &http.Client{Transport: rt}
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want ErrUnexpectedEOF, got %v (read %d bytes)", err, len(body))
+	}
+	if len(body) >= 1024 {
+		t.Fatalf("read the full body (%d bytes) despite truncation", len(body))
+	}
+}
+
+func TestLatencyDelays(t *testing.T) {
+	ts := newEcho(t)
+	rt := NewRoundTripper(nil, Config{Seed: 1, Latency: 1, LatencyDur: 80 * time.Millisecond})
+	hc := &http.Client{Transport: rt}
+	t0 := time.Now()
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if d := time.Since(t0); d < 80*time.Millisecond {
+		t.Fatalf("latency fault did not delay: %v", d)
+	}
+}
+
+func TestMatchScopesFaults(t *testing.T) {
+	ts := newEcho(t)
+	rt := NewRoundTripper(nil, Config{
+		Seed:  1,
+		Reset: 1,
+		Match: func(r *http.Request) bool { return strings.HasPrefix(r.URL.Path, "/target") },
+	})
+	hc := &http.Client{Transport: rt}
+	resp, err := hc.Get(ts.URL + "/other")
+	if err != nil {
+		t.Fatalf("non-matching request was faulted: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if _, err := hc.Get(ts.URL + "/target"); err == nil {
+		t.Fatal("matching request escaped the fault")
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	// The same seed must produce the same fault schedule.
+	schedule := func(seed int64) []bool {
+		rt := NewRoundTripper(nil, Config{Seed: seed, Reset: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			r, _, _, _ := rt.roll()
+			out[i] = r
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d", i)
+		}
+	}
+	c := schedule(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestWrapListenerResets(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := WrapListener(ln, 1, 7) // every connection reset
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})}
+	go srv.Serve(cl)
+	defer srv.Close()
+
+	hc := &http.Client{Timeout: 2 * time.Second}
+	if resp, err := hc.Get("http://" + ln.Addr().String()); err == nil {
+		resp.Body.Close()
+		t.Fatal("listener with reset prob 1 answered a request")
+	}
+	if cl.Resets() == 0 {
+		t.Fatal("no resets counted")
+	}
+}

@@ -17,6 +17,7 @@ package client
 import (
 	"bytes"
 	"context"
+	"crypto/tls"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -36,6 +37,7 @@ import (
 type Client struct {
 	base        string
 	http        *http.Client
+	tls         *tls.Config
 	retry       RetryPolicy
 	bufferLimit int
 	apiKey      string
@@ -49,6 +51,14 @@ type Option func(*Client)
 
 // WithHTTPClient substitutes the transport (default http.DefaultClient).
 func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h } }
+
+// WithTLS dials the daemon over TLS with cfg: its RootCAs anchor server
+// verification and its Certificates (when set) present a client
+// certificate to an mTLS listener — internal/tlsconf builds both
+// shapes. A bare host:port address upgrades to https://; an explicit
+// http:// address is left alone (and will fail fast against a TLS
+// listener with a tls_required error).
+func WithTLS(cfg *tls.Config) Option { return func(c *Client) { c.tls = cfg } }
 
 // RetryPolicy shapes the shed-retry loop for replayable requests.
 type RetryPolicy struct {
@@ -114,7 +124,8 @@ func New(addr string, opts ...Option) (*Client, error) {
 	if addr == "" {
 		return nil, errors.New("client: empty daemon address")
 	}
-	if !strings.Contains(addr, "://") {
+	bare := !strings.Contains(addr, "://")
+	if bare {
 		addr = "http://" + addr
 	}
 	u, err := url.Parse(addr)
@@ -130,6 +141,29 @@ func New(addr string, opts ...Option) (*Client, error) {
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	if c.tls != nil {
+		if bare {
+			c.base = "https://" + strings.TrimPrefix(c.base, "http://")
+		}
+		switch {
+		case c.http == http.DefaultClient:
+			c.http = &http.Client{Transport: &http.Transport{TLSClientConfig: c.tls}}
+		case c.http.Transport == nil:
+			hc := *c.http
+			hc.Transport = &http.Transport{TLSClientConfig: c.tls}
+			c.http = &hc
+		default:
+			if tr, ok := c.http.Transport.(*http.Transport); ok {
+				hc := *c.http
+				tr = tr.Clone()
+				tr.TLSClientConfig = c.tls
+				hc.Transport = tr
+				c.http = &hc
+			}
+			// A custom non-Transport RoundTripper is left alone: the
+			// caller owns its TLS behavior.
+		}
 	}
 	if c.retry.MaxAttempts < 1 {
 		c.retry.MaxAttempts = 1

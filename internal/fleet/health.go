@@ -35,6 +35,13 @@ const (
 	// StateDead backends are unreachable (connect error, timeout) or
 	// answer with a non-health status.
 	StateDead
+	// StateWarming is a backend that has never answered /healthz and is
+	// still inside its startup grace window: probably booting, not dead.
+	// The router treats it like StateUnknown (routable, but a live
+	// connect failure still demotes it), and membership keeps it out of
+	// the ring until its first successful poll. Declared after StateDead
+	// so the numeric values 0–3 stay the documented metric encoding.
+	StateWarming
 )
 
 func (s State) String() string {
@@ -45,6 +52,8 @@ func (s State) String() string {
 		return "draining"
 	case StateDead:
 		return "dead"
+	case StateWarming:
+		return "warming"
 	}
 	return "unknown"
 }
@@ -66,27 +75,51 @@ type Health struct {
 	LastChange time.Time
 	// LastPoll is when the backend was last probed.
 	LastPoll time.Time
+
+	// everHealthy records a first successful /healthz: the startup
+	// grace applies only before it, so a backend that was up and died
+	// goes straight to dead, never back to warming.
+	everHealthy bool
+	// added is when the poller started tracking this backend; the
+	// warming grace window is measured from it.
+	added time.Time
 }
 
-// Poller tracks the health of a fixed backend set.
+// DefaultWarmupGrace is how long a never-healthy backend reads as
+// warming instead of dead when no explicit grace is configured.
+const DefaultWarmupGrace = 15 * time.Second
+
+// Poller tracks the health of a dynamic backend set.
 type Poller struct {
-	backends []string
 	client   *http.Client
 	interval time.Duration
+	grace    time.Duration
 
-	mu     sync.Mutex
-	status map[string]*Health
+	mu       sync.Mutex
+	backends []string
+	status   map[string]*Health
+
+	// afterPoll, when set before Start, runs at the end of every
+	// PollOnce — the router's membership reconciler hangs off it so
+	// warm-up promotion happens on poll cadence without its own timer.
+	afterPoll func()
 
 	stop chan struct{}
 	done chan struct{}
 }
 
 // NewPoller builds a poller over backends (each "host:port", http://
-// assumed). interval <= 0 defaults to 2s; hc nil uses a client with a
-// per-probe timeout of half the interval.
-func NewPoller(backends []string, interval time.Duration, hc *http.Client) *Poller {
+// assumed; full URLs pass through, so https:// backends work).
+// interval <= 0 defaults to 2s; grace is the startup window during
+// which an unreachable never-healthy backend reads as warming rather
+// than dead (0 = DefaultWarmupGrace, < 0 disables warming); hc nil
+// uses a client with a per-probe timeout of half the interval.
+func NewPoller(backends []string, interval, grace time.Duration, hc *http.Client) *Poller {
 	if interval <= 0 {
 		interval = 2 * time.Second
+	}
+	if grace == 0 {
+		grace = DefaultWarmupGrace
 	}
 	if hc == nil {
 		hc = &http.Client{Timeout: interval / 2}
@@ -95,14 +128,51 @@ func NewPoller(backends []string, interval time.Duration, hc *http.Client) *Poll
 		backends: append([]string(nil), backends...),
 		client:   hc,
 		interval: interval,
+		grace:    grace,
 		status:   make(map[string]*Health, len(backends)),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	now := time.Now()
 	for _, b := range p.backends {
-		p.status[b] = &Health{}
+		p.status[b] = &Health{added: now}
 	}
 	return p
+}
+
+// Add starts tracking a backend (no-op if already tracked). The new
+// backend begins its warming grace window now.
+func (p *Poller) Add(backend string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.status[backend] != nil {
+		return
+	}
+	p.backends = append(p.backends, backend)
+	p.status[backend] = &Health{added: time.Now()}
+}
+
+// Remove stops tracking a backend and drops its status.
+func (p *Poller) Remove(backend string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.status[backend] == nil {
+		return
+	}
+	delete(p.status, backend)
+	for i, b := range p.backends {
+		if b == backend {
+			p.backends = append(p.backends[:i], p.backends[i+1:]...)
+			break
+		}
+	}
+}
+
+// Backends returns the tracked backend set (a copy).
+func (p *Poller) Backends() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.backends...)
 }
 
 // Start runs one synchronous poll (so callers begin with real states,
@@ -130,10 +200,11 @@ func (p *Poller) Stop() {
 	<-p.done
 }
 
-// PollOnce probes every backend concurrently and updates states.
+// PollOnce probes every backend concurrently and updates states, then
+// runs the afterPoll hook.
 func (p *Poller) PollOnce(ctx context.Context) {
 	var wg sync.WaitGroup
-	for _, b := range p.backends {
+	for _, b := range p.Backends() {
 		wg.Add(1)
 		go func(b string) {
 			defer wg.Done()
@@ -141,6 +212,9 @@ func (p *Poller) PollOnce(ctx context.Context) {
 		}(b)
 	}
 	wg.Wait()
+	if p.afterPoll != nil {
+		p.afterPoll()
+	}
 }
 
 // probe classifies one backend: connect failure or an unexpected status
@@ -173,6 +247,17 @@ func (p *Poller) probe(ctx context.Context, backend string) {
 	if h == nil {
 		p.mu.Unlock()
 		return
+	}
+	if state == StateHealthy {
+		h.everHealthy = true
+	}
+	// Startup grace: an unreachable backend that has never been healthy
+	// is probably still booting. Keep it warming (routable, out of the
+	// ring) until the window expires — unless a live connect failure
+	// already marked it dead, which is decisive evidence over a guess.
+	if state == StateDead && !h.everHealthy && h.State != StateDead &&
+		p.grace > 0 && now.Sub(h.added) < p.grace {
+		state = StateWarming
 	}
 	if h.State != state {
 		h.State = state
@@ -215,10 +300,10 @@ func (p *Poller) Health(backend string) Health {
 }
 
 // Routable reports whether the router should offer the backend traffic:
-// healthy, or not yet polled.
+// healthy, not yet polled, or still warming up.
 func (p *Poller) Routable(backend string) bool {
 	s := p.Health(backend).State
-	return s == StateHealthy || s == StateUnknown
+	return s == StateHealthy || s == StateUnknown || s == StateWarming
 }
 
 // MarkDead records an observed failure (the router could not connect)

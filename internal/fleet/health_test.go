@@ -77,7 +77,7 @@ func TestPollerStateTransitions(t *testing.T) {
 	fb := newFakeBackend(t)
 	fb.inflight.Store(12345)
 	fb.shed.Store(0)
-	p := NewPoller([]string{fb.addr}, time.Second, nil)
+	p := NewPoller([]string{fb.addr}, time.Second, 0, nil)
 	ctx := context.Background()
 
 	p.PollOnce(ctx)
@@ -123,7 +123,7 @@ func TestPollerStateTransitions(t *testing.T) {
 // counter clears it.
 func TestPollerShedRecently(t *testing.T) {
 	fb := newFakeBackend(t)
-	p := NewPoller([]string{fb.addr}, time.Second, nil)
+	p := NewPoller([]string{fb.addr}, time.Second, 0, nil)
 	ctx := context.Background()
 
 	p.PollOnce(ctx)
@@ -140,7 +140,7 @@ func TestPollerShedRecently(t *testing.T) {
 
 func TestPollerMarkDead(t *testing.T) {
 	fb := newFakeBackend(t)
-	p := NewPoller([]string{fb.addr}, time.Second, nil)
+	p := NewPoller([]string{fb.addr}, time.Second, 0, nil)
 	p.PollOnce(context.Background())
 	p.MarkDead(fb.addr)
 	if h := p.Health(fb.addr); h.State != StateDead {
@@ -150,6 +150,100 @@ func TestPollerMarkDead(t *testing.T) {
 	p.PollOnce(context.Background())
 	if h := p.Health(fb.addr); h.State != StateHealthy {
 		t.Fatalf("state = %v, want healthy after re-poll", h.State)
+	}
+}
+
+// TestPollerWarmingGrace covers the router-start race: a backend that
+// has never answered /healthz reads as warming (routable) inside the
+// grace window, dead after it — and once it has been healthy, a
+// failure is dead immediately, never warming.
+func TestPollerWarmingGrace(t *testing.T) {
+	fb := newFakeBackend(t)
+	fb.stop() // not yet started from the poller's point of view
+	p := NewPoller([]string{fb.addr}, time.Second, 200*time.Millisecond, nil)
+	ctx := context.Background()
+
+	p.PollOnce(ctx)
+	if h := p.Health(fb.addr); h.State != StateWarming {
+		t.Fatalf("state = %v, want warming inside grace", h.State)
+	}
+	if !p.Routable(fb.addr) {
+		t.Error("warming backend not routable")
+	}
+
+	// The backend comes up inside the window: healthy.
+	fb.restart()
+	p.PollOnce(ctx)
+	if h := p.Health(fb.addr); h.State != StateHealthy {
+		t.Fatalf("state = %v, want healthy", h.State)
+	}
+
+	// Once it has been healthy, death is death — no warming grace.
+	fb.stop()
+	p.PollOnce(ctx)
+	if h := p.Health(fb.addr); h.State != StateDead {
+		t.Fatalf("state = %v, want dead after prior health", h.State)
+	}
+}
+
+// TestPollerWarmingDeadline: a backend that never comes up turns dead
+// when the grace window expires.
+func TestPollerWarmingDeadline(t *testing.T) {
+	fb := newFakeBackend(t)
+	fb.stop()
+	p := NewPoller([]string{fb.addr}, time.Second, 50*time.Millisecond, nil)
+	ctx := context.Background()
+	p.PollOnce(ctx)
+	if h := p.Health(fb.addr); h.State != StateWarming {
+		t.Fatalf("state = %v, want warming", h.State)
+	}
+	time.Sleep(60 * time.Millisecond)
+	p.PollOnce(ctx)
+	if h := p.Health(fb.addr); h.State != StateDead {
+		t.Fatalf("state = %v, want dead after deadline", h.State)
+	}
+}
+
+// TestPollerMarkDeadBeatsWarming: a live connect failure is decisive —
+// MarkDead during the grace window sticks through the next poll.
+func TestPollerMarkDeadBeatsWarming(t *testing.T) {
+	fb := newFakeBackend(t)
+	fb.stop()
+	p := NewPoller([]string{fb.addr}, time.Second, time.Hour, nil)
+	ctx := context.Background()
+	p.PollOnce(ctx)
+	if h := p.Health(fb.addr); h.State != StateWarming {
+		t.Fatalf("state = %v, want warming", h.State)
+	}
+	p.MarkDead(fb.addr)
+	p.PollOnce(ctx)
+	if h := p.Health(fb.addr); h.State != StateDead {
+		t.Fatalf("state = %v, want dead (observed failure beats grace)", h.State)
+	}
+}
+
+// TestPollerAddRemove exercises dynamic membership on the poller.
+func TestPollerAddRemove(t *testing.T) {
+	fb := newFakeBackend(t)
+	p := NewPoller(nil, time.Second, 0, nil)
+	if got := p.Backends(); len(got) != 0 {
+		t.Fatalf("backends %v", got)
+	}
+	p.Add(fb.addr)
+	p.Add(fb.addr) // idempotent
+	if got := p.Backends(); len(got) != 1 || got[0] != fb.addr {
+		t.Fatalf("backends %v", got)
+	}
+	p.PollOnce(context.Background())
+	if h := p.Health(fb.addr); h.State != StateHealthy {
+		t.Fatalf("state = %v, want healthy", h.State)
+	}
+	p.Remove(fb.addr)
+	if got := p.Backends(); len(got) != 0 {
+		t.Fatalf("backends after remove %v", got)
+	}
+	if h := p.Health(fb.addr); h.State != StateUnknown {
+		t.Fatalf("removed backend state %v, want zero value", h.State)
 	}
 }
 

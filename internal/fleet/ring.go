@@ -25,9 +25,12 @@ import (
 const defaultReplicas = 128
 
 // Ring is a consistent-hash ring with virtual nodes. It is not
-// goroutine-safe; the Router guards it (membership never changes after
-// construction in the current router, but Add/Remove keep the type
-// reusable and testable on its own).
+// goroutine-safe; the Router guards every access — including the
+// Add/Remove calls live membership makes mid-flight — behind its
+// RWMutex, so the ring itself stays lock-free and testable on its own.
+// Consistent hashing is what makes live membership cheap: adding or
+// removing one of N nodes remaps only ~1/N of keys (asserted by
+// TestRingStability and the router's churn tests).
 type Ring struct {
 	replicas int
 	nodes    map[string]bool

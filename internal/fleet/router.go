@@ -23,6 +23,7 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -33,11 +34,13 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/api"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 const (
@@ -54,6 +57,20 @@ const (
 	// deliberately larger than the request buffer limit: decompress and
 	// slab responses expand their input.
 	defaultCacheEntryBytes = 16 << 20
+	// defaultDrainGrace is how long a removed backend keeps answering
+	// in-flight work and serving as an anti-entropy source before the
+	// router forgets it entirely.
+	defaultDrainGrace = 10 * time.Second
+	// replDedupTTL suppresses repeat replication kicks for the same
+	// digest: every read of a popular container re-announces its ETag,
+	// and one HEAD probe per replica per TTL is plenty.
+	replDedupTTL = time.Minute
+	// replDedupMax bounds the dedup map; beyond it, expired entries are
+	// pruned (and if none expired, the map is reset — re-probing is
+	// cheap, unbounded growth is not).
+	replDedupMax = 4096
+	// replCopyTimeout bounds one background replica copy.
+	replCopyTimeout = 60 * time.Second
 )
 
 // cacheableEndpoint marks the endpoints whose responses are pure
@@ -96,19 +113,55 @@ type Config struct {
 	// TraceRingSize is how many finished traces /debug/traces retains
 	// (0 = obs.DefaultRingSize).
 	TraceRingSize int
+	// Replication is the slab-store replication factor R: every
+	// validated container is copied to the ring owner and R-1
+	// successors, so any single backend can die without losing data.
+	// 0 or 1 disables replication (owner-only, the pre-R behavior).
+	Replication int
+	// WarmupGrace is how long a never-healthy backend reads as warming
+	// instead of dead (0 = DefaultWarmupGrace, < 0 disables).
+	WarmupGrace time.Duration
+	// DrainGrace is how long a removed backend lingers as a drain/
+	// anti-entropy source before being forgotten (0 = 10s).
+	DrainGrace time.Duration
+	// AntiEntropyInterval is the periodic anti-entropy sweep cadence.
+	// 0 means sweeps run only when membership changes; < 0 disables
+	// the sweep loop entirely (SweepOnce still works for tests).
+	AntiEntropyInterval time.Duration
 }
 
 // Router is the fleet-mode HTTP proxy.
 type Router struct {
-	ring        *Ring
+	// mu guards the membership state below: the ring (not itself
+	// goroutine-safe), the serving backend list, and the pending/leaving
+	// lifecycle sets. Request-path readers take it shared; SetBackends
+	// and the poll-driven reconciler take it exclusive.
+	mu       sync.RWMutex
+	ring     *Ring
+	backends []string             // serving set: in-ring plus pending warm-ups
+	pending  map[string]bool      // added, awaiting first healthy poll before ring entry
+	leaving  map[string]time.Time // removed from ring, kept as drain/repair source until deadline
+
 	poller      *Poller
-	backends    []string
 	client      *http.Client
 	bufferLimit int
+	replication int
+	drainGrace  time.Duration
+	aeInterval  time.Duration
 	rr          atomic.Uint64
 	met         *routerMetrics
 	rec         *obs.Recorder
 	mux         *http.ServeMux
+
+	// Background replication: replSeen dedups per-digest kicks, replWG
+	// tracks in-flight copies, and the sweep goroutine re-replicates
+	// under-replicated digests after membership changes.
+	replMu    sync.Mutex
+	replSeen  map[string]time.Time
+	replWG    sync.WaitGroup
+	sweepKick chan struct{}
+	sweepStop chan struct{}
+	sweepDone chan struct{}
 
 	// cache and flights implement the zero-recompute path: cache serves
 	// repeated identical requests without a backend round trip, flights
@@ -139,15 +192,43 @@ func New(cfg Config) (*Router, error) {
 	if hc == nil {
 		hc = &http.Client{}
 	}
+	// The poller needs its own short-timeout client, but it must share
+	// the proxy transport when one is configured — that is where the
+	// mTLS client certificate lives, and probing an mTLS backend in
+	// plaintext would read every node as dead.
+	pi := cfg.PollInterval
+	if pi <= 0 {
+		pi = 2 * time.Second
+	}
+	var phc *http.Client
+	if hc.Transport != nil {
+		phc = &http.Client{Timeout: pi / 2, Transport: hc.Transport}
+	}
+	replication := cfg.Replication
+	if replication < 1 {
+		replication = 1
+	}
+	drainGrace := cfg.DrainGrace
+	if drainGrace <= 0 {
+		drainGrace = defaultDrainGrace
+	}
 	rt := &Router{
 		ring:        NewRing(cfg.Replicas, cfg.Backends...),
-		poller:      NewPoller(cfg.Backends, cfg.PollInterval, nil),
+		poller:      NewPoller(cfg.Backends, cfg.PollInterval, cfg.WarmupGrace, phc),
 		backends:    append([]string(nil), cfg.Backends...),
+		pending:     map[string]bool{},
+		leaving:     map[string]time.Time{},
 		client:      hc,
 		bufferLimit: limit,
+		replication: replication,
+		drainGrace:  drainGrace,
+		aeInterval:  cfg.AntiEntropyInterval,
+		replSeen:    map[string]time.Time{},
+		sweepKick:   make(chan struct{}, 1),
 		rec:         obs.NewRecorder(cfg.TraceRingSize, cfg.SlowThreshold, nil),
 		mux:         http.NewServeMux(),
 	}
+	rt.poller.afterPoll = rt.reconcile
 	if cfg.CacheBytes >= 0 {
 		cacheBytes := cfg.CacheBytes
 		if cacheBytes == 0 {
@@ -160,7 +241,7 @@ func New(cfg Config) (*Router, error) {
 		rt.cache = newRespCache(cacheBytes)
 		rt.flights = newFlightGroup()
 	}
-	rt.met = newRouterMetrics(rt.backends, rt.poller, rt.cache)
+	rt.met = newRouterMetrics(rt.poller, rt.cache)
 	rt.mux.HandleFunc(api.PathCompress, rt.withObs("compress", rt.proxyBody("compress")))
 	rt.mux.HandleFunc(api.PathDecompress, rt.withObs("decompress", rt.proxyBody("decompress")))
 	rt.mux.HandleFunc(api.PathInspect, rt.withObs("inspect", rt.proxyBody("inspect")))
@@ -256,15 +337,136 @@ func (ow *obsWriter) Unwrap() http.ResponseWriter { return ow.ResponseWriter }
 // Handler returns the router's HTTP handler.
 func (rt *Router) Handler() http.Handler { return rt.mux }
 
-// Start runs an initial synchronous health poll and begins the poll
-// loop.
-func (rt *Router) Start() { rt.poller.Start() }
+// Start runs an initial synchronous health poll, begins the poll loop,
+// and (with replication on) the anti-entropy sweep loop.
+func (rt *Router) Start() {
+	rt.poller.Start()
+	if rt.replication > 1 && rt.aeInterval >= 0 {
+		rt.sweepStop = make(chan struct{})
+		rt.sweepDone = make(chan struct{})
+		go rt.sweepLoop()
+	}
+}
 
-// Stop halts health polling.
-func (rt *Router) Stop() { rt.poller.Stop() }
+// Stop halts health polling, the sweep loop, and waits for in-flight
+// background replica copies.
+func (rt *Router) Stop() {
+	rt.poller.Stop()
+	if rt.sweepStop != nil {
+		close(rt.sweepStop)
+		<-rt.sweepDone
+		rt.sweepStop = nil
+	}
+	rt.replWG.Wait()
+}
 
 // Poller exposes the health tracker (for status pages and tests).
 func (rt *Router) Poller() *Poller { return rt.poller }
+
+// Backends returns the current serving set (in-ring plus warming), a
+// copy.
+func (rt *Router) Backends() []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return append([]string(nil), rt.backends...)
+}
+
+// SetBackends applies a new membership set, reconciling it against the
+// current one with the add → warm-up → in-ring and drain-then-remove
+// lifecycles:
+//
+//   - A new backend starts polling immediately but joins the ring only
+//     at its first healthy poll (reconcile), so ring ownership never
+//     points at a node that cannot serve yet.
+//   - A removed backend leaves the ring at once — new traffic stops
+//     hashing to it — but stays polled and usable as an anti-entropy
+//     source for the drain grace, then is forgotten.
+//
+// The ring change is the only synchronous part; data movement happens
+// behind it via the anti-entropy sweep this call kicks.
+func (rt *Router) SetBackends(nodes []string) error {
+	if len(nodes) == 0 {
+		return errors.New("fleet: no backends configured")
+	}
+	next := make(map[string]bool, len(nodes))
+	for _, b := range nodes {
+		if b == "" || next[b] {
+			return fmt.Errorf("fleet: empty or duplicate backend %q", b)
+		}
+		next[b] = true
+	}
+	rt.mu.Lock()
+	changed := false
+	current := make(map[string]bool, len(rt.backends))
+	for _, b := range rt.backends {
+		current[b] = true
+	}
+	for _, b := range nodes {
+		if current[b] {
+			continue
+		}
+		changed = true
+		if _, wasLeaving := rt.leaving[b]; wasLeaving {
+			// Re-added while draining: it was healthy in the ring moments
+			// ago, so it goes straight back in.
+			delete(rt.leaving, b)
+			rt.ring.Add(b)
+		} else {
+			rt.poller.Add(b)
+			rt.pending[b] = true
+		}
+		rt.backends = append(rt.backends, b)
+	}
+	keep := rt.backends[:0]
+	for _, b := range rt.backends {
+		if next[b] {
+			keep = append(keep, b)
+			continue
+		}
+		changed = true
+		if rt.pending[b] {
+			// Never served: no drain needed.
+			delete(rt.pending, b)
+			rt.poller.Remove(b)
+			continue
+		}
+		rt.ring.Remove(b)
+		rt.leaving[b] = time.Now().Add(rt.drainGrace)
+	}
+	rt.backends = keep
+	rt.mu.Unlock()
+	if changed {
+		rt.kickSweep()
+	}
+	return nil
+}
+
+// reconcile runs after every poll: pending backends that reached their
+// first healthy poll enter the ring (kicking a sweep so their share of
+// replicas migrates in), and leaving backends past their drain
+// deadline are forgotten.
+func (rt *Router) reconcile() {
+	rt.mu.Lock()
+	promoted := false
+	for b := range rt.pending {
+		if rt.poller.Health(b).State == StateHealthy {
+			delete(rt.pending, b)
+			rt.ring.Add(b)
+			promoted = true
+		}
+	}
+	now := time.Now()
+	for b, deadline := range rt.leaving {
+		if now.After(deadline) {
+			delete(rt.leaving, b)
+			rt.poller.Remove(b)
+		}
+	}
+	rt.mu.Unlock()
+	if promoted {
+		rt.kickSweep()
+	}
+}
 
 // hopByHop are the connection-scoped headers a proxy must not forward.
 var hopByHop = map[string]bool{
@@ -293,8 +495,24 @@ func copyHeaders(dst, src http.Header) {
 // everything else (draining/dead — still tried last, because poller
 // state may be stale and a request in hand beats a guaranteed 503).
 // Ring order is preserved within each tier so the owner stays first.
+// Warming backends not yet in the ring trail the sequence: they cannot
+// own keys, but when the whole ring is down a booting node is the last
+// resort that may still answer.
 func (rt *Router) candidates(key string) []string {
+	rt.mu.RLock()
 	seq := rt.ring.Sequence(key, len(rt.backends))
+	if len(seq) < len(rt.backends) {
+		inSeq := make(map[string]bool, len(seq))
+		for _, b := range seq {
+			inSeq[b] = true
+		}
+		for _, b := range rt.backends {
+			if !inSeq[b] {
+				seq = append(seq, b)
+			}
+		}
+	}
+	rt.mu.RUnlock()
 	// Snapshot each backend's tier once: querying the poller inside the
 	// comparator would take its lock O(n log n) times and, worse, a
 	// concurrent probe could flip a state mid-sort and break the
@@ -303,9 +521,9 @@ func (rt *Router) candidates(key string) []string {
 	for _, b := range seq {
 		h := rt.poller.Health(b)
 		switch {
-		case (h.State == StateHealthy || h.State == StateUnknown) && !h.ShedRecently:
+		case routableState(h.State) && !h.ShedRecently:
 			tier[b] = 0
-		case h.State == StateHealthy || h.State == StateUnknown:
+		case routableState(h.State):
 			tier[b] = 1
 		default:
 			tier[b] = 2
@@ -315,16 +533,39 @@ func (rt *Router) candidates(key string) []string {
 	return seq
 }
 
+// routableState mirrors Poller.Routable on a snapshot: healthy, not
+// yet polled, or warming.
+func routableState(s State) bool {
+	return s == StateHealthy || s == StateUnknown || s == StateWarming
+}
+
+// ringOwner is the in-ring owner for key ("" on an empty ring).
+func (rt *Router) ringOwner(key string) string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.ring.Lookup(key)
+}
+
+// ringSequence is Sequence under the membership lock.
+func (rt *Router) ringSequence(key string, n int) []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.ring.Sequence(key, n)
+}
+
 // pickStreaming chooses the backend for a non-replayable stream: the
 // least-loaded (by reserved in-flight bytes) routable backend, with a
 // rotating tie-break so equally-idle nodes share the traffic.
 func (rt *Router) pickStreaming() string {
+	backends := rt.Backends()
 	start := int(rt.rr.Add(1))
 	best, bestLoad := "", int64(-1)
 	for tier := 0; tier < 2 && best == ""; tier++ {
-		for i := range rt.backends {
-			b := rt.backends[(start+i)%len(rt.backends)]
+		for i := range backends {
+			b := backends[(start+i)%len(backends)]
 			h := rt.poller.Health(b)
+			// Warming nodes are excluded here: a stream gets exactly one
+			// attempt, so it goes to a node known to answer.
 			routable := h.State == StateHealthy || h.State == StateUnknown
 			if tier == 0 && (!routable || h.ShedRecently) {
 				continue
@@ -338,7 +579,7 @@ func (rt *Router) pickStreaming() string {
 		}
 	}
 	if best == "" {
-		best = rt.backends[start%len(rt.backends)]
+		best = backends[start%len(backends)]
 	}
 	return best
 }
@@ -581,11 +822,12 @@ func (rt *Router) serveCacheable(w http.ResponseWriter, r *http.Request, endpoin
 // any routable backend can answer, with failover through the rest.
 func (rt *Router) proxyBodyless(endpoint string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		backends := rt.Backends()
 		start := int(rt.rr.Add(1))
-		rotated := make([]string, len(rt.backends))
-		routable := make(map[string]bool, len(rt.backends))
-		for i, b := range rt.backends {
-			rotated[i] = rt.backends[(start+i)%len(rt.backends)]
+		rotated := make([]string, len(backends))
+		routable := make(map[string]bool, len(backends))
+		for i, b := range backends {
+			rotated[i] = backends[(start+i)%len(backends)]
 			routable[b] = rt.poller.Routable(b)
 		}
 		sort.SliceStable(rotated, func(i, j int) bool {
@@ -615,6 +857,10 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint strin
 	tr := obs.FromContext(r.Context())
 	var last *storedResp
 	fillTried := false
+	owner := ""
+	if fillDigest != "" {
+		owner = rt.ringOwner(fillDigest)
+	}
 	for _, backend := range cands {
 		if r.Context().Err() != nil {
 			return nil // client went away; stop burning backends
@@ -669,6 +915,19 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint strin
 			}
 			continue
 		}
+		if fillDigest != "" && resp.StatusCode == http.StatusOK && owner != "" && backend != owner {
+			// A digest read answered by a non-owner: the replica (or ring
+			// walk) covered for a dead or missing owner.
+			rt.met.replicationFailover(backend)
+		}
+		if endpoint == "container" && r.Method == http.MethodPut &&
+			resp.StatusCode == http.StatusNoContent {
+			// A client-uploaded container landed: fan it out to the
+			// digest's R-1 successors in the background.
+			if d := strings.TrimPrefix(r.URL.Path, api.PathContainerPrefix); store.ValidDigest(d) {
+				rt.noteContainer(d, backend)
+			}
+		}
 		if capture && resp.StatusCode == http.StatusOK {
 			return rt.relayCaptured(w, tr, resp, backend, endpoint)
 		}
@@ -676,6 +935,19 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint strin
 		return nil
 	}
 	if last != nil {
+		if fillDigest != "" && last.status == http.StatusNotFound {
+			// Every candidate — owner, replicas, the full ring walk — came
+			// up empty: the digest is not just misplaced, it is gone.
+			// no_replica tells the client re-uploading is the only remedy.
+			copyHeaders(w.Header(), last.header)
+			w.Header().Set(api.HeaderBackend, last.backend)
+			rt.met.request(endpoint, http.StatusNotFound)
+			rt.writeError(w, http.StatusNotFound, &api.Error{
+				Code:    api.CodeNoReplica,
+				Message: fmt.Sprintf("container %s on no ring node", fillDigest),
+			})
+			return nil
+		}
 		last.write(w)
 		rt.met.request(endpoint, last.status)
 		return nil
@@ -688,50 +960,228 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint strin
 
 // peerFill repairs a ring-affinity miss: when target's store lacks a
 // container some other node holds, the router copies it over through
-// the content-addressed surface (GET /v1/container from a peer, PUT to
-// the target, digest-verified on arrival). The copy streams through —
-// the router never buffers the container.
+// the content-addressed surface. Peers that fail — unreachable, reset
+// mid-transfer, or simply without the container — are skipped, never
+// fatal: the caller keeps walking candidates either way.
 func (rt *Router) peerFill(r *http.Request, digest, target string, cands []string) bool {
 	for _, peer := range cands {
 		if peer == target || r.Context().Err() != nil {
 			continue
 		}
-		greq, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
-			backendURL(peer)+api.PathContainerPrefix+digest, nil)
-		if err != nil {
-			return false
-		}
-		gresp, err := rt.client.Do(greq)
-		if err != nil {
-			continue
-		}
-		if gresp.StatusCode != http.StatusOK {
-			io.Copy(io.Discard, gresp.Body)
-			gresp.Body.Close()
-			continue
-		}
-		preq, err := http.NewRequestWithContext(r.Context(), http.MethodPut,
-			backendURL(target)+api.PathContainerPrefix+digest, gresp.Body)
-		if err != nil {
-			gresp.Body.Close()
-			return false
-		}
-		if gresp.ContentLength >= 0 {
-			preq.ContentLength = gresp.ContentLength
-		}
-		presp, err := rt.client.Do(preq)
-		gresp.Body.Close()
-		if err != nil {
-			continue
-		}
-		io.Copy(io.Discard, presp.Body)
-		presp.Body.Close()
-		if presp.StatusCode == http.StatusNoContent {
+		if rt.copyContainer(r.Context(), digest, peer, target) {
 			rt.met.peerFill(target)
 			return true
 		}
 	}
 	return false
+}
+
+// copyContainer moves one container between backends through the
+// content-addressed surface: GET /v1/container from src, PUT to dst,
+// digest-verified on arrival. The copy streams through — the router
+// never buffers the container. Any failure (src lacks it, either side
+// unreachable, digest mismatch) is false.
+func (rt *Router) copyContainer(ctx context.Context, digest, src, dst string) bool {
+	greq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		backendURL(src)+api.PathContainerPrefix+digest, nil)
+	if err != nil {
+		return false
+	}
+	gresp, err := rt.client.Do(greq)
+	if err != nil {
+		return false
+	}
+	if gresp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, gresp.Body)
+		gresp.Body.Close()
+		return false
+	}
+	preq, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		backendURL(dst)+api.PathContainerPrefix+digest, gresp.Body)
+	if err != nil {
+		gresp.Body.Close()
+		return false
+	}
+	if gresp.ContentLength >= 0 {
+		preq.ContentLength = gresp.ContentLength
+	}
+	presp, err := rt.client.Do(preq)
+	gresp.Body.Close()
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, presp.Body)
+	presp.Body.Close()
+	return presp.StatusCode == http.StatusNoContent
+}
+
+// containerAt probes dst for digest with a HEAD — the cheap existence
+// check replication uses to skip copies a node already holds.
+func (rt *Router) containerAt(ctx context.Context, dst, digest string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead,
+		backendURL(dst)+api.PathContainerPrefix+digest, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusNoContent
+}
+
+// noteContainer records that src holds digest and, with replication
+// on, kicks an async fan-out to the digest's ring owner and R-1
+// successors. Calls dedup per digest for replDedupTTL: every read of a
+// popular container re-announces its ETag, and one probe round per TTL
+// suffices.
+func (rt *Router) noteContainer(digest, src string) {
+	if rt.replication <= 1 {
+		return
+	}
+	now := time.Now()
+	rt.replMu.Lock()
+	if t, ok := rt.replSeen[digest]; ok && now.Sub(t) < replDedupTTL {
+		rt.replMu.Unlock()
+		return
+	}
+	if len(rt.replSeen) >= replDedupMax {
+		for d, t := range rt.replSeen {
+			if now.Sub(t) >= replDedupTTL {
+				delete(rt.replSeen, d)
+			}
+		}
+		if len(rt.replSeen) >= replDedupMax {
+			rt.replSeen = map[string]time.Time{}
+		}
+	}
+	rt.replSeen[digest] = now
+	rt.replMu.Unlock()
+	rt.replWG.Add(1)
+	go func() {
+		defer rt.replWG.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), replCopyTimeout)
+		defer cancel()
+		rt.replicate(ctx, digest, src, rt.met.replicationWrite)
+	}()
+}
+
+// replicate copies digest from src to every one of its R ring targets
+// that lacks it, counting each landed copy with record.
+func (rt *Router) replicate(ctx context.Context, digest, src string, record func(backend string)) {
+	for _, target := range rt.ringSequence(digest, rt.replication) {
+		if target == src || ctx.Err() != nil {
+			continue
+		}
+		if rt.containerAt(ctx, target, digest) {
+			continue
+		}
+		if rt.copyContainer(ctx, digest, src, target) {
+			record(target)
+		}
+	}
+}
+
+// kickSweep requests an anti-entropy sweep without blocking; a kick
+// while one is pending coalesces into it.
+func (rt *Router) kickSweep() {
+	select {
+	case rt.sweepKick <- struct{}{}:
+	default:
+	}
+}
+
+// sweepLoop runs anti-entropy sweeps on membership kicks and (when an
+// interval is configured) on a timer.
+func (rt *Router) sweepLoop() {
+	defer close(rt.sweepDone)
+	var tick <-chan time.Time
+	if rt.aeInterval > 0 {
+		t := time.NewTicker(rt.aeInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-rt.sweepStop:
+			return
+		case <-rt.sweepKick:
+		case <-tick:
+		}
+		rt.SweepOnce(context.Background())
+	}
+}
+
+// SweepOnce runs one anti-entropy pass: it lists every tracked
+// backend's container inventory — including leaving nodes, whose drain
+// grace exists exactly so their data can be pulled before they vanish —
+// and copies each under-replicated digest to the ring targets that lack
+// it. Safe to call directly (tests, debugging); the sweep loop calls it
+// on membership changes.
+func (rt *Router) SweepOnce(ctx context.Context) {
+	holders := map[string][]string{}
+	for _, src := range rt.poller.Backends() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			backendURL(src)+api.PathContainers, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			continue
+		}
+		var inv struct {
+			Digests []string `json:"digests"`
+		}
+		derr := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&inv)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || derr != nil {
+			continue
+		}
+		for _, d := range inv.Digests {
+			if store.ValidDigest(d) {
+				holders[d] = append(holders[d], src)
+			}
+		}
+	}
+	for digest, srcs := range holders {
+		if ctx.Err() != nil {
+			return
+		}
+		has := make(map[string]bool, len(srcs))
+		for _, s := range srcs {
+			has[s] = true
+		}
+		for _, target := range rt.ringSequence(digest, rt.replication) {
+			if has[target] {
+				continue
+			}
+			for _, src := range srcs {
+				if rt.copyContainer(ctx, digest, src, target) {
+					rt.met.replicationRepair(target)
+					break
+				}
+			}
+		}
+	}
+}
+
+// etagDigest extracts the container digest a response's ETag announces
+// (header on buffered responses, trailer on streamed ones; the body is
+// drained by the time callers ask). "" when absent or not a digest.
+func etagDigest(resp *http.Response) string {
+	etag := resp.Header.Get("Etag")
+	if etag == "" {
+		etag = resp.Trailer.Get("Etag")
+	}
+	d := strings.Trim(etag, `"`)
+	if store.ValidDigest(d) {
+		return d
+	}
+	return ""
 }
 
 // retryAfterFill re-issues the request against the just-filled backend.
@@ -792,12 +1242,20 @@ func (rt *Router) relayCaptured(w http.ResponseWriter, tr *obs.Trace, resp *http
 		io.CopyBuffer(w, resp.Body, make([]byte, 256<<10))
 		sp.End()
 		tr.MergeServerTiming("be-", resp.Trailer.Get("Server-Timing"))
+		if d := etagDigest(resp); d != "" {
+			rt.noteContainer(d, backend)
+		}
 		rt.met.request(endpoint, resp.StatusCode)
 		return nil
 	}
 	// The body is fully read, so the backend's trailers — including its
 	// Server-Timing — are in before the first client byte goes out.
 	tr.MergeServerTiming("be-", resp.Trailer.Get("Server-Timing"))
+	if d := etagDigest(resp); d != "" {
+		// The backend just settled (or confirmed) a container: make sure
+		// its replicas exist.
+		rt.noteContainer(d, backend)
+	}
 	h := make(http.Header, 8)
 	copyHeaders(h, resp.Header)
 	copyHeaders(h, resp.Trailer)
@@ -904,12 +1362,19 @@ func (rt *Router) relay(w http.ResponseWriter, tr *obs.Trace, resp *http.Respons
 			w.Header().Add(k, v)
 		}
 	}
+	if resp.StatusCode == http.StatusOK {
+		if d := etagDigest(resp); d != "" {
+			// A streamed compress/decompress settled on a container digest:
+			// kick its replica fan-out.
+			rt.noteContainer(d, backend)
+		}
+	}
 	rt.met.request(endpoint, resp.StatusCode)
 }
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain")
-	for _, b := range rt.backends {
+	for _, b := range rt.Backends() {
 		if rt.poller.Routable(b) {
 			io.WriteString(w, "ok\n")
 			return
@@ -936,7 +1401,7 @@ func (rt *Router) handleLimits(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fl := api.FleetLimits{Backends: map[string]api.Limits{}}
-	for _, b := range rt.backends {
+	for _, b := range rt.Backends() {
 		if !rt.poller.Routable(b) {
 			continue
 		}
@@ -984,18 +1449,21 @@ func (rt *Router) writeError(w http.ResponseWriter, status int, err error) {
 // the registry and are scrape-contract for CI and dashboards — only the
 // emitter moved.
 type routerMetrics struct {
-	reg       *obs.Registry
-	forwards  *obs.Vec
-	failovers *obs.Vec
-	requests  *obs.Vec
-	coalesces *obs.Vec
-	hitBytes  *obs.Vec
-	fills     *obs.Vec
-	tenants   *obs.Vec
-	stages    *obs.HistVec
+	reg           *obs.Registry
+	forwards      *obs.Vec
+	failovers     *obs.Vec
+	requests      *obs.Vec
+	coalesces     *obs.Vec
+	hitBytes      *obs.Vec
+	fills         *obs.Vec
+	tenants       *obs.Vec
+	replWrites    *obs.Vec
+	replRepairs   *obs.Vec
+	replFailovers *obs.Vec
+	stages        *obs.HistVec
 }
 
-func newRouterMetrics(backends []string, p *Poller, cache *respCache) *routerMetrics {
+func newRouterMetrics(p *Poller, cache *respCache) *routerMetrics {
 	r := obs.NewRegistry()
 	m := &routerMetrics{
 		reg: r,
@@ -1012,16 +1480,17 @@ func newRouterMetrics(backends []string, p *Poller, cache *respCache) *routerMet
 		fills: r.Counter("szrouter_peer_fills_total",
 			"Containers copied into a backend's store from a peer on a ring-affinity miss.", "backend"),
 	}
-	bks := append([]string(nil), backends...)
-	r.Func("szrouter_backend_state", "Backend health (0 unknown, 1 healthy, 2 draining, 3 dead).",
+	// Backend gauges read the poller's live membership at exposition
+	// time, so added and removed nodes appear and vanish with the set.
+	r.Func("szrouter_backend_state", "Backend health (0 unknown, 1 healthy, 2 draining, 3 dead, 4 warming).",
 		"gauge", []string{"backend"}, func(emit func(float64, ...string)) {
-			for _, bk := range bks {
+			for _, bk := range p.Backends() {
 				emit(float64(p.Health(bk).State), bk)
 			}
 		})
 	r.Func("szrouter_backend_inflight_bytes", "Last-scraped reserved budget per backend.",
 		"gauge", []string{"backend"}, func(emit func(float64, ...string)) {
-			for _, bk := range bks {
+			for _, bk := range p.Backends() {
 				emit(float64(p.Health(bk).InflightBytes), bk)
 			}
 		})
@@ -1050,9 +1519,21 @@ func newRouterMetrics(backends []string, p *Poller, cache *respCache) *routerMet
 	// the fixed "invalid" tenant.
 	m.tenants = r.Counter("szrouter_tenant_requests_total",
 		"Client requests by resolved tenant and final status.", "tenant", "status")
+	m.replWrites = r.Counter("szrouter_replication_writes_total",
+		"Replica copies landed by the write-path fan-out, by destination backend.", "backend")
+	m.replRepairs = r.Counter("szrouter_replication_repairs_total",
+		"Replica copies landed by the anti-entropy sweep, by destination backend.", "backend")
+	m.replFailovers = r.Counter("szrouter_replication_failovers_total",
+		"Digest reads served by a non-owner replica, by serving backend.", "backend")
 	obs.RegisterRuntime(r, "szrouter")
 	return m
 }
+
+func (m *routerMetrics) replicationWrite(backend string) { m.replWrites.Inc(backend) }
+
+func (m *routerMetrics) replicationRepair(backend string) { m.replRepairs.Inc(backend) }
+
+func (m *routerMetrics) replicationFailover(backend string) { m.replFailovers.Inc(backend) }
 
 func (m *routerMetrics) tenantRequest(tenant string, status int) {
 	m.tenants.Inc(tenant, strconv.Itoa(status))

@@ -365,7 +365,9 @@ func TestRouterHealthz(t *testing.T) {
 	ln, _ := net.Listen("tcp", "127.0.0.1:0")
 	dead := ln.Addr().String()
 	ln.Close()
-	rt2, ts2 := newRouter(t, Config{Backends: []string{dead}})
+	// Warming grace off: this half checks a confirmed-unreachable fleet,
+	// not the startup race the grace papers over.
+	rt2, ts2 := newRouter(t, Config{Backends: []string{dead}, WarmupGrace: -1})
 	rt2.poller.PollOnce(context.Background())
 	resp, err = http.Get(ts2.URL + "/healthz")
 	if err != nil {

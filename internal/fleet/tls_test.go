@@ -1,0 +1,178 @@
+package fleet
+
+// Transport-security integration: a fully mTLS fleet (client → router
+// over TLS, router → backends with client certificates) must round-trip
+// byte-identically to a plaintext fleet, and a plaintext client aimed
+// at a TLS listener must fail fast with a typed tls_required error —
+// not hang, not return garbage.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/codec"
+	"repro/internal/grid"
+	"repro/internal/server"
+	"repro/internal/tlsconf"
+)
+
+// newTLSSzd starts a daemon behind an mTLS listener and returns its
+// https:// URL.
+func newTLSSzd(t *testing.T, files tlsconf.Files) string {
+	t.Helper()
+	cfg, err := tlsconf.Server(files.ServerCert, files.ServerKey, files.CACert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewUnstartedServer(server.New(server.Config{}).Handler())
+	ts.TLS = cfg
+	ts.StartTLS()
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// compressVia runs one compress through a client and returns the
+// container bytes.
+func compressVia(t *testing.T, cl *client.Client, raw []byte, p codec.Params) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	zw, err := cl.NewWriter(context.Background(), &out, "blocked", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+func TestFleetMTLSRoundTrip(t *testing.T) {
+	files, err := tlsconf.DevCertificates(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// TLS fleet: two mTLS backends behind a TLS router whose proxy
+	// client presents the fleet client certificate.
+	beA, beB := newTLSSzd(t, files), newTLSSzd(t, files)
+	proxyCfg, err := tlsconf.Client(files.CACert, files.ClientCert, files.ClientKey, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(Config{
+		Backends:     []string{beA, beB},
+		PollInterval: time.Hour,
+		HTTPClient:   &http.Client{Transport: &http.Transport{TLSClientConfig: proxyCfg}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The health poller shares the mTLS transport: both backends must
+	// read healthy, or every probe would be dying in the handshake.
+	rt.poller.PollOnce(context.Background())
+	for _, b := range []string{beA, beB} {
+		if st := rt.poller.Health(b).State; st != StateHealthy {
+			t.Fatalf("mTLS backend %s state %v, want healthy", b, st)
+		}
+	}
+	routerCfg, err := tlsconf.Server(files.ServerCert, files.ServerKey, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewUnstartedServer(rt.Handler())
+	rts.TLS = routerCfg
+	rts.StartTLS()
+	t.Cleanup(rts.Close)
+
+	// Plaintext fleet with identical parameters for the byte-compare.
+	_, pts := newRouter(t, Config{Backends: []string{newSzd(t), newSzd(t)}})
+
+	clientCfg, err := tlsconf.Client(files.CACert, "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bare host:port plus WithTLS: the client must upgrade to https://.
+	tlsClient, err := client.New(strings.TrimPrefix(rts.URL, "https://"), client.WithTLS(clientCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainClient, err := client.New(pts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw := makeRaw(t, grid.Float32, 16, 8, 8)
+	p := codec.Params{AbsBound: 1e-3, DType: grid.Float32, Dims: []int{16, 8, 8}}
+	tlsStream := compressVia(t, tlsClient, raw, p)
+	plainStream := compressVia(t, plainClient, raw, p)
+	if !bytes.Equal(tlsStream, plainStream) {
+		t.Fatalf("mTLS fleet container (%d bytes) differs from plaintext fleet (%d bytes)",
+			len(tlsStream), len(plainStream))
+	}
+
+	// Decode through both fleets: the codec is lossy, so the reference
+	// is the plaintext fleet's output, not the raw input.
+	decodeVia := func(cl *client.Client, stream []byte) []byte {
+		t.Helper()
+		rc, err := cl.NewReader(context.Background(), bytes.NewReader(stream),
+			int64(len(stream)), "", codec.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rc.Close()
+		var back bytes.Buffer
+		if _, err := back.ReadFrom(rc); err != nil {
+			t.Fatal(err)
+		}
+		return back.Bytes()
+	}
+	tlsBack := decodeVia(tlsClient, tlsStream)
+	plainBack := decodeVia(plainClient, plainStream)
+	if !bytes.Equal(tlsBack, plainBack) {
+		t.Fatal("mTLS fleet decode differs from plaintext fleet decode")
+	}
+	if len(tlsBack) != len(raw) {
+		t.Fatalf("decoded %d bytes, want %d", len(tlsBack), len(raw))
+	}
+}
+
+// TestPlaintextClientAgainstTLSListener: the failure mode must be a
+// typed, immediate tls_required error — the Go TLS listener answers
+// plaintext HTTP with a fixed 400, and the client maps it.
+func TestPlaintextClientAgainstTLSListener(t *testing.T) {
+	files, err := tlsconf.DevCertificates(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	beURL := newTLSSzd(t, files)
+
+	// Speak plain http:// at the TLS port.
+	cl, err := client.New("http://" + strings.TrimPrefix(beURL, "https://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err = cl.Codecs(ctx)
+	if err == nil {
+		t.Fatal("plaintext request against a TLS listener succeeded")
+	}
+	var ae *api.Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("error not a typed *api.Error: %v", err)
+	}
+	if ae.Code != api.CodeTLSRequired {
+		t.Fatalf("error code %q, want %q (err: %v)", ae.Code, api.CodeTLSRequired, err)
+	}
+}

@@ -1,0 +1,169 @@
+package membership
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseList(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []string
+	}{
+		{"a:1\nb:2\n", []string{"a:1", "b:2"}},
+		{"a:1,b:2, c:3", []string{"a:1", "b:2", "c:3"}},
+		{"# fleet\na:1 # owner\n\n  b:2  \n", []string{"a:1", "b:2"}},
+		{"a:1\na:1\nb:2,a:1", []string{"a:1", "b:2"}},
+		{"https://node1:7071\nhttp://node2:7071", []string{"https://node1:7071", "http://node2:7071"}},
+		{"# nothing\n\n", nil},
+	} {
+		if got := ParseList(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseList(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func writeFile(t *testing.T, path, data string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileWinsOverSeed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "members")
+	writeFile(t, path, "file-a:1\nfile-b:2\n")
+	w, err := NewWatcher(Config{Path: path, Seed: []string{"seed:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Nodes(); !reflect.DeepEqual(got, []string{"file-a:1", "file-b:2"}) {
+		t.Fatalf("nodes %v", got)
+	}
+}
+
+func TestSeedFallbackWhenFileMissing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "absent")
+	w, err := NewWatcher(Config{Path: path, Seed: []string{"seed:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Nodes(); !reflect.DeepEqual(got, []string{"seed:1"}) {
+		t.Fatalf("nodes %v", got)
+	}
+}
+
+func TestNoBackendsIsError(t *testing.T) {
+	if _, err := NewWatcher(Config{}); err == nil {
+		t.Fatal("empty seed and no path must error")
+	}
+	path := filepath.Join(t.TempDir(), "members")
+	writeFile(t, path, "# all comments\n")
+	if _, err := NewWatcher(Config{Path: path}); err == nil {
+		t.Fatal("comment-only file with no seed must error")
+	}
+}
+
+func TestReloadFiresOnChangeOnlyOnRealChange(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "members")
+	writeFile(t, path, "a:1\nb:2\n")
+	var (
+		mu    sync.Mutex
+		calls [][]string
+	)
+	w, err := NewWatcher(Config{Path: path, Interval: -1, OnChange: func(nodes []string) {
+		mu.Lock()
+		calls = append(calls, nodes)
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reordering the same set: not a change.
+	writeFile(t, path, "b:2\na:1\n")
+	if err := w.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	n := len(calls)
+	mu.Unlock()
+	if n != 0 {
+		t.Fatalf("reorder fired OnChange %d times", n)
+	}
+
+	// A real change fires once with the new set.
+	writeFile(t, path, "a:1\nc:3\n")
+	if err := w.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(calls) != 1 || !reflect.DeepEqual(calls[0], []string{"a:1", "c:3"}) {
+		t.Fatalf("calls %v", calls)
+	}
+	if got := w.Nodes(); !reflect.DeepEqual(got, []string{"a:1", "c:3"}) {
+		t.Fatalf("nodes %v", got)
+	}
+}
+
+func TestReloadRejectsEmptyFileKeepsSet(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "members")
+	writeFile(t, path, "a:1\n")
+	w, err := NewWatcher(Config{Path: path, Interval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, path, "# oops, truncated\n")
+	if err := w.Reload(); err == nil {
+		t.Fatal("zero-backend reload must error")
+	}
+	if got := w.Nodes(); !reflect.DeepEqual(got, []string{"a:1"}) {
+		t.Fatalf("set not kept: %v", got)
+	}
+}
+
+func TestPollingDetectsEdit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "members")
+	writeFile(t, path, "a:1\n")
+	changed := make(chan []string, 1)
+	w, err := NewWatcher(Config{Path: path, Interval: 10 * time.Millisecond, OnChange: func(nodes []string) {
+		changed <- nodes
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	defer w.Stop()
+
+	// Size changes with the edit, so coarse mtime granularity cannot
+	// hide it from the poller.
+	writeFile(t, path, "a:1\nb:2\n")
+	select {
+	case nodes := <-changed:
+		if !reflect.DeepEqual(nodes, []string{"a:1", "b:2"}) {
+			t.Fatalf("nodes %v", nodes)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("poller missed the edit")
+	}
+}
+
+func TestStaticMembershipNoPath(t *testing.T) {
+	w, err := NewWatcher(Config{Seed: []string{"a:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start() // no-op
+	w.Stop()  // no-op
+	if err := w.Reload(); err != nil {
+		t.Fatalf("pathless reload must be a no-op, got %v", err)
+	}
+	if got := w.Nodes(); !reflect.DeepEqual(got, []string{"a:1"}) {
+		t.Fatalf("nodes %v", got)
+	}
+}

@@ -177,6 +177,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc(api.PathSlabs, s.withObs("slabs", false, s.handleSlabs))       // GET-with-body or POST
 	s.mux.HandleFunc(api.PathSlabPrefix, s.withObs("slab", true, s.handleSlab))     // GET-with-body or POST
 	s.mux.HandleFunc(api.PathContainerPrefix, s.withObs("container", false, s.handleContainer))
+	s.mux.HandleFunc(api.PathContainers, s.method(http.MethodGet, s.withObs("containers", false, s.handleContainers)))
 	s.mux.HandleFunc(api.PathLimits, s.method(http.MethodGet, s.handleLimits))
 	s.mux.HandleFunc(api.PathHealthz, s.handleHealthz)
 	s.mux.HandleFunc(api.PathMetrics, s.method(http.MethodGet, s.handleMetrics))

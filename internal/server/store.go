@@ -426,12 +426,16 @@ func (s *Server) writeSlabRaw(w http.ResponseWriter, arr *grid.Array, dt grid.DT
 
 // handleContainer is the peer-fill/admin surface of the store:
 //
-//	GET /v1/container/{digest}  the stored container bytes, or 404
-//	PUT /v1/container/{digest}  store the body under digest (digest-verified)
+//	GET  /v1/container/{digest}  the stored container bytes, or 404
+//	HEAD /v1/container/{digest}  204 if stored, 404 otherwise
+//	PUT  /v1/container/{digest}  store the body under digest (digest-verified)
 //
 // Routers use it to migrate entries between backends when ring affinity
 // moves, so a slab read on a freshly-assigned owner can be answered
-// from a peer's disk instead of recomputing.
+// from a peer's disk instead of recomputing. HEAD is the replicator's
+// existence probe: a GET answers 304 on If-None-Match whether or not
+// the entry is stored (the digest names the bytes), so only HEAD tells
+// a copier whether the target actually holds them.
 func (s *Server) handleContainer(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	digest := strings.TrimPrefix(r.URL.Path, api.PathContainerPrefix)
@@ -446,6 +450,17 @@ func (s *Server) handleContainer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	switch r.Method {
+	case http.MethodHead:
+		if !s.cfg.Store.Contains(digest) {
+			w.Header().Set(api.HeaderStore, "miss")
+			w.WriteHeader(http.StatusNotFound)
+			s.met.record("container", "", http.StatusNotFound, 0, 0, time.Since(start))
+			return
+		}
+		w.Header().Set(api.HeaderStore, "hit")
+		w.Header().Set("Etag", etagFor(digest))
+		w.WriteHeader(http.StatusNoContent)
+		s.met.record("container", "", http.StatusNoContent, 0, 0, time.Since(start))
 	case http.MethodGet:
 		etag := etagFor(digest)
 		if ifNoneMatchHas(r, etag) {
@@ -516,9 +531,38 @@ func (s *Server) handleContainer(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		s.met.record("container", "", http.StatusNoContent, n, 0, time.Since(start))
 	default:
-		w.Header().Set("Allow", "GET, PUT")
-		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or PUT"))
+		w.Header().Set("Allow", "GET, HEAD, PUT")
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET, HEAD, or PUT"))
 	}
+}
+
+// handleContainers lists the store's inventory:
+//
+//	GET /v1/containers  {"digests": ["...", ...]}
+//
+// It is the anti-entropy sweep's read side: the router lists every
+// backend, computes which digests are under-replicated for the current
+// ring, and copies them where they belong. The listing is a snapshot —
+// entries may be evicted between the list and a later read — so
+// consumers must treat a subsequent 404 as normal, not as corruption.
+func (s *Server) handleContainers(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.cfg.Store == nil {
+		s.reject(w, "containers", "", http.StatusNotFound,
+			fmt.Errorf("no store configured (-store-dir)"), start)
+		return
+	}
+	resp, err := json.Marshal(struct {
+		Digests []string `json:"digests"`
+	}{Digests: s.cfg.Store.Digests()})
+	if err != nil {
+		s.reject(w, "containers", "", http.StatusInternalServerError, err, start)
+		return
+	}
+	resp = append(resp, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(resp)
+	s.met.record("containers", "", http.StatusOK, 0, int64(len(resp)), time.Since(start))
 }
 
 // bodyDigest hashes a buffered container body — the same digest the

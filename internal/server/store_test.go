@@ -343,6 +343,68 @@ func TestContainerGetPut(t *testing.T) {
 	}
 }
 
+// TestContainerHeadAndListing: HEAD /v1/container/{digest} is the
+// replicator's existence probe (204 stored, 404 not), and GET
+// /v1/containers lists the inventory for anti-entropy sweeps.
+func TestContainerHeadAndListing(t *testing.T) {
+	_, base, st := newStoreDaemon(t, 0)
+	raw, _ := makeRaw(t, grid.Float32, 16, 20, 12)
+	p := codec.Params{AbsBound: 1e-3, DType: grid.Float32, Dims: []int{16, 20, 12}}
+	stream := localStream(t, "blocked", raw, p)
+	digest, err := st.Put(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	head := func(d string) *http.Response {
+		req, _ := http.NewRequest(http.MethodHead, base+"/v1/container/"+d, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	resp := head(digest)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("stored HEAD status %d, want 204", resp.StatusCode)
+	}
+	if got := resp.Header.Get(api.HeaderStore); got != "hit" {
+		t.Errorf("stored HEAD %s = %q, want hit", api.HeaderStore, got)
+	}
+	resp = head(bodyDigest([]byte("absent")))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("absent HEAD status %d, want 404", resp.StatusCode)
+	}
+
+	lresp, err := http.Get(base + "/v1/containers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Digests []string `json:"digests"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if len(listing.Digests) != 1 || listing.Digests[0] != digest {
+		t.Fatalf("listing %v, want [%s]", listing.Digests, digest)
+	}
+
+	// No store configured: the listing is a 404, same as any other
+	// store-backed surface.
+	_, ts := newTestDaemon(t, Config{})
+	nresp, err := http.Get(ts.URL + "/v1/containers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("storeless listing status %d, want 404", nresp.StatusCode)
+	}
+}
+
 // TestDigestReferencedDecompress: GET /v1/decompress?digest= must equal
 // the body-path reconstruction.
 func TestDigestReferencedDecompress(t *testing.T) {

@@ -306,6 +306,21 @@ func (s *Store) Contains(digest string) bool {
 	return ok
 }
 
+// Digests returns the digests of every stored entry, sorted, without
+// touching recency. It exists for anti-entropy sweeps: a repairer
+// lists each node's inventory and re-replicates what is missing, so
+// the listing must not perturb the LRU order the way Get does.
+func (s *Store) Digests() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.items))
+	for d := range s.items {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Put stores payload under its own SHA-256 and returns the hex digest.
 func (s *Store) Put(payload []byte) (string, error) {
 	p, err := s.NewPut()

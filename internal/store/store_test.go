@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -43,6 +44,40 @@ func TestPutGetRoundTrip(t *testing.T) {
 	st := s.Stats()
 	if st.Entries != 1 || st.Bytes != int64(len(payload)) || st.Hits != 1 || st.Puts != 1 {
 		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDigests(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Digests(); len(got) != 0 {
+		t.Fatalf("empty store listed %v", got)
+	}
+	var want []string
+	for _, p := range []string{"alpha", "bravo", "charlie"} {
+		d, err := s.Put([]byte(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, d)
+	}
+	sort.Strings(want)
+	got := s.Digests()
+	if len(got) != len(want) {
+		t.Fatalf("listed %d digests, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("digest[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	// Listing must not count as access: recency order (and hit/miss
+	// counters) drive eviction, and a sweep that refreshed every entry
+	// would defeat the LRU.
+	if st := s.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("listing perturbed counters: %+v", st)
 	}
 }
 

@@ -1,0 +1,209 @@
+// Package tlsconf builds the TLS configurations the fleet tiers share:
+// server configs for the szd/szrouter listeners (optionally requiring
+// client certificates — mTLS), client configs for the router→backend
+// and client→router hops, and a self-signed certificate generator so
+// tests and dev fleets need no external PKI. Stdlib only.
+//
+// The deployment shape is deliberately simple: one CA signs every
+// fleet certificate, servers present a cert/key pair, and mTLS (when
+// enabled via a client CA) requires the peer to present a certificate
+// from that same CA. Anything fancier — rotation, SPIFFE, per-node
+// CAs — belongs in the operator's PKI, not here.
+package tlsconf
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Server builds the listener-side TLS config from PEM files. When
+// clientCAFile is non-empty the listener requires and verifies a
+// client certificate signed by that CA (mTLS); otherwise any client
+// may connect and the transport is encryption-only.
+func Server(certFile, keyFile, clientCAFile string) (*tls.Config, error) {
+	cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+	if err != nil {
+		return nil, fmt.Errorf("tlsconf: load server keypair: %w", err)
+	}
+	cfg := &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		MinVersion:   tls.VersionTLS12,
+	}
+	if clientCAFile != "" {
+		pool, err := loadCertPool(clientCAFile)
+		if err != nil {
+			return nil, err
+		}
+		cfg.ClientCAs = pool
+		cfg.ClientAuth = tls.RequireAndVerifyClientCert
+	}
+	return cfg, nil
+}
+
+// Client builds the dialer-side TLS config. caFile anchors server
+// verification (empty = system roots); certFile/keyFile present a
+// client certificate for mTLS listeners (both or neither); serverName
+// overrides SNI/verification when dialing by IP.
+func Client(caFile, certFile, keyFile, serverName string) (*tls.Config, error) {
+	cfg := &tls.Config{
+		MinVersion: tls.VersionTLS12,
+		ServerName: serverName,
+	}
+	if caFile != "" {
+		pool, err := loadCertPool(caFile)
+		if err != nil {
+			return nil, err
+		}
+		cfg.RootCAs = pool
+	}
+	switch {
+	case certFile != "" && keyFile != "":
+		cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+		if err != nil {
+			return nil, fmt.Errorf("tlsconf: load client keypair: %w", err)
+		}
+		cfg.Certificates = []tls.Certificate{cert}
+	case certFile != "" || keyFile != "":
+		return nil, fmt.Errorf("tlsconf: client cert and key must both be set or both empty")
+	}
+	return cfg, nil
+}
+
+func loadCertPool(caFile string) (*x509.CertPool, error) {
+	pemData, err := os.ReadFile(caFile)
+	if err != nil {
+		return nil, fmt.Errorf("tlsconf: read CA: %w", err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(pemData) {
+		return nil, fmt.Errorf("tlsconf: no certificates in %s", caFile)
+	}
+	return pool, nil
+}
+
+// Files names the PEM files DevCertificates writes.
+type Files struct {
+	CACert     string // the CA certificate, trust anchor for both sides
+	ServerCert string
+	ServerKey  string
+	ClientCert string
+	ClientKey  string
+}
+
+// DevCertificates generates a throwaway single-CA PKI under dir: a CA,
+// a server certificate valid for the given hosts (names or IPs;
+// localhost and the loopbacks are always included), and a client
+// certificate for mTLS. For tests and dev fleets only — keys are
+// written unencrypted and validity is 24 hours.
+func DevCertificates(dir string, hosts ...string) (Files, error) {
+	f := Files{
+		CACert:     filepath.Join(dir, "ca.pem"),
+		ServerCert: filepath.Join(dir, "server.pem"),
+		ServerKey:  filepath.Join(dir, "server.key"),
+		ClientCert: filepath.Join(dir, "client.pem"),
+		ClientKey:  filepath.Join(dir, "client.key"),
+	}
+	caKey, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return f, err
+	}
+	now := time.Now()
+	caTmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "sz dev CA"},
+		NotBefore:             now.Add(-time.Hour),
+		NotAfter:              now.Add(24 * time.Hour),
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+	}
+	caDER, err := x509.CreateCertificate(rand.Reader, caTmpl, caTmpl, &caKey.PublicKey, caKey)
+	if err != nil {
+		return f, err
+	}
+	caCert, err := x509.ParseCertificate(caDER)
+	if err != nil {
+		return f, err
+	}
+	if err := writePEM(f.CACert, "CERTIFICATE", caDER); err != nil {
+		return f, err
+	}
+
+	leaf := func(cn string, serial int64, usage x509.ExtKeyUsage, withHosts bool) (der []byte, key *ecdsa.PrivateKey, err error) {
+		key, err = ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+		if err != nil {
+			return nil, nil, err
+		}
+		tmpl := &x509.Certificate{
+			SerialNumber: big.NewInt(serial),
+			Subject:      pkix.Name{CommonName: cn},
+			NotBefore:    now.Add(-time.Hour),
+			NotAfter:     now.Add(24 * time.Hour),
+			KeyUsage:     x509.KeyUsageDigitalSignature,
+			ExtKeyUsage:  []x509.ExtKeyUsage{usage},
+		}
+		if withHosts {
+			tmpl.DNSNames = []string{"localhost"}
+			tmpl.IPAddresses = []net.IP{net.IPv4(127, 0, 0, 1), net.IPv6loopback}
+			for _, h := range hosts {
+				if ip := net.ParseIP(h); ip != nil {
+					tmpl.IPAddresses = append(tmpl.IPAddresses, ip)
+				} else {
+					tmpl.DNSNames = append(tmpl.DNSNames, h)
+				}
+			}
+		}
+		der, err = x509.CreateCertificate(rand.Reader, tmpl, caCert, &key.PublicKey, caKey)
+		return der, key, err
+	}
+
+	srvDER, srvKey, err := leaf("sz dev server", 2, x509.ExtKeyUsageServerAuth, true)
+	if err != nil {
+		return f, err
+	}
+	if err := writeKeyPair(f.ServerCert, f.ServerKey, srvDER, srvKey); err != nil {
+		return f, err
+	}
+	cliDER, cliKey, err := leaf("sz dev client", 3, x509.ExtKeyUsageClientAuth, false)
+	if err != nil {
+		return f, err
+	}
+	if err := writeKeyPair(f.ClientCert, f.ClientKey, cliDER, cliKey); err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+func writeKeyPair(certPath, keyPath string, der []byte, key *ecdsa.PrivateKey) error {
+	if err := writePEM(certPath, "CERTIFICATE", der); err != nil {
+		return err
+	}
+	kb, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return err
+	}
+	return writePEM(keyPath, "EC PRIVATE KEY", kb)
+}
+
+func writePEM(path, blockType string, der []byte) error {
+	fh, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	if err := pem.Encode(fh, &pem.Block{Type: blockType, Bytes: der}); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}

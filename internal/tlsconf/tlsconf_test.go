@@ -1,0 +1,117 @@
+package tlsconf
+
+import (
+	"crypto/tls"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// devFleet generates a throwaway PKI and returns the parsed server and
+// client configs, with mTLS on when mutual is set.
+func devFleet(t *testing.T, mutual bool) (*tls.Config, *tls.Config) {
+	t.Helper()
+	files, err := DevCertificates(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientCA := ""
+	if mutual {
+		clientCA = files.CACert
+	}
+	srv, err := Server(files.ServerCert, files.ServerKey, clientCA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Client(files.CACert, files.ClientCert, files.ClientKey, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, cli
+}
+
+func startTLSServer(t *testing.T, srvCfg *tls.Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	ts.TLS = srvCfg
+	ts.StartTLS()
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestServerClientRoundTrip(t *testing.T) {
+	srvCfg, cliCfg := devFleet(t, false)
+	ts := startTLSServer(t, srvCfg)
+	hc := &http.Client{Transport: &http.Transport{TLSClientConfig: cliCfg}}
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("TLS round trip: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("body %q", body)
+	}
+}
+
+func TestMutualTLSRejectsBareClient(t *testing.T) {
+	srvCfg, cliCfg := devFleet(t, true)
+	ts := startTLSServer(t, srvCfg)
+
+	// With the client certificate: accepted.
+	hc := &http.Client{Transport: &http.Transport{TLSClientConfig: cliCfg}}
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("mTLS round trip with client cert: %v", err)
+	}
+	resp.Body.Close()
+
+	// Without one: the handshake (or the first read, depending on TLS
+	// version) must fail — the listener requires a verified client cert.
+	bare := cliCfg.Clone()
+	bare.Certificates = nil
+	hc = &http.Client{Transport: &http.Transport{TLSClientConfig: bare}}
+	if resp, err := hc.Get(ts.URL); err == nil {
+		resp.Body.Close()
+		t.Fatal("mTLS listener accepted a certificate-less client")
+	}
+}
+
+func TestClientRejectsUnknownCA(t *testing.T) {
+	srvCfg, _ := devFleet(t, false)
+	_, otherCli := devFleet(t, false) // a different CA
+	ts := startTLSServer(t, srvCfg)
+	hc := &http.Client{Transport: &http.Transport{TLSClientConfig: otherCli}}
+	if resp, err := hc.Get(ts.URL); err == nil {
+		resp.Body.Close()
+		t.Fatal("client trusted a server signed by a foreign CA")
+	}
+}
+
+func TestClientHalfKeypairRejected(t *testing.T) {
+	files, err := DevCertificates(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Client(files.CACert, files.ClientCert, "", ""); err == nil ||
+		!strings.Contains(err.Error(), "both") {
+		t.Fatalf("half keypair: err = %v", err)
+	}
+}
+
+func TestServerMissingFiles(t *testing.T) {
+	if _, err := Server("/nonexistent.pem", "/nonexistent.key", ""); err == nil {
+		t.Fatal("missing keypair must error")
+	}
+	files, err := DevCertificates(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Server(files.ServerCert, files.ServerKey, "/nonexistent-ca.pem"); err == nil {
+		t.Fatal("missing client CA must error")
+	}
+}
